@@ -1,0 +1,238 @@
+package sr3
+
+// One benchmark per evaluation table/figure (deliverable d): each
+// regenerates its figure through internal/bench and reports the headline
+// metric via ReportMetric, plus micro-benchmarks of the core paths.
+// `go test -bench=. -benchmem` runs everything; cmd/sr3bench prints the
+// full series.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sr3/internal/bench"
+	"sr3/internal/dht"
+	"sr3/internal/erasure"
+	"sr3/internal/id"
+	"sr3/internal/shard"
+	"sr3/internal/state"
+	"sr3/internal/workload"
+)
+
+func reportSeries(b *testing.B, fig bench.Figure, unit string) {
+	b.Helper()
+	for _, s := range fig.Series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		// Metric units must not contain whitespace.
+		label := strings.ReplaceAll(s.Label, " ", "-")
+		b.ReportMetric(s.Y[len(s.Y)-1], label+"_"+unit)
+	}
+	if b.N == 1 {
+		b.Log("\n" + fig.Format())
+	}
+}
+
+func benchFigure(b *testing.B, fn func() (bench.Figure, error), unit string) {
+	b.Helper()
+	var fig bench.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig, unit)
+}
+
+// BenchmarkFig8aRecoveryUnconstrained regenerates Fig 8a.
+func BenchmarkFig8aRecoveryUnconstrained(b *testing.B) { benchFigure(b, bench.Fig8a, "s@128MB") }
+
+// BenchmarkFig8bRecoveryConstrained regenerates Fig 8b.
+func BenchmarkFig8bRecoveryConstrained(b *testing.B) { benchFigure(b, bench.Fig8b, "s@128MB") }
+
+// BenchmarkFig8cSaveTime regenerates Fig 8c.
+func BenchmarkFig8cSaveTime(b *testing.B) { benchFigure(b, bench.Fig8c, "s@128MB") }
+
+// BenchmarkFig9aStarFanout regenerates Fig 9a.
+func BenchmarkFig9aStarFanout(b *testing.B) { benchFigure(b, bench.Fig9a, "s@bit4") }
+
+// BenchmarkFig9bLinePathLength regenerates Fig 9b.
+func BenchmarkFig9bLinePathLength(b *testing.B) { benchFigure(b, bench.Fig9b, "s@len64") }
+
+// BenchmarkFig9cTreeBranchDepth regenerates Fig 9c.
+func BenchmarkFig9cTreeBranchDepth(b *testing.B) { benchFigure(b, bench.Fig9c, "s@depth64") }
+
+// BenchmarkFig9dTreeFanout regenerates Fig 9d.
+func BenchmarkFig9dTreeFanout(b *testing.B) { benchFigure(b, bench.Fig9d, "s@bit4") }
+
+// BenchmarkFig10aStarFailures regenerates Fig 10a.
+func BenchmarkFig10aStarFailures(b *testing.B) { benchFigure(b, bench.Fig10a, "s@40fail") }
+
+// BenchmarkFig10bLineFailures regenerates Fig 10b.
+func BenchmarkFig10bLineFailures(b *testing.B) { benchFigure(b, bench.Fig10b, "s@40fail") }
+
+// BenchmarkFig10cTreeFailures regenerates Fig 10c.
+func BenchmarkFig10cTreeFailures(b *testing.B) { benchFigure(b, bench.Fig10c, "s@40fail") }
+
+// BenchmarkFig11aLoadBalance500 regenerates Fig 11a (500 apps on 5,000
+// nodes).
+func BenchmarkFig11aLoadBalance500(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.Fig11Summary(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.Mean, "shards/node")
+		b.ReportMetric(s.MaxShards, "max_shards")
+	}
+}
+
+// BenchmarkFig11bLoadBalance1000 regenerates Fig 11b (1,000 apps).
+func BenchmarkFig11bLoadBalance1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := bench.Fig11Summary(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s.Mean, "shards/node")
+		b.ReportMetric(s.MaxShards, "max_shards")
+	}
+}
+
+// BenchmarkFig11cPercentiles regenerates Fig 11c.
+func BenchmarkFig11cPercentiles(b *testing.B) { benchFigure(b, bench.Fig11c, "shards@p99.99") }
+
+// BenchmarkFig12aCPUOverhead regenerates Fig 12a.
+func BenchmarkFig12aCPUOverhead(b *testing.B) { benchFigure(b, bench.Fig12a, "cpu_pct@50s") }
+
+// BenchmarkFig12bMemoryOverhead regenerates Fig 12b.
+func BenchmarkFig12bMemoryOverhead(b *testing.B) { benchFigure(b, bench.Fig12b, "MB@50s") }
+
+// BenchmarkFig12cMaintenanceTraffic regenerates Fig 12c.
+func BenchmarkFig12cMaintenanceTraffic(b *testing.B) { benchFigure(b, bench.Fig12c, "Bps@1280") }
+
+// BenchmarkFP4SComparison reproduces the §2.3 FP4S-vs-SR3 comparison.
+func BenchmarkFP4SComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := bench.FP4SComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.StorageFactor, "storage_factor")
+		b.ReportMetric(cmp.ExtraCodecSec, "extra_codec_s")
+		b.ReportMetric(cmp.FP4SRecoverySec, "fp4s_s")
+		b.ReportMetric(cmp.StarRecoverySec, "sr3_star_s")
+	}
+}
+
+// --- micro-benchmarks of the core paths ---
+
+// BenchmarkDHTRouting measures key lookup over a 512-node overlay.
+func BenchmarkDHTRouting(b *testing.B) {
+	ring, err := dht.BuildConverged(dht.DefaultConfig(), 1, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := ring.Node(ring.IDs()[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := id.HashKey(fmt.Sprintf("key-%d", i))
+		if _, _, err := start.Lookup(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardSplitReassemble measures split+reassemble of 8 MB.
+func BenchmarkShardSplitReassemble(b *testing.B) {
+	data := make([]byte, 8<<20)
+	owner := id.HashKey("owner")
+	v := state.Version{Timestamp: 1}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards, err := shard.Split("app", owner, data, 16, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := shard.Reassemble(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRSEncode measures (26,16) Reed–Solomon encoding of 1 MB
+// (the FP4S hot path).
+func BenchmarkRSEncode(b *testing.B) {
+	codec, err := erasure.NewCodec(16, 26)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapStoreSnapshot measures snapshotting a 10k-key state.
+func BenchmarkMapStoreSnapshot(b *testing.B) {
+	store := state.NewMapStore()
+	workload.FillState(store, 1<<20, 1)
+	b.SetBytes(int64(store.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSR3SaveRecover measures a real end-to-end save+recover of a
+// 1 MB state over a 40-node overlay (actual bytes over the in-process
+// transport).
+func BenchmarkSR3SaveRecover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := New(Config{Nodes: 40, Seed: int64(i), Now: func() int64 { return 1 }})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := workload.SyntheticSnapshot(1<<20, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Save("app", st); err != nil {
+			b.Fatal(err)
+		}
+		owner, err := f.OwnerOf("app")
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.FailNode(owner)
+		if _, err := f.Recover("app"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSpeculation runs the straggler-hedging ablation.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	benchFigure(b, bench.AblationSpeculation, "s@64x")
+}
+
+// BenchmarkAblationFlowPenalty runs the flow-penalty ablation.
+func BenchmarkAblationFlowPenalty(b *testing.B) {
+	benchFigure(b, bench.AblationFlowPenalty, "s@c0.25")
+}
+
+// BenchmarkAblationMechanismDefaults validates the §3.7 decision table.
+func BenchmarkAblationMechanismDefaults(b *testing.B) {
+	benchFigure(b, bench.AblationMechanismDefaults, "s@constrained")
+}

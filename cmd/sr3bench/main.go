@@ -1,0 +1,128 @@
+// Command sr3bench regenerates the tables and figures of the SR3 paper's
+// evaluation (§5) and prints their data series.
+//
+// Usage:
+//
+//	sr3bench             # run everything
+//	sr3bench -fig 8a     # one figure (8a 8b 8c 9a 9b 9c 9d 10a 10b 10c
+//	                     # 11a 11b 11c 12a 12b 12c fp4s table1)
+//	sr3bench -list       # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sr3/internal/bench"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func() (string, error)
+}
+
+func figExp(id, desc string, fn func() (bench.Figure, error)) experiment {
+	return experiment{id: id, desc: desc, run: func() (string, error) {
+		fig, err := fn()
+		if err != nil {
+			return "", err
+		}
+		return fig.Format(), nil
+	}}
+}
+
+func experiments() []experiment {
+	return []experiment{
+		figExp("8a", "recovery time vs state size, unconstrained", bench.Fig8a),
+		figExp("8b", "recovery time vs state size, 100 Mb/s constraint", bench.Fig8b),
+		figExp("8c", "state save time vs state size", bench.Fig8c),
+		figExp("9a", "star recovery vs fan-out bit", bench.Fig9a),
+		figExp("9b", "line recovery vs path length", bench.Fig9b),
+		figExp("9c", "tree recovery vs branch depth", bench.Fig9c),
+		figExp("9d", "tree recovery vs tree fan-out bit", bench.Fig9d),
+		figExp("10a", "star recovery vs simultaneous failures", bench.Fig10a),
+		figExp("10b", "line recovery vs simultaneous failures", bench.Fig10b),
+		figExp("10c", "tree recovery vs simultaneous failures", bench.Fig10c),
+		figExp("11a", "shard distribution, 500 apps / 5000 nodes", bench.Fig11a),
+		figExp("11b", "shard distribution, 1000 apps / 5000 nodes", bench.Fig11b),
+		figExp("11c", "normal percentiles of shards per node", bench.Fig11c),
+		figExp("12a", "CPU usage during recovery", bench.Fig12a),
+		figExp("12b", "memory usage during recovery", bench.Fig12b),
+		figExp("12c", "overlay maintenance traffic", bench.Fig12c),
+		{id: "fp4s", desc: "FP4S vs SR3 comparison (§2.3)", run: runFP4S},
+		figExp("ablation-speculation", "straggler hedging (§6 future work)", bench.AblationSpeculation),
+		figExp("ablation-flowpenalty", "star flow-penalty contribution", bench.AblationFlowPenalty),
+		figExp("ablation-selection", "mechanism choice per environment (§3.7)", bench.AblationMechanismDefaults),
+		{id: "table1", desc: "recovery approach overview (Table 1)", run: func() (string, error) {
+			return bench.FormatTable1(), nil
+		}},
+		{id: "summary", desc: "load-balance headline stats (§5.3)", run: runSummary},
+	}
+}
+
+func runFP4S() (string, error) {
+	cmp, err := bench.FP4SComparison()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "FP4S vs SR3 at %d MB state (unconstrained):\n", cmp.StateMB)
+	fmt.Fprintf(&b, "  FP4S (26,16)-RS recovery: %8.2f s (tolerates %d losses, storage x%.3f)\n",
+		cmp.FP4SRecoverySec, cmp.ToleratedLosses, cmp.StorageFactor)
+	fmt.Fprintf(&b, "  SR3 star recovery:        %8.2f s (replication x%d)\n",
+		cmp.StarRecoverySec, cmp.SR3ReplicaFactor)
+	fmt.Fprintf(&b, "  extra erasure-codec time: %8.2f s (paper: ~10 s)\n", cmp.ExtraCodecSec)
+	return b.String(), nil
+}
+
+func runSummary() (string, error) {
+	var b strings.Builder
+	for _, apps := range []int{500, 1000} {
+		s, err := bench.Fig11Summary(apps)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%4d apps on 5000 nodes: mean %.1f shards/node, max %.0f, %.1f%% of nodes < 50 shards, %.1f%% < 100\n",
+			s.Apps, s.Mean, s.MaxShards, 100*s.Fraction50, 100*s.Fraction100)
+	}
+	return b.String(), nil
+}
+
+func main() {
+	figFlag := flag.String("fig", "", "experiment id to run (default: all)")
+	listFlag := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+	if err := run(*figFlag, *listFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "sr3bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, list bool) error {
+	exps := experiments()
+	if list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return nil
+	}
+	matched := false
+	for _, e := range exps {
+		if fig != "" && e.id != fig {
+			continue
+		}
+		matched = true
+		out, err := e.run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		fmt.Printf("=== %s: %s ===\n%s\n", e.id, e.desc, out)
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (try -list)", fig)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range experiments() {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.desc == "" || e.run == nil {
+			t.Fatalf("experiment %q incomplete", e.id)
+		}
+	}
+	// Every evaluation figure must be present.
+	for _, want := range []string{"8a", "8b", "8c", "9a", "9b", "9c", "9d",
+		"10a", "10b", "10c", "11a", "11b", "11c", "12a", "12b", "12c",
+		"fp4s", "table1"} {
+		if !seen[want] {
+			t.Fatalf("experiment %q missing", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", false); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunListMode(t *testing.T) {
+	if err := run("", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	// 9a is cheap and exercises the whole plumbing.
+	if err := run("9a", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureOutputsFormatted(t *testing.T) {
+	for _, e := range experiments() {
+		if e.id != "table1" && e.id != "summary" {
+			continue
+		}
+		out, err := e.run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.id, err)
+		}
+		if !strings.Contains(out, "SR3") && !strings.Contains(out, "shards/node") {
+			t.Fatalf("%s output suspicious: %q", e.id, out[:minLen(out, 80)])
+		}
+	}
+}
+
+func minLen(s string, n int) int {
+	if len(s) < n {
+		return len(s)
+	}
+	return n
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestMechanismOf(t *testing.T) {
+	for _, name := range []string{"star", "line", "tree", "auto"} {
+		if _, err := mechanismOf(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := mechanismOf("bogus"); err == nil {
+		t.Fatal("bogus mechanism accepted")
+	}
+}
+
+func TestRunAllAppsSmall(t *testing.T) {
+	for _, app := range []string{"wordcount", "bargain", "traffic"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			if err := run(app, "tree", 2000, 40, 3); err != nil {
+				t.Fatalf("run %s: %v", app, err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if err := run("bogus", "star", 10, 10, 1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package sr3_test
+
+import (
+	"fmt"
+
+	"sr3"
+)
+
+// ExampleFramework_Recover shows the core lifecycle: save a state, lose
+// its owner, recover it byte-identically at a replacement.
+func ExampleFramework_Recover() {
+	f, err := sr3.New(sr3.Config{Nodes: 48, Seed: 7, Now: func() int64 { return 1 }})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	store := sr3.NewMapStore()
+	store.Put("product/phone", []byte("9907 clicks"))
+	snapshot, _ := store.Snapshot()
+
+	if err := f.Save("clicks", snapshot); err != nil {
+		fmt.Println(err)
+		return
+	}
+	owner, _ := f.OwnerOf("clicks")
+	f.FailNode(owner)
+
+	report, err := f.Recover("clicks")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	restored := sr3.NewMapStore()
+	_ = restored.Restore(report.State)
+	v, _ := restored.Get("product/phone")
+	fmt.Printf("recovered via %s: product/phone -> %s\n", report.Mechanism, v)
+	// Output: recovered via star: product/phone -> 9907 clicks
+}
+
+// ExampleFramework_Selection shows the §3.7 heuristic choosing a
+// mechanism from state size, bandwidth and QoS.
+func ExampleFramework_Selection() {
+	f, _ := sr3.New(sr3.Config{Nodes: 16, Seed: 1})
+	small, _ := f.Selection("cache", "", 4<<20, 10_000_000_000)
+	big, _ := f.Selection("warehouse", "latency-sensitive", 256<<20, 100_000_000)
+	fmt.Println(small, big)
+	// Output: star tree
+}
+
+// ExampleFramework_Heal shows the self-healing pass after node failures.
+func ExampleFramework_Heal() {
+	f, _ := sr3.New(sr3.Config{Nodes: 48, Seed: 9, Now: func() int64 { return 1 }})
+	_ = f.Save("app", []byte("important operator state"))
+
+	owner, _ := f.OwnerOf("app")
+	f.FailNode(owner)
+	f.MaintenanceRound()
+
+	report, err := f.Heal()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("healed %d of %d states: %s\n",
+		len(report.Recovered), report.Checked, report.Recovered[0].State)
+	// Output: healed 1 of 1 states: important operator state
+}

@@ -1,0 +1,3 @@
+module sr3
+
+go 1.22

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"sr3/internal/recovery"
+)
+
+// fig10 regenerates Figs 10a–10c: recovery time under k simultaneous
+// node failures (0–40), replication factor 2 vs 3, 64 MB state. Failures
+// are injected by killing random overlay nodes (taking their shard
+// replicas with them); surviving replicas carry recovery. Results
+// average over several seeds; seeds where every replica of some shard
+// died are skipped (the paper only reports successful recoveries).
+func fig10(figID string, mech recovery.Mechanism) (Figure, error) {
+	sc := Unconstrained()
+	fig := Figure{
+		ID:     figID,
+		Title:  fmt.Sprintf("%s recovery time vs simultaneous failures (64 MB)", mech),
+		XLabel: "failures",
+		YLabel: "recovery time (s)",
+	}
+	const seeds = 5
+	for _, replicas := range []int{2, 3} {
+		s := Series{Label: fmt.Sprintf("replica=%d", replicas)}
+		for _, failures := range []int{0, 10, 20, 30, 40} {
+			total, ok := 0.0, 0
+			for seed := int64(0); seed < seeds; seed++ {
+				env, err := newPlanEnv(envConfig{
+					seed:          100 + seed,
+					ringSize:      256,
+					totalBytes:    64 * MB,
+					shards:        128,
+					replicas:      replicas,
+					holders:       64,
+					extraFailures: failures,
+				})
+				if err != nil {
+					if errors.Is(err, recovery.ErrShardLost) {
+						continue // unrecoverable seed: skip, like the paper
+					}
+					return Figure{}, err
+				}
+				p := recovery.NewPlanner()
+				opts := recovery.DefaultOptions()
+				switch mech {
+				case recovery.Star:
+					p.Star(env.spec(sc), opts)
+				case recovery.Line:
+					opts.LinePathLength = 8
+					p.Line(env.spec(sc), opts)
+				case recovery.Tree:
+					opts.TreeFanoutBit = 2
+					opts.TreeBranchDepth = 8
+					p.Tree(env.spec(sc), opts)
+				}
+				res, err := sc.NewSim().Run(p.Tasks())
+				if err != nil {
+					return Figure{}, err
+				}
+				total += res.Makespan
+				ok++
+			}
+			if ok == 0 {
+				return Figure{}, fmt.Errorf("fig %s: no recoverable seed at %d failures", figID, failures)
+			}
+			s.X = append(s.X, float64(failures))
+			s.Y = append(s.Y, total/float64(ok))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig10a regenerates Fig 10a (star mechanism under failures).
+func Fig10a() (Figure, error) { return fig10("fig10a", recovery.Star) }
+
+// Fig10b regenerates Fig 10b (line mechanism under failures).
+func Fig10b() (Figure, error) { return fig10("fig10b", recovery.Line) }
+
+// Fig10c regenerates Fig 10c (tree mechanism under failures).
+func Fig10c() (Figure, error) { return fig10("fig10c", recovery.Tree) }

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/metrics"
+	"sr3/internal/shard"
+	"sr3/internal/state"
+)
+
+// Fig 11 setup (paper §5.3): up to 1,000 applications on 5,000 Pastry
+// nodes; 32 MB state per application, 512 KB shards (64 shards),
+// replication factor 2, placed on each owner's leaf set.
+const (
+	fig11Nodes     = 5000
+	fig11StateMB   = 32
+	fig11ShardKB   = 512
+	fig11Replicas  = 2
+	fig11RingSeed  = 7
+	fig11ShardsPer = fig11StateMB * 1024 / fig11ShardKB // 64
+)
+
+// shardCounts deploys apps applications and returns per-node shard
+// replica counts (real DHT placement; no payload bytes are moved).
+func shardCounts(apps int) ([]float64, error) {
+	ring, err := dht.BuildConverged(dht.DefaultConfig(), fig11RingSeed, fig11Nodes)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[id.ID]int, fig11Nodes)
+	for a := 0; a < apps; a++ {
+		appName := fmt.Sprintf("app-%d", a)
+		owner, ok := ring.ClosestLive(id.HashKey(appName))
+		if !ok {
+			return nil, fmt.Errorf("bench: no owner for %s", appName)
+		}
+		leaves := ring.Node(owner).LeafSet()
+		p, err := shard.Place(appName, owner, fig11ShardsPer, fig11Replicas,
+			state.Version{Timestamp: 1}, fig11StateMB*MB, leaves)
+		if err != nil {
+			return nil, err
+		}
+		for _, nid := range p.Loc {
+			counts[nid]++
+		}
+	}
+	out := make([]float64, 0, fig11Nodes)
+	for _, nid := range ring.IDs() {
+		out = append(out, float64(counts[nid]))
+	}
+	return out, nil
+}
+
+func fig11Distribution(figID string, apps int) (Figure, error) {
+	counts, err := shardCounts(apps)
+	if err != nil {
+		return Figure{}, err
+	}
+	mean, err := metrics.Mean(counts)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     figID,
+		Title:  fmt.Sprintf("shard distribution over %d nodes, %d apps (mean %.1f)", fig11Nodes, apps, mean),
+		XLabel: "node index",
+		YLabel: "#state shards per node",
+	}
+	// Sample every 50th node for the printable series; the full
+	// distribution feeds Fig 11c.
+	s := Series{Label: fmt.Sprintf("%d apps", apps)}
+	for i := 0; i < len(counts); i += 50 {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, counts[i])
+	}
+	fig.Series = []Series{s}
+	return fig, nil
+}
+
+// Fig11a regenerates Fig 11a: shard distribution with 500 apps.
+func Fig11a() (Figure, error) { return fig11Distribution("fig11a", 500) }
+
+// Fig11b regenerates Fig 11b: shard distribution with 1,000 apps.
+func Fig11b() (Figure, error) { return fig11Distribution("fig11b", 1000) }
+
+// Fig11c regenerates Fig 11c: normal percentiles of shards per node for
+// 500 and 1,000 apps, at the percentile grid the paper plots.
+func Fig11c() (Figure, error) {
+	fig := Figure{
+		ID:     "fig11c",
+		Title:  "normal probability of #shards per node",
+		XLabel: "percentile",
+		YLabel: "#state shards per node",
+	}
+	grid := []float64{0.01, 0.5, 10, 50, 95, 99.5, 99.99}
+	for _, apps := range []int{500, 1000} {
+		counts, err := shardCounts(apps)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Label: fmt.Sprintf("%d apps", apps)}
+		for _, p := range grid {
+			v, err := metrics.Percentile(counts, p)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, p)
+			s.Y = append(s.Y, v)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig11Stats reports the load-balance headline claims: mean shards per
+// node and the fraction of nodes under the paper's thresholds.
+type Fig11Stats struct {
+	Apps          int
+	Mean          float64
+	Fraction50    float64 // nodes holding < 50 shards
+	Fraction100   float64 // nodes holding < 100 shards
+	MaxShards     float64
+	NonEmptyNodes int
+}
+
+// Fig11Summary computes the headline load-balance stats for app counts.
+func Fig11Summary(apps int) (Fig11Stats, error) {
+	counts, err := shardCounts(apps)
+	if err != nil {
+		return Fig11Stats{}, err
+	}
+	mean, _ := metrics.Mean(counts)
+	f50, _ := metrics.FractionBelow(counts, 50)
+	f100, _ := metrics.FractionBelow(counts, 100)
+	max := 0.0
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	return Fig11Stats{
+		Apps:          apps,
+		Mean:          mean,
+		Fraction50:    f50,
+		Fraction100:   f100,
+		MaxShards:     max,
+		NonEmptyNodes: nonEmpty,
+	}, nil
+}

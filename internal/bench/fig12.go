@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"sr3/internal/checkpoint"
+	"sr3/internal/dht"
+	"sr3/internal/recovery"
+	"sr3/internal/simnet"
+)
+
+// Fig 12a/12b model constants: idle CPU floor, and per-node memory
+// baselines. The paper attributes checkpointing's extra memory to its
+// coordination service (Zookeeper connections on every node, §5.4); SR3
+// has no coordinator.
+const (
+	cpuIdlePct       = 15.0
+	cpuSpanPct       = 75.0
+	memBaseSR3       = 600.0 * MB
+	memBaseCkpt      = 950.0 * MB
+	keepAlivePeriodS = 30.0
+)
+
+// schemePlans builds the 64 MB recovery plan for one scheme and returns
+// the tasks plus the simulation result.
+func schemeRun(scheme string, sc Scenario) ([]simnet.Task, simnet.Result, error) {
+	env, err := newPlanEnv(envConfig{
+		seed:       42,
+		totalBytes: 64 * MB,
+		shards:     16,
+		replicas:   2,
+	})
+	if err != nil {
+		return nil, simnet.Result{}, err
+	}
+	var tasks []simnet.Task
+	switch scheme {
+	case "checkpointing":
+		b := simnet.NewPlanBuilder()
+		checkpoint.PlanRecover(b, checkpoint.Spec{
+			App: "app", Node: env.replacement.String(),
+			StoreNode: StoreNode, UpstreamNode: UpstreamNode,
+			TotalBytes: 64 * MB, ReplayFactor: ReplayFactor, RouteDelay: sc.RouteDelay,
+		})
+		tasks = b.Tasks()
+	case "SR3_star", "SR3_line", "SR3_tree":
+		p := recovery.NewPlanner()
+		opts := recovery.DefaultOptions()
+		switch scheme {
+		case "SR3_star":
+			p.Star(env.spec(sc), opts)
+		case "SR3_line":
+			opts.LinePathLength = 8
+			p.Line(env.spec(sc), opts)
+		case "SR3_tree":
+			opts.TreeFanoutBit = 2
+			opts.TreeBranchDepth = 8
+			p.Tree(env.spec(sc), opts)
+		}
+		tasks = p.Tasks()
+	default:
+		return nil, simnet.Result{}, fmt.Errorf("bench: unknown scheme %q", scheme)
+	}
+	res, err := sc.NewSim().Run(tasks)
+	if err != nil {
+		return nil, simnet.Result{}, err
+	}
+	return tasks, res, nil
+}
+
+var fig12Schemes = []string{"checkpointing", "SR3_star", "SR3_line", "SR3_tree"}
+
+// Fig12a regenerates Fig 12a: per-node CPU usage over time during a
+// 64 MB recovery, for checkpointing and the three SR3 mechanisms. CPU%
+// is the mean utilization over the nodes participating in the scheme,
+// mapped onto an idle floor — checkpointing concentrates all work on
+// the standby (plus store), SR3 spreads it across providers.
+func Fig12a() (Figure, error) {
+	sc := Unconstrained()
+	fig := Figure{
+		ID:     "fig12a",
+		Title:  "CPU usage during 64 MB recovery",
+		XLabel: "time (s)",
+		YLabel: "CPU usage (%)",
+	}
+	grid := timeGrid(0, 50, 11)
+	for _, scheme := range fig12Schemes {
+		_, res, err := schemeRun(scheme, sc)
+		if err != nil {
+			return Figure{}, err
+		}
+		participants := participantCount(res)
+		s := Series{Label: scheme}
+		for _, t := range grid {
+			u := utilAt(res, t) / float64(participants)
+			s.X = append(s.X, t)
+			s.Y = append(s.Y, cpuIdlePct+cpuSpanPct*u)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig12b regenerates Fig 12b: per-node memory usage over time during a
+// 64 MB recovery. Memory is a per-node baseline (higher for the
+// checkpointing stack, which keeps a coordination service connected)
+// plus the bytes each participating node has received so far, averaged
+// over the busiest participant set.
+func Fig12b() (Figure, error) {
+	sc := Unconstrained()
+	fig := Figure{
+		ID:     "fig12b",
+		Title:  "memory usage during 64 MB recovery",
+		XLabel: "time (s)",
+		YLabel: "memory (MB)",
+	}
+	grid := timeGrid(0, 50, 11)
+	for _, scheme := range fig12Schemes {
+		tasks, res, err := schemeRun(scheme, sc)
+		if err != nil {
+			return Figure{}, err
+		}
+		base := memBaseSR3
+		if scheme == "checkpointing" {
+			base = memBaseCkpt
+		}
+		s := Series{Label: scheme}
+		for _, t := range grid {
+			resident := maxResidentAt(tasks, res, t)
+			s.X = append(s.X, t)
+			s.Y = append(s.Y, (base+resident)/MB)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig12c regenerates Fig 12c: DHT maintenance traffic per node per
+// second versus cluster size — measured from real keep-alive rounds on
+// converged overlays (no state stored).
+func Fig12c() (Figure, error) {
+	fig := Figure{
+		ID:     "fig12c",
+		Title:  "overlay maintenance traffic per node",
+		XLabel: "nodes",
+		YLabel: "bytes per node per second",
+	}
+	s := Series{Label: "SR3 overlay"}
+	for _, n := range []int{20, 40, 80, 160, 320, 640, 1280} {
+		ring, err := dht.BuildConverged(dht.DefaultConfig(), 11, n)
+		if err != nil {
+			return Figure{}, err
+		}
+		ring.Net.ResetTraffic()
+		ring.MaintenanceRound()
+		tr := ring.Net.Traffic()
+		var total int64
+		for _, b := range tr.BytesSentPerNode {
+			total += b
+		}
+		perNodePerSec := float64(total) / float64(n) / keepAlivePeriodS
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, perNodePerSec)
+	}
+	fig.Series = []Series{s}
+	return fig, nil
+}
+
+// --- helpers over simnet results ---
+
+func timeGrid(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// participantCount counts distinct nodes that were ever busy.
+func participantCount(res simnet.Result) int {
+	seen := make(map[string]bool)
+	for _, sample := range res.Util {
+		for node := range sample.PerNode {
+			seen[node] = true
+		}
+	}
+	if len(seen) == 0 {
+		return 1
+	}
+	return len(seen)
+}
+
+// utilAt sums instantaneous utilization across nodes at time t (0 after
+// the run completes).
+func utilAt(res simnet.Result, t float64) float64 {
+	if len(res.Util) == 0 || t > res.Makespan {
+		return 0
+	}
+	idx := sort.Search(len(res.Util), func(i int) bool { return res.Util[i].Time > t }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	total := 0.0
+	for _, u := range res.Util[idx].PerNode {
+		total += u
+	}
+	return total
+}
+
+// maxResidentAt returns the largest per-node received-byte total at time
+// t, interpolating transfer progress linearly between start and finish.
+func maxResidentAt(tasks []simnet.Task, res simnet.Result, t float64) float64 {
+	resident := make(map[string]float64)
+	for _, task := range tasks {
+		if task.Kind != simnet.TransferTask {
+			continue
+		}
+		start, okS := res.Start[task.ID]
+		finish, okF := res.Finish[task.ID]
+		if !okS || !okF {
+			continue
+		}
+		switch {
+		case t <= start:
+			// nothing received yet
+		case t >= finish:
+			resident[task.To] += task.Bytes
+		default:
+			frac := (t - start) / (finish - start)
+			resident[task.To] += task.Bytes * frac
+		}
+	}
+	max := 0.0
+	for _, v := range resident {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"sr3/internal/checkpoint"
+	"sr3/internal/recovery"
+	"sr3/internal/simnet"
+)
+
+// recoverySchemes are the four curves of Figs 8a/8b.
+func recoveryTime(env *planEnv, sc Scenario, scheme string) (float64, error) {
+	sim := sc.NewSim()
+	switch scheme {
+	case "checkpointing":
+		b := simnet.NewPlanBuilder()
+		checkpoint.PlanRecover(b, checkpoint.Spec{
+			App:          "app",
+			Node:         env.replacement.String(),
+			StoreNode:    StoreNode,
+			UpstreamNode: UpstreamNode,
+			TotalBytes:   float64(env.placement.TotalLen),
+			ReplayFactor: ReplayFactor,
+			RouteDelay:   sc.RouteDelay,
+		})
+		res, err := sim.Run(b.Tasks())
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+
+	case "star", "line", "tree":
+		p := recovery.NewPlanner()
+		opts := recovery.DefaultOptions()
+		switch scheme {
+		case "star":
+			p.Star(env.spec(sc), opts)
+		case "line":
+			opts.LinePathLength = 8
+			p.Line(env.spec(sc), opts)
+		case "tree":
+			opts.TreeFanoutBit = 1
+			opts.TreeBranchDepth = 8
+			p.Tree(env.spec(sc), opts)
+		}
+		res, err := sim.Run(p.Tasks())
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+	return 0, fmt.Errorf("bench: unknown scheme %q", scheme)
+}
+
+func fig8Recovery(figID string, sc Scenario) (Figure, error) {
+	fig := Figure{
+		ID:     figID,
+		Title:  fmt.Sprintf("state recovery time vs state size (%s)", sc.Name),
+		XLabel: "state MB",
+		YLabel: "recovery time (s)",
+	}
+	schemes := []string{"checkpointing", "star", "line", "tree"}
+	for _, scheme := range schemes {
+		s := Series{Label: scheme}
+		for _, mb := range StateSizesMB {
+			env, err := newPlanEnv(envConfig{
+				seed:       42,
+				totalBytes: mb * MB,
+				shards:     16,
+				replicas:   2,
+			})
+			if err != nil {
+				return Figure{}, fmt.Errorf("fig %s: %w", figID, err)
+			}
+			y, err := recoveryTime(env, sc, scheme)
+			if err != nil {
+				return Figure{}, fmt.Errorf("fig %s %s %dMB: %w", figID, scheme, mb, err)
+			}
+			s.X = append(s.X, float64(mb))
+			s.Y = append(s.Y, y)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8a regenerates Fig 8a: recovery time by state size, no bandwidth
+// constraint.
+func Fig8a() (Figure, error) { return fig8Recovery("fig8a", Unconstrained()) }
+
+// Fig8b regenerates Fig 8b: recovery time by state size under the
+// 100 Mb/s upload constraint.
+func Fig8b() (Figure, error) { return fig8Recovery("fig8b", Constrained()) }
+
+// Fig8c regenerates Fig 8c: state save time by state size (serial
+// leaf-set writes vs one remote checkpoint write).
+func Fig8c() (Figure, error) {
+	sc := SaveScenario()
+	fig := Figure{
+		ID:     "fig8c",
+		Title:  "state save time vs state size",
+		XLabel: "state MB",
+		YLabel: "save time (s)",
+	}
+	ckpt := Series{Label: "checkpointing"}
+	sr3 := Series{Label: "SR3_save"}
+	for _, mb := range StateSizesMB {
+		env, err := newPlanEnv(envConfig{
+			seed:       42,
+			totalBytes: mb * MB,
+			shards:     16,
+			replicas:   2,
+			keepOwner:  true,
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+
+		// Checkpoint save: serialize + one remote write.
+		sim := sc.NewSim()
+		b := simnet.NewPlanBuilder()
+		checkpoint.PlanSave(b, checkpoint.Spec{
+			App:        "app",
+			Node:       env.owner.String(),
+			StoreNode:  StoreNode,
+			TotalBytes: float64(mb * MB),
+			RouteDelay: sc.RouteDelay,
+		})
+		res, err := sim.Run(b.Tasks())
+		if err != nil {
+			return Figure{}, err
+		}
+		ckpt.X = append(ckpt.X, float64(mb))
+		ckpt.Y = append(ckpt.Y, res.Makespan)
+
+		// SR3 save: split+replicate, then serial per-shard pushes with
+		// per-write overhead.
+		targets := saveTargets(env)
+		p := recovery.NewPlanner()
+		p.Save(recovery.SaveSpec{
+			App:        "app",
+			Owner:      env.owner.String(),
+			TotalBytes: float64(mb * MB),
+			Targets:    targets,
+			RouteDelay: PushDelay,
+		})
+		sim2 := sc.NewSim()
+		res2, err := sim2.Run(p.Tasks())
+		if err != nil {
+			return Figure{}, err
+		}
+		sr3.X = append(sr3.X, float64(mb))
+		sr3.Y = append(sr3.Y, res2.Makespan)
+	}
+	fig.Series = []Series{ckpt, sr3}
+	return fig, nil
+}
+
+// saveTargets lists one push per shard replica, in placement order —
+// the serial write sequence of the prototype.
+func saveTargets(env *planEnv) []recovery.PlanStage {
+	p := env.placement
+	per := float64(p.TotalLen) / float64(p.M)
+	type entry struct {
+		key  string
+		node string
+	}
+	entries := make([]entry, 0, len(p.Loc))
+	for k, nid := range p.Loc {
+		entries = append(entries, entry{key: k.String(), node: nid.String()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	out := make([]recovery.PlanStage, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, recovery.PlanStage{Node: e.node, Bytes: per})
+	}
+	return out
+}

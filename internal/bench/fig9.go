@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+
+	"sr3/internal/recovery"
+)
+
+// sweepEnv builds the wide-placement environment the parameter sweeps use
+// (64 distinct providers so chains and trees can actually reach the
+// swept lengths; replicas = 1 since these figures study latency shape,
+// not fault tolerance).
+func sweepEnv(totalBytes int) (*planEnv, error) {
+	return newPlanEnv(envConfig{
+		seed:       43,
+		ringSize:   256,
+		totalBytes: totalBytes,
+		shards:     64,
+		replicas:   1,
+		holders:    64,
+	})
+}
+
+// Fig9a regenerates Fig 9a: star recovery time vs star fan-out bit.
+func Fig9a() (Figure, error) {
+	sc := Unconstrained()
+	fig := Figure{
+		ID:     "fig9a",
+		Title:  "star recovery time vs star fan-out bit",
+		XLabel: "fan-out bit",
+		YLabel: "recovery time (s)",
+	}
+	for _, mb := range []int{8, 16, 32} {
+		env, err := sweepEnv(mb * MB)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Label: fmt.Sprintf("state=%dMB", mb)}
+		for bit := 1; bit <= 4; bit++ {
+			opts := recovery.DefaultOptions()
+			opts.StarFanoutBit = bit
+			p := recovery.NewPlanner()
+			p.Star(env.spec(sc), opts)
+			res, err := sc.NewSim().Run(p.Tasks())
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(bit))
+			s.Y = append(s.Y, res.Makespan)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig9b regenerates Fig 9b: line recovery time vs recovery path length.
+func Fig9b() (Figure, error) {
+	sc := Unconstrained()
+	fig := Figure{
+		ID:     "fig9b",
+		Title:  "line recovery time vs path length (x log-scale)",
+		XLabel: "path length",
+		YLabel: "recovery time (s)",
+	}
+	for _, mb := range []int{8, 16, 32} {
+		env, err := sweepEnv(mb * MB)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Label: fmt.Sprintf("state=%dMB", mb)}
+		for _, l := range []int{4, 8, 16, 32, 64} {
+			opts := recovery.DefaultOptions()
+			opts.LinePathLength = l
+			p := recovery.NewPlanner()
+			p.Line(env.spec(sc), opts)
+			res, err := sc.NewSim().Run(p.Tasks())
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(l))
+			s.Y = append(s.Y, res.Makespan)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig9c regenerates Fig 9c: tree recovery time vs branch depth.
+func Fig9c() (Figure, error) {
+	sc := Unconstrained()
+	fig := Figure{
+		ID:     "fig9c",
+		Title:  "tree recovery time vs branch depth (x log-scale)",
+		XLabel: "branch depth",
+		YLabel: "recovery time (s)",
+	}
+	for _, mb := range []int{16, 32} {
+		env, err := sweepEnv(mb * MB)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Label: fmt.Sprintf("state=%dMB", mb)}
+		for _, d := range []int{4, 8, 16, 32, 64} {
+			opts := recovery.DefaultOptions()
+			opts.TreeFanoutBit = 1
+			opts.TreeBranchDepth = d
+			p := recovery.NewPlanner()
+			p.Tree(env.spec(sc), opts)
+			res, err := sc.NewSim().Run(p.Tasks())
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(d))
+			s.Y = append(s.Y, res.Makespan)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig9d regenerates Fig 9d: tree recovery time vs tree fan-out bit.
+func Fig9d() (Figure, error) {
+	sc := Unconstrained()
+	fig := Figure{
+		ID:     "fig9d",
+		Title:  "tree recovery time vs tree fan-out bit",
+		XLabel: "fan-out bit",
+		YLabel: "recovery time (s)",
+	}
+	for _, mb := range []int{64, 128} {
+		env, err := sweepEnv(mb * MB)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Label: fmt.Sprintf("state=%dMB", mb)}
+		for bit := 1; bit <= 4; bit++ {
+			opts := recovery.DefaultOptions()
+			opts.TreeFanoutBit = bit
+			opts.TreeBranchDepth = 8
+			p := recovery.NewPlanner()
+			p.Tree(env.spec(sc), opts)
+			res, err := sc.NewSim().Run(p.Tasks())
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(bit))
+			s.Y = append(s.Y, res.Makespan)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

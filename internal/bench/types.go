@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/recovery"
+	"sr3/internal/shard"
+	"sr3/internal/state"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is one regenerated evaluation figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table (one row per X,
+// one column per series) — the printable equivalent of the paper's plot.
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Label)
+	}
+	b.WriteString("\n")
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-14.6g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%16.3f", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(y-axis: %s)\n", f.YLabel)
+	return b.String()
+}
+
+// planEnv is a recovery-timing environment: a converged ring, one state
+// placement, a set of failures, and the derived plan stages.
+type planEnv struct {
+	ring        *dht.Ring
+	owner       id.ID
+	placement   shard.Placement
+	replacement id.ID
+	stages      []recovery.PlanStage
+}
+
+// envConfig controls planEnv construction.
+type envConfig struct {
+	seed       int64
+	ringSize   int
+	totalBytes int
+	shards     int
+	replicas   int
+	// holders widens placement beyond the leaf set to this many nearest
+	// nodes (0 = owner's leaf set, the default placement).
+	holders int
+	// extraFailures kills this many random non-owner nodes.
+	extraFailures int
+	// keepOwner leaves the owner alive (shard-drop-style experiments).
+	keepOwner bool
+}
+
+func newPlanEnv(cfg envConfig) (*planEnv, error) {
+	if cfg.ringSize == 0 {
+		cfg.ringSize = 128
+	}
+	ring, err := dht.BuildConverged(dht.DefaultConfig(), cfg.seed, cfg.ringSize)
+	if err != nil {
+		return nil, err
+	}
+	owner := ring.IDs()[0]
+
+	var nodes []id.ID
+	if cfg.holders > 0 {
+		sorted := ring.SortedLiveByDistance(owner)
+		// Skip the owner itself (index 0).
+		if len(sorted) <= cfg.holders {
+			return nil, fmt.Errorf("bench: ring too small for %d holders", cfg.holders)
+		}
+		nodes = sorted[1 : cfg.holders+1]
+	} else {
+		nodes = ring.Node(owner).LeafSet()
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Less(nodes[j]) })
+	}
+
+	placement, err := shard.Place("app", owner, cfg.shards, cfg.replicas,
+		state.Version{Timestamp: 1}, cfg.totalBytes, nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	if !cfg.keepOwner {
+		ring.Fail(owner)
+	}
+	if cfg.extraFailures > 0 {
+		rng := rand.New(rand.NewSource(cfg.seed + 1))
+		live := ring.LiveIDs()
+		rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+		killed := 0
+		for _, nid := range live {
+			if killed >= cfg.extraFailures {
+				break
+			}
+			if nid == owner {
+				continue
+			}
+			ring.Fail(nid)
+			killed++
+		}
+	}
+
+	replacement, ok := ring.ClosestLive(owner)
+	if !ok {
+		return nil, fmt.Errorf("bench: no live replacement")
+	}
+	if cfg.keepOwner {
+		replacement = owner
+	}
+	stages, err := recovery.StagesFromPlacement(placement, ring.Net.Alive, replacement)
+	if err != nil {
+		return nil, err
+	}
+	return &planEnv{
+		ring:        ring,
+		owner:       owner,
+		placement:   placement,
+		replacement: replacement,
+		stages:      stages,
+	}, nil
+}
+
+// spec builds the plan spec for this environment under a scenario.
+func (e *planEnv) spec(sc Scenario) recovery.PlanSpec {
+	return recovery.PlanSpec{
+		App:                "app",
+		TotalBytes:         float64(e.placement.TotalLen),
+		Stages:             e.stages,
+		Replacement:        e.replacement.String(),
+		RouteDelay:         sc.RouteDelay,
+		FailureDetectDelay: FailureDetectDelay,
+		FlowPenalty:        FlowPenalty,
+		StoreForwardBeta:   StoreForwardBeta,
+	}
+}

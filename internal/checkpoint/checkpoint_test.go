@@ -1,0 +1,170 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sr3/internal/simnet"
+	"sr3/internal/state"
+)
+
+func TestStoreSaveFetch(t *testing.T) {
+	s := NewStore()
+	s.Save("app", []byte("v1"), state.Version{Timestamp: 1})
+	got, v, err := s.Fetch("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" || v.Timestamp != 1 {
+		t.Fatalf("got %q %v", got, v)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestStoreKeepsNewestVersion(t *testing.T) {
+	s := NewStore()
+	s.Save("app", []byte("new"), state.Version{Timestamp: 5})
+	s.Save("app", []byte("stale"), state.Version{Timestamp: 3})
+	got, _, err := s.Fetch("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("stale write clobbered checkpoint: %q", got)
+	}
+}
+
+func TestFetchMissing(t *testing.T) {
+	s := NewStore()
+	if _, _, err := s.Fetch("ghost"); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestReplayBufferOrderedReplay(t *testing.T) {
+	b := NewReplayBuffer()
+	for i := 0; i < 10; i++ {
+		b.Append([]byte{byte(i)})
+	}
+	if b.Len() != 10 || b.Bytes() != 10 {
+		t.Fatalf("len=%d bytes=%d", b.Len(), b.Bytes())
+	}
+	var replayed []byte
+	if err := b.Replay(func(rec []byte) error {
+		replayed = append(replayed, rec...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(replayed, []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Fatalf("replayed %v", replayed)
+	}
+	b.Truncate()
+	if b.Len() != 0 || b.Bytes() != 0 {
+		t.Fatal("truncate did not clear")
+	}
+}
+
+func TestReplayStopsOnError(t *testing.T) {
+	b := NewReplayBuffer()
+	b.Append([]byte("a"))
+	b.Append([]byte("b"))
+	boom := errors.New("boom")
+	n := 0
+	err := b.Replay(func(rec []byte) error {
+		n++
+		return boom
+	})
+	if !errors.Is(err, boom) || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+// TestCheckpointRecoverEndToEnd exercises the real baseline path: save,
+// buffer updates, crash, fetch + replay.
+func TestCheckpointRecoverEndToEnd(t *testing.T) {
+	store := NewStore()
+	primary := state.NewMapStore()
+	buf := NewReplayBuffer()
+
+	apply := func(st *state.MapStore, rec []byte) {
+		st.Put(string(rec), rec)
+	}
+
+	// Phase 1: process 50 records, checkpoint, then 30 more (buffered).
+	for i := 0; i < 50; i++ {
+		rec := []byte(fmt.Sprintf("rec-%d", i))
+		apply(primary, rec)
+	}
+	snap, err := primary.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Save("op", snap, state.Version{Timestamp: 1})
+	buf.Truncate()
+	for i := 50; i < 80; i++ {
+		rec := []byte(fmt.Sprintf("rec-%d", i))
+		apply(primary, rec)
+		buf.Append(rec)
+	}
+
+	// Crash; standby recovers.
+	standby := state.NewMapStore()
+	cp, _, err := store.Fetch("op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := standby.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Replay(func(rec []byte) error {
+		apply(standby, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	want, _ := primary.Snapshot()
+	got, _ := standby.Snapshot()
+	if !bytes.Equal(want, got) {
+		t.Fatal("standby state differs from lost primary state")
+	}
+}
+
+func TestPlanRecoverTiming(t *testing.T) {
+	b := simnet.NewPlanBuilder()
+	PlanRecover(b, Spec{
+		App: "app", Node: "standby", StoreNode: "hdfs", UpstreamNode: "up",
+		TotalBytes: 128e6, ReplayFactor: 1, RouteDelay: 0.2,
+	})
+	sim := simnet.NewSim(simnet.Res{UpBps: 125e6, DownBps: 125e6, ComputeBps: 10e6})
+	sim.SetNode("hdfs", simnet.Res{UpBps: 4e6, DownBps: 4e6, ComputeBps: 1e12})
+	res, err := sim.Run(b.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetch 128 MB at 4 MB/s = 32 s, restore 12.8 s, replay+apply more:
+	// checkpointing lands in the tens of seconds, way above SR3 star.
+	if res.Makespan < 40 {
+		t.Fatalf("checkpoint recovery %v s implausibly fast", res.Makespan)
+	}
+}
+
+func TestPlanSaveTiming(t *testing.T) {
+	b := simnet.NewPlanBuilder()
+	PlanSave(b, Spec{App: "app", Node: "op", StoreNode: "hdfs", TotalBytes: 64e6, RouteDelay: 0.1})
+	sim := simnet.NewSim(simnet.Res{UpBps: 125e6, DownBps: 125e6, ComputeBps: 40e6})
+	sim.SetNode("hdfs", simnet.Res{UpBps: 4e6, DownBps: 4e6, ComputeBps: 1e12})
+	res, err := sim.Run(b.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound by the 4 MB/s remote ingest: ≥ 16 s.
+	if res.Makespan < 16 {
+		t.Fatalf("checkpoint save %v s too fast", res.Makespan)
+	}
+}

@@ -1,0 +1,208 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sr3/internal/id"
+)
+
+// TestChurnJoinAfterFailures exercises the overlay's self-repair: nodes
+// die, new nodes join through survivors, and routing stays correct.
+func TestChurnJoinAfterFailures(t *testing.T) {
+	r := buildRing(t, 100, 51)
+	rng := rand.New(rand.NewSource(52))
+
+	for round := 0; round < 3; round++ {
+		// Kill 10 random live nodes.
+		live := r.LiveIDs()
+		rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+		for _, nid := range live[:10] {
+			r.Fail(nid)
+		}
+		r.MaintenanceRound()
+
+		// Join 10 fresh nodes through random survivors.
+		for i := 0; i < 10; i++ {
+			if _, err := r.AddNode(); err != nil {
+				t.Fatalf("round %d join %d: %v", round, i, err)
+			}
+		}
+		r.MaintenanceRound()
+
+		// Routing remains exact.
+		for probe := 0; probe < 15; probe++ {
+			key := id.Random(rng)
+			want, _ := r.ClosestLive(key)
+			start, err := r.AnyLive()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := start.Lookup(key)
+			if err != nil {
+				t.Fatalf("round %d: lookup: %v", round, err)
+			}
+			if got != want {
+				t.Fatalf("round %d: key %s routed to %s, closest %s",
+					round, key.Short(), got.Short(), want.Short())
+			}
+		}
+	}
+}
+
+// TestConcurrentKVOperations hammers the KV store from many goroutines.
+func TestConcurrentKVOperations(t *testing.T) {
+	r := buildRing(t, 40, 53)
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			node := r.nodes[r.order[g*4]]
+			for i := 0; i < 25; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := node.Put(key, []byte(key)); err != nil {
+					errs <- fmt.Errorf("put %s: %w", key, err)
+					return
+				}
+				v, err := node.Get(key)
+				if err != nil {
+					errs <- fmt.Errorf("get %s: %w", key, err)
+					return
+				}
+				if string(v) != key {
+					errs <- fmt.Errorf("get %s = %q", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestKVOverwrite checks last-writer-wins for sequential overwrites.
+func TestKVOverwrite(t *testing.T) {
+	r := buildRing(t, 25, 54)
+	n := r.nodes[r.order[0]]
+	for i := 0; i < 10; i++ {
+		if err := n.Put("counter", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := n.Get("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 9 {
+		t.Fatalf("got %d, want 9", v[0])
+	}
+}
+
+// TestLeafSetSymmetryConverged: on a converged ring, if A is B's ring
+// successor then B's leaf set holds A and vice versa.
+func TestLeafSetSymmetryConverged(t *testing.T) {
+	r, err := BuildConverged(DefaultConfig(), 55, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nid := range r.order {
+		for _, l := range r.nodes[nid].LeafSet() {
+			back := false
+			for _, ll := range r.nodes[l].LeafSet() {
+				if ll == nid {
+					back = true
+					break
+				}
+			}
+			if !back {
+				t.Fatalf("leaf relation not symmetric: %s has %s but not back",
+					nid.Short(), l.Short())
+			}
+		}
+	}
+}
+
+// TestRoutingTableRowsConsistent: every routing table entry must share
+// exactly its row's prefix length with the owner.
+func TestRoutingTableRowsConsistent(t *testing.T) {
+	r := buildRing(t, 80, 56)
+	for _, nid := range r.order {
+		node := r.nodes[nid]
+		node.mu.RLock()
+		for row := range node.rt {
+			for col := range node.rt[row] {
+				e := node.rt[row][col]
+				if e == id.Zero {
+					continue
+				}
+				if got := id.CommonPrefixLen(nid, e); got != row {
+					node.mu.RUnlock()
+					t.Fatalf("node %s rt[%d][%d]=%s has prefix %d",
+						nid.Short(), row, col, e.Short(), got)
+				}
+				if e.Digit(row) != byte(col) {
+					node.mu.RUnlock()
+					t.Fatalf("node %s rt[%d][%d]=%s wrong column digit",
+						nid.Short(), row, col, e.Short())
+				}
+			}
+		}
+		node.mu.RUnlock()
+	}
+}
+
+// TestAllNodesDown: operations against a fully failed overlay error out
+// rather than hanging.
+func TestAllNodesDown(t *testing.T) {
+	r := buildRing(t, 10, 57)
+	for _, nid := range r.order {
+		r.Fail(nid)
+	}
+	if _, err := r.AnyLive(); err == nil {
+		t.Fatal("AnyLive should fail with everything down")
+	}
+	if _, ok := r.ClosestLive(id.HashKey("x")); ok {
+		t.Fatal("ClosestLive should find nothing")
+	}
+	if _, err := r.AddNode(); err == nil {
+		t.Fatal("AddNode needs a live bootstrap")
+	}
+}
+
+// TestRestoreNodeRejoinsTraffic: a failed-and-restored node answers again.
+func TestRestoreNodeRejoinsTraffic(t *testing.T) {
+	r := buildRing(t, 30, 58)
+	victim := r.order[5]
+	r.Fail(victim)
+	if r.Net.Alive(victim) {
+		t.Fatal("should be down")
+	}
+	r.Restore(victim)
+	other := r.nodes[r.order[0]]
+	if !other.Ping(victim) {
+		t.Fatal("restored node should answer pings")
+	}
+}
+
+// TestLookupFromEveryNodeAgrees: all nodes agree on the root of a key.
+func TestLookupFromEveryNodeAgrees(t *testing.T) {
+	r := buildRing(t, 60, 59)
+	key := id.HashKey("the-key")
+	want, _ := r.ClosestLive(key)
+	for _, nid := range r.order {
+		got, _, err := r.nodes[nid].Lookup(key)
+		if err != nil {
+			t.Fatalf("from %s: %v", nid.Short(), err)
+		}
+		if got != want {
+			t.Fatalf("from %s routed to %s, want %s", nid.Short(), got.Short(), want.Short())
+		}
+	}
+}

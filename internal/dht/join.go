@@ -1,0 +1,147 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+
+	"sr3/internal/id"
+	"sr3/internal/simnet"
+)
+
+// joinRequest is routed toward the joiner's own ID. Each node on the path
+// contributes the routing table row matching its shared prefix with the
+// joiner; the final node (the joiner's future neighbor) adds its leaf set.
+type joinRequest struct {
+	Joiner id.ID
+	Hops   int
+	// Rows accumulates (rowIndex, entries) pairs gathered along the path.
+	Rows []joinRow
+}
+
+type joinRow struct {
+	Row     int
+	Entries []id.ID
+}
+
+type joinReply struct {
+	Root   id.ID
+	Rows   []joinRow
+	Leaves []id.ID
+}
+
+type announceRequest struct {
+	Joiner id.ID
+}
+
+type leafsetReply struct {
+	Leaves []id.ID
+}
+
+// Join inserts this node into the overlay reachable through bootstrap.
+func (n *Node) Join(bootstrap id.ID) error {
+	if n.Joined() {
+		return nil
+	}
+	req := &joinRequest{Joiner: n.id}
+	resp, err := n.net.Call(n.id, bootstrap, simnet.Message{
+		Kind:    kindJoin,
+		Size:    msgHeader + entrySize,
+		Payload: req,
+	})
+	if err != nil {
+		return fmt.Errorf("join via %s: %w", bootstrap.Short(), err)
+	}
+	reply, ok := resp.Payload.(*joinReply)
+	if !ok {
+		return fmt.Errorf("dht: bad join reply %T", resp.Payload)
+	}
+
+	n.mu.Lock()
+	for _, row := range reply.Rows {
+		for _, e := range row.Entries {
+			if e != id.Zero && e != n.id {
+				n.insertRTLocked(e)
+			}
+		}
+	}
+	for _, l := range reply.Leaves {
+		if l != n.id {
+			n.insertLeafLocked(l)
+			n.insertRTLocked(l)
+		}
+	}
+	n.insertLeafLocked(reply.Root)
+	n.insertRTLocked(reply.Root)
+	n.joined = true
+	targets := n.allLeavesLocked()
+	n.mu.Unlock()
+
+	// Announce ourselves to the leaf set plus everything we learned, so
+	// neighbors fold us into their state (Pastry's state broadcast).
+	extra := n.RoutingTableEntries()
+	seen := make(map[id.ID]bool, len(targets)+len(extra))
+	all := make([]id.ID, 0, len(targets)+len(extra))
+	for _, t := range append(targets, extra...) {
+		if !seen[t] && t != n.id {
+			seen[t] = true
+			all = append(all, t)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+	for _, t := range all {
+		_, err := n.net.Call(n.id, t, simnet.Message{
+			Kind:    kindAnnounce,
+			Size:    msgHeader + entrySize,
+			Payload: &announceRequest{Joiner: n.id},
+		})
+		if err != nil {
+			// The peer died between learning about it and announcing;
+			// drop it and carry on.
+			n.forget(t)
+		}
+	}
+	return nil
+}
+
+// handleJoin processes a join message: contribute our routing row, then
+// forward along the route to the joiner's ID or terminate as its root.
+func (n *Node) handleJoin(req *joinRequest) (simnet.Message, error) {
+	row := id.CommonPrefixLen(n.id, req.Joiner)
+	entries := make([]id.ID, 0, id.Base)
+	n.mu.RLock()
+	if row < id.Digits {
+		for col := 0; col < id.Base; col++ {
+			if e := n.rt[row][col]; e != id.Zero {
+				entries = append(entries, e)
+			}
+		}
+	}
+	n.mu.RUnlock()
+	entries = append(entries, n.id)
+	req.Rows = append(req.Rows, joinRow{Row: row, Entries: entries})
+
+	next, deliverHere := n.nextHop(req.Joiner)
+	if !deliverHere {
+		fwd := &joinRequest{Joiner: req.Joiner, Hops: req.Hops + 1, Rows: req.Rows}
+		resp, err := n.net.Call(n.id, next, simnet.Message{
+			Kind:    kindJoin,
+			Size:    msgHeader + entrySize*len(entries),
+			Payload: fwd,
+		})
+		if err == nil {
+			return resp, nil
+		}
+		// Next hop died; fall through and act as the terminal node.
+		n.forget(next)
+	}
+
+	n.mu.RLock()
+	leaves := n.allLeavesLocked()
+	n.mu.RUnlock()
+	reply := &joinReply{Root: n.id, Rows: req.Rows, Leaves: leaves}
+	return simnet.Message{
+		Kind:    kindJoin,
+		Size:    msgHeader + entrySize*(len(leaves)+len(req.Rows)*4),
+		Payload: reply,
+	}, nil
+}

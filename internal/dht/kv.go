@@ -1,0 +1,234 @@
+package dht
+
+import (
+	"fmt"
+
+	"sr3/internal/id"
+	"sr3/internal/simnet"
+)
+
+// Routed KV kinds (delivered at the key's root) and direct kinds (sent
+// straight to a replica holder).
+const (
+	kindKVPut   = "dht.kv.put"
+	kindKVGet   = "dht.kv.get"
+	kindKVDel   = "dht.kv.del"
+	kindKVRoot  = "dht.kv.root" // no-op probe used by Lookup
+	kindKVStore = "dht.kv.store"
+	kindKVFetch = "dht.kv.fetch"
+)
+
+func isKVKind(kind string) bool {
+	switch kind {
+	case kindKVPut, kindKVGet, kindKVDel, kindKVRoot:
+		return true
+	}
+	return false
+}
+
+type kvPutRequest struct {
+	Key   string
+	Value []byte
+}
+
+type kvGetRequest struct{ Key string }
+
+type kvReply struct {
+	Found bool
+	Value []byte
+}
+
+// Put stores value under key at the key's root node, with leaf-set
+// replication (Config.KVReplicas additional copies).
+func (n *Node) Put(key string, value []byte) error {
+	msg := simnet.Message{
+		Kind:    kindKVPut,
+		Size:    msgHeader + len(key) + len(value),
+		Payload: &kvPutRequest{Key: key, Value: value},
+	}
+	_, _, _, err := n.Route(id.HashKey(key), msg)
+	if err != nil {
+		return fmt.Errorf("kv put %q: %w", key, err)
+	}
+	return nil
+}
+
+// Get fetches the value for key from the key's root (falling back to
+// leaf-set replicas when the root lost it to a failure).
+func (n *Node) Get(key string) ([]byte, error) {
+	msg := simnet.Message{
+		Kind:    kindKVGet,
+		Size:    msgHeader + len(key),
+		Payload: &kvGetRequest{Key: key},
+	}
+	reply, _, _, err := n.Route(id.HashKey(key), msg)
+	if err != nil {
+		return nil, fmt.Errorf("kv get %q: %w", key, err)
+	}
+	r, ok := reply.Payload.(*kvReply)
+	if !ok {
+		return nil, fmt.Errorf("dht: bad kv reply %T", reply.Payload)
+	}
+	if !r.Found {
+		return nil, fmt.Errorf("kv get %q: %w", key, ErrNotFound)
+	}
+	return r.Value, nil
+}
+
+// Delete removes key at its root and replicas (best effort on replicas).
+func (n *Node) Delete(key string) error {
+	msg := simnet.Message{
+		Kind:    kindKVDel,
+		Size:    msgHeader + len(key),
+		Payload: &kvGetRequest{Key: key},
+	}
+	_, _, _, err := n.Route(id.HashKey(key), msg)
+	if err != nil {
+		return fmt.Errorf("kv delete %q: %w", key, err)
+	}
+	return nil
+}
+
+// handleKV processes routed KV operations delivered at the root.
+func (n *Node) handleKV(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	switch msg.Kind {
+	case kindKVRoot:
+		return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
+
+	case kindKVPut:
+		req, ok := msg.Payload.(*kvPutRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("dht: bad kv put payload %T", msg.Payload)
+		}
+		n.mu.Lock()
+		n.kv[req.Key] = append([]byte(nil), req.Value...)
+		n.mu.Unlock()
+		n.replicate(req)
+		return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
+
+	case kindKVGet:
+		req, ok := msg.Payload.(*kvGetRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("dht: bad kv get payload %T", msg.Payload)
+		}
+		n.mu.RLock()
+		v, found := n.kv[req.Key]
+		n.mu.RUnlock()
+		if !found {
+			v, found = n.fetchFromReplicas(req.Key)
+		}
+		return simnet.Message{
+			Kind:    kindAck,
+			Size:    msgHeader + len(v),
+			Payload: &kvReply{Found: found, Value: v},
+		}, nil
+
+	case kindKVDel:
+		req, ok := msg.Payload.(*kvGetRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("dht: bad kv del payload %T", msg.Payload)
+		}
+		n.mu.Lock()
+		delete(n.kv, req.Key)
+		n.mu.Unlock()
+		for _, l := range n.LeafSet() {
+			_, _ = n.net.Call(n.id, l, simnet.Message{
+				Kind:    kindKVStore,
+				Size:    msgHeader + len(req.Key),
+				Payload: &kvPutRequest{Key: req.Key, Value: nil},
+			})
+		}
+		return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
+	}
+	return simnet.Message{}, fmt.Errorf("dht: unknown kv kind %q", msg.Kind)
+}
+
+// replicate pushes a copy of the pair to the first KVReplicas leaf nodes.
+func (n *Node) replicate(req *kvPutRequest) {
+	count := 0
+	for _, l := range n.LeafSet() {
+		if count >= n.cfg.KVReplicas {
+			return
+		}
+		_, err := n.net.Call(n.id, l, simnet.Message{
+			Kind:    kindKVStore,
+			Size:    msgHeader + len(req.Key) + len(req.Value),
+			Payload: req,
+		})
+		if err != nil {
+			n.forget(l)
+			continue
+		}
+		count++
+	}
+}
+
+// fetchFromReplicas probes the leaf set for a key this node does not hold
+// (it may have become root after the previous root failed).
+func (n *Node) fetchFromReplicas(key string) ([]byte, bool) {
+	for _, l := range n.LeafSet() {
+		resp, err := n.net.Call(n.id, l, simnet.Message{
+			Kind:    kindKVFetch,
+			Size:    msgHeader + len(key),
+			Payload: &kvGetRequest{Key: key},
+		})
+		if err != nil {
+			n.forget(l)
+			continue
+		}
+		r, ok := resp.Payload.(*kvReply)
+		if ok && r.Found {
+			// Re-adopt the pair locally now that we are its root.
+			n.mu.Lock()
+			n.kv[key] = r.Value
+			n.mu.Unlock()
+			return r.Value, true
+		}
+	}
+	return nil, false
+}
+
+// handleKVDirect serves replica store/fetch messages sent point-to-point.
+func (n *Node) handleKVDirect(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	switch msg.Kind {
+	case kindKVStore:
+		req, ok := msg.Payload.(*kvPutRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("dht: bad kv store payload %T", msg.Payload)
+		}
+		n.mu.Lock()
+		if req.Value == nil {
+			delete(n.kv, req.Key)
+		} else {
+			n.kv[req.Key] = append([]byte(nil), req.Value...)
+		}
+		n.mu.Unlock()
+		return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
+
+	case kindKVFetch:
+		req, ok := msg.Payload.(*kvGetRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("dht: bad kv fetch payload %T", msg.Payload)
+		}
+		n.mu.RLock()
+		v, found := n.kv[req.Key]
+		n.mu.RUnlock()
+		return simnet.Message{
+			Kind:    kindAck,
+			Size:    msgHeader + len(v),
+			Payload: &kvReply{Found: found, Value: v},
+		}, nil
+	}
+	return simnet.Message{}, fmt.Errorf("dht: unknown direct kv kind %q", msg.Kind)
+}
+
+// LocalKeys returns the keys stored locally (root copies and replicas).
+func (n *Node) LocalKeys() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.kv))
+	for k := range n.kv {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package dht
+
+import (
+	"sr3/internal/id"
+	"sr3/internal/simnet"
+)
+
+// MaintenanceTick performs one round of keep-alive maintenance: it pings
+// every leaf set member and every routing table entry, drops the dead ones,
+// and repairs depleted leaf set halves by merging a live neighbor's leaf
+// set. The traffic it generates is what Fig 12c measures.
+func (n *Node) MaintenanceTick() {
+	if !n.Joined() {
+		return
+	}
+	for _, l := range n.LeafSet() {
+		if !n.Ping(l) {
+			n.forget(l)
+		}
+	}
+	for _, e := range n.RoutingTableEntries() {
+		if !n.Ping(e) {
+			n.forget(e)
+		}
+	}
+	n.repairLeafSet()
+}
+
+// Ping probes a peer's liveness with a keep-alive message.
+func (n *Node) Ping(target id.ID) bool {
+	_, err := n.net.Call(n.id, target, simnet.Message{Kind: kindPing, Size: pingSize})
+	return err == nil
+}
+
+// repairLeafSet refills depleted halves by asking the furthest live leaf on
+// each side for its leaf set (Pastry's leaf repair protocol).
+func (n *Node) repairLeafSet() {
+	n.mu.RLock()
+	// The halves pad themselves with wrapped-around members when the
+	// candidate pool shrinks, so depletion shows up in the pool size, not
+	// the half lengths.
+	need := len(n.leafCand) > 0 && len(n.leafCand) < n.cfg.LeafSetSize
+	var askCW, askCCW id.ID
+	if need {
+		if len(n.leafCW) > 0 {
+			askCW = n.leafCW[len(n.leafCW)-1]
+		}
+		if len(n.leafCCW) > 0 {
+			askCCW = n.leafCCW[len(n.leafCCW)-1]
+		}
+	}
+	n.mu.RUnlock()
+
+	for _, ask := range []id.ID{askCW, askCCW} {
+		if ask == id.Zero {
+			continue
+		}
+		resp, err := n.net.Call(n.id, ask, simnet.Message{Kind: kindLeafsetReq, Size: msgHeader})
+		if err != nil {
+			n.forget(ask)
+			continue
+		}
+		reply, ok := resp.Payload.(*leafsetReply)
+		if !ok {
+			continue
+		}
+		for _, l := range reply.Leaves {
+			if l != n.id && n.net.Alive(l) {
+				n.learn(l)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sr3/internal/id"
+	"sr3/internal/simnet"
+)
+
+// Ring builds and manages a whole overlay in one process: it creates nodes
+// with seeded random IDs, joins them, and offers cluster-wide operations
+// (failure injection, maintenance rounds, ground-truth root computation).
+// Benchmarks and the stream runtime drive the overlay through a Ring.
+type Ring struct {
+	Net   *simnet.Network
+	cfg   Config
+	rng   *rand.Rand
+	nodes map[id.ID]*Node
+	order []id.ID // join order, for deterministic iteration
+}
+
+// NewRing creates an overlay of n nodes with deterministic IDs from seed.
+func NewRing(cfg Config, seed int64, n int) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dht: ring size %d must be positive", n)
+	}
+	r := &Ring{
+		Net:   simnet.NewNetwork(),
+		cfg:   cfg.withDefaults(),
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[id.ID]*Node, n),
+	}
+	for i := 0; i < n; i++ {
+		if _, err := r.AddNode(); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// AddNode creates one more node and joins it through a random live member.
+func (r *Ring) AddNode() (*Node, error) {
+	nid := id.Random(r.rng)
+	for r.nodes[nid] != nil {
+		nid = id.Random(r.rng)
+	}
+	node, err := NewNode(nid, r.Net, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.order) == 0 {
+		node.Bootstrap()
+	} else {
+		boot, ok := r.randomLive()
+		if !ok {
+			return nil, fmt.Errorf("dht: no live node to bootstrap from")
+		}
+		if err := node.Join(boot); err != nil {
+			return nil, fmt.Errorf("dht: join node %s: %w", nid.Short(), err)
+		}
+	}
+	r.nodes[nid] = node
+	r.order = append(r.order, nid)
+	return node, nil
+}
+
+func (r *Ring) randomLive() (id.ID, bool) {
+	live := r.LiveIDs()
+	if len(live) == 0 {
+		return id.Zero, false
+	}
+	return live[r.rng.Intn(len(live))], true
+}
+
+// Node returns the node with the given ID, or nil.
+func (r *Ring) Node(nid id.ID) *Node { return r.nodes[nid] }
+
+// Size returns the number of nodes ever added.
+func (r *Ring) Size() int { return len(r.order) }
+
+// IDs returns all node IDs in join order.
+func (r *Ring) IDs() []id.ID { return append([]id.ID(nil), r.order...) }
+
+// LiveIDs returns the IDs of nodes currently alive, in join order.
+func (r *Ring) LiveIDs() []id.ID {
+	out := make([]id.ID, 0, len(r.order))
+	for _, nid := range r.order {
+		if r.Net.Alive(nid) {
+			out = append(out, nid)
+		}
+	}
+	return out
+}
+
+// Fail crashes the node (it stops answering and sending).
+func (r *Ring) Fail(nid id.ID) { r.Net.Fail(nid) }
+
+// Restore revives a crashed node.
+func (r *Ring) Restore(nid id.ID) { r.Net.Restore(nid) }
+
+// AnyLive returns an arbitrary (deterministic) live node for issuing
+// cluster operations.
+func (r *Ring) AnyLive() (*Node, error) {
+	for _, nid := range r.order {
+		if r.Net.Alive(nid) {
+			return r.nodes[nid], nil
+		}
+	}
+	return nil, fmt.Errorf("dht: all nodes are down")
+}
+
+// MaintenanceRound ticks keep-alive maintenance on every live node.
+func (r *Ring) MaintenanceRound() {
+	for _, nid := range r.order {
+		if r.Net.Alive(nid) {
+			r.nodes[nid].MaintenanceTick()
+		}
+	}
+}
+
+// ClosestLive computes the ground-truth root for key among live nodes —
+// used by tests to validate routing and by recovery to pick replacements.
+func (r *Ring) ClosestLive(key id.ID) (id.ID, bool) {
+	var best id.ID
+	found := false
+	for _, nid := range r.order {
+		if !r.Net.Alive(nid) {
+			continue
+		}
+		if !found || id.Closer(key, nid, best) {
+			best = nid
+			found = true
+		}
+	}
+	return best, found
+}
+
+// SortedLiveByDistance returns live node IDs ordered by ring distance from
+// key, nearest first.
+func (r *Ring) SortedLiveByDistance(key id.ID) []id.ID {
+	live := r.LiveIDs()
+	sort.Slice(live, func(i, j int) bool { return id.Closer(key, live[i], live[j]) })
+	return live
+}

@@ -1,0 +1,19 @@
+package dht
+
+import "encoding/gob"
+
+// RegisterWire registers the DHT's message payload types with gob so the
+// overlay can run over a serializing transport (internal/nettransport).
+// Call once per process before creating nodes on such a transport; it is
+// unnecessary (but harmless) for the in-process simnet transport.
+func RegisterWire() {
+	gob.Register(&joinRequest{})
+	gob.Register(&joinReply{})
+	gob.Register(&announceRequest{})
+	gob.Register(&leafsetReply{})
+	gob.Register(&routeRequest{})
+	gob.Register(&routeReply{})
+	gob.Register(&kvPutRequest{})
+	gob.Register(&kvGetRequest{})
+	gob.Register(&kvReply{})
+}

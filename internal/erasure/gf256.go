@@ -1,0 +1,65 @@
+// Package erasure implements Reed–Solomon erasure coding over GF(2^8),
+// the primitive behind the FP4S baseline (paper §2.3): a state object is
+// split into k fragments and encoded into n coded blocks such that any k
+// of the n blocks reconstruct the original.
+package erasure
+
+// GF(2^8) arithmetic with the AES field polynomial x^8+x^4+x^3+x+1
+// (0x11b), generator 3, via log/exp tables.
+
+var (
+	gfExp [512]byte
+	gfLog [256]byte
+)
+
+func init() {
+	// Table construction is deterministic and IO-free (allowed init use).
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		// multiply x by the generator 3 = x·2 ⊕ x
+		y := x << 1
+		if x&0x80 != 0 {
+			y ^= 0x1b
+		}
+		x = y ^ x
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	if b == 0 {
+		panic("erasure: division by zero in GF(2^8)")
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("erasure: zero has no inverse in GF(2^8)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+func gfPow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[(int(gfLog[a])*e)%255]
+}

@@ -1,0 +1,206 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors.
+var (
+	ErrBadParams    = errors.New("erasure: need 1 <= k <= n <= 255")
+	ErrTooFewBlocks = errors.New("erasure: fewer than k blocks available")
+	ErrBlockSize    = errors.New("erasure: blocks have inconsistent sizes")
+	ErrBadBlockID   = errors.New("erasure: block index out of range")
+	ErrSingular     = errors.New("erasure: decode matrix is singular")
+)
+
+// Codec is an (n, k) Reed–Solomon codec: k data fragments are encoded into
+// n coded blocks; any k blocks reconstruct the data. The encoding matrix
+// is Vandermonde (rows alpha_i^j with distinct alpha_i), so every k×k
+// submatrix is invertible.
+type Codec struct {
+	k, n   int
+	matrix [][]byte // n rows × k cols
+}
+
+// NewCodec builds an (n, k) codec. FP4S's running example is (32, 16);
+// the paper's overhead discussion uses 16 raw + 10 coded (n=26, k=16).
+func NewCodec(k, n int) (*Codec, error) {
+	if k < 1 || n < k || n > 255 {
+		return nil, fmt.Errorf("codec(k=%d, n=%d): %w", k, n, ErrBadParams)
+	}
+	m := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		row := make([]byte, k)
+		alpha := gfExp[i] // distinct non-zero elements 3^i, i < 255
+		for j := 0; j < k; j++ {
+			row[j] = gfPow(alpha, j)
+		}
+		m[i] = row
+	}
+	return &Codec{k: k, n: n, matrix: m}, nil
+}
+
+// K returns the number of data fragments.
+func (c *Codec) K() int { return c.k }
+
+// N returns the total number of coded blocks.
+func (c *Codec) N() int { return c.n }
+
+// OverheadFactor is the storage blow-up n/k (FP4S pays this; SR3's shard
+// replication pays its own factor r).
+func (c *Codec) OverheadFactor() float64 { return float64(c.n) / float64(c.k) }
+
+// Block is one coded block plus its index in the code.
+type Block struct {
+	Index int
+	Data  []byte
+}
+
+// Encode splits data into k fragments (length-prefixed and padded) and
+// returns the n coded blocks.
+func (c *Codec) Encode(data []byte) ([]Block, error) {
+	// Prefix the original length so Decode can strip padding.
+	src := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(src, uint64(len(data)))
+	copy(src[8:], data)
+
+	frag := (len(src) + c.k - 1) / c.k
+	if frag == 0 {
+		frag = 1
+	}
+	padded := make([]byte, frag*c.k)
+	copy(padded, src)
+
+	frags := make([][]byte, c.k)
+	for j := 0; j < c.k; j++ {
+		frags[j] = padded[j*frag : (j+1)*frag]
+	}
+
+	blocks := make([]Block, c.n)
+	for i := 0; i < c.n; i++ {
+		out := make([]byte, frag)
+		row := c.matrix[i]
+		for j := 0; j < c.k; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			fj := frags[j]
+			for b := 0; b < frag; b++ {
+				out[b] ^= gfMul(coef, fj[b])
+			}
+		}
+		blocks[i] = Block{Index: i, Data: out}
+	}
+	return blocks, nil
+}
+
+// Decode reconstructs the original data from any k (or more) blocks.
+func (c *Codec) Decode(blocks []Block) ([]byte, error) {
+	if len(blocks) < c.k {
+		return nil, fmt.Errorf("have %d blocks, need %d: %w", len(blocks), c.k, ErrTooFewBlocks)
+	}
+	use := make([]Block, 0, c.k)
+	seen := make(map[int]bool, c.k)
+	frag := -1
+	for _, b := range blocks {
+		if b.Index < 0 || b.Index >= c.n {
+			return nil, fmt.Errorf("block %d: %w", b.Index, ErrBadBlockID)
+		}
+		if seen[b.Index] {
+			continue
+		}
+		if frag == -1 {
+			frag = len(b.Data)
+		} else if len(b.Data) != frag {
+			return nil, ErrBlockSize
+		}
+		seen[b.Index] = true
+		use = append(use, b)
+		if len(use) == c.k {
+			break
+		}
+	}
+	if len(use) < c.k {
+		return nil, fmt.Errorf("have %d distinct blocks, need %d: %w", len(use), c.k, ErrTooFewBlocks)
+	}
+
+	// Invert the k×k submatrix of the rows we hold.
+	sub := make([][]byte, c.k)
+	for i, b := range use {
+		sub[i] = append([]byte(nil), c.matrix[b.Index]...)
+	}
+	inv, err := invertMatrix(sub)
+	if err != nil {
+		return nil, err
+	}
+
+	// frags[j] = sum_i inv[j][i] * use[i].Data
+	padded := make([]byte, c.k*frag)
+	for j := 0; j < c.k; j++ {
+		out := padded[j*frag : (j+1)*frag]
+		for i := 0; i < c.k; i++ {
+			coef := inv[j][i]
+			if coef == 0 {
+				continue
+			}
+			src := use[i].Data
+			for b := 0; b < frag; b++ {
+				out[b] ^= gfMul(coef, src[b])
+			}
+		}
+	}
+	if len(padded) < 8 {
+		return nil, ErrBlockSize
+	}
+	n := binary.BigEndian.Uint64(padded)
+	if n > uint64(len(padded)-8) {
+		return nil, fmt.Errorf("decoded length %d exceeds payload: %w", n, ErrBlockSize)
+	}
+	return padded[8 : 8+n], nil
+}
+
+// invertMatrix inverts a k×k matrix over GF(2^8) by Gauss–Jordan
+// elimination.
+func invertMatrix(m [][]byte) ([][]byte, error) {
+	k := len(m)
+	aug := make([][]byte, k)
+	for i := range m {
+		aug[i] = make([]byte, 2*k)
+		copy(aug[i], m[i])
+		aug[i][k+i] = 1
+	}
+	for col := 0; col < k; col++ {
+		pivot := -1
+		for r := col; r < k; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, ErrSingular
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		pv := gfInv(aug[col][col])
+		for j := 0; j < 2*k; j++ {
+			aug[col][j] = gfMul(aug[col][j], pv)
+		}
+		for r := 0; r < k; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*k; j++ {
+				aug[r][j] ^= gfMul(f, aug[col][j])
+			}
+		}
+	}
+	inv := make([][]byte, k)
+	for i := range inv {
+		inv[i] = aug[i][k:]
+	}
+	return inv, nil
+}

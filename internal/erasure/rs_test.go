@@ -1,0 +1,237 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFAxioms(t *testing.T) {
+	// Multiplicative inverse and distributivity spot checks across the
+	// whole field.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity failed for %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("commutativity failed for %d,%d", a, b)
+		}
+	}
+	if gfDiv(0, 5) != 0 {
+		t.Fatal("0/x should be 0")
+	}
+	if gfDiv(gfMul(7, 13), 13) != 7 {
+		t.Fatal("division is not multiplication inverse")
+	}
+}
+
+func TestCodecParams(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {5, 4}, {4, 300}, {-1, 2}} {
+		if _, err := NewCodec(bad[0], bad[1]); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("NewCodec(%d,%d): got %v", bad[0], bad[1], err)
+		}
+	}
+	c, err := NewCodec(16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 16 || c.N() != 32 || c.OverheadFactor() != 2 {
+		t.Fatalf("codec geometry wrong: k=%d n=%d", c.K(), c.N())
+	}
+}
+
+func TestEncodeDecodeAllBlocks(t *testing.T) {
+	c, _ := NewCodec(4, 8)
+	data := []byte("hello erasure coded world")
+	blocks, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 8 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	got, err := c.Decode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("decode mismatch: %q", got)
+	}
+}
+
+func TestDecodeFromAnyKSubset(t *testing.T) {
+	c, _ := NewCodec(4, 7)
+	data := make([]byte, 1000)
+	rand.New(rand.NewSource(2)).Read(data)
+	blocks, _ := c.Encode(data)
+
+	// Try 30 random 4-subsets of the 7 blocks.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		perm := rng.Perm(7)
+		pick := make([]Block, 4)
+		for i := 0; i < 4; i++ {
+			pick[i] = blocks[perm[i]]
+		}
+		got, err := c.Decode(pick)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: decode mismatch", trial)
+		}
+	}
+}
+
+func TestFP4SGeometry(t *testing.T) {
+	// The paper's (32,16)-RS: any 16 of 32 blocks suffice, tolerating 16
+	// losses.
+	c, _ := NewCodec(16, 32)
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(4)).Read(data)
+	blocks, _ := c.Encode(data)
+	got, err := c.Decode(blocks[16:]) // lose the first 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("decode mismatch after 16 losses")
+	}
+}
+
+func TestDecodeTooFewBlocks(t *testing.T) {
+	c, _ := NewCodec(4, 8)
+	blocks, _ := c.Encode([]byte("x"))
+	if _, err := c.Decode(blocks[:3]); !errors.Is(err, ErrTooFewBlocks) {
+		t.Fatalf("got %v", err)
+	}
+	// Duplicates of the same index do not count.
+	dup := []Block{blocks[0], blocks[0], blocks[0], blocks[0]}
+	if _, err := c.Decode(dup); !errors.Is(err, ErrTooFewBlocks) {
+		t.Fatalf("dup blocks: got %v", err)
+	}
+}
+
+func TestDecodeRejectsBadBlocks(t *testing.T) {
+	c, _ := NewCodec(3, 6)
+	blocks, _ := c.Encode([]byte("payload"))
+	bad := append([]Block(nil), blocks[:3]...)
+	bad[1].Index = 99
+	if _, err := c.Decode(bad); !errors.Is(err, ErrBadBlockID) {
+		t.Fatalf("got %v", err)
+	}
+	bad = append([]Block(nil), blocks[:3]...)
+	bad[2].Data = bad[2].Data[:1]
+	if _, err := c.Decode(bad); !errors.Is(err, ErrBlockSize) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEmptyAndTinyPayloads(t *testing.T) {
+	c, _ := NewCodec(5, 9)
+	for _, data := range [][]byte{nil, {}, {42}, []byte("ab")} {
+		blocks, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decode(blocks[4:]) // any 5
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) && !(len(got) == 0 && len(data) == 0) {
+			t.Fatalf("mismatch for %q: got %q", data, got)
+		}
+	}
+}
+
+func TestPropertyRoundTripRandomLoss(t *testing.T) {
+	c, _ := NewCodec(6, 10)
+	f := func(data []byte, seed int64) bool {
+		blocks, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(10)
+		pick := make([]Block, 6)
+		for i := 0; i < 6; i++ {
+			pick[i] = blocks[perm[i]]
+		}
+		got, err := c.Decode(pick)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data) || (len(got) == 0 && len(data) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertMatrixIdentityProperty(t *testing.T) {
+	// inv(M)·M = I for random invertible (Vandermonde-derived) matrices.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		k := rng.Intn(12) + 1
+		c, err := NewCodec(k, k+rng.Intn(10)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pick k random distinct rows of the codec matrix.
+		perm := rng.Perm(c.n)[:k]
+		m := make([][]byte, k)
+		for i, r := range perm {
+			m[i] = append([]byte(nil), c.matrix[r]...)
+		}
+		inv, err := invertMatrix(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Re-read the original rows (invertMatrix mutates its input).
+		for i, r := range perm {
+			m[i] = c.matrix[r]
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				var s byte
+				for l := 0; l < k; l++ {
+					s ^= gfMul(inv[i][l], m[l][j])
+				}
+				want := byte(0)
+				if i == j {
+					want = 1
+				}
+				if s != want {
+					t.Fatalf("trial %d: (inv·M)[%d][%d] = %d", trial, i, j, s)
+				}
+			}
+		}
+	}
+}
+
+func TestSingularMatrixRejected(t *testing.T) {
+	m := [][]byte{{1, 2}, {1, 2}} // duplicate rows
+	if _, err := invertMatrix(m); !errors.Is(err, ErrSingular) {
+		t.Fatalf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestDecodePrefersFirstKDistinct(t *testing.T) {
+	// Extra blocks beyond k are ignored, not harmful.
+	c, _ := NewCodec(3, 9)
+	data := []byte("redundancy is fine")
+	blocks, _ := c.Encode(data)
+	got, err := c.Decode(blocks) // all 9
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("decode with surplus blocks: %q %v", got, err)
+	}
+}

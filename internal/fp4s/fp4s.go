@@ -1,0 +1,123 @@
+// Package fp4s implements the authors' earlier FP4S recovery baseline
+// (paper §2.3): operator state is divided into k fragments, Reed–Solomon
+// encoded into n coded blocks scattered over leaf-set nodes, and any k
+// blocks reconstruct the state. Compared with SR3 it tolerates up to n−k
+// losses but pays (n/k)× storage and the codec's computation time.
+package fp4s
+
+import (
+	"errors"
+	"fmt"
+
+	"sr3/internal/erasure"
+	"sr3/internal/simnet"
+)
+
+// Errors.
+var ErrTooFewHolders = errors.New("fp4s: fewer live holders than fragments required")
+
+// Mechanism is an FP4S (n, k) configuration.
+type Mechanism struct {
+	codec *erasure.Codec
+}
+
+// New builds an FP4S mechanism with k data fragments and n total blocks.
+// The paper's storage example is k=16 raw + 10 coded (n=26).
+func New(k, n int) (*Mechanism, error) {
+	c, err := erasure.NewCodec(k, n)
+	if err != nil {
+		return nil, fmt.Errorf("fp4s: %w", err)
+	}
+	return &Mechanism{codec: c}, nil
+}
+
+// K returns the fragments needed for reconstruction.
+func (m *Mechanism) K() int { return m.codec.K() }
+
+// N returns the total coded blocks stored.
+func (m *Mechanism) N() int { return m.codec.N() }
+
+// MaxFailures is the number of simultaneous block losses tolerated.
+func (m *Mechanism) MaxFailures() int { return m.codec.N() - m.codec.K() }
+
+// Fragment encodes a state snapshot into its n coded blocks.
+func (m *Mechanism) Fragment(snapshot []byte) ([]erasure.Block, error) {
+	return m.codec.Encode(snapshot)
+}
+
+// Reconstruct rebuilds the snapshot from any K() blocks.
+func (m *Mechanism) Reconstruct(blocks []erasure.Block) ([]byte, error) {
+	return m.codec.Decode(blocks)
+}
+
+// StorageBytes returns the total bytes stored for a state of the given
+// size — the paper's example: 128 MB with (26,16) stores 208 MB, a 62.5%
+// increment.
+func (m *Mechanism) StorageBytes(stateBytes int) int {
+	frag := (stateBytes + 8 + m.codec.K() - 1) / m.codec.K()
+	return frag * m.codec.N()
+}
+
+// Spec parameterizes the timed FP4S plans.
+type Spec struct {
+	App         string
+	Owner       string // encoding node (save) — usually the state owner
+	Replacement string // decoding node (recover)
+	Holders     []string
+	TotalBytes  float64
+	// CodecFactor scales the extra erasure compute relative to plain
+	// byte processing (the paper reports ~10 s extra for 128 MB, i.e. the
+	// codec path runs at roughly the same order as the software path).
+	CodecFactor float64
+	RouteDelay  float64
+}
+
+func (s Spec) codecFactor() float64 {
+	if s.CodecFactor <= 0 {
+		return 1
+	}
+	return s.CodecFactor
+}
+
+// PlanSave emits the FP4S save plan: RS encoding at the owner (touching
+// every stored byte), then serial block pushes to the holders.
+func (m *Mechanism) PlanSave(b *simnet.PlanBuilder, spec Spec) (simnet.TaskID, error) {
+	if len(spec.Holders) == 0 {
+		return 0, ErrTooFewHolders
+	}
+	stored := spec.TotalBytes * m.codec.OverheadFactor()
+	last := b.Compute(spec.Owner, stored*spec.codecFactor(), spec.App+"/fp4s/encode")
+	per := stored / float64(len(spec.Holders))
+	for i, h := range spec.Holders {
+		if h == spec.Owner {
+			continue
+		}
+		last = b.Transfer(spec.Owner, h, per, spec.RouteDelay,
+			fmt.Sprintf("%s/fp4s/push%d", spec.App, i), last)
+	}
+	return last, nil
+}
+
+// PlanRecover emits the FP4S recovery plan: K() holders upload blocks to
+// the replacement in parallel (star-shaped), which then pays the RS
+// decode before restoring.
+func (m *Mechanism) PlanRecover(b *simnet.PlanBuilder, spec Spec) (simnet.TaskID, error) {
+	if len(spec.Holders) < m.codec.K() {
+		return 0, fmt.Errorf("%d holders for k=%d: %w", len(spec.Holders), m.codec.K(), ErrTooFewHolders)
+	}
+	per := spec.TotalBytes / float64(m.codec.K())
+	deps := make([]simnet.TaskID, 0, m.codec.K())
+	for i := 0; i < m.codec.K(); i++ {
+		h := spec.Holders[i]
+		if h == spec.Replacement {
+			continue
+		}
+		deps = append(deps, b.Transfer(h, spec.Replacement, per, spec.RouteDelay,
+			fmt.Sprintf("%s/fp4s/up%d", spec.App, i)))
+	}
+	// RS decode touches every byte with the codec's matrix arithmetic,
+	// then the state is restored like star's merge.
+	decode := b.Compute(spec.Replacement, spec.TotalBytes*spec.codecFactor(),
+		spec.App+"/fp4s/decode", deps...)
+	return b.Compute(spec.Replacement, spec.TotalBytes, spec.App+"/fp4s/restore", decode), nil
+}

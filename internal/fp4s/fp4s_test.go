@@ -1,0 +1,204 @@
+package fp4s
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/simnet"
+	"sr3/internal/state"
+)
+
+func TestFragmentReconstructRoundTrip(t *testing.T) {
+	m, err := New(16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 100_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	blocks, err := m.Fragment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 32 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	// Lose MaxFailures blocks.
+	got, err := m.Reconstruct(blocks[m.MaxFailures():])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstruct mismatch")
+	}
+}
+
+func TestStorageOverheadMatchesPaper(t *testing.T) {
+	// Paper §2.3: 16 raw + 10 coded fragments for a 128 MB state store
+	// 208 MB, a 62.5% increment.
+	m, err := New(16, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stateBytes = 128 << 20
+	stored := m.StorageBytes(stateBytes)
+	factor := float64(stored) / float64(stateBytes)
+	if factor < 1.62 || factor > 1.64 {
+		t.Fatalf("storage factor %.4f, want ~1.625", factor)
+	}
+	if m.MaxFailures() != 10 {
+		t.Fatalf("max failures = %d", m.MaxFailures())
+	}
+}
+
+func TestPlanRecoverSlowerThanPlainStar(t *testing.T) {
+	// The codec compute makes FP4S slower than an equivalent star fetch —
+	// the paper's "additional 10 s for 128 MB" observation.
+	m, _ := New(16, 26)
+	holders := make([]string, 26)
+	for i := range holders {
+		holders[i] = fmt.Sprintf("h%d", i)
+	}
+	b := simnet.NewPlanBuilder()
+	if _, err := m.PlanRecover(b, Spec{
+		App: "app", Replacement: "repl", Holders: holders,
+		TotalBytes: 128e6, CodecFactor: 1, RouteDelay: 0.1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sim := simnet.NewSim(simnet.Res{UpBps: 125e6, DownBps: 125e6, ComputeBps: 10e6})
+	res, err := sim.Run(b.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Star's equivalent is ~25.6 s (2 full passes at 10 MB/s); FP4S adds
+	// a full decode pass: ~38 s. Assert it exceeds the star bound.
+	if res.Makespan < 30 {
+		t.Fatalf("fp4s recover %v s too fast — codec cost missing", res.Makespan)
+	}
+}
+
+func TestPlanRecoverNeedsKHolders(t *testing.T) {
+	m, _ := New(8, 12)
+	b := simnet.NewPlanBuilder()
+	_, err := m.PlanRecover(b, Spec{App: "a", Replacement: "r",
+		Holders: []string{"h1", "h2"}, TotalBytes: 1e6})
+	if !errors.Is(err, ErrTooFewHolders) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPlanSave(t *testing.T) {
+	m, _ := New(4, 8)
+	b := simnet.NewPlanBuilder()
+	if _, err := m.PlanSave(b, Spec{App: "a", Owner: "own",
+		Holders: []string{"h1", "h2", "h3", "h4"}, TotalBytes: 8e6}); err != nil {
+		t.Fatal(err)
+	}
+	sim := simnet.NewSim(simnet.Res{UpBps: 125e6, DownBps: 125e6, ComputeBps: 10e6})
+	res, err := sim.Run(b.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode touches 16 MB at 10 MB/s: at least 1.6 s.
+	if res.Makespan < 1.6 {
+		t.Fatalf("fp4s save %v s too fast", res.Makespan)
+	}
+	b2 := simnet.NewPlanBuilder()
+	if _, err := m.PlanSave(b2, Spec{App: "a", Owner: "own", TotalBytes: 1}); !errors.Is(err, ErrTooFewHolders) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestManagerSaveRecoverOverDHT runs FP4S over a real overlay: encode,
+// scatter to the leaf set, kill MaxFailures holders, decode from the rest.
+func TestManagerSaveRecoverOverDHT(t *testing.T) {
+	ring, err := dht.NewRing(dht.DefaultConfig(), 61, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := New(8, 12) // tolerates 4 losses
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgrs := make(map[id.ID]*Manager, 50)
+	for _, nid := range ring.IDs() {
+		mgrs[nid] = NewManager(ring.Node(nid), mech)
+	}
+
+	snap := make([]byte, 60_000)
+	rand.New(rand.NewSource(5)).Read(snap)
+	owner := ring.IDs()[7]
+	holders, err := mgrs[owner].Save("fpapp", snap, state.Version{Timestamp: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holders) != 12 {
+		t.Fatalf("%d holders, want 12", len(holders))
+	}
+
+	// Kill the owner plus MaxFailures() distinct holders.
+	ring.Fail(owner)
+	killed := make(map[id.ID]bool)
+	for _, h := range holders {
+		if len(killed) >= mech.MaxFailures() {
+			break
+		}
+		if h != owner && !killed[h] {
+			killed[h] = true
+			ring.Fail(h)
+		}
+	}
+	ring.MaintenanceRound()
+
+	replacement, ok := ring.ClosestLive(owner)
+	if !ok {
+		t.Fatal("no replacement")
+	}
+	got, err := mgrs[replacement].Recover("fpapp", holders)
+	if err != nil {
+		t.Fatalf("recover after %d holder failures: %v", len(killed), err)
+	}
+	if !bytes.Equal(got, snap) {
+		t.Fatal("FP4S recovered state differs")
+	}
+}
+
+// TestManagerRecoverFailsBeyondTolerance: killing more than n−k distinct
+// holders can make recovery impossible.
+func TestManagerRecoverFailsBeyondTolerance(t *testing.T) {
+	ring, err := dht.NewRing(dht.DefaultConfig(), 40, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, _ := New(6, 8) // tolerates 2 losses
+	mgrs := make(map[id.ID]*Manager, 40)
+	for _, nid := range ring.IDs() {
+		mgrs[nid] = NewManager(ring.Node(nid), mech)
+	}
+	snap := make([]byte, 10_000)
+	rand.New(rand.NewSource(6)).Read(snap)
+	owner := ring.IDs()[0]
+	holders, err := mgrs[owner].Save("fpapp", snap, state.Version{Timestamp: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill every holder: recovery must fail cleanly.
+	for _, h := range holders {
+		ring.Fail(h)
+	}
+	var replacement id.ID
+	for _, nid := range ring.IDs() {
+		if ring.Net.Alive(nid) {
+			replacement = nid
+			break
+		}
+	}
+	if _, err := mgrs[replacement].Recover("fpapp", holders); !errors.Is(err, ErrTooFewHolders) {
+		t.Fatalf("got %v, want ErrTooFewHolders", err)
+	}
+}

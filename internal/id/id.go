@@ -1,0 +1,199 @@
+// Package id implements the 128-bit circular identifier space used by the
+// SR3 overlay. Identifiers are Pastry-style: a sequence of 32 base-16 digits
+// (b = 4 bits per digit), compared as unsigned big-endian integers, with ring
+// (modular) distance semantics.
+package id
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+const (
+	// Bytes is the identifier width in bytes (128 bits).
+	Bytes = 16
+	// Digits is the number of base-16 digits in an identifier (128/4).
+	Digits = 32
+	// Base is the digit radix (2^b with b = 4).
+	Base = 16
+)
+
+// ID is a 128-bit identifier on the ring, stored big-endian.
+type ID [Bytes]byte
+
+// Zero is the all-zero identifier.
+var Zero ID
+
+// ErrBadLength reports an attempt to build an ID from a byte slice whose
+// length is not exactly Bytes.
+var ErrBadLength = errors.New("id: byte slice must be exactly 16 bytes")
+
+// FromBytes builds an ID from exactly 16 bytes.
+func FromBytes(b []byte) (ID, error) {
+	if len(b) != Bytes {
+		return Zero, ErrBadLength
+	}
+	var out ID
+	copy(out[:], b)
+	return out, nil
+}
+
+// FromHex parses a 32-character hex string into an ID.
+func FromHex(s string) (ID, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Zero, fmt.Errorf("id: parse hex: %w", err)
+	}
+	return FromBytes(raw)
+}
+
+// HashKey maps an arbitrary key onto the ring by hashing it (SHA-1
+// truncated to 128 bits), the standard Pastry/Scribe key placement.
+func HashKey(key string) ID {
+	sum := sha1.Sum([]byte(key))
+	var out ID
+	copy(out[:], sum[:Bytes])
+	return out
+}
+
+// Random draws a uniformly random ID from rng.
+func Random(rng *rand.Rand) ID {
+	var out ID
+	for i := 0; i < Bytes; i += 8 {
+		v := rng.Uint64()
+		for j := 0; j < 8; j++ {
+			out[i+j] = byte(v >> (8 * (7 - j)))
+		}
+	}
+	return out
+}
+
+// String returns the hex form of the identifier.
+func (a ID) String() string { return hex.EncodeToString(a[:]) }
+
+// Short returns the first 8 hex digits, for logs.
+func (a ID) Short() string { return hex.EncodeToString(a[:4]) }
+
+// Digit returns the i-th base-16 digit (0 = most significant).
+func (a ID) Digit(i int) byte {
+	b := a[i/2]
+	if i%2 == 0 {
+		return b >> 4
+	}
+	return b & 0x0f
+}
+
+// WithDigit returns a copy of a with digit i replaced by d.
+func (a ID) WithDigit(i int, d byte) ID {
+	out := a
+	if i%2 == 0 {
+		out[i/2] = (out[i/2] & 0x0f) | (d << 4)
+	} else {
+		out[i/2] = (out[i/2] & 0xf0) | (d & 0x0f)
+	}
+	return out
+}
+
+// CommonPrefixLen returns the number of leading base-16 digits shared by a
+// and b; it is Digits when a == b.
+func CommonPrefixLen(a, b ID) int {
+	for i := 0; i < Bytes; i++ {
+		x := a[i] ^ b[i]
+		if x == 0 {
+			continue
+		}
+		if x&0xf0 != 0 {
+			return 2 * i
+		}
+		return 2*i + 1
+	}
+	return Digits
+}
+
+// Cmp compares a and b as unsigned big-endian integers: -1, 0 or +1.
+func (a ID) Cmp(b ID) int {
+	for i := 0; i < Bytes; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports a < b in plain integer order.
+func (a ID) Less(b ID) bool { return a.Cmp(b) < 0 }
+
+// Sub returns (a - b) mod 2^128, the clockwise distance from b to a.
+func (a ID) Sub(b ID) ID {
+	var out ID
+	var borrow uint16
+	for i := Bytes - 1; i >= 0; i-- {
+		d := uint16(a[i]) - uint16(b[i]) - borrow
+		out[i] = byte(d)
+		borrow = (d >> 8) & 1
+	}
+	return out
+}
+
+// Add returns (a + b) mod 2^128.
+func (a ID) Add(b ID) ID {
+	var out ID
+	var carry uint16
+	for i := Bytes - 1; i >= 0; i-- {
+		s := uint16(a[i]) + uint16(b[i]) + carry
+		out[i] = byte(s)
+		carry = s >> 8
+	}
+	return out
+}
+
+// Distance returns the shorter ring distance between a and b, i.e.
+// min((a-b) mod 2^128, (b-a) mod 2^128).
+func Distance(a, b ID) ID {
+	d1 := a.Sub(b)
+	d2 := b.Sub(a)
+	if d1.Cmp(d2) <= 0 {
+		return d1
+	}
+	return d2
+}
+
+// Closer reports whether x is strictly closer to target than y in ring
+// distance, breaking ties by plain integer order of the candidates so the
+// relation is a strict weak ordering.
+func Closer(target, x, y ID) bool {
+	dx, dy := Distance(x, target), Distance(y, target)
+	if c := dx.Cmp(dy); c != 0 {
+		return c < 0
+	}
+	return x.Less(y)
+}
+
+// BetweenRightIncl reports whether x lies in the clockwise interval (a, b],
+// wrapping around the ring. When a == b the interval is the full ring.
+func BetweenRightIncl(x, a, b ID) bool {
+	if a.Cmp(b) == 0 {
+		return true
+	}
+	// Clockwise from a: x in (a,b]  <=>  (x-a) mod 2^128 <= (b-a) mod 2^128
+	// and x != a.
+	if x.Cmp(a) == 0 {
+		return false
+	}
+	return x.Sub(a).Cmp(b.Sub(a)) <= 0
+}
+
+// Uint64 returns the low 64 bits; handy for quick bucketing in tests.
+func (a ID) Uint64() uint64 {
+	var v uint64
+	for i := Bytes - 8; i < Bytes; i++ {
+		v = v<<8 | uint64(a[i])
+	}
+	return v
+}

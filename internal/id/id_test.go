@@ -1,0 +1,265 @@
+package id
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBytesLength(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 15)); err != ErrBadLength {
+		t.Fatalf("want ErrBadLength, got %v", err)
+	}
+	if _, err := FromBytes(make([]byte, 16)); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestFromHexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a := Random(rng)
+		b, err := FromHex(a.String())
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if a != b {
+			t.Fatalf("round trip mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFromHexRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "zz", "0123", "g0000000000000000000000000000000"} {
+		if _, err := FromHex(s); err == nil {
+			t.Errorf("FromHex(%q) should fail", s)
+		}
+	}
+}
+
+func TestDigitRoundTrip(t *testing.T) {
+	a, err := FromHex("0123456789abcdef0123456789abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x0, 0x1, 0x2, 0x3, 0x4, 0x5, 0x6, 0x7, 0x8, 0x9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xf}
+	for i := 0; i < Digits; i++ {
+		if got := a.Digit(i); got != want[i%16] {
+			t.Fatalf("digit %d: got %x want %x", i, got, want[i%16])
+		}
+	}
+}
+
+func TestWithDigit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		a := Random(rng)
+		pos := rng.Intn(Digits)
+		d := byte(rng.Intn(Base))
+		b := a.WithDigit(pos, d)
+		if b.Digit(pos) != d {
+			t.Fatalf("digit not set: got %x want %x", b.Digit(pos), d)
+		}
+		for j := 0; j < Digits; j++ {
+			if j != pos && a.Digit(j) != b.Digit(j) {
+				t.Fatalf("digit %d disturbed", j)
+			}
+		}
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a, _ := FromHex("abcdef00000000000000000000000000")
+	tests := []struct {
+		hex  string
+		want int
+	}{
+		{"abcdef00000000000000000000000000", Digits},
+		{"abcdef00000000000000000000000001", Digits - 1},
+		{"bbcdef00000000000000000000000000", 0},
+		{"abcdee00000000000000000000000000", 5},
+		{"abcd0f00000000000000000000000000", 4},
+	}
+	for _, tt := range tests {
+		b, _ := FromHex(tt.hex)
+		if got := CommonPrefixLen(a, b); got != tt.want {
+			t.Errorf("CommonPrefixLen(%s): got %d want %d", tt.hex, got, tt.want)
+		}
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(ab [2][16]byte) bool {
+		a, b := ID(ab[0]), ID(ab[1])
+		return a.Add(b).Sub(b) == a && a.Sub(b).Add(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(ab [2][16]byte) bool {
+		a, b := ID(ab[0]), ID(ab[1])
+		return Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceZeroIffEqual(t *testing.T) {
+	f := func(ab [2][16]byte) bool {
+		a, b := ID(ab[0]), ID(ab[1])
+		return (Distance(a, b) == Zero) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloserStrict(t *testing.T) {
+	// Closer must be irreflexive and asymmetric for distinct x, y.
+	f := func(txy [3][16]byte) bool {
+		tgt, x, y := ID(txy[0]), ID(txy[1]), ID(txy[2])
+		if Closer(tgt, x, x) {
+			return false
+		}
+		if x != y && Closer(tgt, x, y) && Closer(tgt, y, x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetweenRightIncl(t *testing.T) {
+	a, _ := FromHex("10000000000000000000000000000000")
+	b, _ := FromHex("20000000000000000000000000000000")
+	mid, _ := FromHex("18000000000000000000000000000000")
+	out, _ := FromHex("30000000000000000000000000000000")
+	if !BetweenRightIncl(mid, a, b) {
+		t.Error("mid should be in (a,b]")
+	}
+	if !BetweenRightIncl(b, a, b) {
+		t.Error("b should be in (a,b] (right inclusive)")
+	}
+	if BetweenRightIncl(a, a, b) {
+		t.Error("a should not be in (a,b]")
+	}
+	if BetweenRightIncl(out, a, b) {
+		t.Error("out should not be in (a,b]")
+	}
+	// Wrap-around interval (b, a] contains out.
+	if !BetweenRightIncl(out, b, a) {
+		t.Error("out should be in wrap-around (b,a]")
+	}
+	// Degenerate interval is the full ring.
+	if !BetweenRightIncl(out, a, a) {
+		t.Error("(a,a] should be the full ring")
+	}
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if HashKey("foo") != HashKey("foo") {
+		t.Error("HashKey not deterministic")
+	}
+	if HashKey("foo") == HashKey("bar") {
+		t.Error("HashKey collision on trivially distinct keys")
+	}
+}
+
+func TestRandomUniformishDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, Base)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		counts[Random(rng).Digit(0)]++
+	}
+	for d, c := range counts {
+		if c < n/Base/4 {
+			t.Errorf("digit %x badly underrepresented: %d", d, c)
+		}
+	}
+}
+
+func TestCmpTotalOrder(t *testing.T) {
+	f := func(ab [2][16]byte) bool {
+		a, b := ID(ab[0]), ID(ab[1])
+		return a.Cmp(b) == -b.Cmp(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64LowBits(t *testing.T) {
+	a, _ := FromHex("00000000000000000000000000000102")
+	if a.Uint64() != 0x102 {
+		t.Fatalf("got %x", a.Uint64())
+	}
+}
+
+func TestSubWraparound(t *testing.T) {
+	one := Zero
+	one[Bytes-1] = 1
+	// 0 - 1 = 2^128 - 1 (all 0xff).
+	got := Zero.Sub(one)
+	for i := 0; i < Bytes; i++ {
+		if got[i] != 0xff {
+			t.Fatalf("byte %d = %x, want ff", i, got[i])
+		}
+	}
+	// max + 1 = 0.
+	if got.Add(one) != Zero {
+		t.Fatal("max+1 should wrap to zero")
+	}
+}
+
+func TestBetweenRightInclProperty(t *testing.T) {
+	// For any a != b, every x is in exactly one of (a,b] and (b,a].
+	f := func(abx [3][16]byte) bool {
+		a, b, x := ID(abx[0]), ID(abx[1]), ID(abx[2])
+		if a == b {
+			return BetweenRightIncl(x, a, b) // full ring
+		}
+		if x == a || x == b {
+			// Boundary: x is in the interval it right-closes only.
+			return BetweenRightIncl(x, a, b) != BetweenRightIncl(x, b, a)
+		}
+		in1 := BetweenRightIncl(x, a, b)
+		in2 := BetweenRightIncl(x, b, a)
+		return in1 != in2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloserPrefersPrefixNeighbors(t *testing.T) {
+	// A node sharing a long prefix with the key is usually closer than a
+	// random one; verify on constructed cases.
+	key, _ := FromHex("ab000000000000000000000000000000")
+	near, _ := FromHex("ab000000000000000000000000000001")
+	far, _ := FromHex("10000000000000000000000000000000")
+	if !Closer(key, near, far) {
+		t.Fatal("near should be closer")
+	}
+	if Closer(key, far, near) {
+		t.Fatal("far should not be closer")
+	}
+}
+
+func TestDigitWithDigitInverseProperty(t *testing.T) {
+	f := func(raw [16]byte, posRaw, dRaw uint8) bool {
+		a := ID(raw)
+		pos := int(posRaw) % Digits
+		d := dRaw % Base
+		return a.WithDigit(pos, d).Digit(pos) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

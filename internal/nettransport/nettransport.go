@@ -1,0 +1,225 @@
+// Package nettransport runs the overlay over real TCP sockets: it
+// implements simnet.Transport with one listener per node and gob-encoded
+// request/reply frames, so the same DHT/Scribe/recovery code that runs
+// in-process also runs across actual network connections. Intended for
+// loopback integration tests and small multi-process deployments; the
+// address registry is local to one Network value (a production deployment
+// would bootstrap addresses out of band).
+package nettransport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sr3/internal/id"
+	"sr3/internal/simnet"
+)
+
+// Errors (mirroring the in-process transport's contract).
+var (
+	ErrNodeDown    = errors.New("nettransport: node is down")
+	ErrUnknownNode = errors.New("nettransport: unknown node")
+	ErrDuplicate   = errors.New("nettransport: node already registered")
+)
+
+// DialTimeout bounds connection establishment to a peer.
+const DialTimeout = 2 * time.Second
+
+// wireRequest is the on-the-wire request frame.
+type wireRequest struct {
+	From id.ID
+	Kind string
+	Size int
+	Body any
+}
+
+// wireReply is the on-the-wire reply frame.
+type wireReply struct {
+	Kind   string
+	Size   int
+	Body   any
+	ErrMsg string
+}
+
+type server struct {
+	ln      net.Listener
+	handler simnet.Handler
+	down    bool
+	wg      sync.WaitGroup
+}
+
+// Network is a TCP-backed simnet.Transport: every registered node gets a
+// loopback listener, and Call dials the peer and exchanges one gob frame
+// pair per request.
+type Network struct {
+	mu      sync.RWMutex
+	servers map[id.ID]*server
+	addrs   map[id.ID]string
+	closed  bool
+}
+
+var _ simnet.Transport = (*Network)(nil)
+
+// New returns an empty TCP transport.
+func New() *Network {
+	return &Network{
+		servers: make(map[id.ID]*server),
+		addrs:   make(map[id.ID]string),
+	}
+}
+
+// Register starts a listener for the node and serves its handler.
+func (n *Network) Register(nid id.ID, h simnet.Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("nettransport: network closed")
+	}
+	if _, ok := n.servers[nid]; ok {
+		return fmt.Errorf("register %s: %w", nid.Short(), ErrDuplicate)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("nettransport: listen: %w", err)
+	}
+	srv := &server{ln: ln, handler: h}
+	n.servers[nid] = srv
+	n.addrs[nid] = ln.Addr().String()
+	srv.wg.Add(1)
+	go n.serve(nid, srv)
+	return nil
+}
+
+func (n *Network) serve(nid id.ID, srv *server) {
+	defer srv.wg.Done()
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			return // listener closed (Fail or Close)
+		}
+		srv.wg.Add(1)
+		go func() {
+			defer srv.wg.Done()
+			defer func() { _ = conn.Close() }()
+			n.serveConn(nid, srv, conn)
+		}()
+	}
+}
+
+func (n *Network) serveConn(nid id.ID, srv *server, conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req wireRequest
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	n.mu.RLock()
+	down := srv.down
+	n.mu.RUnlock()
+	if down {
+		_ = enc.Encode(&wireReply{ErrMsg: ErrNodeDown.Error()})
+		return
+	}
+	reply, err := srv.handler(req.From, simnet.Message{
+		Kind: req.Kind, Size: req.Size, Payload: req.Body,
+	})
+	out := &wireReply{Kind: reply.Kind, Size: reply.Size, Body: reply.Payload}
+	if err != nil {
+		out = &wireReply{ErrMsg: err.Error()}
+	}
+	_ = enc.Encode(out)
+}
+
+// Call dials the destination and performs one request/reply exchange.
+func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, error) {
+	n.mu.RLock()
+	src, srcOK := n.servers[from]
+	addr, dstOK := n.addrs[to]
+	dst, dstReg := n.servers[to]
+	n.mu.RUnlock()
+
+	if !srcOK {
+		return simnet.Message{}, fmt.Errorf("call from %s: %w", from.Short(), ErrUnknownNode)
+	}
+	if src.down {
+		return simnet.Message{}, fmt.Errorf("call from %s: %w", from.Short(), ErrNodeDown)
+	}
+	if !dstOK || !dstReg {
+		return simnet.Message{}, fmt.Errorf("call to %s: %w", to.Short(), ErrUnknownNode)
+	}
+	if dst.down {
+		// The listener is closed, but fail fast rather than waiting for
+		// a connection-refused round trip.
+		return simnet.Message{}, fmt.Errorf("call to %s: %w", to.Short(), ErrNodeDown)
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrNodeDown, err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&wireRequest{From: from, Kind: msg.Kind, Size: msg.Size, Body: msg.Payload}); err != nil {
+		return simnet.Message{}, fmt.Errorf("call to %s: encode: %w", to.Short(), err)
+	}
+	var reply wireReply
+	if err := dec.Decode(&reply); err != nil {
+		return simnet.Message{}, fmt.Errorf("call to %s: decode: %w", to.Short(), err)
+	}
+	if reply.ErrMsg != "" {
+		return simnet.Message{}, fmt.Errorf("call to %s: remote: %s", to.Short(), reply.ErrMsg)
+	}
+	return simnet.Message{Kind: reply.Kind, Size: reply.Size, Payload: reply.Body}, nil
+}
+
+// Alive reports whether nid is registered and its listener is serving.
+func (n *Network) Alive(nid id.ID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	srv, ok := n.servers[nid]
+	return ok && !srv.down
+}
+
+// Fail crashes a node: its listener closes and callers get connection
+// errors, exactly like a process kill.
+func (n *Network) Fail(nid id.ID) {
+	n.mu.Lock()
+	srv, ok := n.servers[nid]
+	if ok && !srv.down {
+		srv.down = true
+		_ = srv.ln.Close()
+	}
+	n.mu.Unlock()
+}
+
+// Addr returns a node's TCP address (for out-of-band bootstrap).
+func (n *Network) Addr(nid id.ID) (string, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, ok := n.addrs[nid]
+	return a, ok
+}
+
+// Close shuts down every listener and waits for in-flight handlers.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	servers := make([]*server, 0, len(n.servers))
+	for _, srv := range n.servers {
+		if !srv.down {
+			srv.down = true
+			_ = srv.ln.Close()
+		}
+		servers = append(servers, srv)
+	}
+	n.mu.Unlock()
+	for _, srv := range servers {
+		srv.wg.Wait()
+	}
+}

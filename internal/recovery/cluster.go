@@ -1,0 +1,397 @@
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/shard"
+	"sr3/internal/simnet"
+	"sr3/internal/state"
+)
+
+// Cluster wires a Manager onto every node of a DHT ring and coordinates
+// save and recovery across them. It is the in-process equivalent of an
+// SR3 deployment.
+type Cluster struct {
+	Ring     *dht.Ring
+	managers map[id.ID]*Manager
+}
+
+// NewCluster attaches SR3 managers to all ring nodes.
+func NewCluster(ring *dht.Ring) *Cluster {
+	c := &Cluster{Ring: ring, managers: make(map[id.ID]*Manager, ring.Size())}
+	for _, nid := range ring.IDs() {
+		c.managers[nid] = NewManager(ring.Node(nid))
+	}
+	return c
+}
+
+// Manager returns the SR3 agent on one node.
+func (c *Cluster) Manager(nid id.ID) *Manager { return c.managers[nid] }
+
+// AttachNode adds a manager for a node joined after cluster creation.
+func (c *Cluster) AttachNode(n *dht.Node) *Manager {
+	m := NewManager(n)
+	c.managers[n.ID()] = m
+	return m
+}
+
+// Result reports one completed recovery.
+type Result struct {
+	App         string
+	Mechanism   Mechanism
+	Replacement id.ID
+	Snapshot    []byte
+	Version     state.Version
+	Providers   int
+	ShardsMoved int
+}
+
+// Recover rebuilds the state of app after its owner failed, using the
+// given mechanism, and installs the snapshot at the replacement node
+// (the live node closest to the failed owner's ID, mirroring Fig 3's N6
+// replacing N5).
+func (c *Cluster) Recover(app string, mech Mechanism, opts Options) (Result, error) {
+	anyNode, err := c.Ring.AnyLive()
+	if err != nil {
+		return Result{}, fmt.Errorf("recover %q: %w", app, err)
+	}
+	placement, err := c.managers[anyNode.ID()].LookupPlacement(app)
+	if err != nil {
+		return Result{}, fmt.Errorf("recover %q: %w", app, err)
+	}
+
+	replacement, ok := c.pickReplacement(placement.Owner)
+	if !ok {
+		return Result{}, fmt.Errorf("recover %q: %w", app, ErrNoReplacement)
+	}
+	stages, err := c.liveStages(placement, replacement)
+	if err != nil {
+		return Result{}, fmt.Errorf("recover %q: %w", app, err)
+	}
+
+	rm := c.managers[replacement]
+	var shards []shard.Shard
+	switch mech {
+	case Star:
+		shards, err = rm.collectStar(app, placement, opts)
+	case Line:
+		shards, err = rm.collectLine(app, stages)
+	case Tree:
+		shards, err = rm.collectTree(app, stages, 1<<clampBit(opts.TreeFanoutBit))
+	default:
+		return Result{}, fmt.Errorf("recover %q: %d: %w", app, mech, ErrBadMechanism)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("recover %q (%s): %w", app, mech, err)
+	}
+
+	snapshot, err := shard.Reassemble(shards)
+	if err != nil {
+		return Result{}, fmt.Errorf("recover %q (%s): %w", app, mech, err)
+	}
+	rm.SetRecovered(app, snapshot)
+	return Result{
+		App:         app,
+		Mechanism:   mech,
+		Replacement: replacement,
+		Snapshot:    snapshot,
+		Version:     placement.Version,
+		Providers:   len(stages),
+		ShardsMoved: len(shards),
+	}, nil
+}
+
+// RecoverMany handles simultaneous failures: each lost state is rebuilt
+// at its own replacement, concurrently (paper Fig 6: multiple replacing
+// nodes served by shared providers).
+func (c *Cluster) RecoverMany(apps []string, mech Mechanism, opts Options) ([]Result, error) {
+	results := make([]Result, len(apps))
+	errs := make([]error, len(apps))
+	var wg sync.WaitGroup
+	for i, app := range apps {
+		wg.Add(1)
+		go func(i int, app string) {
+			defer wg.Done()
+			results[i], errs[i] = c.Recover(app, mech, opts)
+		}(i, app)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// pickReplacement returns the live node closest to the failed owner.
+func (c *Cluster) pickReplacement(owner id.ID) (id.ID, bool) {
+	if c.Ring.Net.Alive(owner) {
+		return owner, true // owner restarted: recover in place
+	}
+	return c.Ring.ClosestLive(owner)
+}
+
+// liveStages picks, for every shard index, one live replica holder, then
+// groups indices by holder. Holders are ordered by ring distance from the
+// replacement, farthest first (so line chains end near the replacement,
+// as in Fig 4).
+func (c *Cluster) liveStages(p shard.Placement, replacement id.ID) ([]stage, error) {
+	byHolder := make(map[id.ID][]int)
+	for i := 0; i < p.M; i++ {
+		var chosen id.ID
+		found := false
+		for _, h := range p.NodesForIndex(i) {
+			if c.Ring.Net.Alive(h) && c.managers[h] != nil &&
+				c.managers[h].hasIndex(p.App, i) {
+				chosen = h
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("shard index %d: %w", i, ErrShardLost)
+		}
+		byHolder[chosen] = append(byHolder[chosen], i)
+	}
+	holders := make([]id.ID, 0, len(byHolder))
+	for h := range byHolder {
+		holders = append(holders, h)
+	}
+	sort.Slice(holders, func(i, j int) bool {
+		di := id.Distance(holders[i], replacement)
+		dj := id.Distance(holders[j], replacement)
+		if cmp := di.Cmp(dj); cmp != 0 {
+			return cmp > 0 // farthest first
+		}
+		return holders[i].Less(holders[j])
+	})
+	stages := make([]stage, 0, len(holders))
+	for _, h := range holders {
+		idx := byHolder[h]
+		sort.Ints(idx)
+		stages = append(stages, stage{Node: h, Indices: idx})
+	}
+	return stages, nil
+}
+
+// hasIndex reports whether this manager stores any replica of the index.
+func (m *Manager) hasIndex(app string, index int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k := range m.shards {
+		if k.App == app && k.Index == index {
+			return true
+		}
+	}
+	return false
+}
+
+func clampBit(b int) int {
+	if b < 0 {
+		return 0
+	}
+	if b > 8 {
+		return 8
+	}
+	return b
+}
+
+// --- real mechanism executors (run on the replacement's manager) ---
+
+// collectStar fetches one live replica of each shard index directly from
+// its holder, in parallel (paper §3.4). With opts.Speculate, two replicas
+// are requested concurrently and the first success wins.
+func (m *Manager) collectStar(app string, p shard.Placement, opts Options) ([]shard.Shard, error) {
+	type res struct {
+		s   shard.Shard
+		err error
+	}
+	out := make([]res, p.M)
+	var wg sync.WaitGroup
+	for i := 0; i < p.M; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i].s, out[i].err = m.fetchIndex(app, i, p, opts.Speculate)
+		}(i)
+	}
+	wg.Wait()
+	shards := make([]shard.Shard, 0, p.M)
+	for i, r := range out {
+		if r.err != nil {
+			return nil, fmt.Errorf("star fetch index %d: %w", i, r.err)
+		}
+		shards = append(shards, r.s)
+	}
+	return shards, nil
+}
+
+// fetchIndex retrieves one replica of a shard index, trying replica
+// holders in order and skipping dead or shardless ones.
+func (m *Manager) fetchIndex(app string, index int, p shard.Placement, speculate bool) (shard.Shard, error) {
+	holders := p.NodesForIndex(index)
+	if speculate && len(holders) > 1 {
+		type res struct {
+			s  shard.Shard
+			ok bool
+		}
+		ch := make(chan res, 2)
+		for _, h := range holders[:2] {
+			go func(h id.ID) {
+				s, err := m.fetchFrom(h, app, index)
+				ch <- res{s, err == nil}
+			}(h)
+		}
+		for i := 0; i < 2; i++ {
+			if r := <-ch; r.ok {
+				return r.s, nil
+			}
+		}
+		holders = holders[2:]
+	}
+	for _, h := range holders {
+		s, err := m.fetchFrom(h, app, index)
+		if err == nil {
+			return s, nil
+		}
+	}
+	return shard.Shard{}, ErrShardLost
+}
+
+func (m *Manager) fetchFrom(holder id.ID, app string, index int) (shard.Shard, error) {
+	if holder == m.node.ID() {
+		ss := m.localShardsFor(app, []int{index})
+		if len(ss) == 0 {
+			return shard.Shard{}, ErrShardLost
+		}
+		return ss[0], nil
+	}
+	resp, err := m.node.Send(holder, simnet.Message{
+		Kind:    kindFetchIndex,
+		Size:    msgHeader + len(app) + 8,
+		Payload: &fetchIndexRequest{App: app, Index: index},
+	})
+	if err != nil {
+		return shard.Shard{}, err
+	}
+	reply, ok := resp.Payload.(*fetchReply)
+	if !ok {
+		return shard.Shard{}, fmt.Errorf("recovery: bad fetch reply %T", resp.Payload)
+	}
+	if !reply.Found {
+		return shard.Shard{}, ErrShardLost
+	}
+	return reply.Shard, nil
+}
+
+// collectLine runs the chain collection (paper §3.5): the request enters
+// at the farthest provider and shards accumulate stage by stage.
+func (m *Manager) collectLine(app string, stages []stage) ([]shard.Shard, error) {
+	if len(stages) == 0 {
+		return nil, ErrShardLost
+	}
+	// The replacement may itself hold shards (it is a leaf-set member);
+	// contribute them locally rather than over the wire.
+	var local []shard.Shard
+	chain := make([]stage, 0, len(stages))
+	for _, st := range stages {
+		if st.Node == m.node.ID() {
+			local = append(local, m.localShardsFor(app, st.Indices)...)
+			continue
+		}
+		chain = append(chain, st)
+	}
+	if len(chain) == 0 {
+		return local, nil
+	}
+	resp, err := m.node.Send(chain[0].Node, simnet.Message{
+		Kind:    kindLineCollect,
+		Size:    msgHeader + 64,
+		Payload: &lineCollectMsg{App: app, Chain: chain},
+	})
+	if err != nil {
+		return nil, err
+	}
+	reply, ok := resp.Payload.(*collectReply)
+	if !ok {
+		return nil, fmt.Errorf("recovery: bad line reply %T", resp.Payload)
+	}
+	return append(local, reply.Shards...), nil
+}
+
+// collectTree runs the spanning-tree collection (paper §3.6) with the
+// given fan-out.
+func (m *Manager) collectTree(app string, stages []stage, fanout int) ([]shard.Shard, error) {
+	if len(stages) == 0 {
+		return nil, ErrShardLost
+	}
+	var local []shard.Shard
+	remote := make([]stage, 0, len(stages))
+	for _, st := range stages {
+		if st.Node == m.node.ID() {
+			local = append(local, m.localShardsFor(app, st.Indices)...)
+			continue
+		}
+		remote = append(remote, st)
+	}
+	root := buildTree(remote, fanout)
+	if root == nil {
+		return local, nil
+	}
+	resp, err := m.node.Send(root.Stage.Node, simnet.Message{
+		Kind:    kindTreeCollect,
+		Size:    msgHeader + 64,
+		Payload: &treeCollectMsg{App: app, Tree: root},
+	})
+	if err != nil {
+		return nil, err
+	}
+	reply, ok := resp.Payload.(*collectReply)
+	if !ok {
+		return nil, fmt.Errorf("recovery: bad tree reply %T", resp.Payload)
+	}
+	return append(local, reply.Shards...), nil
+}
+
+// CollectStarForTest runs the star collection and reassembly directly on
+// this manager — the transport-agnostic recovery path used by the
+// TCP-transport integration tests, which have no Ring to coordinate
+// through.
+func (m *Manager) CollectStarForTest(app string, p shard.Placement) ([]byte, error) {
+	shards, err := m.collectStar(app, p, DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return shard.Reassemble(shards)
+}
+
+// RecoverAndReprotect completes the failure-handling lifecycle: the state
+// is rebuilt at the replacement and immediately re-sharded and
+// re-scattered over the replacement's own leaf set, so the application is
+// protected against the next failure without waiting for its periodic
+// save. The refreshed placement supersedes the old one in the DHT.
+func (c *Cluster) RecoverAndReprotect(app string, mech Mechanism, opts Options) (Result, error) {
+	res, err := c.Recover(app, mech, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	anyNode, err := c.Ring.AnyLive()
+	if err != nil {
+		return Result{}, fmt.Errorf("reprotect %q: %w", app, err)
+	}
+	old, err := c.managers[anyNode.ID()].LookupPlacement(app)
+	if err != nil {
+		return Result{}, fmt.Errorf("reprotect %q: %w", app, err)
+	}
+	newMgr := c.managers[res.Replacement]
+	v := newMgr.NextVersion(old.Version.Timestamp + 1)
+	if _, err := newMgr.Save(app, res.Snapshot, old.M, old.R, v); err != nil {
+		return Result{}, fmt.Errorf("reprotect %q: %w", app, err)
+	}
+	return res, nil
+}

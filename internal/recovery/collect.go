@@ -1,0 +1,148 @@
+package recovery
+
+import (
+	"fmt"
+
+	"sr3/internal/id"
+	"sr3/internal/shard"
+	"sr3/internal/simnet"
+)
+
+// stage is one chain/tree position: a provider node and the shard indices
+// it contributes.
+type stage struct {
+	Node    id.ID
+	Indices []int
+}
+
+// lineCollectMsg travels down the provider chain accumulating shards
+// (paper Fig 4: N3 uploads s2,0 to N0, which merges s1,0 and forwards...).
+type lineCollectMsg struct {
+	App   string
+	Chain []stage // remaining stages, first is the recipient
+	Acc   []shard.Shard
+}
+
+type collectReply struct {
+	Shards []shard.Shard
+}
+
+func shardsSize(ss []shard.Shard) int {
+	n := 0
+	for _, s := range ss {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// handleLineCollect runs at each chain stage: contribute local shards,
+// then forward the accumulated set to the next stage; the final stage
+// returns the full set, which unwinds to the replacement.
+func (m *Manager) handleLineCollect(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*lineCollectMsg)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("recovery: bad line payload %T", msg.Payload)
+	}
+	if len(req.Chain) == 0 || req.Chain[0].Node != m.node.ID() {
+		return simnet.Message{}, fmt.Errorf("recovery: line chain misrouted at %s", m.node.ID().Short())
+	}
+	acc := append(req.Acc, m.localShardsFor(req.App, req.Chain[0].Indices)...)
+	rest := req.Chain[1:]
+	if len(rest) == 0 {
+		return simnet.Message{
+			Kind:    kindAck,
+			Size:    msgHeader + shardsSize(acc),
+			Payload: &collectReply{Shards: acc},
+		}, nil
+	}
+	fwd := &lineCollectMsg{App: req.App, Chain: rest, Acc: acc}
+	resp, err := m.node.Send(rest[0].Node, simnet.Message{
+		Kind:    kindLineCollect,
+		Size:    msgHeader + shardsSize(acc),
+		Payload: fwd,
+	})
+	if err != nil {
+		return simnet.Message{}, fmt.Errorf("line forward to %s: %w", rest[0].Node.Short(), err)
+	}
+	return resp, nil
+}
+
+// treeNode describes a subtree of providers for tree collection.
+type treeNode struct {
+	Stage    stage
+	Children []*treeNode
+}
+
+type treeCollectMsg struct {
+	App  string
+	Tree *treeNode // rooted at the recipient
+}
+
+// handleTreeCollect runs at each tree member: collect children's shard
+// sets (each child gathers its own subtree), merge with local shards, and
+// return the union to the parent (paper Fig 5/6: sub-shards recombined
+// up the spanning tree).
+func (m *Manager) handleTreeCollect(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*treeCollectMsg)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("recovery: bad tree payload %T", msg.Payload)
+	}
+	if req.Tree == nil || req.Tree.Stage.Node != m.node.ID() {
+		return simnet.Message{}, fmt.Errorf("recovery: tree collect misrouted at %s", m.node.ID().Short())
+	}
+	acc := m.localShardsFor(req.App, req.Tree.Stage.Indices)
+	for _, child := range req.Tree.Children {
+		resp, err := m.node.Send(child.Stage.Node, simnet.Message{
+			Kind:    kindTreeCollect,
+			Size:    msgHeader + 64,
+			Payload: &treeCollectMsg{App: req.App, Tree: child},
+		})
+		if err != nil {
+			return simnet.Message{}, fmt.Errorf("tree collect from %s: %w", child.Stage.Node.Short(), err)
+		}
+		reply, ok := resp.Payload.(*collectReply)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("recovery: bad tree reply %T", resp.Payload)
+		}
+		acc = append(acc, reply.Shards...)
+	}
+	return simnet.Message{
+		Kind:    kindAck,
+		Size:    msgHeader + shardsSize(acc),
+		Payload: &collectReply{Shards: acc},
+	}, nil
+}
+
+// buildTree arranges stages into a balanced fanout-ary tree (BFS order)
+// and returns its root.
+func buildTree(stages []stage, fanout int) *treeNode {
+	if len(stages) == 0 {
+		return nil
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	nodes := make([]*treeNode, len(stages))
+	for i, st := range stages {
+		nodes[i] = &treeNode{Stage: st}
+	}
+	for i := 1; i < len(nodes); i++ {
+		parent := nodes[(i-1)/fanout]
+		parent.Children = append(parent.Children, nodes[i])
+	}
+	return nodes[0]
+}
+
+// treeDepth returns the depth of the tree (root = 1).
+func treeDepth(t *treeNode) int {
+	if t == nil {
+		return 0
+	}
+	max := 0
+	for _, c := range t.Children {
+		if d := treeDepth(c); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,325 @@
+package recovery
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/shard"
+	"sr3/internal/simnet"
+	"sr3/internal/state"
+)
+
+// Message kinds served by the per-node Manager.
+const (
+	kindStore       = "sr3.shard.store"
+	kindFetch       = "sr3.shard.fetch"
+	kindFetchIndex  = "sr3.shard.fetchIndex"
+	kindLineCollect = "sr3.line.collect"
+	kindTreeCollect = "sr3.tree.collect"
+	kindAck         = "sr3.ack"
+)
+
+const msgHeader = 48
+
+// placementKVKey is where a state's placement table lives in the DHT KV
+// (replicated in the root's leaf set), so recovery still finds it when the
+// owner died.
+func placementKVKey(app string) string { return "sr3/placement/" + app }
+
+// Manager is the per-node SR3 agent: it stores shard replicas pushed by
+// state owners, serves fetches, and executes its part of line/tree
+// collection. One Manager is attached to every DHT node.
+type Manager struct {
+	node *dht.Node
+
+	mu         sync.Mutex
+	shards     map[shard.Key]shard.Shard
+	placements map[string]shard.Placement
+	recovered  map[string][]byte
+	saveSeq    uint64
+}
+
+// NewManager attaches an SR3 manager to a DHT node.
+func NewManager(n *dht.Node) *Manager {
+	m := &Manager{
+		node:       n,
+		shards:     make(map[shard.Key]shard.Shard),
+		placements: make(map[string]shard.Placement),
+		recovered:  make(map[string][]byte),
+	}
+	n.HandleDirect(kindStore, m.handleStore)
+	n.HandleDirect(kindFetch, m.handleFetch)
+	n.HandleDirect(kindFetchIndex, m.handleFetchIndex)
+	n.HandleDirect(kindLineCollect, m.handleLineCollect)
+	n.HandleDirect(kindTreeCollect, m.handleTreeCollect)
+	return m
+}
+
+// Node returns the underlying DHT node.
+func (m *Manager) Node() *dht.Node { return m.node }
+
+// ShardCount returns how many shard replicas this node stores.
+func (m *Manager) ShardCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.shards)
+}
+
+// ShardBytes returns the total bytes of shard replicas stored here.
+func (m *Manager) ShardBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.shards {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// Save splits a state snapshot into mShards shards, replicates each
+// replicas times, and writes them to the owner's leaf set (paper §3.3
+// Layer 2; writes are serial, matching the evaluation's fair-comparison
+// setup for Fig 8c). The placement table is recorded locally and published
+// into the DHT KV so any node can recover the state later.
+func (m *Manager) Save(app string, snapshot []byte, mShards, replicas int, v state.Version) (shard.Placement, error) {
+	shards, err := shard.Split(app, m.node.ID(), snapshot, mShards, v)
+	if err != nil {
+		return shard.Placement{}, fmt.Errorf("save %q: %w", app, err)
+	}
+	reps, err := shard.Replicate(shards, replicas)
+	if err != nil {
+		return shard.Placement{}, fmt.Errorf("save %q: %w", app, err)
+	}
+	leaves := m.node.LeafSet()
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].Less(leaves[j]) })
+	placement, err := shard.Place(app, m.node.ID(), len(shards), replicas, v, len(snapshot), leaves)
+	if err != nil {
+		return shard.Placement{}, fmt.Errorf("save %q: %w", app, err)
+	}
+	for _, s := range reps {
+		target := placement.Loc[s.Key()]
+		if err := m.pushShard(target, s); err != nil {
+			return shard.Placement{}, fmt.Errorf("save %q shard %s: %w", app, s.Key(), err)
+		}
+	}
+
+	m.mu.Lock()
+	m.placements[app] = placement
+	m.mu.Unlock()
+
+	blob, err := encodePlacement(placement)
+	if err != nil {
+		return shard.Placement{}, fmt.Errorf("save %q: %w", app, err)
+	}
+	if err := m.node.Put(placementKVKey(app), blob); err != nil {
+		return shard.Placement{}, fmt.Errorf("save %q placement: %w", app, err)
+	}
+	return placement, nil
+}
+
+// NextVersion mints a monotonically increasing version for this owner.
+func (m *Manager) NextVersion(now int64) state.Version {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.saveSeq++
+	return state.Version{Timestamp: now, Seq: m.saveSeq}
+}
+
+func (m *Manager) pushShard(target id.ID, s shard.Shard) error {
+	if target == m.node.ID() {
+		m.storeLocal(s)
+		return nil
+	}
+	_, err := m.node.Send(target, simnet.Message{
+		Kind:    kindStore,
+		Size:    msgHeader + len(s.Data),
+		Payload: &s,
+	})
+	return err
+}
+
+func (m *Manager) storeLocal(s shard.Shard) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := s.Key()
+	if old, ok := m.shards[key]; ok && old.Version.Newer(s.Version) {
+		return // stale write: version control (paper §4, modification 3)
+	}
+	m.shards[key] = s
+}
+
+// DropShards deletes shard replicas (failure injection for Fig 10: "we
+// deliberately remove some shards of application state in some nodes").
+func (m *Manager) DropShards(app string, pred func(shard.Key) bool) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k := range m.shards {
+		if k.App == app && (pred == nil || pred(k)) {
+			delete(m.shards, k)
+			n++
+		}
+	}
+	return n
+}
+
+// HasShard reports whether a replica is stored here.
+func (m *Manager) HasShard(k shard.Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.shards[k]
+	return ok
+}
+
+// Placement returns the locally recorded placement for app (owner side).
+func (m *Manager) Placement(app string) (shard.Placement, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.placements[app]
+	return p, ok
+}
+
+// LookupPlacement fetches a state's placement table from the DHT.
+func (m *Manager) LookupPlacement(app string) (shard.Placement, error) {
+	blob, err := m.node.Get(placementKVKey(app))
+	if err != nil {
+		return shard.Placement{}, fmt.Errorf("%w: %v", ErrNoPlacement, err)
+	}
+	return decodePlacement(blob)
+}
+
+// SetRecovered records a reconstructed snapshot at the replacement node.
+func (m *Manager) SetRecovered(app string, snapshot []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recovered[app] = append([]byte(nil), snapshot...)
+}
+
+// Recovered returns the reconstructed snapshot for app, if any.
+func (m *Manager) Recovered(app string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.recovered[app]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// --- message handlers ---
+
+func (m *Manager) handleStore(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	s, ok := msg.Payload.(*shard.Shard)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("recovery: bad store payload %T", msg.Payload)
+	}
+	if err := s.Verify(); err != nil {
+		return simnet.Message{}, err
+	}
+	m.storeLocal(*s)
+	return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
+}
+
+type fetchRequest struct {
+	Key shard.Key
+}
+
+type fetchIndexRequest struct {
+	App   string
+	Index int
+}
+
+type fetchReply struct {
+	Found bool
+	Shard shard.Shard
+}
+
+func (m *Manager) handleFetch(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*fetchRequest)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("recovery: bad fetch payload %T", msg.Payload)
+	}
+	m.mu.Lock()
+	s, found := m.shards[req.Key]
+	m.mu.Unlock()
+	return simnet.Message{
+		Kind:    kindAck,
+		Size:    msgHeader + len(s.Data),
+		Payload: &fetchReply{Found: found, Shard: s},
+	}, nil
+}
+
+// handleFetchIndex returns any replica of the given shard index stored
+// here — used when the exact replica number is unknown.
+func (m *Manager) handleFetchIndex(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*fetchIndexRequest)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("recovery: bad fetchIndex payload %T", msg.Payload)
+	}
+	m.mu.Lock()
+	var best shard.Shard
+	found := false
+	for k, s := range m.shards {
+		if k.App == req.App && k.Index == req.Index {
+			if !found || s.Version.Newer(best.Version) {
+				best = s
+				found = true
+			}
+		}
+	}
+	m.mu.Unlock()
+	return simnet.Message{
+		Kind:    kindAck,
+		Size:    msgHeader + len(best.Data),
+		Payload: &fetchReply{Found: found, Shard: best},
+	}, nil
+}
+
+// localShardsFor returns this node's replicas for the given app indices,
+// preferring the newest version of each (stale copies from an earlier
+// save may still sit here after the state's owner moved).
+func (m *Manager) localShardsFor(app string, indices []int) []shard.Shard {
+	want := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		want[i] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	best := make(map[int]shard.Shard, len(indices))
+	for k, s := range m.shards {
+		if k.App != app || !want[k.Index] {
+			continue
+		}
+		if cur, ok := best[k.Index]; !ok || s.Version.Newer(cur.Version) {
+			best[k.Index] = s
+		}
+	}
+	out := make([]shard.Shard, 0, len(best))
+	for _, s := range best {
+		out = append(out, s)
+	}
+	return out
+}
+
+// --- placement codec (gob over the DHT KV) ---
+
+func encodePlacement(p shard.Placement) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("encode placement: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePlacement(b []byte) (shard.Placement, error) {
+	var p shard.Placement
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return shard.Placement{}, fmt.Errorf("decode placement: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,86 @@
+// Package recovery implements SR3's contribution: customizable,
+// DHT-based parallel state recovery for stateful stream operators
+// (paper §3). State snapshots are split into m shards × r replicas and
+// scattered over the owner's leaf set (Save). When operators fail, lost
+// state is rebuilt by one of three mechanisms:
+//
+//   - star (§3.4): every provider uploads its shard directly to the
+//     replacement node, which reassembles — fastest for small state.
+//   - line (§3.5): shards are merged along a chain of providers, so the
+//     download/merge load is spread — good for large state with
+//     abundant bandwidth.
+//   - tree (§3.6): sub-shards are recombined up a Scribe-style tree —
+//     balances load with bounded fan-out, best under bandwidth
+//     constraints and many simultaneous failures.
+//
+// Each mechanism exists twice, sharing one shard-placement source of
+// truth: a real executor that moves actual bytes over the in-process
+// transport (used by tests, examples and the stream runtime), and a
+// timed planner that emits a simnet task DAG for virtual-time figure
+// benchmarks.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mechanism selects the recovery structure.
+type Mechanism int
+
+// Mechanisms (paper §3.4–3.6).
+const (
+	Star Mechanism = iota + 1
+	Line
+	Tree
+)
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	switch m {
+	case Star:
+		return "star"
+	case Line:
+		return "line"
+	case Tree:
+		return "tree"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Options carries the per-mechanism tuning knobs exposed by the SR3 API
+// (paper Table 2: StarDefine / LineDefine / TreeDefine).
+type Options struct {
+	// StarFanoutBit is the star fan-out exponent (providers contacted in
+	// parallel = all; the bit widens concurrent slots; Fig 9a).
+	StarFanoutBit int
+	// LinePathLength is the number of chain stages (Fig 9b).
+	LinePathLength int
+	// TreeFanoutBit is the tree fan-out exponent: fan-out = 2^bit (Fig 9d).
+	TreeFanoutBit int
+	// TreeBranchDepth caps the tree depth (Fig 9c).
+	TreeBranchDepth int
+	// Speculate re-requests a shard from the next replica when a provider
+	// stalls (straggler mitigation, paper §6 future work).
+	Speculate bool
+}
+
+// DefaultOptions returns the defaults used by the evaluation unless a
+// figure sweeps a knob.
+func DefaultOptions() Options {
+	return Options{
+		StarFanoutBit:   1,
+		LinePathLength:  0, // 0 = one stage per shard
+		TreeFanoutBit:   1,
+		TreeBranchDepth: 8,
+	}
+}
+
+// Errors.
+var (
+	ErrNoPlacement   = errors.New("recovery: no placement recorded for state")
+	ErrShardLost     = errors.New("recovery: some shard has no live replica")
+	ErrNoReplacement = errors.New("recovery: no live node available as replacement")
+	ErrBadMechanism  = errors.New("recovery: unknown mechanism")
+)

@@ -1,0 +1,463 @@
+package recovery
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/shard"
+	"sr3/internal/simnet"
+	"sr3/internal/state"
+)
+
+func buildCluster(t testing.TB, n int, seed int64) *Cluster {
+	t.Helper()
+	ring, err := dht.NewRing(dht.DefaultConfig(), seed, n)
+	if err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	return NewCluster(ring)
+}
+
+func randomSnapshot(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func saveState(t testing.TB, c *Cluster, owner id.ID, app string, snapshot []byte, m, r int) shard.Placement {
+	t.Helper()
+	mgr := c.Manager(owner)
+	p, err := mgr.Save(app, snapshot, m, r, mgr.NextVersion(1))
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return p
+}
+
+func TestSavePlacesShardsOnLeafSet(t *testing.T) {
+	c := buildCluster(t, 40, 1)
+	owner := c.Ring.IDs()[0]
+	snap := randomSnapshot(4096, 1)
+	p := saveState(t, c, owner, "app", snap, 8, 2)
+	if len(p.Loc) != 16 {
+		t.Fatalf("placement has %d entries, want 16", len(p.Loc))
+	}
+	for key, holder := range p.Loc {
+		if !c.Manager(holder).HasShard(key) {
+			t.Fatalf("holder %s missing shard %s", holder.Short(), key)
+		}
+	}
+}
+
+func TestRecoverEachMechanismAfterOwnerFailure(t *testing.T) {
+	for _, mech := range []Mechanism{Star, Line, Tree} {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			c := buildCluster(t, 50, int64(10+int(mech)))
+			owner := c.Ring.IDs()[5]
+			snap := randomSnapshot(100_000, int64(mech))
+			saveState(t, c, owner, "app", snap, 9, 2)
+
+			c.Ring.Fail(owner)
+			c.Ring.MaintenanceRound()
+
+			res, err := c.Recover("app", mech, DefaultOptions())
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if !bytes.Equal(res.Snapshot, snap) {
+				t.Fatalf("recovered snapshot differs (%d vs %d bytes)", len(res.Snapshot), len(snap))
+			}
+			if res.Replacement == owner {
+				t.Fatal("replacement must not be the failed owner")
+			}
+			got, ok := c.Manager(res.Replacement).Recovered("app")
+			if !ok || !bytes.Equal(got, snap) {
+				t.Fatal("replacement does not hold the recovered snapshot")
+			}
+		})
+	}
+}
+
+func TestRecoverSurvivesProviderFailures(t *testing.T) {
+	// Kill the owner AND one replica holder of every shard: the other
+	// replica must carry recovery (r=2).
+	for _, mech := range []Mechanism{Star, Line, Tree} {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			c := buildCluster(t, 60, int64(20+int(mech)))
+			owner := c.Ring.IDs()[3]
+			snap := randomSnapshot(50_000, 99)
+			p := saveState(t, c, owner, "app", snap, 6, 2)
+
+			c.Ring.Fail(owner)
+			// Fail the replica-0 holder of every even shard index.
+			killed := make(map[id.ID]bool)
+			for i := 0; i < p.M; i += 2 {
+				h := p.Loc[shard.Key{App: "app", Index: i, Replica: 0}]
+				if !killed[h] {
+					killed[h] = true
+					c.Ring.Fail(h)
+				}
+			}
+			c.Ring.MaintenanceRound()
+
+			res, err := c.Recover("app", mech, DefaultOptions())
+			if err != nil {
+				t.Fatalf("recover with %d dead providers: %v", len(killed), err)
+			}
+			if !bytes.Equal(res.Snapshot, snap) {
+				t.Fatal("recovered snapshot differs")
+			}
+		})
+	}
+}
+
+func TestRecoverFailsWhenAllReplicasLost(t *testing.T) {
+	c := buildCluster(t, 40, 30)
+	owner := c.Ring.IDs()[2]
+	snap := randomSnapshot(10_000, 7)
+	p := saveState(t, c, owner, "app", snap, 4, 2)
+
+	c.Ring.Fail(owner)
+	// Kill every holder of shard index 1.
+	for j := 0; j < p.R; j++ {
+		c.Ring.Fail(p.Loc[shard.Key{App: "app", Index: 1, Replica: j}])
+	}
+	c.Ring.MaintenanceRound()
+
+	_, err := c.Recover("app", Star, DefaultOptions())
+	if !errors.Is(err, ErrShardLost) {
+		t.Fatalf("got %v, want ErrShardLost", err)
+	}
+}
+
+func TestRecoverUnknownApp(t *testing.T) {
+	c := buildCluster(t, 20, 31)
+	if _, err := c.Recover("ghost", Star, DefaultOptions()); !errors.Is(err, ErrNoPlacement) {
+		t.Fatalf("got %v, want ErrNoPlacement", err)
+	}
+}
+
+func TestRecoverBadMechanism(t *testing.T) {
+	c := buildCluster(t, 20, 32)
+	owner := c.Ring.IDs()[0]
+	saveState(t, c, owner, "app", randomSnapshot(1000, 1), 2, 2)
+	if _, err := c.Recover("app", Mechanism(99), DefaultOptions()); !errors.Is(err, ErrBadMechanism) {
+		t.Fatalf("got %v, want ErrBadMechanism", err)
+	}
+}
+
+func TestDroppedShardsRecoverFromReplicas(t *testing.T) {
+	// Fig 10's failure injection: deliberately remove shard replicas from
+	// live nodes, then recover.
+	c := buildCluster(t, 50, 33)
+	owner := c.Ring.IDs()[1]
+	snap := randomSnapshot(30_000, 3)
+	p := saveState(t, c, owner, "app", snap, 8, 3)
+
+	c.Ring.Fail(owner)
+	dropped := 0
+	for i := 0; i < p.M; i++ {
+		h := p.Loc[shard.Key{App: "app", Index: i, Replica: 0}]
+		dropped += c.Manager(h).DropShards("app", func(k shard.Key) bool { return k.Index == i })
+	}
+	if dropped == 0 {
+		t.Fatal("no shards dropped")
+	}
+	res, err := c.Recover("app", Tree, DefaultOptions())
+	if err != nil {
+		t.Fatalf("recover after dropping %d shards: %v", dropped, err)
+	}
+	if !bytes.Equal(res.Snapshot, snap) {
+		t.Fatal("recovered snapshot differs")
+	}
+}
+
+func TestRecoverManySimultaneousFailures(t *testing.T) {
+	c := buildCluster(t, 80, 34)
+	apps := []string{"app-a", "app-b", "app-c", "app-d"}
+	snaps := make(map[string][]byte)
+	owners := make(map[string]id.ID)
+	for i, app := range apps {
+		owner := c.Ring.IDs()[i*7]
+		owners[app] = owner
+		snaps[app] = randomSnapshot(20_000+i*1000, int64(i))
+		saveState(t, c, owner, app, snaps[app], 6, 2)
+	}
+	for _, owner := range owners {
+		c.Ring.Fail(owner)
+	}
+	c.Ring.MaintenanceRound()
+
+	results, err := c.RecoverMany(apps, Tree, DefaultOptions())
+	if err != nil {
+		t.Fatalf("recover many: %v", err)
+	}
+	for _, res := range results {
+		if !bytes.Equal(res.Snapshot, snaps[res.App]) {
+			t.Fatalf("app %s: snapshot differs", res.App)
+		}
+	}
+}
+
+func TestRecoverWithSpeculation(t *testing.T) {
+	c := buildCluster(t, 40, 35)
+	owner := c.Ring.IDs()[4]
+	snap := randomSnapshot(25_000, 5)
+	saveState(t, c, owner, "app", snap, 5, 3)
+	c.Ring.Fail(owner)
+
+	opts := DefaultOptions()
+	opts.Speculate = true
+	res, err := c.Recover("app", Star, opts)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !bytes.Equal(res.Snapshot, snap) {
+		t.Fatal("speculative recovery mismatch")
+	}
+}
+
+func TestVersionControlRejectsStaleWrites(t *testing.T) {
+	c := buildCluster(t, 30, 36)
+	owner := c.Ring.IDs()[0]
+	mgr := c.Manager(owner)
+
+	newSnap := randomSnapshot(5000, 8)
+	oldSnap := randomSnapshot(5000, 9)
+	vNew := state.Version{Timestamp: 10, Seq: 2}
+	vOld := state.Version{Timestamp: 10, Seq: 1}
+	if _, err := mgr.Save("app", newSnap, 4, 2, vNew); err != nil {
+		t.Fatal(err)
+	}
+	// A delayed save of the older version must not clobber shards.
+	if _, err := mgr.Save("app", oldSnap, 4, 2, vOld); err != nil {
+		t.Fatal(err)
+	}
+	c.Ring.Fail(owner)
+	res, err := c.Recover("app", Star, DefaultOptions())
+	if err != nil {
+		// Mixed placement may make reassembly reject stale shards; the
+		// critical property is that it never silently returns old data.
+		t.Skipf("recover after stale write returned error (acceptable): %v", err)
+	}
+	if bytes.Equal(res.Snapshot, oldSnap) {
+		t.Fatal("recovery returned stale state")
+	}
+}
+
+func TestOwnerRecoversInPlaceWhenAlive(t *testing.T) {
+	c := buildCluster(t, 30, 37)
+	owner := c.Ring.IDs()[2]
+	snap := randomSnapshot(8000, 11)
+	saveState(t, c, owner, "app", snap, 4, 2)
+	// Owner did not fail — e.g. it lost its in-memory state only.
+	res, err := c.Recover("app", Star, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replacement != owner {
+		t.Fatalf("expected in-place recovery at owner, got %s", res.Replacement.Short())
+	}
+	if !bytes.Equal(res.Snapshot, snap) {
+		t.Fatal("snapshot differs")
+	}
+}
+
+func TestSelectionHeuristic(t *testing.T) {
+	tests := []struct {
+		name string
+		req  Requirements
+		use  bool
+		mech Mechanism
+	}{
+		{"stateless", Requirements{Stateless: true}, false, 0},
+		{"small", Requirements{StateBytes: 1 << 20}, true, Star},
+		{"large-unconstrained", Requirements{StateBytes: 128 << 20}, true, Line},
+		{"large-constrained-insensitive", Requirements{StateBytes: 128 << 20, BandwidthConstrained: true}, true, Line},
+		{"large-constrained-sensitive", Requirements{StateBytes: 128 << 20, BandwidthConstrained: true, LatencySensitive: true}, true, Tree},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := Select(tt.req)
+			if d.UseSR3 != tt.use {
+				t.Fatalf("UseSR3 = %v, want %v (%s)", d.UseSR3, tt.use, d.Reason)
+			}
+			if tt.use && d.Mechanism != tt.mech {
+				t.Fatalf("mechanism = %s, want %s (%s)", d.Mechanism, tt.mech, d.Reason)
+			}
+		})
+	}
+}
+
+func TestSelectionScalesLinePathLength(t *testing.T) {
+	small := Select(Requirements{StateBytes: 40 << 20})
+	large := Select(Requirements{StateBytes: 512 << 20})
+	if small.Options.LinePathLength >= large.Options.LinePathLength {
+		t.Fatalf("path length should grow with state: %d vs %d",
+			small.Options.LinePathLength, large.Options.LinePathLength)
+	}
+	if large.Options.LinePathLength > 64 {
+		t.Fatalf("path length %d exceeds sweep cap", large.Options.LinePathLength)
+	}
+}
+
+func TestSelectionManyFailuresWidensTreeFanout(t *testing.T) {
+	base := Select(Requirements{StateBytes: 128 << 20, BandwidthConstrained: true, LatencySensitive: true})
+	many := Select(Requirements{StateBytes: 128 << 20, BandwidthConstrained: true, LatencySensitive: true, ExpectManyFailures: true})
+	if many.Options.TreeFanoutBit <= base.Options.TreeFanoutBit {
+		t.Fatalf("fan-out bit should widen: %d vs %d", many.Options.TreeFanoutBit, base.Options.TreeFanoutBit)
+	}
+}
+
+func TestBuildTreeShapes(t *testing.T) {
+	mkStages := func(n int) []stage {
+		out := make([]stage, n)
+		for i := range out {
+			out[i] = stage{Node: id.HashKey(fmt.Sprintf("n%d", i))}
+		}
+		return out
+	}
+	if buildTree(nil, 2) != nil {
+		t.Fatal("empty stage list should give nil tree")
+	}
+	root := buildTree(mkStages(15), 2)
+	if d := treeDepth(root); d != 4 {
+		t.Fatalf("15 nodes fanout 2: depth %d, want 4", d)
+	}
+	root = buildTree(mkStages(15), 4)
+	if d := treeDepth(root); d != 3 {
+		t.Fatalf("15 nodes fanout 4: depth %d, want 3", d)
+	}
+	// Count nodes reachable = all.
+	count := 0
+	var walk func(*treeNode)
+	walk = func(t *treeNode) {
+		if t == nil {
+			return
+		}
+		count++
+		for _, c := range t.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if count != 15 {
+		t.Fatalf("tree covers %d of 15 nodes", count)
+	}
+}
+
+func TestRecoverAndReprotect(t *testing.T) {
+	c := buildCluster(t, 60, 401)
+	owner := c.Ring.IDs()[3]
+	snap := randomSnapshot(25_000, 55)
+	saveState(t, c, owner, "rp", snap, 6, 2)
+
+	// First failure + recovery with re-protection.
+	c.Ring.Fail(owner)
+	c.Ring.MaintenanceRound()
+	res, err := c.RecoverAndReprotect("rp", Tree, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Snapshot, snap) {
+		t.Fatal("first recovery corrupted state")
+	}
+
+	// The replacement (now owner) fails too: the refreshed placement must
+	// carry a second recovery without any explicit re-save in between.
+	c.Ring.Fail(res.Replacement)
+	c.Ring.MaintenanceRound()
+	res2, err := c.Recover("rp", Star, DefaultOptions())
+	if err != nil {
+		t.Fatalf("second recovery after reprotect: %v", err)
+	}
+	if !bytes.Equal(res2.Snapshot, snap) {
+		t.Fatal("second recovery corrupted state")
+	}
+	if res2.Replacement == res.Replacement || res2.Replacement == owner {
+		t.Fatal("second replacement should be a fresh node")
+	}
+}
+
+func TestCollectHandlersRejectMisroutedAndBadPayloads(t *testing.T) {
+	c := buildCluster(t, 20, 500)
+	a, b := c.Ring.IDs()[0], c.Ring.IDs()[1]
+	mgrA := c.Manager(a)
+	_ = mgrA
+
+	// Misrouted line chain: the first stage names a different node.
+	_, err := c.Ring.Node(b).Send(a, simnet.Message{
+		Kind: "sr3.line.collect",
+		Payload: &lineCollectMsg{
+			App:   "x",
+			Chain: []stage{{Node: b}}, // recipient is a, chain says b
+		},
+	})
+	if err == nil {
+		t.Fatal("misrouted line chain accepted")
+	}
+
+	// Misrouted tree collect.
+	_, err = c.Ring.Node(b).Send(a, simnet.Message{
+		Kind:    "sr3.tree.collect",
+		Payload: &treeCollectMsg{App: "x", Tree: &treeNode{Stage: stage{Node: b}}},
+	})
+	if err == nil {
+		t.Fatal("misrouted tree collect accepted")
+	}
+
+	// Wrong payload types.
+	for _, kind := range []string{"sr3.shard.store", "sr3.shard.fetch",
+		"sr3.shard.fetchIndex", "sr3.line.collect", "sr3.tree.collect"} {
+		if _, err := c.Ring.Node(b).Send(a, simnet.Message{Kind: kind, Payload: "garbage"}); err == nil {
+			t.Fatalf("kind %s accepted garbage payload", kind)
+		}
+	}
+}
+
+func TestStoreRejectsCorruptShard(t *testing.T) {
+	c := buildCluster(t, 20, 501)
+	a, b := c.Ring.IDs()[0], c.Ring.IDs()[1]
+	shards, err := shard.Split("x", a, randomSnapshot(1000, 1), 2, state.Version{Timestamp: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := shards[0]
+	bad.Data = append([]byte(nil), bad.Data...)
+	bad.Data[0] ^= 0xff // checksum now wrong
+	if _, err := c.Ring.Node(a).Send(b, simnet.Message{
+		Kind:    "sr3.shard.store",
+		Payload: &bad,
+	}); !errors.Is(err, shard.ErrChecksum) {
+		t.Fatalf("corrupt shard store: got %v", err)
+	}
+	if c.Manager(b).HasShard(bad.Key()) {
+		t.Fatal("corrupt shard was stored")
+	}
+}
+
+func TestManagerAccounting(t *testing.T) {
+	c := buildCluster(t, 30, 502)
+	owner := c.Ring.IDs()[0]
+	snap := randomSnapshot(16_000, 4)
+	p := saveState(t, c, owner, "acct", snap, 4, 2)
+	totalShards, totalBytes := 0, 0
+	for _, nid := range c.Ring.IDs() {
+		totalShards += c.Manager(nid).ShardCount()
+		totalBytes += c.Manager(nid).ShardBytes()
+	}
+	if totalShards != p.M*p.R {
+		t.Fatalf("stored %d shard replicas, want %d", totalShards, p.M*p.R)
+	}
+	if totalBytes != len(snap)*p.R {
+		t.Fatalf("stored %d bytes, want %d", totalBytes, len(snap)*p.R)
+	}
+}

@@ -1,0 +1,101 @@
+package recovery
+
+// Requirements describes one application to the mechanism-selection
+// module: its state size, QoS needs and environment (paper §3.7, Fig 7).
+// This information "is typically available as part of the job submission".
+type Requirements struct {
+	// Stateless marks operators with no state: the pipeline just resumes.
+	Stateless bool
+	// StateBytes is the operator's (approximate) state size.
+	StateBytes int64
+	// BandwidthConstrained marks deployments whose uplinks are the
+	// bottleneck (e.g. the paper's 100 Mb/s traffic-shaped scenario).
+	BandwidthConstrained bool
+	// LatencySensitive marks applications with strict recovery-latency QoS.
+	LatencySensitive bool
+	// ExpectManyFailures marks workloads with a high probability of
+	// simultaneous failures (geo-distributed, post-outage restarts).
+	ExpectManyFailures bool
+}
+
+// SmallStateThreshold separates "small" from "large" state. The paper's
+// crossover sits at 32–64 MB (Fig 8a); we use 32 MB.
+const SmallStateThreshold = 32 << 20
+
+// Decision is the selection module's output.
+type Decision struct {
+	// UseSR3 is false when plain pipeline restart (stateless) suffices.
+	UseSR3    bool
+	Mechanism Mechanism
+	Options   Options
+	// Reason explains the choice, for logs and the Selection API's output.
+	Reason string
+}
+
+// Select implements the Fig 7 heuristic.
+func Select(req Requirements) Decision {
+	if req.Stateless {
+		return Decision{Reason: "stateless operator: resume the pipeline, nothing to recover"}
+	}
+	opts := DefaultOptions()
+
+	if req.StateBytes < SmallStateThreshold {
+		if req.ExpectManyFailures {
+			opts.StarFanoutBit = 2 // widen parallel fetch slots
+		}
+		return Decision{
+			UseSR3:    true,
+			Mechanism: Star,
+			Options:   opts,
+			Reason:    "small state: star recovery is fastest (single parallel hop)",
+		}
+	}
+
+	// Large state.
+	if !req.BandwidthConstrained {
+		opts.LinePathLength = pathLengthFor(req.StateBytes)
+		return Decision{
+			UseSR3:    true,
+			Mechanism: Line,
+			Options:   opts,
+			Reason:    "large state, abundant bandwidth: line recovery balances merge load",
+		}
+	}
+	if !req.LatencySensitive {
+		opts.LinePathLength = pathLengthFor(req.StateBytes)
+		return Decision{
+			UseSR3:    true,
+			Mechanism: Line,
+			Options:   opts,
+			Reason:    "large state, constrained bandwidth, latency-insensitive: line recovery",
+		}
+	}
+	// Latency-sensitive under a bandwidth bottleneck: tree, with fan-out
+	// tuned up for low latency (Fig 9d) and depth bounded.
+	opts.TreeFanoutBit = 2
+	if req.ExpectManyFailures {
+		opts.TreeFanoutBit = 3 // larger fan-out tolerates more concurrent failures
+	}
+	opts.TreeBranchDepth = 6
+	return Decision{
+		UseSR3:    true,
+		Mechanism: Tree,
+		Options:   opts,
+		Reason:    "large state, constrained bandwidth, latency-sensitive: tree recovery",
+	}
+}
+
+// pathLengthFor scales the line chain length with state size so each
+// stage's merge work stays roughly constant (~8 MB per stage), clamped to
+// the evaluation's sweep range (Fig 9b: 4–64).
+func pathLengthFor(stateBytes int64) int {
+	const perStage = 8 << 20
+	l := int(stateBytes / perStage)
+	if l < 4 {
+		l = 4
+	}
+	if l > 64 {
+		l = 64
+	}
+	return l
+}

@@ -1,0 +1,20 @@
+package recovery
+
+import (
+	"encoding/gob"
+
+	"sr3/internal/shard"
+)
+
+// RegisterWire registers the recovery layer's message payloads with gob
+// so shard saving and the three recovery mechanisms run over serializing
+// transports (internal/nettransport).
+func RegisterWire() {
+	gob.Register(&shard.Shard{})
+	gob.Register(&fetchRequest{})
+	gob.Register(&fetchIndexRequest{})
+	gob.Register(&fetchReply{})
+	gob.Register(&lineCollectMsg{})
+	gob.Register(&collectReply{})
+	gob.Register(&treeCollectMsg{})
+}

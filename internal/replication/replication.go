@@ -1,0 +1,149 @@
+// Package replication implements the replication-recovery baseline
+// (paper §2.2, Flux/Borealis style): a hot standby processes the same
+// stream in parallel with the primary, so failover is nearly instant but
+// the hardware requirement doubles.
+package replication
+
+import (
+	"errors"
+	"sync"
+
+	"sr3/internal/simnet"
+	"sr3/internal/state"
+)
+
+// ResourceFactor is the hardware multiplier replication pays (Table 1:
+// "High cost").
+const ResourceFactor = 2.0
+
+// Errors.
+var (
+	ErrPrimaryDown   = errors.New("replication: primary already failed")
+	ErrSecondaryDown = errors.New("replication: secondary already failed")
+	ErrBothDown      = errors.New("replication: both replicas failed")
+)
+
+// Pair is a primary/secondary hot pair over MapStore state. Every update
+// is applied to both replicas, mirroring dual processing of the input
+// stream.
+type Pair struct {
+	mu            sync.Mutex
+	primary       *state.MapStore
+	secondary     *state.MapStore
+	primaryDead   bool
+	secondaryDead bool
+}
+
+// NewPair returns a fresh hot pair.
+func NewPair() *Pair {
+	return &Pair{primary: state.NewMapStore(), secondary: state.NewMapStore()}
+}
+
+// Put applies an update to every live replica.
+func (p *Pair) Put(key string, value []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.primaryDead && p.secondaryDead {
+		return ErrBothDown
+	}
+	if !p.primaryDead {
+		p.primary.Put(key, value)
+	}
+	if !p.secondaryDead {
+		p.secondary.Put(key, value)
+	}
+	return nil
+}
+
+// Get reads from the active replica.
+func (p *Pair) Get(key string) ([]byte, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, err := p.activeLocked()
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := st.Get(key)
+	return v, ok, nil
+}
+
+// Active returns the replica currently serving.
+func (p *Pair) Active() (*state.MapStore, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.activeLocked()
+}
+
+func (p *Pair) activeLocked() (*state.MapStore, error) {
+	switch {
+	case !p.primaryDead:
+		return p.primary, nil
+	case !p.secondaryDead:
+		return p.secondary, nil
+	default:
+		return nil, ErrBothDown
+	}
+}
+
+// FailPrimary crashes the primary; the secondary takes over immediately.
+func (p *Pair) FailPrimary() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.primaryDead {
+		return ErrPrimaryDown
+	}
+	p.primaryDead = true
+	if p.secondaryDead {
+		return ErrBothDown
+	}
+	return nil
+}
+
+// FailSecondary crashes the standby.
+func (p *Pair) FailSecondary() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.secondaryDead {
+		return ErrSecondaryDown
+	}
+	p.secondaryDead = true
+	if p.primaryDead {
+		return ErrBothDown
+	}
+	return nil
+}
+
+// RestorePrimary rebuilds a fresh primary from the secondary's state
+// (re-establishing the pair after failover).
+func (p *Pair) RestorePrimary() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.secondaryDead {
+		return ErrSecondaryDown
+	}
+	snap, err := p.secondary.Snapshot()
+	if err != nil {
+		return err
+	}
+	fresh := state.NewMapStore()
+	if err := fresh.Restore(snap); err != nil {
+		return err
+	}
+	p.primary = fresh
+	p.primaryDead = false
+	return nil
+}
+
+// Spec parameterizes the timed replication plans.
+type Spec struct {
+	App        string
+	Secondary  string
+	RouteDelay float64
+}
+
+// PlanRecover emits the failover plan: replication's recovery is just the
+// switchover signal — nearly instant, which is why Table 1 rates it fast
+// but at 2× hardware.
+func PlanRecover(b *simnet.PlanBuilder, spec Spec) simnet.TaskID {
+	return b.Compute(spec.Secondary, 1, spec.App+"/repl/failover")
+}

@@ -1,0 +1,94 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sr3/internal/simnet"
+)
+
+func TestFailoverKeepsState(t *testing.T) {
+	p := NewPair()
+	for i := 0; i < 100; i++ {
+		if err := p.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.FailPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok, err := p.Get(fmt.Sprintf("k%d", i))
+		if err != nil || !ok || v[0] != byte(i) {
+			t.Fatalf("k%d after failover: %v %v %v", i, v, ok, err)
+		}
+	}
+	// Updates keep flowing to the survivor.
+	if err := p.Put("post", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := p.Get("post"); !ok {
+		t.Fatal("post-failover update lost")
+	}
+}
+
+func TestBothFailuresFatal(t *testing.T) {
+	p := NewPair()
+	_ = p.Put("k", []byte("v"))
+	if err := p.FailPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FailSecondary(); !errors.Is(err, ErrBothDown) {
+		t.Fatalf("got %v, want ErrBothDown", err)
+	}
+	if err := p.Put("k2", []byte("v")); !errors.Is(err, ErrBothDown) {
+		t.Fatalf("put: got %v", err)
+	}
+	if _, _, err := p.Get("k"); !errors.Is(err, ErrBothDown) {
+		t.Fatalf("get: got %v", err)
+	}
+}
+
+func TestDoubleFailRejected(t *testing.T) {
+	p := NewPair()
+	_ = p.FailPrimary()
+	if err := p.FailPrimary(); !errors.Is(err, ErrPrimaryDown) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRestorePrimaryFromSecondary(t *testing.T) {
+	p := NewPair()
+	_ = p.Put("k", []byte("v"))
+	_ = p.FailPrimary()
+	_ = p.Put("k2", []byte("v2"))
+	if err := p.RestorePrimary(); err != nil {
+		t.Fatal(err)
+	}
+	// Secondary can now fail; restored primary holds everything.
+	if err := p.FailSecondary(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k", "k2"} {
+		if _, ok, err := p.Get(k); err != nil || !ok {
+			t.Fatalf("restored primary missing %q (%v)", k, err)
+		}
+	}
+}
+
+func TestPlanRecoverNearlyInstant(t *testing.T) {
+	b := simnet.NewPlanBuilder()
+	PlanRecover(b, Spec{App: "app", Secondary: "standby"})
+	sim := simnet.NewSim(simnet.Res{UpBps: 125e6, DownBps: 125e6, ComputeBps: 10e6})
+	res, err := sim.Run(b.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan > 0.01 {
+		t.Fatalf("replication failover took %v s, should be ~instant", res.Makespan)
+	}
+	if ResourceFactor != 2.0 {
+		t.Fatal("replication must cost 2x hardware")
+	}
+}

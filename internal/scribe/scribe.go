@@ -1,0 +1,453 @@
+// Package scribe implements Scribe-style application-level multicast on top
+// of the DHT overlay (Castro et al., used by SR3's tree-structured recovery,
+// paper §3.2 and §3.6). A topic's tree root is the DHT root of the topic
+// key; members join by walking the DHT route toward the root, becoming
+// children of the first on-route node already in the tree. The per-node
+// fan-out is configurable — SR3's "tree fan-out" knob.
+package scribe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/simnet"
+)
+
+// Message kinds.
+const (
+	kindJoin  = "scribe.join"
+	kindLeave = "scribe.leave"
+	kindMcast = "scribe.mcast"
+	kindPub   = "scribe.pub"
+	kindAck   = "scribe.ack"
+)
+
+const msgHeader = 48
+
+// Errors.
+var (
+	ErrNotMember   = errors.New("scribe: not a member of topic")
+	ErrJoinFailed  = errors.New("scribe: join failed")
+	ErrNoSuchTopic = errors.New("scribe: unknown topic")
+)
+
+// Handler receives multicast payloads delivered to a local subscriber.
+type Handler func(topic string, payload any, size int)
+
+// Config tunes the multicast layer.
+type Config struct {
+	// MaxFanout caps the number of children per node per topic; joins
+	// beyond the cap are pushed down to an existing child. 0 = unlimited.
+	MaxFanout int
+}
+
+type topicState struct {
+	name       string
+	parent     id.ID
+	isRoot     bool
+	inTree     bool
+	subscribed bool
+	children   map[id.ID]bool
+	handler    Handler
+}
+
+// Layer is the per-node Scribe state, attached to one DHT node.
+type Layer struct {
+	node *dht.Node
+	cfg  Config
+
+	mu     sync.Mutex
+	topics map[id.ID]*topicState
+}
+
+// Attach creates a Scribe layer on a DHT node and registers its message
+// handlers.
+func Attach(n *dht.Node, cfg Config) *Layer {
+	l := &Layer{node: n, cfg: cfg, topics: make(map[id.ID]*topicState)}
+	n.HandleDirect(kindJoin, l.handleJoin)
+	n.HandleDirect(kindLeave, l.handleLeave)
+	n.HandleDirect(kindMcast, l.handleMcast)
+	n.HandleDelivered(kindPub, l.handlePub)
+	return l
+}
+
+// Node returns the underlying DHT node.
+func (l *Layer) Node() *dht.Node { return l.node }
+
+func (l *Layer) state(key id.ID, name string) *topicState {
+	st, ok := l.topics[key]
+	if !ok {
+		st = &topicState{name: name, children: make(map[id.ID]bool)}
+		l.topics[key] = st
+	}
+	return st
+}
+
+type joinMsg struct {
+	Topic id.ID
+	Name  string
+	Child id.ID
+	// DeadHint names a child of the recipient that the joiner observed to
+	// be dead (a failed redirect target), so the recipient can free the
+	// fan-out slot.
+	DeadHint id.ID
+}
+
+type joinReply struct {
+	Accepted bool
+	Redirect id.ID
+}
+
+type leaveMsg struct {
+	Topic id.ID
+	Child id.ID
+}
+
+type mcastMsg struct {
+	Topic   id.ID
+	Name    string
+	Payload any
+	Size    int
+}
+
+// Join subscribes this node to the topic, wiring it into the multicast
+// tree. handler may be nil for pure forwarders.
+func (l *Layer) Join(topic string, handler Handler) error {
+	key := id.HashKey(topic)
+	l.mu.Lock()
+	st := l.state(key, topic)
+	st.subscribed = true
+	st.handler = handler
+	already := st.inTree
+	l.mu.Unlock()
+	if already {
+		return nil
+	}
+	return l.joinUpward(key, topic)
+}
+
+// joinUpward walks the DHT route toward the topic root, attaching this node
+// as a child of the first tree member encountered (with fan-out pushdown).
+func (l *Layer) joinUpward(key id.ID, topic string) error {
+	next, deliverHere := l.node.NextHop(key)
+	if deliverHere {
+		l.mu.Lock()
+		st := l.state(key, topic)
+		st.isRoot = true
+		st.inTree = true
+		st.parent = id.Zero
+		l.mu.Unlock()
+		return nil
+	}
+	target := next
+	var lastParent, deadHint id.ID
+	const maxSteps = 64
+	for step := 0; step < maxSteps; step++ {
+		resp, err := l.node.Send(target, simnet.Message{
+			Kind:    kindJoin,
+			Size:    msgHeader + id.Bytes + len(topic),
+			Payload: &joinMsg{Topic: key, Name: topic, Child: l.node.ID(), DeadHint: deadHint},
+		})
+		deadHint = id.Zero
+		if err != nil {
+			l.node.ReportDead(target)
+			if lastParent != id.Zero && target != lastParent {
+				// A redirect target died: go back to the parent that
+				// redirected us, telling it to free the slot.
+				deadHint = target
+				target = lastParent
+				lastParent = id.Zero
+				continue
+			}
+			// The on-route target died: re-derive the route.
+			var deliver bool
+			target, deliver = l.node.NextHop(key)
+			if deliver {
+				l.mu.Lock()
+				st := l.state(key, topic)
+				st.isRoot = true
+				st.inTree = true
+				st.parent = id.Zero
+				l.mu.Unlock()
+				return nil
+			}
+			continue
+		}
+		reply, ok := resp.Payload.(*joinReply)
+		if !ok {
+			return fmt.Errorf("scribe: bad join reply %T", resp.Payload)
+		}
+		if reply.Accepted {
+			l.mu.Lock()
+			st := l.state(key, topic)
+			st.parent = target
+			st.inTree = true
+			l.mu.Unlock()
+			return nil
+		}
+		lastParent = target
+		target = reply.Redirect
+	}
+	return fmt.Errorf("join topic %q: %w", topic, ErrJoinFailed)
+}
+
+// handleJoin runs on a prospective parent: accept the child or push it down
+// to an existing child when the fan-out cap is reached.
+func (l *Layer) handleJoin(from id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*joinMsg)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("scribe: bad join payload %T", msg.Payload)
+	}
+	l.mu.Lock()
+	st := l.state(req.Topic, req.Name)
+	if req.DeadHint != id.Zero {
+		delete(st.children, req.DeadHint)
+	}
+	full := l.cfg.MaxFanout > 0 && len(st.children) >= l.cfg.MaxFanout && !st.children[req.Child]
+	var redirect id.ID
+	if full {
+		// Deterministic pushdown: the child numerically closest to the
+		// joiner keeps subtrees geographically coherent.
+		for c := range st.children {
+			if redirect == id.Zero || id.Closer(req.Child, c, redirect) {
+				redirect = c
+			}
+		}
+	} else {
+		st.children[req.Child] = true
+	}
+	needUpward := !full && !st.inTree
+	l.mu.Unlock()
+
+	if full {
+		return simnet.Message{
+			Kind:    kindAck,
+			Size:    msgHeader + id.Bytes,
+			Payload: &joinReply{Redirect: redirect},
+		}, nil
+	}
+	if needUpward {
+		if err := l.joinUpward(req.Topic, req.Name); err != nil {
+			return simnet.Message{}, err
+		}
+	}
+	return simnet.Message{Kind: kindAck, Size: msgHeader, Payload: &joinReply{Accepted: true}}, nil
+}
+
+// Leave unsubscribes. A node with no children detaches from its parent;
+// forwarders with children stay in the tree.
+func (l *Layer) Leave(topic string) error {
+	key := id.HashKey(topic)
+	l.mu.Lock()
+	st, ok := l.topics[key]
+	if !ok || !st.subscribed {
+		l.mu.Unlock()
+		return fmt.Errorf("leave %q: %w", topic, ErrNotMember)
+	}
+	st.subscribed = false
+	st.handler = nil
+	detach := len(st.children) == 0 && !st.isRoot && st.inTree
+	parent := st.parent
+	if detach {
+		st.inTree = false
+		st.parent = id.Zero
+	}
+	l.mu.Unlock()
+
+	if detach && parent != id.Zero {
+		_, err := l.node.Send(parent, simnet.Message{
+			Kind:    kindLeave,
+			Size:    msgHeader + id.Bytes,
+			Payload: &leaveMsg{Topic: key, Child: l.node.ID()},
+		})
+		if err != nil {
+			l.node.ReportDead(parent)
+		}
+	}
+	return nil
+}
+
+func (l *Layer) handleLeave(from id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*leaveMsg)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("scribe: bad leave payload %T", msg.Payload)
+	}
+	l.mu.Lock()
+	if st, ok := l.topics[req.Topic]; ok {
+		delete(st.children, req.Child)
+	}
+	l.mu.Unlock()
+	return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
+}
+
+// Multicast publishes payload to all topic subscribers: the message routes
+// to the tree root over the DHT and is then disseminated down the tree.
+func (l *Layer) Multicast(topic string, payload any, size int) error {
+	key := id.HashKey(topic)
+	_, _, _, err := l.node.Route(key, simnet.Message{
+		Kind:    kindPub,
+		Size:    msgHeader + size,
+		Payload: &mcastMsg{Topic: key, Name: topic, Payload: payload, Size: size},
+	})
+	if err != nil {
+		return fmt.Errorf("multicast %q: %w", topic, err)
+	}
+	return nil
+}
+
+// handlePub runs at the topic root: deliver locally and push down the tree.
+func (l *Layer) handlePub(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*mcastMsg)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("scribe: bad pub payload %T", msg.Payload)
+	}
+	l.disseminate(req)
+	return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
+}
+
+// handleMcast runs at interior/leaf members receiving from their parent.
+func (l *Layer) handleMcast(from id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*mcastMsg)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("scribe: bad mcast payload %T", msg.Payload)
+	}
+	l.disseminate(req)
+	return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
+}
+
+// disseminate delivers to the local subscriber and forwards to children.
+func (l *Layer) disseminate(req *mcastMsg) {
+	l.mu.Lock()
+	st := l.state(req.Topic, req.Name)
+	var handler Handler
+	if st.subscribed {
+		handler = st.handler
+	}
+	children := make([]id.ID, 0, len(st.children))
+	for c := range st.children {
+		children = append(children, c)
+	}
+	l.mu.Unlock()
+
+	if handler != nil {
+		handler(req.Name, req.Payload, req.Size)
+	}
+	for _, c := range children {
+		_, err := l.node.Send(c, simnet.Message{
+			Kind:    kindMcast,
+			Size:    msgHeader + req.Size,
+			Payload: req,
+		})
+		if err != nil {
+			l.node.ReportDead(c)
+			l.mu.Lock()
+			delete(st.children, c)
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Repair re-joins topics whose parent died. Call it after failures (the
+// stream runtime calls it from its maintenance loop).
+func (l *Layer) Repair() {
+	l.mu.Lock()
+	type broken struct {
+		key  id.ID
+		name string
+	}
+	var todo []broken
+	for key, st := range l.topics {
+		if !st.inTree || st.isRoot || st.parent == id.Zero {
+			continue
+		}
+		todo = append(todo, broken{key, st.name})
+	}
+	l.mu.Unlock()
+
+	// Purge dead children first so fan-out slots free up for rejoiners.
+	l.mu.Lock()
+	type probe struct {
+		key   id.ID
+		child id.ID
+	}
+	var probes []probe
+	for key, st := range l.topics {
+		for c := range st.children {
+			probes = append(probes, probe{key, c})
+		}
+	}
+	l.mu.Unlock()
+	for _, p := range probes {
+		if !l.node.Ping(p.child) {
+			l.node.ReportDead(p.child)
+			l.mu.Lock()
+			if st, ok := l.topics[p.key]; ok {
+				delete(st.children, p.child)
+			}
+			l.mu.Unlock()
+		}
+	}
+
+	for _, b := range todo {
+		l.mu.Lock()
+		st := l.topics[b.key]
+		parent := st.parent
+		l.mu.Unlock()
+		if l.node.Ping(parent) {
+			continue // parent alive
+		}
+		l.node.ReportDead(parent)
+		l.mu.Lock()
+		st.inTree = false
+		st.parent = id.Zero
+		l.mu.Unlock()
+		// Best effort: the node rejoins through a live route.
+		_ = l.joinUpward(b.key, b.name)
+	}
+}
+
+// Parent returns the node's parent in the topic tree (Zero for the root).
+func (l *Layer) Parent(topic string) (id.ID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.topics[id.HashKey(topic)]
+	if !ok || !st.inTree {
+		return id.Zero, false
+	}
+	return st.parent, true
+}
+
+// Children returns this node's children for the topic.
+func (l *Layer) Children(topic string) []id.ID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.topics[id.HashKey(topic)]
+	if !ok {
+		return nil
+	}
+	out := make([]id.ID, 0, len(st.children))
+	for c := range st.children {
+		out = append(out, c)
+	}
+	return out
+}
+
+// IsRoot reports whether this node is the topic's tree root.
+func (l *Layer) IsRoot(topic string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.topics[id.HashKey(topic)]
+	return ok && st.isRoot
+}
+
+// InTree reports whether this node participates in the topic tree (as
+// subscriber or forwarder).
+func (l *Layer) InTree(topic string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.topics[id.HashKey(topic)]
+	return ok && st.inTree
+}

@@ -1,0 +1,259 @@
+package scribe
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+)
+
+// cluster bundles a DHT ring with a Scribe layer on every node.
+type cluster struct {
+	ring   *dht.Ring
+	layers map[id.ID]*Layer
+}
+
+func buildCluster(t testing.TB, n int, seed int64, cfg Config) *cluster {
+	t.Helper()
+	ring, err := dht.NewRing(dht.DefaultConfig(), seed, n)
+	if err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	c := &cluster{ring: ring, layers: make(map[id.ID]*Layer, n)}
+	for _, nid := range ring.IDs() {
+		c.layers[nid] = Attach(ring.Node(nid), cfg)
+	}
+	return c
+}
+
+// collector records multicast deliveries thread-safely.
+type collector struct {
+	mu   sync.Mutex
+	got  map[id.ID][]any
+	self id.ID
+}
+
+func (c *collector) handler(nid id.ID) Handler {
+	return func(topic string, payload any, size int) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.got == nil {
+			c.got = make(map[id.ID][]any)
+		}
+		c.got[nid] = append(c.got[nid], payload)
+	}
+}
+
+func TestMulticastReachesAllSubscribers(t *testing.T) {
+	c := buildCluster(t, 40, 1, Config{})
+	col := &collector{}
+
+	subs := c.ring.IDs()[:20]
+	for _, nid := range subs {
+		if err := c.layers[nid].Join("news", col.handler(nid)); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	pub := c.layers[c.ring.IDs()[30]]
+	if err := pub.Multicast("news", "hello", 5); err != nil {
+		t.Fatalf("multicast: %v", err)
+	}
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	for _, nid := range subs {
+		msgs := col.got[nid]
+		if len(msgs) != 1 || msgs[0] != "hello" {
+			t.Fatalf("subscriber %s got %v", nid.Short(), msgs)
+		}
+	}
+}
+
+func TestNonSubscribersGetNothing(t *testing.T) {
+	c := buildCluster(t, 20, 2, Config{})
+	col := &collector{}
+	for _, nid := range c.ring.IDs()[:5] {
+		_ = c.layers[nid].Join("t", col.handler(nid))
+	}
+	_ = c.layers[c.ring.IDs()[0]].Multicast("t", "x", 1)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	for _, nid := range c.ring.IDs()[5:] {
+		if len(col.got[nid]) != 0 {
+			t.Fatalf("non-subscriber %s received messages", nid.Short())
+		}
+	}
+}
+
+func TestTreeHasSingleRootAndIsConnected(t *testing.T) {
+	c := buildCluster(t, 60, 3, Config{})
+	for _, nid := range c.ring.IDs() {
+		if err := c.layers[nid].Join("topic", nil); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	roots := 0
+	for _, nid := range c.ring.IDs() {
+		if c.layers[nid].IsRoot("topic") {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("tree has %d roots, want 1", roots)
+	}
+	// Every member walks parent pointers to the root without cycles.
+	for _, nid := range c.ring.IDs() {
+		cur := nid
+		for hops := 0; ; hops++ {
+			if hops > 100 {
+				t.Fatalf("parent chain from %s does not terminate", nid.Short())
+			}
+			if c.layers[cur].IsRoot("topic") {
+				break
+			}
+			p, ok := c.layers[cur].Parent("topic")
+			if !ok || p == id.Zero {
+				t.Fatalf("member %s has no parent and is not root", cur.Short())
+			}
+			cur = p
+		}
+	}
+}
+
+func TestFanoutCapRespected(t *testing.T) {
+	const fanout = 2
+	c := buildCluster(t, 50, 4, Config{MaxFanout: fanout})
+	for _, nid := range c.ring.IDs() {
+		if err := c.layers[nid].Join("capped", nil); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	for _, nid := range c.ring.IDs() {
+		if n := len(c.layers[nid].Children("capped")); n > fanout {
+			t.Fatalf("node %s has %d children, cap %d", nid.Short(), n, fanout)
+		}
+	}
+	// Multicast still reaches everyone through the deeper tree.
+	col := &collector{}
+	for _, nid := range c.ring.IDs() {
+		_ = c.layers[nid].Join("capped2", col.handler(nid))
+	}
+	// Re-join capped2 with the cap too.
+	_ = c.layers[c.ring.IDs()[0]].Multicast("capped2", "m", 1)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	for _, nid := range c.ring.IDs() {
+		if len(col.got[nid]) != 1 {
+			t.Fatalf("node %s got %d deliveries, want 1", nid.Short(), len(col.got[nid]))
+		}
+	}
+}
+
+func TestLeave(t *testing.T) {
+	c := buildCluster(t, 30, 5, Config{})
+	col := &collector{}
+	a, b := c.ring.IDs()[1], c.ring.IDs()[2]
+	_ = c.layers[a].Join("t", col.handler(a))
+	_ = c.layers[b].Join("t", col.handler(b))
+	if err := c.layers[b].Leave("t"); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	_ = c.layers[a].Multicast("t", "after", 5)
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if len(col.got[a]) != 1 {
+		t.Fatalf("a got %d", len(col.got[a]))
+	}
+	if len(col.got[b]) != 0 {
+		t.Fatalf("b should receive nothing after leave, got %d", len(col.got[b]))
+	}
+}
+
+func TestLeaveNotMember(t *testing.T) {
+	c := buildCluster(t, 5, 6, Config{})
+	err := c.layers[c.ring.IDs()[0]].Leave("ghost")
+	if !errors.Is(err, ErrNotMember) {
+		t.Fatalf("got %v, want ErrNotMember", err)
+	}
+}
+
+func TestRepairAfterParentFailure(t *testing.T) {
+	c := buildCluster(t, 60, 7, Config{MaxFanout: 2})
+	col := &collector{}
+	for _, nid := range c.ring.IDs() {
+		if err := c.layers[nid].Join("t", col.handler(nid)); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	// Kill a handful of interior nodes (those that have children and a
+	// parent), then repair.
+	killed := make(map[id.ID]bool)
+	for _, nid := range c.ring.IDs() {
+		if len(killed) >= 5 {
+			break
+		}
+		l := c.layers[nid]
+		if p, ok := l.Parent("t"); ok && p != id.Zero && len(l.Children("t")) > 0 && !l.IsRoot("t") {
+			c.ring.Fail(nid)
+			killed[nid] = true
+		}
+	}
+	if len(killed) == 0 {
+		t.Skip("no interior nodes found")
+	}
+	c.ring.MaintenanceRound()
+	for _, nid := range c.ring.LiveIDs() {
+		c.layers[nid].Repair()
+	}
+	// A live subscriber publishes; all live subscribers must receive it.
+	var pub *Layer
+	for _, nid := range c.ring.LiveIDs() {
+		pub = c.layers[nid]
+		break
+	}
+	if err := pub.Multicast("t", "post-repair", 11); err != nil {
+		t.Fatalf("multicast after repair: %v", err)
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	missing := 0
+	for _, nid := range c.ring.LiveIDs() {
+		found := false
+		for _, m := range col.got[nid] {
+			if m == "post-repair" {
+				found = true
+			}
+		}
+		if !found {
+			missing++
+		}
+	}
+	// Repair must restore delivery to (at least almost) all survivors;
+	// allow one straggler whose parent chain crossed two dead nodes.
+	if missing > 1 {
+		t.Fatalf("%d live subscribers missed the post-repair multicast", missing)
+	}
+}
+
+func TestMultipleTopicsIndependent(t *testing.T) {
+	c := buildCluster(t, 25, 8, Config{})
+	col := &collector{}
+	a := c.ring.IDs()[0]
+	b := c.ring.IDs()[1]
+	_ = c.layers[a].Join("alpha", col.handler(a))
+	_ = c.layers[b].Join("beta", col.handler(b))
+	_ = c.layers[a].Multicast("alpha", "for-a", 5)
+	_ = c.layers[a].Multicast("beta", "for-b", 5)
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if len(col.got[a]) != 1 || col.got[a][0] != "for-a" {
+		t.Fatalf("a got %v", col.got[a])
+	}
+	if len(col.got[b]) != 1 || col.got[b][0] != "for-b" {
+		t.Fatalf("b got %v", col.got[b])
+	}
+}

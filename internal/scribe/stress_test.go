@@ -1,0 +1,180 @@
+package scribe
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sr3/internal/id"
+)
+
+// TestManyTopicsManySubscribers: 20 topics with interleaved memberships,
+// each multicast reaching exactly its topic's subscribers.
+func TestManyTopicsManySubscribers(t *testing.T) {
+	c := buildCluster(t, 50, 21, Config{MaxFanout: 3})
+	col := &collector{}
+	const topics = 20
+	members := make(map[string][]id.ID)
+	for ti := 0; ti < topics; ti++ {
+		topic := fmt.Sprintf("topic-%d", ti)
+		for i := ti % 5; i < 50; i += 5 {
+			nid := c.ring.IDs()[i]
+			if err := c.layers[nid].Join(topic, col.handler(nid)); err != nil {
+				t.Fatalf("join %s: %v", topic, err)
+			}
+			members[topic] = append(members[topic], nid)
+		}
+	}
+	for ti := 0; ti < topics; ti++ {
+		topic := fmt.Sprintf("topic-%d", ti)
+		msg := fmt.Sprintf("payload-%d", ti)
+		if err := c.layers[c.ring.IDs()[0]].Multicast(topic, msg, len(msg)); err != nil {
+			t.Fatalf("multicast %s: %v", topic, err)
+		}
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	// Each member of topic ti received exactly its topic's payload once
+	// per membership.
+	perNode := make(map[id.ID]int)
+	for ti := 0; ti < topics; ti++ {
+		topic := fmt.Sprintf("topic-%d", ti)
+		for _, nid := range members[topic] {
+			perNode[nid]++
+			found := 0
+			for _, m := range col.got[nid] {
+				if m == fmt.Sprintf("payload-%d", ti) {
+					found++
+				}
+			}
+			if found != 1 {
+				t.Fatalf("node %s got %d copies for %s", nid.Short(), found, topic)
+			}
+		}
+	}
+	for nid, want := range perNode {
+		if got := len(col.got[nid]); got != want {
+			t.Fatalf("node %s received %d messages, want %d", nid.Short(), got, want)
+		}
+	}
+}
+
+// TestSequentialMulticastsOrderedPerSubscriber: messages from one
+// publisher arrive in publish order at every subscriber.
+func TestSequentialMulticastsOrderedPerSubscriber(t *testing.T) {
+	c := buildCluster(t, 30, 22, Config{MaxFanout: 2})
+	col := &collector{}
+	for _, nid := range c.ring.IDs()[:15] {
+		if err := c.layers[nid].Join("seq", col.handler(nid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub := c.layers[c.ring.IDs()[20]]
+	const msgs = 25
+	for i := 0; i < msgs; i++ {
+		if err := pub.Multicast("seq", i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	for _, nid := range c.ring.IDs()[:15] {
+		got := col.got[nid]
+		if len(got) != msgs {
+			t.Fatalf("node %s got %d messages, want %d", nid.Short(), len(got), msgs)
+		}
+		for i, m := range got {
+			if m != i {
+				t.Fatalf("node %s out of order at %d: %v", nid.Short(), i, m)
+			}
+		}
+	}
+}
+
+// TestConcurrentJoins: goroutines join the same topic simultaneously; the
+// tree must stay consistent (single root, all connected).
+func TestConcurrentJoins(t *testing.T) {
+	c := buildCluster(t, 40, 23, Config{MaxFanout: 2})
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for _, nid := range c.ring.IDs() {
+		wg.Add(1)
+		go func(nid id.ID) {
+			defer wg.Done()
+			if err := c.layers[nid].Join("concurrent", nil); err != nil {
+				errs <- err
+			}
+		}(nid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	roots := 0
+	for _, nid := range c.ring.IDs() {
+		if c.layers[nid].IsRoot("concurrent") {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d roots after concurrent joins", roots)
+	}
+	for _, nid := range c.ring.IDs() {
+		cur := nid
+		for hops := 0; !c.layers[cur].IsRoot("concurrent"); hops++ {
+			if hops > 100 {
+				t.Fatalf("parent chain from %s too long", nid.Short())
+			}
+			p, ok := c.layers[cur].Parent("concurrent")
+			if !ok {
+				t.Fatalf("%s detached after concurrent joins", cur.Short())
+			}
+			cur = p
+		}
+	}
+}
+
+// TestRootFailureReroutesTopic: when the topic root dies, repairing
+// members re-anchor the tree at the key's new DHT root.
+func TestRootFailureReroutesTopic(t *testing.T) {
+	c := buildCluster(t, 40, 24, Config{})
+	col := &collector{}
+	for _, nid := range c.ring.IDs() {
+		if err := c.layers[nid].Join("t", col.handler(nid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var oldRoot id.ID
+	for _, nid := range c.ring.IDs() {
+		if c.layers[nid].IsRoot("t") {
+			oldRoot = nid
+		}
+	}
+	c.ring.Fail(oldRoot)
+	c.ring.MaintenanceRound()
+	for _, nid := range c.ring.LiveIDs() {
+		c.layers[nid].Repair()
+	}
+	// Publish from a live node: at least 90% of live subscribers receive
+	// it after a single repair round.
+	pub := c.layers[c.ring.LiveIDs()[0]]
+	if err := pub.Multicast("t", "after-root-death", 16); err != nil {
+		t.Fatalf("multicast after root death: %v", err)
+	}
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	received := 0
+	live := c.ring.LiveIDs()
+	for _, nid := range live {
+		for _, m := range col.got[nid] {
+			if m == "after-root-death" {
+				received++
+				break
+			}
+		}
+	}
+	if float64(received) < 0.9*float64(len(live)) {
+		t.Fatalf("only %d of %d live subscribers reached after root death", received, len(live))
+	}
+}

@@ -1,0 +1,13 @@
+package scribe
+
+import "encoding/gob"
+
+// RegisterWire registers Scribe's message payloads with gob so multicast
+// trees run over serializing transports (internal/nettransport).
+// Multicast payloads themselves must be registered by the application.
+func RegisterWire() {
+	gob.Register(&joinMsg{})
+	gob.Register(&joinReply{})
+	gob.Register(&leaveMsg{})
+	gob.Register(&mcastMsg{})
+}

@@ -1,0 +1,459 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Res describes a simulated node's resources for the fluid model. A zero
+// field means "unlimited".
+//
+// UpBps/DownBps are link capacities. ComputeBps is the rate at which the
+// node can process bytes (serialization, deserialization, shard merging);
+// in the paper's testbed this per-node software path, not the Gigabit link,
+// dominates recovery time.
+type Res struct {
+	UpBps      float64
+	DownBps    float64
+	ComputeBps float64
+}
+
+func (r Res) normalized() Res {
+	if r.UpBps <= 0 {
+		r.UpBps = math.Inf(1)
+	}
+	if r.DownBps <= 0 {
+		r.DownBps = math.Inf(1)
+	}
+	if r.ComputeBps <= 0 {
+		r.ComputeBps = math.Inf(1)
+	}
+	return r
+}
+
+// TaskKind distinguishes the two fluid-task types.
+type TaskKind int
+
+// Task kinds.
+const (
+	TransferTask TaskKind = iota + 1
+	ComputeTask
+)
+
+// TaskID names a task within one plan.
+type TaskID int
+
+// Task is one unit of work in a recovery plan: either a byte transfer
+// between two nodes or a compute step (merge/encode/decode/replay) on one
+// node. Tasks become runnable when all DependsOn tasks have finished, plus
+// an optional startup Delay (routing latency, connection setup).
+type Task struct {
+	ID        TaskID
+	Kind      TaskKind
+	From      string // sender (TransferTask only)
+	To        string // receiver, or the computing node
+	Bytes     float64
+	Delay     float64
+	DependsOn []TaskID
+	Label     string
+}
+
+// Result reports the outcome of running a plan in virtual time.
+type Result struct {
+	// Makespan is the completion time of the last task, in seconds.
+	Makespan float64
+	// Start and Finish give per-task times.
+	Start, Finish map[TaskID]float64
+	// BusySeconds integrates each node's resource utilization over time
+	// (0..1 per instant), a CPU-time proxy.
+	BusySeconds map[string]float64
+	// BytesSent sums transfer bytes by sending node.
+	BytesSent map[string]float64
+	// Util samples per-node utilization over time for overhead plots.
+	Util []UtilSample
+}
+
+// UtilSample is one point of the utilization timeline.
+type UtilSample struct {
+	Time float64
+	// PerNode maps node name to instantaneous utilization in [0,1].
+	PerNode map[string]float64
+}
+
+// Sim runs task plans in virtual time over a set of resource-annotated
+// nodes using max-min fair sharing of each node's up/down/compute ports.
+type Sim struct {
+	def   Res
+	nodes map[string]Res
+}
+
+// NewSim returns a simulator whose unknown nodes default to def.
+func NewSim(def Res) *Sim {
+	return &Sim{def: def.normalized(), nodes: make(map[string]Res)}
+}
+
+// SetNode overrides resources for one node.
+func (s *Sim) SetNode(name string, r Res) { s.nodes[name] = r.normalized() }
+
+func (s *Sim) res(name string) Res {
+	if r, ok := s.nodes[name]; ok {
+		return r
+	}
+	return s.def
+}
+
+// Validation errors.
+var (
+	ErrCycle       = errors.New("simnet: plan has a dependency cycle")
+	ErrBadDep      = errors.New("simnet: dependency on unknown task")
+	ErrDupTask     = errors.New("simnet: duplicate task id")
+	ErrBadTask     = errors.New("simnet: malformed task")
+	ErrEmptyPlan   = errors.New("simnet: empty plan")
+	ErrZeroRate    = errors.New("simnet: task permanently starved (zero capacity)")
+	errNotFinished = errors.New("simnet: internal: task not finished")
+)
+
+type runTask struct {
+	Task
+	remaining float64
+	readyAt   float64 // set when deps complete; -1 while blocked
+	started   bool
+	startTime float64
+	finish    float64
+	done      bool
+	rate      float64
+}
+
+// port is one shared resource (a node's up, down, or compute capacity).
+type port struct {
+	cap     float64
+	members []*runTask
+}
+
+// Run executes the plan and returns timing. It is deterministic.
+func (s *Sim) Run(tasks []Task) (Result, error) {
+	if len(tasks) == 0 {
+		return Result{}, ErrEmptyPlan
+	}
+	byID := make(map[TaskID]*runTask, len(tasks))
+	all := make([]*runTask, 0, len(tasks))
+	for _, t := range tasks {
+		if t.Kind != TransferTask && t.Kind != ComputeTask {
+			return Result{}, fmt.Errorf("task %d: %w: bad kind", t.ID, ErrBadTask)
+		}
+		if t.To == "" || (t.Kind == TransferTask && t.From == "") {
+			return Result{}, fmt.Errorf("task %d: %w: missing node", t.ID, ErrBadTask)
+		}
+		if t.Bytes < 0 || t.Delay < 0 {
+			return Result{}, fmt.Errorf("task %d: %w: negative size", t.ID, ErrBadTask)
+		}
+		if _, dup := byID[t.ID]; dup {
+			return Result{}, fmt.Errorf("task %d: %w", t.ID, ErrDupTask)
+		}
+		rt := &runTask{Task: t, remaining: t.Bytes, readyAt: -1}
+		byID[t.ID] = rt
+		all = append(all, rt)
+	}
+	for _, rt := range all {
+		for _, dep := range rt.DependsOn {
+			if _, ok := byID[dep]; !ok {
+				return Result{}, fmt.Errorf("task %d depends on %d: %w", rt.ID, dep, ErrBadDep)
+			}
+		}
+	}
+	if err := checkAcyclic(all, byID); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Start:       make(map[TaskID]float64, len(all)),
+		Finish:      make(map[TaskID]float64, len(all)),
+		BusySeconds: make(map[string]float64),
+		BytesSent:   make(map[string]float64),
+	}
+
+	now := 0.0
+	doneCount := 0
+	// Release initially unblocked tasks.
+	for _, rt := range all {
+		if depsDone(rt, byID) {
+			rt.readyAt = now + rt.Delay
+		}
+	}
+
+	for doneCount < len(all) {
+		running := activeTasks(all, now)
+		rates := allocate(running, s)
+		for _, rt := range running {
+			if rt.rate == 0 && rt.remaining > 0 {
+				// A task with zero allocated rate and no other events
+				// pending would hang forever; detect below via horizon.
+				_ = rt
+			}
+			_ = rates
+		}
+
+		// Next event horizon: earliest task completion or delay expiry.
+		horizon := math.Inf(1)
+		for _, rt := range running {
+			if rt.remaining <= 0 {
+				horizon = 0
+				break
+			}
+			if rt.rate > 0 {
+				if t := rt.remaining / rt.rate; t < horizon {
+					horizon = t
+				}
+			}
+		}
+		for _, rt := range all {
+			if !rt.done && rt.readyAt >= 0 && rt.readyAt > now {
+				if t := rt.readyAt - now; t < horizon {
+					horizon = t
+				}
+			}
+		}
+		if math.IsInf(horizon, 1) {
+			return Result{}, ErrZeroRate
+		}
+
+		// Integrate utilization over [now, now+horizon).
+		if horizon > 0 {
+			sample := UtilSample{Time: now, PerNode: make(map[string]float64)}
+			addUtil := func(node string, frac float64) {
+				if frac > 0 {
+					sample.PerNode[node] += frac
+				}
+			}
+			for _, rt := range running {
+				switch rt.Kind {
+				case TransferTask:
+					fr, tr := s.res(rt.From), s.res(rt.To)
+					addUtil(rt.From, safeFrac(rt.rate, fr.UpBps))
+					addUtil(rt.To, safeFrac(rt.rate, tr.DownBps))
+				case ComputeTask:
+					addUtil(rt.To, safeFrac(rt.rate, s.res(rt.To).ComputeBps))
+				}
+			}
+			for node, u := range sample.PerNode {
+				if u > 1 {
+					sample.PerNode[node] = 1
+					u = 1
+				}
+				res.BusySeconds[node] += u * horizon
+			}
+			res.Util = append(res.Util, sample)
+		}
+
+		// Advance.
+		for _, rt := range running {
+			moved := rt.rate * horizon
+			if rt.Kind == TransferTask {
+				res.BytesSent[rt.From] += math.Min(moved, rt.remaining)
+			}
+			rt.remaining -= moved
+		}
+		now += horizon
+
+		// Complete tasks.
+		for _, rt := range running {
+			if rt.remaining <= 1e-9 {
+				rt.remaining = 0
+				rt.done = true
+				rt.finish = now
+				res.Finish[rt.ID] = now
+				doneCount++
+			}
+		}
+		// Release newly unblocked tasks.
+		for _, rt := range all {
+			if rt.done || rt.readyAt >= 0 {
+				continue
+			}
+			if depsDone(rt, byID) {
+				rt.readyAt = now + rt.Delay
+			}
+		}
+		// Record starts.
+		for _, rt := range all {
+			if !rt.done && !rt.started && rt.readyAt >= 0 && rt.readyAt <= now {
+				rt.started = true
+				rt.startTime = now
+				res.Start[rt.ID] = now
+			}
+		}
+	}
+
+	for _, rt := range all {
+		if !rt.done {
+			return Result{}, errNotFinished
+		}
+		if _, ok := res.Start[rt.ID]; !ok {
+			res.Start[rt.ID] = rt.startTime
+		}
+		if rt.finish > res.Makespan {
+			res.Makespan = rt.finish
+		}
+	}
+	return res, nil
+}
+
+func safeFrac(num, den float64) float64 {
+	if math.IsInf(den, 1) || den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+func depsDone(rt *runTask, byID map[TaskID]*runTask) bool {
+	for _, dep := range rt.DependsOn {
+		if !byID[dep].done {
+			return false
+		}
+	}
+	return true
+}
+
+// activeTasks returns tasks whose deps are done and whose delay has expired.
+func activeTasks(all []*runTask, now float64) []*runTask {
+	var out []*runTask
+	for _, rt := range all {
+		if !rt.done && rt.readyAt >= 0 && rt.readyAt <= now+1e-12 {
+			if !rt.started {
+				rt.started = true
+				rt.startTime = now
+			}
+			out = append(out, rt)
+		}
+	}
+	return out
+}
+
+// allocate assigns max-min fair rates to the running tasks, constrained by
+// each node's up/down/compute port capacities (progressive water-filling).
+func allocate(running []*runTask, s *Sim) map[TaskID]float64 {
+	type portKey struct {
+		node string
+		kind byte // 'u', 'd', 'c'
+	}
+	ports := make(map[portKey]*port)
+	getPort := func(node string, kind byte, cap float64) *port {
+		k := portKey{node, kind}
+		p, ok := ports[k]
+		if !ok {
+			p = &port{cap: cap}
+			ports[k] = p
+		}
+		return p
+	}
+	taskPorts := make(map[*runTask][]*port, len(running))
+	for _, rt := range running {
+		rt.rate = 0
+		var ps []*port
+		switch rt.Kind {
+		case TransferTask:
+			ps = append(ps,
+				getPort(rt.From, 'u', s.res(rt.From).UpBps),
+				getPort(rt.To, 'd', s.res(rt.To).DownBps),
+				// Sending and receiving also consume the software path;
+				// model both ends' compute as shared with merge work.
+				getPort(rt.From, 'c', s.res(rt.From).ComputeBps),
+				getPort(rt.To, 'c', s.res(rt.To).ComputeBps),
+			)
+		case ComputeTask:
+			ps = append(ps, getPort(rt.To, 'c', s.res(rt.To).ComputeBps))
+		}
+		taskPorts[rt] = ps
+		for _, p := range ps {
+			p.members = append(p.members, rt)
+		}
+	}
+
+	unfixed := make(map[*runTask]bool, len(running))
+	for _, rt := range running {
+		if rt.remaining > 0 {
+			unfixed[rt] = true
+		}
+	}
+	rates := make(map[TaskID]float64, len(running))
+	for len(unfixed) > 0 {
+		// Find the bottleneck port: min fair share among ports with
+		// unfixed members.
+		var bn *port
+		bnFair := math.Inf(1)
+		for _, p := range ports {
+			n := 0
+			for _, m := range p.members {
+				if unfixed[m] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			fair := p.cap / float64(n)
+			if fair < bnFair {
+				bnFair = fair
+				bn = p
+			}
+		}
+		if bn == nil || math.IsInf(bnFair, 1) {
+			// All remaining ports unlimited: tasks run at an arbitrary
+			// large finite rate so completions still order by size.
+			for rt := range unfixed {
+				rt.rate = 1e18
+				rates[rt.ID] = rt.rate
+			}
+			break
+		}
+		// Fix the bottleneck port's unfixed members at the fair share.
+		for _, m := range bn.members {
+			if !unfixed[m] {
+				continue
+			}
+			m.rate = bnFair
+			rates[m.ID] = bnFair
+			delete(unfixed, m)
+			for _, p := range taskPorts[m] {
+				p.cap -= bnFair
+				if p.cap < 0 {
+					p.cap = 0
+				}
+			}
+		}
+	}
+	return rates
+}
+
+func checkAcyclic(all []*runTask, byID map[TaskID]*runTask) error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[TaskID]int, len(all))
+	var visit func(t *runTask) error
+	visit = func(t *runTask) error {
+		switch color[t.ID] {
+		case gray:
+			return fmt.Errorf("task %d: %w", t.ID, ErrCycle)
+		case black:
+			return nil
+		}
+		color[t.ID] = gray
+		for _, dep := range t.DependsOn {
+			if err := visit(byID[dep]); err != nil {
+				return err
+			}
+		}
+		color[t.ID] = black
+		return nil
+	}
+	for _, t := range all {
+		if err := visit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-6*(1+math.Abs(b)) }
+
+func TestSingleTransfer(t *testing.T) {
+	s := NewSim(Res{UpBps: 100, DownBps: 100})
+	res, err := s.Run([]Task{{ID: 1, Kind: TransferTask, From: "a", To: "b", Bytes: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Makespan, 10) {
+		t.Fatalf("makespan = %v, want 10", res.Makespan)
+	}
+	if !almostEqual(res.BytesSent["a"], 1000) {
+		t.Fatalf("bytes sent = %v", res.BytesSent["a"])
+	}
+}
+
+func TestTransferDelayAddsLatency(t *testing.T) {
+	s := NewSim(Res{UpBps: 100, DownBps: 100})
+	res, err := s.Run([]Task{{ID: 1, Kind: TransferTask, From: "a", To: "b", Bytes: 1000, Delay: 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Makespan, 12.5) {
+		t.Fatalf("makespan = %v, want 12.5", res.Makespan)
+	}
+}
+
+func TestFairShareSenderBottleneck(t *testing.T) {
+	// Two flows out of "a" (up 100) to distinct receivers share the uplink.
+	s := NewSim(Res{UpBps: 100, DownBps: 1000})
+	res, err := s.Run([]Task{
+		{ID: 1, Kind: TransferTask, From: "a", To: "b", Bytes: 1000},
+		{ID: 2, Kind: TransferTask, From: "a", To: "c", Bytes: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Makespan, 20) {
+		t.Fatalf("makespan = %v, want 20 (shared 100 Bps uplink)", res.Makespan)
+	}
+}
+
+func TestReceiverBottleneckStarShape(t *testing.T) {
+	// Star recovery shape: 4 providers upload to one replacement whose
+	// downlink (100) is the bottleneck; each provider could do 100 alone.
+	s := NewSim(Res{UpBps: 100, DownBps: 100})
+	tasks := make([]Task, 0, 4)
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, Task{
+			ID: TaskID(i + 1), Kind: TransferTask,
+			From: string(rune('a' + i + 1)), To: "z", Bytes: 250,
+		})
+	}
+	res, err := s.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Makespan, 10) {
+		t.Fatalf("makespan = %v, want 10 (1000 bytes through 100 Bps downlink)", res.Makespan)
+	}
+}
+
+func TestBandwidthReleasedAfterCompletion(t *testing.T) {
+	// Flow 1 (small) and flow 2 (large) share a's uplink; after flow 1
+	// finishes, flow 2 speeds up to full rate.
+	s := NewSim(Res{UpBps: 100, DownBps: 1000})
+	res, err := s.Run([]Task{
+		{ID: 1, Kind: TransferTask, From: "a", To: "b", Bytes: 100},
+		{ID: 2, Kind: TransferTask, From: "a", To: "c", Bytes: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: both at 50 Bps until t=2 (flow1 done). Flow2 moved 100,
+	// 400 left at 100 Bps → 4 s more. Total 6.
+	if !almostEqual(res.Makespan, 6) {
+		t.Fatalf("makespan = %v, want 6", res.Makespan)
+	}
+	if !almostEqual(res.Finish[1], 2) {
+		t.Fatalf("flow1 finish = %v, want 2", res.Finish[1])
+	}
+}
+
+func TestComputeChain(t *testing.T) {
+	// transfer then dependent merge on the receiver.
+	s := NewSim(Res{UpBps: 100, DownBps: 100, ComputeBps: 50})
+	res, err := s.Run([]Task{
+		{ID: 1, Kind: TransferTask, From: "a", To: "b", Bytes: 100},
+		{ID: 2, Kind: ComputeTask, To: "b", Bytes: 100, DependsOn: []TaskID{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfer limited by b's compute port (50) since receiving consumes
+	// the software path: 2 s; then merge 100 bytes at 50 → 2 s. Total 4.
+	if !almostEqual(res.Makespan, 4) {
+		t.Fatalf("makespan = %v, want 4", res.Makespan)
+	}
+	if res.Start[2] < res.Finish[1] {
+		t.Fatalf("dependent started at %v before dep finished at %v", res.Start[2], res.Finish[1])
+	}
+}
+
+func TestPerNodeOverride(t *testing.T) {
+	s := NewSim(Res{UpBps: 100, DownBps: 100})
+	s.SetNode("slow", Res{UpBps: 10, DownBps: 100})
+	res, err := s.Run([]Task{{ID: 1, Kind: TransferTask, From: "slow", To: "b", Bytes: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.Makespan, 10) {
+		t.Fatalf("makespan = %v, want 10", res.Makespan)
+	}
+}
+
+func TestUnlimitedResources(t *testing.T) {
+	s := NewSim(Res{})
+	res, err := s.Run([]Task{{ID: 1, Kind: TransferTask, From: "a", To: "b", Bytes: 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan > 1e-3 {
+		t.Fatalf("unlimited transfer should be ~instant, got %v", res.Makespan)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := NewSim(Res{UpBps: 1, DownBps: 1})
+	tests := []struct {
+		name  string
+		tasks []Task
+		want  error
+	}{
+		{"empty", nil, ErrEmptyPlan},
+		{"dup", []Task{
+			{ID: 1, Kind: ComputeTask, To: "a", Bytes: 1},
+			{ID: 1, Kind: ComputeTask, To: "a", Bytes: 1},
+		}, ErrDupTask},
+		{"badDep", []Task{
+			{ID: 1, Kind: ComputeTask, To: "a", Bytes: 1, DependsOn: []TaskID{9}},
+		}, ErrBadDep},
+		{"badKind", []Task{{ID: 1, To: "a", Bytes: 1}}, ErrBadTask},
+		{"noNode", []Task{{ID: 1, Kind: TransferTask, To: "a", Bytes: 1}}, ErrBadTask},
+		{"negBytes", []Task{{ID: 1, Kind: ComputeTask, To: "a", Bytes: -1}}, ErrBadTask},
+		{"cycle", []Task{
+			{ID: 1, Kind: ComputeTask, To: "a", Bytes: 1, DependsOn: []TaskID{2}},
+			{ID: 2, Kind: ComputeTask, To: "a", Bytes: 1, DependsOn: []TaskID{1}},
+		}, ErrCycle},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := s.Run(tt.tasks); !errors.Is(err, tt.want) {
+				t.Fatalf("got %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestZeroByteTasksCompleteInstantly(t *testing.T) {
+	s := NewSim(Res{UpBps: 1, DownBps: 1})
+	res, err := s.Run([]Task{
+		{ID: 1, Kind: ComputeTask, To: "a", Bytes: 0},
+		{ID: 2, Kind: ComputeTask, To: "a", Bytes: 0, DependsOn: []TaskID{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 {
+		t.Fatalf("makespan = %v, want 0", res.Makespan)
+	}
+}
+
+func TestBusySecondsAccounted(t *testing.T) {
+	s := NewSim(Res{UpBps: 100, DownBps: 100, ComputeBps: 1000})
+	res, err := s.Run([]Task{{ID: 1, Kind: TransferTask, From: "a", To: "b", Bytes: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender's uplink fully utilized for 10 s.
+	if res.BusySeconds["a"] < 9.9 {
+		t.Fatalf("sender busy = %v, want ~10", res.BusySeconds["a"])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	build := func() []Task {
+		var tasks []Task
+		for i := 0; i < 20; i++ {
+			tasks = append(tasks, Task{
+				ID: TaskID(i), Kind: TransferTask,
+				From: string(rune('a' + i%5)), To: "sink",
+				Bytes: float64(100 * (i + 1)),
+			})
+		}
+		return tasks
+	}
+	s := NewSim(Res{UpBps: 100, DownBps: 300})
+	r1, err := s.Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Fatalf("non-deterministic makespan: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+}
+
+// Property: makespan is at least the lower bound implied by any single
+// node's total sent bytes divided by its uplink, and conservation holds.
+func TestMakespanLowerBoundProperty(t *testing.T) {
+	f := func(sizes [8]uint16) bool {
+		s := NewSim(Res{UpBps: 50, DownBps: 120})
+		var tasks []Task
+		total := 0.0
+		for i, sz := range sizes {
+			b := float64(sz%5000) + 1
+			total += b
+			tasks = append(tasks, Task{
+				ID: TaskID(i), Kind: TransferTask, From: "src", To: "dst", Bytes: b,
+			})
+		}
+		res, err := s.Run(tasks)
+		if err != nil {
+			return false
+		}
+		lower := total / 50 // src uplink
+		if res.Makespan < lower-1e-6 {
+			return false
+		}
+		return almostEqual(res.BytesSent["src"], total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package simnet
+
+// PlanBuilder accumulates a task DAG with unique IDs. The SR3 recovery
+// planners and the baseline (checkpointing, replication, FP4S) planners
+// all build on it, so their plans can also be composed into one DAG.
+type PlanBuilder struct {
+	next  TaskID
+	tasks []Task
+}
+
+// NewPlanBuilder returns an empty builder.
+func NewPlanBuilder() *PlanBuilder { return &PlanBuilder{} }
+
+// Tasks returns the accumulated DAG.
+func (b *PlanBuilder) Tasks() []Task { return b.tasks }
+
+// Transfer appends a byte transfer and returns its ID.
+func (b *PlanBuilder) Transfer(from, to string, bytes, delay float64, label string, deps ...TaskID) TaskID {
+	id := b.next
+	b.next++
+	b.tasks = append(b.tasks, Task{
+		ID: id, Kind: TransferTask,
+		From: from, To: to, Bytes: bytes, Delay: delay,
+		DependsOn: append([]TaskID(nil), deps...),
+		Label:     label,
+	})
+	return id
+}
+
+// Compute appends a compute step and returns its ID.
+func (b *PlanBuilder) Compute(node string, bytes float64, label string, deps ...TaskID) TaskID {
+	id := b.next
+	b.next++
+	b.tasks = append(b.tasks, Task{
+		ID: id, Kind: ComputeTask,
+		To: node, Bytes: bytes,
+		DependsOn: append([]TaskID(nil), deps...),
+		Label:     label,
+	})
+	return id
+}

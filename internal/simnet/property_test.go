@@ -1,0 +1,187 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyWorkConservation: total bytes sent equals the sum of all
+// transfer volumes, for arbitrary DAG shapes.
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%20 + 1
+		tasks := make([]Task, 0, n)
+		var total float64
+		for i := 0; i < n; i++ {
+			b := float64(rng.Intn(5000) + 1)
+			task := Task{
+				ID: TaskID(i), Kind: TransferTask,
+				From:  fmt.Sprintf("s%d", rng.Intn(4)),
+				To:    fmt.Sprintf("d%d", rng.Intn(4)),
+				Bytes: b,
+			}
+			// Random back-edges keep the DAG acyclic (deps on lower IDs).
+			if i > 0 && rng.Intn(2) == 0 {
+				task.DependsOn = []TaskID{TaskID(rng.Intn(i))}
+			}
+			tasks = append(tasks, task)
+			total += b
+		}
+		sim := NewSim(Res{UpBps: 100, DownBps: 100, ComputeBps: 500})
+		res, err := sim.Run(tasks)
+		if err != nil {
+			return false
+		}
+		var sent float64
+		for _, b := range res.BytesSent {
+			sent += b
+		}
+		return almostEqual(sent, total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDependentNeverStartsEarly: for random chains, a task never
+// starts before all its dependencies finish plus its own delay.
+func TestPropertyDependentNeverStartsEarly(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%15 + 2
+		tasks := make([]Task, 0, n)
+		for i := 0; i < n; i++ {
+			task := Task{
+				ID: TaskID(i), Kind: ComputeTask,
+				To:    fmt.Sprintf("n%d", rng.Intn(3)),
+				Bytes: float64(rng.Intn(1000) + 1),
+				Delay: float64(rng.Intn(5)),
+			}
+			if i > 0 {
+				task.DependsOn = []TaskID{TaskID(rng.Intn(i))}
+			}
+			tasks = append(tasks, task)
+		}
+		sim := NewSim(Res{ComputeBps: 250})
+		res, err := sim.Run(tasks)
+		if err != nil {
+			return false
+		}
+		for _, task := range tasks {
+			for _, dep := range task.DependsOn {
+				if res.Start[task.ID]+1e-9 < res.Finish[dep]+task.Delay {
+					t.Logf("task %d started %.3f before dep %d finish %.3f + delay %.1f",
+						task.ID, res.Start[task.ID], dep, res.Finish[dep], task.Delay)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMakespanMonotoneInBytes: inflating any transfer never
+// shortens the makespan.
+func TestPropertyMakespanMonotoneInBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func(extra float64) []Task {
+			var tasks []Task
+			for i := 0; i < 8; i++ {
+				b := float64(500 + 100*i)
+				if i == 3 {
+					b += extra
+				}
+				tasks = append(tasks, Task{
+					ID: TaskID(i), Kind: TransferTask,
+					From: fmt.Sprintf("s%d", i%3), To: "sink", Bytes: b,
+				})
+			}
+			return tasks
+		}
+		sim := NewSim(Res{UpBps: 100, DownBps: 120, ComputeBps: 1e9})
+		r1, err1 := sim.Run(build(0))
+		r2, err2 := sim.Run(build(float64(rng.Intn(5000))))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2.Makespan >= r1.Makespan-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUtilizationNeverExceedsOne: per-node instantaneous utilization is
+// capped at 1 even under heavy oversubscription.
+func TestUtilizationNeverExceedsOne(t *testing.T) {
+	sim := NewSim(Res{UpBps: 10, DownBps: 10, ComputeBps: 10})
+	var tasks []Task
+	for i := 0; i < 20; i++ {
+		tasks = append(tasks, Task{
+			ID: TaskID(i), Kind: TransferTask,
+			From: "hub", To: fmt.Sprintf("d%d", i), Bytes: 100,
+		})
+	}
+	res, err := sim.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sample := range res.Util {
+		for node, u := range sample.PerNode {
+			if u > 1+1e-9 {
+				t.Fatalf("node %s utilization %f > 1 at t=%f", node, u, sample.Time)
+			}
+		}
+	}
+}
+
+// TestPlanBuilderIDsUnique: IDs from one builder never collide across
+// interleaved Transfer/Compute calls.
+func TestPlanBuilderIDsUnique(t *testing.T) {
+	b := NewPlanBuilder()
+	seen := make(map[TaskID]bool)
+	for i := 0; i < 50; i++ {
+		var tid TaskID
+		if i%2 == 0 {
+			tid = b.Transfer("a", "b", 1, 0, "t")
+		} else {
+			tid = b.Compute("a", 1, "c")
+		}
+		if seen[tid] {
+			t.Fatalf("duplicate id %d", tid)
+		}
+		seen[tid] = true
+	}
+	if len(b.Tasks()) != 50 {
+		t.Fatalf("builder holds %d tasks", len(b.Tasks()))
+	}
+}
+
+// TestDiamondDependency: classic fan-out/fan-in DAG executes correctly.
+func TestDiamondDependency(t *testing.T) {
+	sim := NewSim(Res{ComputeBps: 100})
+	tasks := []Task{
+		{ID: 0, Kind: ComputeTask, To: "a", Bytes: 100},
+		{ID: 1, Kind: ComputeTask, To: "b", Bytes: 200, DependsOn: []TaskID{0}},
+		{ID: 2, Kind: ComputeTask, To: "c", Bytes: 300, DependsOn: []TaskID{0}},
+		{ID: 3, Kind: ComputeTask, To: "d", Bytes: 100, DependsOn: []TaskID{1, 2}},
+	}
+	res, err := sim.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 1s; b: +2s; c: +3s (parallel); d waits for the slower branch.
+	if !almostEqual(res.Start[3], 4) {
+		t.Fatalf("join started at %v, want 4", res.Start[3])
+	}
+	if !almostEqual(res.Makespan, 5) {
+		t.Fatalf("makespan %v, want 5", res.Makespan)
+	}
+}

@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"sr3/internal/checkpoint"
+	"sr3/internal/dht"
+	"sr3/internal/recovery"
+)
+
+// buildSR3Cluster assembles the full stack: DHT ring + SR3 managers.
+func buildSR3Cluster(t testing.TB, nodes int, seed int64) *recovery.Cluster {
+	t.Helper()
+	ring, err := dht.NewRing(dht.DefaultConfig(), seed, nodes)
+	if err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	return recovery.NewCluster(ring)
+}
+
+func runWordCountWithFailure(t *testing.T, backend StateBackend, afterSave func()) map[string]int64 {
+	t.Helper()
+	topo := NewTopology("itest")
+	spout := newChanSpout()
+	_ = topo.AddSpout("words", spout)
+	counter := newCountBolt()
+	if err := topo.AddBolt("count", counter, 1).Fields("words", 0).Err(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(topo, Config{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+
+	batch := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			spout.push(Tuple{Values: []any{fmt.Sprintf("w%d", i%5)}, Ts: int64(i)})
+		}
+	}
+	batch(0, 100)
+	settle(rt)
+	if err := rt.SaveAll(); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if afterSave != nil {
+		afterSave()
+	}
+	batch(100, 200)
+	settle(rt)
+
+	// Crash the stateful task; its in-memory state is wiped.
+	if err := rt.Kill("count", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := counter.store.Restore(mustSnapshot(t, newCountBolt().store)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RecoverTask("count", 0); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+
+	spout.close()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int64, 5)
+	for i := 0; i < 5; i++ {
+		w := fmt.Sprintf("w%d", i)
+		v, ok := counter.store.Get(w)
+		if !ok {
+			t.Fatalf("count[%s] missing", w)
+		}
+		n, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[w] = n
+	}
+	return out
+}
+
+func TestSR3BackendEndToEnd(t *testing.T) {
+	for _, mech := range []recovery.Mechanism{recovery.Star, recovery.Line, recovery.Tree} {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			cluster := buildSR3Cluster(t, 40, 100+int64(mech))
+			backend := NewSR3Backend(cluster, 8, 2)
+			backend.Mechanism = mech
+			counts := runWordCountWithFailure(t, backend, nil)
+			for w, n := range counts {
+				if n != 40 {
+					t.Fatalf("count[%s] = %d, want 40", w, n)
+				}
+			}
+		})
+	}
+}
+
+func TestSR3BackendSurvivesOwnerNodeFailure(t *testing.T) {
+	// The DHT node owning the task's shards dies between save and
+	// recovery: SR3 must rebuild from leaf-set replicas at a replacement.
+	cluster := buildSR3Cluster(t, 50, 200)
+	backend := NewSR3Backend(cluster, 6, 2)
+	backend.Mechanism = recovery.Tree
+	taskKey := TaskKey("itest", "count", 0)
+	counts := runWordCountWithFailure(t, backend, func() {
+		owner, ok := cluster.Ring.ClosestLive(hashTask(taskKey))
+		if !ok {
+			t.Fatal("no owner")
+		}
+		cluster.Ring.Fail(owner)
+		cluster.Ring.MaintenanceRound()
+	})
+	for w, n := range counts {
+		if n != 40 {
+			t.Fatalf("count[%s] = %d, want 40", w, n)
+		}
+	}
+}
+
+func TestSR3BackendAutoSelection(t *testing.T) {
+	cluster := buildSR3Cluster(t, 40, 300)
+	backend := NewSR3Backend(cluster, 8, 2) // Mechanism 0 → heuristic
+	counts := runWordCountWithFailure(t, backend, nil)
+	for w, n := range counts {
+		if n != 40 {
+			t.Fatalf("count[%s] = %d, want 40", w, n)
+		}
+	}
+}
+
+func TestCheckpointBackendEndToEnd(t *testing.T) {
+	backend := NewCheckpointBackend(checkpoint.NewStore())
+	counts := runWordCountWithFailure(t, backend, nil)
+	for w, n := range counts {
+		if n != 40 {
+			t.Fatalf("count[%s] = %d, want 40", w, n)
+		}
+	}
+}
+
+func TestConcurrentStatefulTasksWithSR3(t *testing.T) {
+	// Multiple stateful tasks (parallelism 4) all saving through one SR3
+	// cluster, with two simultaneous task failures.
+	cluster := buildSR3Cluster(t, 60, 400)
+	backend := NewSR3Backend(cluster, 4, 2)
+	backend.Mechanism = recovery.Star
+
+	topo := NewTopology("multi")
+	spout := newChanSpout()
+	_ = topo.AddSpout("words", spout)
+	counters := make([]*countBolt, 1)
+	counters[0] = newCountBolt()
+	// Note: with parallelism 4 all tasks share one bolt instance's store
+	// in this runtime, so use parallelism 1 per bolt but 3 bolts instead.
+	bolts := []*countBolt{newCountBolt(), newCountBolt(), newCountBolt()}
+	for i, b := range bolts {
+		if err := topo.AddBolt(fmt.Sprintf("count%d", i), b, 1).Fields("words", 0).Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt, err := NewRuntime(topo, Config{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	for i := 0; i < 100; i++ {
+		spout.push(Tuple{Values: []any{fmt.Sprintf("k%d", i%10)}})
+	}
+	settle(rt)
+	if err := rt.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 200; i++ {
+		spout.push(Tuple{Values: []any{fmt.Sprintf("k%d", i%10)}})
+	}
+	settle(rt)
+
+	// Two of three bolts fail simultaneously.
+	for _, name := range []string{"count0", "count2"} {
+		if err := rt.Kill(name, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"count0", "count2"} {
+		if err := rt.RecoverTask(name, 0); err != nil {
+			t.Fatalf("recover %s: %v", name, err)
+		}
+	}
+	spout.close()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Every bolt sees the whole stream (each subscribed independently):
+	// every key must be exactly 20 in every bolt.
+	for bi, b := range bolts {
+		for i := 0; i < 10; i++ {
+			k := fmt.Sprintf("k%d", i)
+			v, ok := b.store.Get(k)
+			if !ok {
+				t.Fatalf("bolt %d missing %s", bi, k)
+			}
+			if string(v) != "20" {
+				t.Fatalf("bolt %d count[%s] = %s, want 20", bi, k, v)
+			}
+		}
+	}
+}

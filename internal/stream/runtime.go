@@ -1,0 +1,449 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sr3/internal/state"
+)
+
+// StateBackend persists and recovers task state. SR3 and the
+// checkpointing baseline both implement it (backend.go).
+type StateBackend interface {
+	Save(taskKey string, snapshot []byte, v state.Version) error
+	Recover(taskKey string) ([]byte, error)
+}
+
+// Config tunes a runtime.
+type Config struct {
+	// Backend stores stateful task snapshots; nil disables state saving.
+	Backend StateBackend
+	// SaveEveryTuples triggers an automatic state save after a stateful
+	// task processes that many tuples (0 disables; SaveAll still works).
+	SaveEveryTuples int
+	// ChannelDepth is the per-task input buffer. Streams need more than
+	// the usual one-slot channel: the buffer absorbs grouping skew and
+	// provides backpressure; 256 matches Storm's small executor queues.
+	ChannelDepth int
+	// Now supplies timestamps for state versions (injected for tests).
+	Now func() int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChannelDepth <= 0 {
+		c.ChannelDepth = 256
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixMilli() }
+	}
+	return c
+}
+
+// Runtime errors.
+var (
+	ErrUnknownTask   = errors.New("stream: unknown task")
+	ErrNotStateful   = errors.New("stream: bolt is not stateful")
+	ErrTaskDead      = errors.New("stream: task is dead")
+	ErrTaskAlive     = errors.New("stream: task is alive")
+	ErrNoBackend     = errors.New("stream: no state backend configured")
+	ErrAlreadyWaited = errors.New("stream: runtime already drained")
+)
+
+type ctlKind int
+
+const (
+	ctlTuple ctlKind = iota + 1
+	ctlSave
+	ctlKill
+	ctlRecover
+	ctlFlush
+	ctlStop
+)
+
+type envelope struct {
+	kind  ctlKind
+	tuple Tuple
+	done  chan error
+}
+
+// task is one executor instance of a bolt.
+type task struct {
+	key      string
+	boltID   string
+	index    int
+	decl     *boltDecl
+	in       chan envelope
+	log      []Tuple // tuples since last save (executor goroutine only)
+	dead     bool
+	saveSeq  uint64
+	sinceSav int
+	handled  atomic.Int64
+}
+
+// Runtime executes one topology.
+type Runtime struct {
+	topo *Topology
+	cfg  Config
+
+	tasks    map[string][]*task // boltID -> tasks
+	subs     map[string][]subscription
+	shuffle  map[string]*atomic.Int64 // per (bolt|input) round-robin
+	pending  atomic.Int64
+	execWG   sync.WaitGroup
+	spoutWG  sync.WaitGroup
+	waited   bool
+	failures atomic.Int64 // bolt Execute errors (reported, not fatal)
+}
+
+// TaskKey names a task for backends and failure injection.
+func TaskKey(topo, bolt string, index int) string {
+	return fmt.Sprintf("%s/%s/%d", topo, bolt, index)
+}
+
+// NewRuntime validates the topology and materializes its tasks.
+func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
+	if err := topo.validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		topo:    topo,
+		cfg:     cfg,
+		tasks:   make(map[string][]*task),
+		subs:    make(map[string][]subscription),
+		shuffle: make(map[string]*atomic.Int64),
+	}
+	for _, id := range topo.order {
+		decl, ok := topo.bolts[id]
+		if !ok {
+			continue
+		}
+		ts := make([]*task, decl.parallel)
+		for i := range ts {
+			ts[i] = &task{
+				key:    TaskKey(topo.name, id, i),
+				boltID: id,
+				index:  i,
+				decl:   decl,
+				in:     make(chan envelope, cfg.ChannelDepth),
+			}
+		}
+		rt.tasks[id] = ts
+		for _, in := range decl.inputs {
+			rt.subs[in.from] = append(rt.subs[in.from], subscription{decl: decl, in: in})
+			rt.shuffle[id+"|"+in.from] = &atomic.Int64{}
+		}
+	}
+	return rt, nil
+}
+
+// Start launches executors and spout pumps.
+func (rt *Runtime) Start() {
+	for _, ts := range rt.tasks {
+		for _, t := range ts {
+			rt.execWG.Add(1)
+			go rt.runTask(t)
+		}
+	}
+	for id, s := range rt.topo.spouts {
+		rt.spoutWG.Add(1)
+		go func(id string, sp Spout) {
+			defer rt.spoutWG.Done()
+			for {
+				tuple, ok := sp.Next()
+				if !ok {
+					return
+				}
+				tuple.Stream = id
+				rt.route(id, tuple)
+			}
+		}(id, s.spout)
+	}
+}
+
+// subscription is one (bolt, input) edge.
+type subscription struct {
+	decl *boltDecl
+	in   input
+}
+
+// route delivers a tuple from a component to all subscribing bolts.
+func (rt *Runtime) route(from string, tuple Tuple) {
+	for _, sub := range rt.subs[from] {
+		ts := rt.tasks[sub.decl.id]
+		switch sub.in.grouping {
+		case ShuffleGrouping:
+			ctr := rt.shuffle[sub.decl.id+"|"+from]
+			idx := int(ctr.Add(1)-1) % len(ts)
+			rt.enqueue(ts[idx], tuple)
+		case FieldsGrouping:
+			var key any
+			if sub.in.field < len(tuple.Values) {
+				key = tuple.Values[sub.in.field]
+			}
+			rt.enqueue(ts[hashField(key, len(ts))], tuple)
+		case GlobalGrouping:
+			rt.enqueue(ts[0], tuple)
+		case AllGrouping:
+			for _, t := range ts {
+				rt.enqueue(t, tuple)
+			}
+		}
+	}
+}
+
+func (rt *Runtime) enqueue(t *task, tuple Tuple) {
+	rt.pending.Add(1)
+	t.in <- envelope{kind: ctlTuple, tuple: tuple}
+}
+
+// runTask is the executor loop: a single goroutine owns the task's log,
+// state and liveness, so control operations serialize naturally with
+// tuple processing.
+func (rt *Runtime) runTask(t *task) {
+	defer rt.execWG.Done()
+	emit := func(out Tuple) {
+		out.Stream = t.boltID
+		rt.route(t.boltID, out)
+	}
+	for env := range t.in {
+		switch env.kind {
+		case ctlTuple:
+			if t.decl.stateful {
+				t.log = append(t.log, env.tuple)
+			}
+			if !t.dead {
+				if err := t.decl.bolt.Execute(env.tuple, emit); err != nil {
+					rt.failures.Add(1)
+				}
+				t.handled.Add(1)
+				t.sinceSav++
+				if rt.cfg.SaveEveryTuples > 0 && t.decl.stateful &&
+					t.sinceSav >= rt.cfg.SaveEveryTuples {
+					_ = rt.saveTask(t) // periodic save failure is not fatal
+				}
+			}
+			rt.pending.Add(-1)
+
+		case ctlSave:
+			env.done <- rt.saveTask(t)
+
+		case ctlKill:
+			t.dead = true
+			env.done <- nil
+
+		case ctlRecover:
+			env.done <- rt.recoverTask(t, emit)
+
+		case ctlFlush:
+			var err error
+			if f, ok := t.decl.bolt.(Flusher); ok && !t.dead {
+				err = f.Flush(emit)
+			}
+			env.done <- err
+
+		case ctlStop:
+			env.done <- nil
+			return
+		}
+	}
+}
+
+// saveTask snapshots the bolt's state into the backend and truncates the
+// input log (executor goroutine only).
+func (rt *Runtime) saveTask(t *task) error {
+	if !t.decl.stateful {
+		return fmt.Errorf("save %s: %w", t.key, ErrNotStateful)
+	}
+	if rt.cfg.Backend == nil {
+		return fmt.Errorf("save %s: %w", t.key, ErrNoBackend)
+	}
+	if t.dead {
+		return fmt.Errorf("save %s: %w", t.key, ErrTaskDead)
+	}
+	sb, ok := t.decl.bolt.(StatefulBolt)
+	if !ok {
+		return fmt.Errorf("save %s: %w", t.key, ErrNotStateful)
+	}
+	snap, err := sb.Store().Snapshot()
+	if err != nil {
+		return fmt.Errorf("save %s: %w", t.key, err)
+	}
+	t.saveSeq++
+	v := state.Version{Timestamp: rt.cfg.Now(), Seq: t.saveSeq}
+	if err := rt.cfg.Backend.Save(t.key, snap, v); err != nil {
+		return fmt.Errorf("save %s: %w", t.key, err)
+	}
+	t.log = nil
+	t.sinceSav = 0
+	return nil
+}
+
+// recoverTask restores the last saved snapshot and replays the input log
+// (executor goroutine only).
+func (rt *Runtime) recoverTask(t *task, emit Emit) error {
+	if !t.dead {
+		return fmt.Errorf("recover %s: %w", t.key, ErrTaskAlive)
+	}
+	sb, ok := t.decl.bolt.(StatefulBolt)
+	if !ok {
+		return fmt.Errorf("recover %s: %w", t.key, ErrNotStateful)
+	}
+	if rt.cfg.Backend == nil {
+		return fmt.Errorf("recover %s: %w", t.key, ErrNoBackend)
+	}
+	snap, err := rt.cfg.Backend.Recover(t.key)
+	if err != nil {
+		return fmt.Errorf("recover %s: %w", t.key, err)
+	}
+	if err := sb.Store().Restore(snap); err != nil {
+		return fmt.Errorf("recover %s: %w", t.key, err)
+	}
+	for _, tuple := range t.log {
+		if err := t.decl.bolt.Execute(tuple, emit); err != nil {
+			rt.failures.Add(1)
+		}
+		t.handled.Add(1)
+	}
+	t.dead = false
+	return nil
+}
+
+func (rt *Runtime) control(bolt string, index int, kind ctlKind) error {
+	ts, ok := rt.tasks[bolt]
+	if !ok || index < 0 || index >= len(ts) {
+		return fmt.Errorf("%s[%d]: %w", bolt, index, ErrUnknownTask)
+	}
+	done := make(chan error, 1)
+	ts[index].in <- envelope{kind: kind, done: done}
+	return <-done
+}
+
+// Save snapshots one stateful task's state through the backend.
+func (rt *Runtime) Save(bolt string, index int) error {
+	return rt.control(bolt, index, ctlSave)
+}
+
+// SaveAll snapshots every stateful task.
+func (rt *Runtime) SaveAll() error {
+	for _, id := range rt.topo.order {
+		decl, ok := rt.topo.bolts[id]
+		if !ok || !decl.stateful {
+			continue
+		}
+		for i := range rt.tasks[id] {
+			if err := rt.Save(id, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Kill crashes a task: it stops processing (its in-memory state is
+// considered lost) but keeps logging arriving tuples for replay.
+func (rt *Runtime) Kill(bolt string, index int) error {
+	return rt.control(bolt, index, ctlKill)
+}
+
+// RecoverTask restores a killed task from the backend and replays its
+// input log.
+func (rt *Runtime) RecoverTask(bolt string, index int) error {
+	return rt.control(bolt, index, ctlRecover)
+}
+
+// Flusher lets windowed bolts emit buffered results when the stream
+// ends. Wait calls Flush on each bolt in topological order.
+type Flusher interface {
+	Flush(emit Emit) error
+}
+
+// Wait blocks until all spouts are exhausted and every in-flight tuple is
+// processed, flushes windowed bolts in dependency order, then stops the
+// executors. Call exactly once.
+func (rt *Runtime) Wait() error {
+	if rt.waited {
+		return ErrAlreadyWaited
+	}
+	rt.waited = true
+	rt.spoutWG.Wait()
+	rt.Drain()
+	// Flush upstream before downstream so flushed emissions are seen.
+	for _, id := range rt.topo.sortedBolts() {
+		for _, t := range rt.tasks[id] {
+			done := make(chan error, 1)
+			t.in <- envelope{kind: ctlFlush, done: done}
+			if err := <-done; err != nil {
+				rt.failures.Add(1)
+			}
+		}
+		rt.Drain()
+	}
+	for _, ts := range rt.tasks {
+		for _, t := range ts {
+			done := make(chan error, 1)
+			t.in <- envelope{kind: ctlStop, done: done}
+			<-done
+		}
+	}
+	rt.execWG.Wait()
+	return nil
+}
+
+// Drain waits for all currently in-flight tuples to be processed without
+// stopping the runtime (spouts may still be running; use between phases
+// in tests and failure-injection scenarios).
+func (rt *Runtime) Drain() {
+	for rt.pending.Load() != 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Handled returns the number of tuples a task has processed (including
+// replays).
+func (rt *Runtime) Handled(bolt string, index int) (int64, error) {
+	ts, ok := rt.tasks[bolt]
+	if !ok || index < 0 || index >= len(ts) {
+		return 0, fmt.Errorf("%s[%d]: %w", bolt, index, ErrUnknownTask)
+	}
+	return ts[index].handled.Load(), nil
+}
+
+// ExecuteErrors returns how many bolt executions returned errors.
+func (rt *Runtime) ExecuteErrors() int64 { return rt.failures.Load() }
+
+// Parallelism returns a bolt's task count.
+func (rt *Runtime) Parallelism(bolt string) int { return len(rt.tasks[bolt]) }
+
+// TaskStats is a point-in-time view of one task.
+type TaskStats struct {
+	Key      string
+	Bolt     string
+	Index    int
+	Handled  int64
+	Stateful bool
+}
+
+// Stats returns a snapshot of every task's progress, sorted by task key —
+// the runtime's observability surface.
+func (rt *Runtime) Stats() []TaskStats {
+	var out []TaskStats
+	for _, id := range rt.topo.sortedBolts() {
+		for _, t := range rt.tasks[id] {
+			out = append(out, TaskStats{
+				Key:      t.key,
+				Bolt:     t.boltID,
+				Index:    t.index,
+				Handled:  t.handled.Load(),
+				Stateful: t.decl.stateful,
+			})
+		}
+	}
+	return out
+}
+
+// Pending reports the tuples currently routed but not yet processed.
+func (rt *Runtime) Pending() int64 { return rt.pending.Load() }

@@ -1,0 +1,272 @@
+package stream
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sr3/internal/state"
+)
+
+// TestWindowPartitionProperty: tumbling windows partition the stream —
+// every tuple lands in exactly one window, so window counts sum to the
+// input count.
+func TestWindowPartitionProperty(t *testing.T) {
+	f := func(tsRaw []uint16, sizeRaw uint8) bool {
+		if len(tsRaw) == 0 {
+			return true
+		}
+		size := int64(sizeRaw)%50 + 1
+		w := NewTumblingWindow(size, func(win []Tuple) []any { return []any{len(win)} })
+		var out []Tuple
+		emit := func(tp Tuple) { out = append(out, tp) }
+		for _, ts := range tsRaw {
+			if err := w.Execute(Tuple{Values: []any{1}, Ts: int64(ts)}, emit); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(emit); err != nil {
+			return false
+		}
+		total := 0
+		seen := make(map[int64]bool)
+		for _, o := range out {
+			start := o.Values[0].(int64)
+			end := o.Values[1].(int64)
+			if end-start != size || start%size != 0 {
+				return false
+			}
+			if seen[start] {
+				return false // window emitted twice
+			}
+			seen[start] = true
+			total += o.Values[2].(int)
+		}
+		// Windows partition the non-late stream; late tuples are counted.
+		return total+int(w.Dropped()) == len(tsRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionWindowConservesTuples: sessions also partition the stream.
+func TestSessionWindowConservesTuples(t *testing.T) {
+	f := func(events []uint8, gapRaw uint8) bool {
+		if len(events) == 0 {
+			return true
+		}
+		gap := int64(gapRaw)%20 + 1
+		w := NewSessionWindow(gap, 0, func(win []Tuple) []any { return []any{len(win)} })
+		var out []Tuple
+		emit := func(tp Tuple) { out = append(out, tp) }
+		ts := int64(0)
+		for _, e := range events {
+			ts += int64(e % 7)
+			key := fmt.Sprintf("u%d", e%3)
+			if err := w.Execute(Tuple{Values: []any{key}, Ts: ts}, emit); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(emit); err != nil {
+			return false
+		}
+		total := 0
+		for _, o := range out {
+			total += o.Values[3].(int)
+		}
+		return total == len(events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManyStatefulTasksUnderLoad: a wide topology with several stateful
+// bolts saving periodically under concurrent traffic, with staggered
+// kills and recoveries, ends exactly correct.
+func TestManyStatefulTasksUnderLoad(t *testing.T) {
+	const (
+		bolts  = 5
+		tuples = 4000
+		keys   = 40
+	)
+	backend := NewMemoryBackend()
+	topo := NewTopology("stress")
+	spout := newChanSpout()
+	if err := topo.AddSpout("src", spout); err != nil {
+		t.Fatal(err)
+	}
+	counters := make([]*countBolt, bolts)
+	for i := range counters {
+		counters[i] = newCountBolt()
+		if err := topo.AddBolt(fmt.Sprintf("c%d", i), counters[i], 1).
+			Fields("src", 0).Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt, err := NewRuntime(topo, Config{Backend: backend, SaveEveryTuples: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < tuples; i++ {
+			spout.push(Tuple{Values: []any{fmt.Sprintf("k%d", i%keys)}})
+		}
+		spout.close()
+	}()
+
+	// Staggered kills/recoveries while traffic flows. An explicit save
+	// before each kill guarantees a recoverable snapshot exists even if
+	// the periodic one has not fired yet.
+	for i := 0; i < bolts; i += 2 {
+		name := fmt.Sprintf("c%d", i)
+		if err := rt.Save(name, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Kill(name, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.RecoverTask(name, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	for bi, c := range counters {
+		total := int64(0)
+		for k := 0; k < keys; k++ {
+			v, ok := c.store.Get(fmt.Sprintf("k%d", k))
+			if !ok {
+				t.Fatalf("bolt %d missing k%d", bi, k)
+			}
+			n, err := strconv.ParseInt(string(v), 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(tuples / keys)
+			if n != want {
+				t.Fatalf("bolt %d k%d = %d, want %d", bi, k, n, want)
+			}
+			total += n
+		}
+		if total != tuples {
+			t.Fatalf("bolt %d total %d, want %d", bi, total, tuples)
+		}
+	}
+}
+
+// TestDeepTopologyChain: a 6-stage pipeline drains fully and each stage
+// sees every tuple exactly once.
+func TestDeepTopologyChain(t *testing.T) {
+	const depth = 6
+	const n = 500
+	topo := NewTopology("deep")
+	var tuples []Tuple
+	for i := 0; i < n; i++ {
+		tuples = append(tuples, Tuple{Values: []any{i}})
+	}
+	_ = topo.AddSpout("src", newSliceSpout(tuples))
+	prev := "src"
+	for d := 0; d < depth; d++ {
+		name := fmt.Sprintf("stage%d", d)
+		pass := BoltFunc(func(tp Tuple, emit Emit) error {
+			emit(Tuple{Values: tp.Values, Ts: tp.Ts})
+			return nil
+		})
+		if err := topo.AddBolt(name, pass, 1).Shuffle(prev).Err(); err != nil {
+			t.Fatal(err)
+		}
+		prev = name
+	}
+	rt, err := NewRuntime(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < depth; d++ {
+		h, err := rt.Handled(fmt.Sprintf("stage%d", d), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != n {
+			t.Fatalf("stage %d handled %d, want %d", d, h, n)
+		}
+	}
+}
+
+// TestBoltErrorsCountedNotFatal: a failing bolt doesn't wedge the
+// runtime; errors are counted.
+func TestBoltErrorsCountedNotFatal(t *testing.T) {
+	topo := NewTopology("err")
+	_ = topo.AddSpout("src", newSliceSpout(wordTuples("a", "b", "c")))
+	bad := BoltFunc(func(tp Tuple, _ Emit) error {
+		return fmt.Errorf("boom on %v", tp.Values)
+	})
+	if err := topo.AddBolt("bad", bad, 1).Shuffle("src").Err(); err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := NewRuntime(topo, Config{})
+	rt.Start()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ExecuteErrors() != 3 {
+		t.Fatalf("errors = %d, want 3", rt.ExecuteErrors())
+	}
+}
+
+// TestRecoverFromStaleSnapshotReplaysGap: the snapshot is old; the input
+// log replays everything since.
+func TestRecoverFromStaleSnapshotReplaysGap(t *testing.T) {
+	backend := NewMemoryBackend()
+	topo := NewTopology("gap")
+	spout := newChanSpout()
+	_ = topo.AddSpout("src", spout)
+	counter := newCountBolt()
+	if err := topo.AddBolt("count", counter, 1).Fields("src", 0).Err(); err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := NewRuntime(topo, Config{Backend: backend})
+	rt.Start()
+
+	spout.push(wordTuples("x")...)
+	settle(rt)
+	if err := rt.Save("count", 0); err != nil { // snapshot: x=1
+		t.Fatal(err)
+	}
+	spout.push(wordTuples("x", "x", "x", "x")...) // gap of 4, logged
+	spout.close()
+	settle(rt)
+
+	if err := rt.Kill("count", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Wipe in-memory state to simulate real loss.
+	if err := counter.store.Restore(mustSnapshot(t, state.NewMapStore())); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RecoverTask("count", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := counter.store.Get("x")
+	if !ok || string(v) != "5" {
+		t.Fatalf("count[x] = %s, want 5 (snapshot 1 + replay 4)", v)
+	}
+}

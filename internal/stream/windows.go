@@ -1,0 +1,264 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Aggregator reduces the tuples of one closed window to output values.
+type Aggregator func(window []Tuple) []any
+
+// TumblingWindowBolt groups tuples into fixed, non-overlapping event-time
+// windows of Size milliseconds and emits one aggregate per window when
+// the watermark (max event time seen) passes the window end.
+type TumblingWindowBolt struct {
+	Size      int64
+	Aggregate Aggregator
+
+	buckets   map[int64][]Tuple
+	watermark int64
+	// closedBefore is the start of the earliest still-open window; late
+	// tuples older than this are dropped (allowed lateness zero) and
+	// counted in dropped.
+	closedBefore int64
+	dropped      int64
+}
+
+var (
+	_ Bolt    = (*TumblingWindowBolt)(nil)
+	_ Flusher = (*TumblingWindowBolt)(nil)
+)
+
+// NewTumblingWindow builds a tumbling window of the given size (ms).
+func NewTumblingWindow(sizeMs int64, agg Aggregator) *TumblingWindowBolt {
+	return &TumblingWindowBolt{Size: sizeMs, Aggregate: agg, buckets: make(map[int64][]Tuple)}
+}
+
+// Execute implements Bolt.
+func (w *TumblingWindowBolt) Execute(t Tuple, emit Emit) error {
+	if w.Size <= 0 {
+		return fmt.Errorf("stream: tumbling window size %d must be positive", w.Size)
+	}
+	start := t.Ts - mod(t.Ts, w.Size)
+	if start < w.closedBefore {
+		w.dropped++ // late arrival for an already-emitted window
+		return nil
+	}
+	w.buckets[start] = append(w.buckets[start], t)
+	if t.Ts > w.watermark {
+		w.watermark = t.Ts
+	}
+	w.emitClosed(emit, false)
+	return nil
+}
+
+// Dropped reports how many late tuples were discarded.
+func (w *TumblingWindowBolt) Dropped() int64 { return w.dropped }
+
+// Flush implements Flusher: the stream ended, close every open window.
+func (w *TumblingWindowBolt) Flush(emit Emit) error {
+	w.emitClosed(emit, true)
+	return nil
+}
+
+func (w *TumblingWindowBolt) emitClosed(emit Emit, all bool) {
+	starts := make([]int64, 0, len(w.buckets))
+	for s := range w.buckets {
+		if all || s+w.Size <= w.watermark {
+			starts = append(starts, s)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, s := range starts {
+		vals := w.Aggregate(w.buckets[s])
+		emit(Tuple{Values: append([]any{s, s + w.Size}, vals...), Ts: s + w.Size})
+		delete(w.buckets, s)
+		if s+w.Size > w.closedBefore {
+			w.closedBefore = s + w.Size
+		}
+	}
+}
+
+// SlidingWindowBolt evaluates overlapping windows of Size ms advancing by
+// Slide ms; each tuple belongs to Size/Slide windows.
+type SlidingWindowBolt struct {
+	Size      int64
+	Slide     int64
+	Aggregate Aggregator
+
+	tuples    []Tuple
+	watermark int64
+	nextEnd   int64
+}
+
+var (
+	_ Bolt    = (*SlidingWindowBolt)(nil)
+	_ Flusher = (*SlidingWindowBolt)(nil)
+)
+
+// NewSlidingWindow builds a sliding window (sizeMs, slideMs).
+func NewSlidingWindow(sizeMs, slideMs int64, agg Aggregator) *SlidingWindowBolt {
+	return &SlidingWindowBolt{Size: sizeMs, Slide: slideMs, Aggregate: agg}
+}
+
+// Execute implements Bolt.
+func (w *SlidingWindowBolt) Execute(t Tuple, emit Emit) error {
+	if w.Size <= 0 || w.Slide <= 0 {
+		return fmt.Errorf("stream: sliding window needs positive size and slide")
+	}
+	w.tuples = append(w.tuples, t)
+	if t.Ts > w.watermark {
+		w.watermark = t.Ts
+	}
+	if w.nextEnd == 0 {
+		w.nextEnd = t.Ts - mod(t.Ts, w.Slide) + w.Slide
+	}
+	w.emitDue(emit, false)
+	return nil
+}
+
+// Flush implements Flusher.
+func (w *SlidingWindowBolt) Flush(emit Emit) error {
+	if len(w.tuples) > 0 {
+		// Close the remaining windows that contain data.
+		last := w.watermark
+		for w.nextEnd <= last+w.Size {
+			w.emitWindow(emit, w.nextEnd)
+			w.nextEnd += w.Slide
+		}
+	}
+	return nil
+}
+
+func (w *SlidingWindowBolt) emitDue(emit Emit, all bool) {
+	for w.nextEnd != 0 && (all || w.nextEnd <= w.watermark) {
+		w.emitWindow(emit, w.nextEnd)
+		w.nextEnd += w.Slide
+	}
+}
+
+func (w *SlidingWindowBolt) emitWindow(emit Emit, end int64) {
+	start := end - w.Size
+	var in []Tuple
+	kept := w.tuples[:0]
+	for _, t := range w.tuples {
+		if t.Ts >= start && t.Ts < end {
+			in = append(in, t)
+		}
+		if t.Ts >= start+w.Slide { // still needed by later windows
+			kept = append(kept, t)
+		}
+	}
+	w.tuples = append([]Tuple(nil), kept...)
+	if len(in) == 0 {
+		return
+	}
+	vals := w.Aggregate(in)
+	emit(Tuple{Values: append([]any{start, end}, vals...), Ts: end})
+}
+
+// SessionWindowBolt groups tuples per key (field KeyField) into sessions
+// separated by Gap ms of event-time inactivity; each closed session emits
+// one aggregate.
+type SessionWindowBolt struct {
+	Gap       int64
+	KeyField  int
+	Aggregate Aggregator
+
+	sessions  map[string][]Tuple
+	lastSeen  map[string]int64
+	watermark int64
+}
+
+var (
+	_ Bolt    = (*SessionWindowBolt)(nil)
+	_ Flusher = (*SessionWindowBolt)(nil)
+)
+
+// NewSessionWindow builds a gap-based session window keyed by a field.
+func NewSessionWindow(gapMs int64, keyField int, agg Aggregator) *SessionWindowBolt {
+	return &SessionWindowBolt{
+		Gap:       gapMs,
+		KeyField:  keyField,
+		Aggregate: agg,
+		sessions:  make(map[string][]Tuple),
+		lastSeen:  make(map[string]int64),
+	}
+}
+
+// Execute implements Bolt.
+func (w *SessionWindowBolt) Execute(t Tuple, emit Emit) error {
+	if w.Gap <= 0 {
+		return fmt.Errorf("stream: session gap %d must be positive", w.Gap)
+	}
+	key := ""
+	if len(t.Values) > 0 {
+		key = fmt.Sprintf("%v", t.Values[minInt(w.KeyField, len(t.Values)-1)])
+	}
+	// An event arriving after the gap starts a new session: close the old
+	// one first rather than extending it.
+	if last, ok := w.lastSeen[key]; ok && t.Ts-last > w.Gap {
+		w.closeKey(key, emit)
+	}
+	w.sessions[key] = append(w.sessions[key], t)
+	if t.Ts > w.lastSeen[key] {
+		w.lastSeen[key] = t.Ts
+	}
+	if t.Ts > w.watermark {
+		w.watermark = t.Ts
+	}
+	w.closeExpired(emit, false)
+	return nil
+}
+
+// Flush implements Flusher.
+func (w *SessionWindowBolt) Flush(emit Emit) error {
+	w.closeExpired(emit, true)
+	return nil
+}
+
+func (w *SessionWindowBolt) closeExpired(emit Emit, all bool) {
+	keys := make([]string, 0, len(w.sessions))
+	for k := range w.sessions {
+		if all || w.watermark-w.lastSeen[k] > w.Gap {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.closeKey(k, emit)
+	}
+}
+
+// closeKey emits and discards one key's open session.
+func (w *SessionWindowBolt) closeKey(k string, emit Emit) {
+	tuples := w.sessions[k]
+	if len(tuples) == 0 {
+		return
+	}
+	vals := w.Aggregate(tuples)
+	emit(Tuple{
+		Values: append([]any{k, tuples[0].Ts, w.lastSeen[k]}, vals...),
+		Ts:     w.lastSeen[k],
+	})
+	delete(w.sessions, k)
+	delete(w.lastSeen, k)
+}
+
+func mod(a, b int64) int64 {
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return m
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}

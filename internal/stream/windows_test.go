@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"testing"
+)
+
+func countAgg(window []Tuple) []any { return []any{len(window)} }
+
+func sumAgg(window []Tuple) []any {
+	var s float64
+	for _, t := range window {
+		s += t.FloatAt(0)
+	}
+	return []any{s}
+}
+
+// runWindow drives a window bolt directly with tuples and flush.
+func runWindow(t *testing.T, b Bolt, tuples []Tuple) []Tuple {
+	t.Helper()
+	var out []Tuple
+	emit := func(tp Tuple) { out = append(out, tp) }
+	for _, tp := range tuples {
+		if err := b.Execute(tp, emit); err != nil {
+			t.Fatalf("execute: %v", err)
+		}
+	}
+	if f, ok := b.(Flusher); ok {
+		if err := f.Flush(emit); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	return out
+}
+
+func TestTumblingWindowBoundaries(t *testing.T) {
+	w := NewTumblingWindow(10, countAgg)
+	var tuples []Tuple
+	for ts := int64(0); ts < 35; ts += 5 {
+		tuples = append(tuples, Tuple{Values: []any{1.0}, Ts: ts})
+	}
+	out := runWindow(t, w, tuples)
+	// Windows [0,10) [10,20) [20,30) [30,40): counts 2,2,2,1.
+	if len(out) != 4 {
+		t.Fatalf("got %d windows: %v", len(out), out)
+	}
+	wantCounts := []int{2, 2, 2, 1}
+	for i, o := range out {
+		if got := o.Values[2].(int); got != wantCounts[i] {
+			t.Fatalf("window %d count %d, want %d", i, got, wantCounts[i])
+		}
+		start := o.Values[0].(int64)
+		end := o.Values[1].(int64)
+		if end-start != 10 {
+			t.Fatalf("window %d bounds [%d,%d)", i, start, end)
+		}
+	}
+}
+
+func TestTumblingWindowEmitsOnWatermark(t *testing.T) {
+	w := NewTumblingWindow(10, countAgg)
+	var out []Tuple
+	emit := func(tp Tuple) { out = append(out, tp) }
+	_ = w.Execute(Tuple{Values: []any{1}, Ts: 3}, emit)
+	_ = w.Execute(Tuple{Values: []any{1}, Ts: 7}, emit)
+	if len(out) != 0 {
+		t.Fatal("window closed before watermark passed its end")
+	}
+	_ = w.Execute(Tuple{Values: []any{1}, Ts: 12}, emit)
+	if len(out) != 1 {
+		t.Fatalf("watermark 12 should close [0,10): %v", out)
+	}
+}
+
+func TestTumblingWindowRejectsBadSize(t *testing.T) {
+	w := NewTumblingWindow(0, countAgg)
+	if err := w.Execute(Tuple{Ts: 1}, func(Tuple) {}); err == nil {
+		t.Fatal("zero size should error")
+	}
+}
+
+func TestSlidingWindowOverlap(t *testing.T) {
+	w := NewSlidingWindow(10, 5, sumAgg)
+	var tuples []Tuple
+	for ts := int64(0); ts < 20; ts++ {
+		tuples = append(tuples, Tuple{Values: []any{1.0}, Ts: ts})
+	}
+	out := runWindow(t, w, tuples)
+	if len(out) < 3 {
+		t.Fatalf("too few windows: %d", len(out))
+	}
+	// A full interior window [5,15) must contain 10 tuples.
+	found := false
+	for _, o := range out {
+		if o.Values[0].(int64) == 5 && o.Values[1].(int64) == 15 {
+			found = true
+			if s := o.Values[2].(float64); s != 10 {
+				t.Fatalf("window [5,15) sum %v, want 10", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("window [5,15) missing: %v", out)
+	}
+}
+
+func TestSessionWindowGap(t *testing.T) {
+	w := NewSessionWindow(5, 0, countAgg)
+	tuples := []Tuple{
+		{Values: []any{"u1"}, Ts: 0},
+		{Values: []any{"u1"}, Ts: 3},
+		{Values: []any{"u2"}, Ts: 4},
+		{Values: []any{"u1"}, Ts: 20}, // closes u1's first session (gap 17)
+		{Values: []any{"u2"}, Ts: 21},
+	}
+	out := runWindow(t, w, tuples)
+	// Sessions: u1[0..3] (closed by watermark), u2[4] (closed), then
+	// flush closes u1[20] and u2[21].
+	if len(out) != 4 {
+		t.Fatalf("got %d sessions: %v", len(out), out)
+	}
+	// First closed session must be u1 with 2 tuples.
+	first := out[0]
+	if first.Values[0].(string) != "u1" || first.Values[3].(int) != 2 {
+		t.Fatalf("first session %v", first)
+	}
+}
+
+func TestSessionWindowKeyIsolation(t *testing.T) {
+	w := NewSessionWindow(100, 0, countAgg)
+	tuples := []Tuple{
+		{Values: []any{"a"}, Ts: 0},
+		{Values: []any{"b"}, Ts: 1},
+		{Values: []any{"a"}, Ts: 2},
+	}
+	out := runWindow(t, w, tuples)
+	if len(out) != 2 {
+		t.Fatalf("got %d sessions", len(out))
+	}
+	counts := map[string]int{}
+	for _, o := range out {
+		counts[o.Values[0].(string)] = o.Values[3].(int)
+	}
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Fatalf("session counts %v", counts)
+	}
+}
+
+func TestWindowBoltsInTopology(t *testing.T) {
+	// Windowed aggregation wired through the runtime.
+	var tuples []Tuple
+	for ts := int64(0); ts < 100; ts += 2 {
+		tuples = append(tuples, Tuple{Values: []any{1.0}, Ts: ts})
+	}
+	topo := NewTopology("win")
+	_ = topo.AddSpout("src", newSliceSpout(tuples))
+	if err := topo.AddBolt("window", NewTumblingWindow(20, countAgg), 1).
+		Global("src").Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := &sink{}
+	if err := topo.AddBolt("sink", out, 1).Global("window").Err(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := out.tuples()
+	if len(got) != 5 {
+		t.Fatalf("got %d windows, want 5", len(got))
+	}
+	for _, o := range got {
+		if o.Values[2].(int) != 10 {
+			t.Fatalf("window count %v, want 10", o.Values[2])
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"sr3/internal/state"
+	"sr3/internal/stream"
+)
+
+// WordCountBolt is the stateful counter of the Word Count benchmark.
+type WordCountBolt struct {
+	store *state.MapStore
+}
+
+var _ stream.StatefulBolt = (*WordCountBolt)(nil)
+
+// NewWordCountBolt returns an empty counter.
+func NewWordCountBolt() *WordCountBolt {
+	return &WordCountBolt{store: state.NewMapStore()}
+}
+
+// Execute increments the word's count and emits (word, count).
+func (b *WordCountBolt) Execute(t stream.Tuple, emit stream.Emit) error {
+	word := t.StringAt(0)
+	n := readUint(b.store, word) + 1
+	writeUint(b.store, word, n)
+	emit(stream.Tuple{Values: []any{word, int64(n)}, Ts: t.Ts})
+	return nil
+}
+
+// Store implements stream.StatefulBolt.
+func (b *WordCountBolt) Store() stream.StateStore { return b.store }
+
+// Count returns a word's current count.
+func (b *WordCountBolt) Count(word string) uint64 { return readUint(b.store, word) }
+
+// SplitBolt tokenizes text lines into words.
+func SplitBolt() stream.Bolt {
+	return stream.BoltFunc(func(t stream.Tuple, emit stream.Emit) error {
+		for _, w := range strings.Fields(t.StringAt(0)) {
+			emit(stream.Tuple{Values: []any{w}, Ts: t.Ts})
+		}
+		return nil
+	})
+}
+
+// BargainIndexBolt is the stateful core of the Bargain Index benchmark:
+// per symbol it maintains the volume-weighted average price (VWAP) and
+// emits a bargain index when a tick's price undercuts the VWAP.
+type BargainIndexBolt struct {
+	store *state.MapStore
+}
+
+var _ stream.StatefulBolt = (*BargainIndexBolt)(nil)
+
+// NewBargainIndexBolt returns an empty VWAP tracker.
+func NewBargainIndexBolt() *BargainIndexBolt {
+	return &BargainIndexBolt{store: state.NewMapStore()}
+}
+
+// Execute updates VWAP state and emits (symbol, bargainIndex) for
+// underpriced ticks.
+func (b *BargainIndexBolt) Execute(t stream.Tuple, emit stream.Emit) error {
+	symbol := t.StringAt(0)
+	price := t.FloatAt(1)
+	volume := float64(t.IntAt(2))
+	if symbol == "" || volume <= 0 {
+		return fmt.Errorf("workload: malformed tick %v", t)
+	}
+	sumPV, sumV := b.vwapState(symbol)
+	sumPV += price * volume
+	sumV += volume
+	b.putVWAP(symbol, sumPV, sumV)
+	vwap := sumPV / sumV
+	if price < vwap {
+		emit(stream.Tuple{
+			Values: []any{symbol, (vwap - price) * volume, price, vwap},
+			Ts:     t.Ts,
+		})
+	}
+	return nil
+}
+
+// Store implements stream.StatefulBolt.
+func (b *BargainIndexBolt) Store() stream.StateStore { return b.store }
+
+// VWAP returns a symbol's current volume-weighted average price.
+func (b *BargainIndexBolt) VWAP(symbol string) float64 {
+	sumPV, sumV := b.vwapState(symbol)
+	if sumV == 0 {
+		return 0
+	}
+	return sumPV / sumV
+}
+
+func (b *BargainIndexBolt) vwapState(symbol string) (sumPV, sumV float64) {
+	raw, ok := b.store.Get(symbol)
+	if !ok || len(raw) != 16 {
+		return 0, 0
+	}
+	return float64FromBits(raw[:8]), float64FromBits(raw[8:])
+}
+
+func (b *BargainIndexBolt) putVWAP(symbol string, sumPV, sumV float64) {
+	raw := make([]byte, 16)
+	putFloat64Bits(raw[:8], sumPV)
+	putFloat64Bits(raw[8:], sumV)
+	b.store.Put(symbol, raw)
+}
+
+// RegionSpeedBolt is the stateful core of the Traffic Monitoring
+// benchmark: per region it keeps observation counts and speed sums and
+// emits the running average speed.
+type RegionSpeedBolt struct {
+	store *state.MapStore
+}
+
+var _ stream.StatefulBolt = (*RegionSpeedBolt)(nil)
+
+// NewRegionSpeedBolt returns an empty tracker.
+func NewRegionSpeedBolt() *RegionSpeedBolt {
+	return &RegionSpeedBolt{store: state.NewMapStore()}
+}
+
+// Execute folds in one observation (vehicle, region, speed) and emits
+// (region, avgSpeed, observations).
+func (b *RegionSpeedBolt) Execute(t stream.Tuple, emit stream.Emit) error {
+	region := t.StringAt(1)
+	speed := t.FloatAt(2)
+	if region == "" {
+		return fmt.Errorf("workload: malformed observation %v", t)
+	}
+	raw, _ := b.store.Get(region)
+	var count uint64
+	var sum float64
+	if len(raw) == 16 {
+		count = binary.BigEndian.Uint64(raw[:8])
+		sum = float64FromBits(raw[8:])
+	}
+	count++
+	sum += speed
+	out := make([]byte, 16)
+	binary.BigEndian.PutUint64(out[:8], count)
+	putFloat64Bits(out[8:], sum)
+	b.store.Put(region, out)
+	emit(stream.Tuple{Values: []any{region, sum / float64(count), int64(count)}, Ts: t.Ts})
+	return nil
+}
+
+// Store implements stream.StatefulBolt.
+func (b *RegionSpeedBolt) Store() stream.StateStore { return b.store }
+
+// AvgSpeed returns a region's running average.
+func (b *RegionSpeedBolt) AvgSpeed(region string) (float64, int) {
+	raw, ok := b.store.Get(region)
+	if !ok || len(raw) != 16 {
+		return 0, 0
+	}
+	count := binary.BigEndian.Uint64(raw[:8])
+	if count == 0 {
+		return 0, 0
+	}
+	return float64FromBits(raw[8:]) / float64(count), int(count)
+}
+
+// --- topology builders for the three benchmark applications ---
+
+// WordCountApp bundles the built topology with its stateful bolt.
+type WordCountApp struct {
+	Topology *stream.Topology
+	Counter  *WordCountBolt
+}
+
+// BuildWordCount wires spout → split → count.
+func BuildWordCount(name string, lines int, seed int64, splitParallel int) (*WordCountApp, error) {
+	gen := NewTextGen(seed, 1000, 8)
+	topo := stream.NewTopology(name)
+	if err := topo.AddSpout("lines", NewCountedSpout(lines, gen.Next)); err != nil {
+		return nil, err
+	}
+	if err := topo.AddBolt("split", SplitBolt(), splitParallel).Shuffle("lines").Err(); err != nil {
+		return nil, err
+	}
+	counter := NewWordCountBolt()
+	if err := topo.AddBolt("count", counter, 1).Fields("split", 0).Err(); err != nil {
+		return nil, err
+	}
+	return &WordCountApp{Topology: topo, Counter: counter}, nil
+}
+
+// BargainIndexApp bundles the bargain topology with its stateful bolt.
+type BargainIndexApp struct {
+	Topology *stream.Topology
+	Bargains *BargainIndexBolt
+}
+
+// BuildBargainIndex wires ticks → bargain-index.
+func BuildBargainIndex(name string, ticks int, seed int64) (*BargainIndexApp, error) {
+	gen := NewFinanceGen(seed, 50)
+	topo := stream.NewTopology(name)
+	if err := topo.AddSpout("ticks", NewCountedSpout(ticks, gen.Next)); err != nil {
+		return nil, err
+	}
+	bolt := NewBargainIndexBolt()
+	if err := topo.AddBolt("bargain", bolt, 1).Fields("ticks", 0).Err(); err != nil {
+		return nil, err
+	}
+	return &BargainIndexApp{Topology: topo, Bargains: bolt}, nil
+}
+
+// TrafficApp bundles the traffic topology with its stateful bolt.
+type TrafficApp struct {
+	Topology *stream.Topology
+	Speeds   *RegionSpeedBolt
+}
+
+// BuildTrafficMonitor wires observations → per-region speed aggregation.
+func BuildTrafficMonitor(name string, observations int, seed int64) (*TrafficApp, error) {
+	gen := NewTrafficGen(seed, 200, 8)
+	topo := stream.NewTopology(name)
+	if err := topo.AddSpout("gps", NewCountedSpout(observations, gen.Next)); err != nil {
+		return nil, err
+	}
+	bolt := NewRegionSpeedBolt()
+	if err := topo.AddBolt("speed", bolt, 1).Fields("gps", 1).Err(); err != nil {
+		return nil, err
+	}
+	return &TrafficApp{Topology: topo, Speeds: bolt}, nil
+}
+
+// --- small codec helpers ---
+
+func readUint(s *state.MapStore, key string) uint64 {
+	raw, ok := s.Get(key)
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseUint(string(raw), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func writeUint(s *state.MapStore, key string, n uint64) {
+	s.Put(key, []byte(strconv.FormatUint(n, 10)))
+}
+
+func putFloat64Bits(dst []byte, f float64) {
+	binary.BigEndian.PutUint64(dst, math.Float64bits(f))
+}
+
+func float64FromBits(src []byte) float64 {
+	return math.Float64frombits(binary.BigEndian.Uint64(src))
+}

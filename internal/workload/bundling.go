@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sr3/internal/state"
+	"sr3/internal/stream"
+)
+
+// PurchaseGen emits shopping baskets (lists of products bought together)
+// for the product-bundling application (paper Fig 1 middle). Products
+// cluster into affinity groups so that real co-purchase structure exists
+// for the recommender to find.
+type PurchaseGen struct {
+	rng      *rand.Rand
+	products int
+	groups   int
+	now      int64
+}
+
+// NewPurchaseGen creates a generator over the given catalog size.
+func NewPurchaseGen(seed int64, products, groups int) *PurchaseGen {
+	if products < 2 {
+		products = 2
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return &PurchaseGen{
+		rng:      rand.New(rand.NewSource(seed)),
+		products: products,
+		groups:   groups,
+	}
+}
+
+// Next emits one basket tuple whose values are the purchased product
+// names (2–4 items, mostly from one affinity group).
+func (g *PurchaseGen) Next() stream.Tuple {
+	group := g.rng.Intn(g.groups)
+	size := 2 + g.rng.Intn(3)
+	vals := make([]any, 0, size)
+	seen := make(map[int]bool, size)
+	for len(vals) < size {
+		var p int
+		if g.rng.Float64() < 0.8 {
+			// In-group purchase.
+			span := g.products / g.groups
+			p = group*span + g.rng.Intn(span)
+		} else {
+			p = g.rng.Intn(g.products)
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		vals = append(vals, fmt.Sprintf("item-%03d", p))
+	}
+	g.now++
+	return stream.Tuple{Values: vals, Ts: g.now}
+}
+
+// BundlingBolt is the stateful product-bundling operator: it folds each
+// basket into a co-purchase graph and emits "you may also like"
+// recommendations for the basket's first item.
+type BundlingBolt struct {
+	graph *state.GraphStore
+	topN  int
+}
+
+var _ stream.StatefulBolt = (*BundlingBolt)(nil)
+
+// NewBundlingBolt returns an empty bundling operator emitting topN
+// recommendations.
+func NewBundlingBolt(topN int) *BundlingBolt {
+	if topN < 1 {
+		topN = 3
+	}
+	return &BundlingBolt{graph: state.NewGraphStore(), topN: topN}
+}
+
+// Execute adds every product pair of the basket to the graph and emits
+// (product, recommendations...) for the first item.
+func (b *BundlingBolt) Execute(t stream.Tuple, emit stream.Emit) error {
+	if len(t.Values) < 2 {
+		return fmt.Errorf("workload: basket %v too small", t)
+	}
+	items := make([]string, len(t.Values))
+	for i := range t.Values {
+		items[i] = t.StringAt(i)
+		if items[i] == "" {
+			return fmt.Errorf("workload: malformed basket %v", t)
+		}
+	}
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			b.graph.AddEdge(items[i], items[j])
+		}
+	}
+	recs := b.Recommend(items[0])
+	out := make([]any, 0, 1+len(recs))
+	out = append(out, items[0])
+	for _, r := range recs {
+		out = append(out, r)
+	}
+	emit(stream.Tuple{Values: out, Ts: t.Ts})
+	return nil
+}
+
+// Store implements stream.StatefulBolt.
+func (b *BundlingBolt) Store() stream.StateStore { return b.graph }
+
+// Recommend returns the topN co-purchase partners for a product.
+func (b *BundlingBolt) Recommend(product string) []string {
+	nb := b.graph.Neighbors(product)
+	if len(nb) > b.topN {
+		nb = nb[:b.topN]
+	}
+	return nb
+}
+
+// Graph exposes the underlying co-purchase graph (inspection, tests).
+func (b *BundlingBolt) Graph() *state.GraphStore { return b.graph }
+
+// BundlingApp bundles the topology with its stateful bolt.
+type BundlingApp struct {
+	Topology *stream.Topology
+	Bundler  *BundlingBolt
+}
+
+// BuildProductBundling wires baskets → bundling.
+func BuildProductBundling(name string, baskets int, seed int64) (*BundlingApp, error) {
+	gen := NewPurchaseGen(seed, 120, 12)
+	topo := stream.NewTopology(name)
+	if err := topo.AddSpout("baskets", NewCountedSpout(baskets, gen.Next)); err != nil {
+		return nil, err
+	}
+	bolt := NewBundlingBolt(3)
+	if err := topo.AddBolt("bundle", bolt, 1).Global("baskets").Err(); err != nil {
+		return nil, err
+	}
+	return &BundlingApp{Topology: topo, Bundler: bolt}, nil
+}

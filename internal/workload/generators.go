@@ -1,0 +1,223 @@
+// Package workload provides deterministic synthetic substitutes for the
+// paper's three benchmark datasets (Table 3) and builders for the
+// corresponding stream applications:
+//
+//   - Bargain Index over finance ticks (Google Finance, >1 TB)
+//   - Word Count over text lines (Wikimedia dumps, 9 GB)
+//   - Traffic Monitoring over vehicle GPS traces (Dublin Bus, 4 GB)
+//
+// The experiments only use the datasets to generate operator state of a
+// given size and shape; these generators produce the same three state
+// shapes (keyed numeric aggregates, word counts, keyed time series) at
+// any requested volume, deterministically from a seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"sr3/internal/state"
+	"sr3/internal/stream"
+)
+
+// FinanceGen emits stock ticks (symbol, price, volume) as a random walk —
+// the Google Finance substitute.
+type FinanceGen struct {
+	rng     *rand.Rand
+	symbols []string
+	prices  []float64
+	now     int64
+}
+
+// NewFinanceGen creates a generator over numSymbols synthetic tickers.
+func NewFinanceGen(seed int64, numSymbols int) *FinanceGen {
+	if numSymbols < 1 {
+		numSymbols = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &FinanceGen{
+		rng:     rng,
+		symbols: make([]string, numSymbols),
+		prices:  make([]float64, numSymbols),
+	}
+	for i := range g.symbols {
+		g.symbols[i] = fmt.Sprintf("SYM%03d", i)
+		g.prices[i] = 20 + rng.Float64()*200
+	}
+	return g
+}
+
+// Next emits one tick tuple: (symbol, price, volume) at an advancing
+// millisecond timestamp.
+func (g *FinanceGen) Next() stream.Tuple {
+	i := g.rng.Intn(len(g.symbols))
+	g.prices[i] *= 1 + g.rng.NormFloat64()*0.002
+	if g.prices[i] < 1 {
+		g.prices[i] = 1
+	}
+	g.now += int64(g.rng.Intn(5) + 1)
+	return stream.Tuple{
+		Values: []any{g.symbols[i], math.Round(g.prices[i]*100) / 100, g.rng.Intn(900) + 100},
+		Ts:     g.now,
+	}
+}
+
+// TextGen emits lines of Zipf-distributed words — the Wikimedia dumps
+// substitute.
+type TextGen struct {
+	rng          *rand.Rand
+	zipf         *rand.Zipf
+	vocab        []string
+	wordsPerLine int
+	now          int64
+}
+
+// NewTextGen creates a generator with the given vocabulary size.
+func NewTextGen(seed int64, vocabSize, wordsPerLine int) *TextGen {
+	if vocabSize < 2 {
+		vocabSize = 2
+	}
+	if wordsPerLine < 1 {
+		wordsPerLine = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vocab := make([]string, vocabSize)
+	for i := range vocab {
+		vocab[i] = "word" + strconv.Itoa(i)
+	}
+	return &TextGen{
+		rng:          rng,
+		zipf:         rand.NewZipf(rng, 1.2, 1, uint64(vocabSize-1)),
+		vocab:        vocab,
+		wordsPerLine: wordsPerLine,
+	}
+}
+
+// NextLine produces one text line.
+func (g *TextGen) NextLine() string {
+	words := make([]string, g.wordsPerLine)
+	for i := range words {
+		words[i] = g.vocab[g.zipf.Uint64()]
+	}
+	return strings.Join(words, " ")
+}
+
+// Next emits a line tuple.
+func (g *TextGen) Next() stream.Tuple {
+	g.now++
+	return stream.Tuple{Values: []any{g.NextLine()}, Ts: g.now}
+}
+
+// TrafficGen emits vehicle GPS observations (vehicle, region, speedKmh) —
+// the Dublin Bus GPS substitute. Vehicles random-walk through a grid of
+// regions.
+type TrafficGen struct {
+	rng      *rand.Rand
+	vehicles int
+	grid     int
+	pos      []int
+	speed    []float64
+	now      int64
+}
+
+// NewTrafficGen creates a generator with the given fleet size over a
+// grid×grid region map.
+func NewTrafficGen(seed int64, vehicles, grid int) *TrafficGen {
+	if vehicles < 1 {
+		vehicles = 1
+	}
+	if grid < 1 {
+		grid = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &TrafficGen{
+		rng:      rng,
+		vehicles: vehicles,
+		grid:     grid,
+		pos:      make([]int, vehicles),
+		speed:    make([]float64, vehicles),
+	}
+	for i := 0; i < vehicles; i++ {
+		g.pos[i] = rng.Intn(grid * grid)
+		g.speed[i] = 20 + rng.Float64()*40
+	}
+	return g
+}
+
+// Next emits one observation: (vehicleID, region, speedKmh).
+func (g *TrafficGen) Next() stream.Tuple {
+	i := g.rng.Intn(g.vehicles)
+	// Drift speed, move to an adjacent cell occasionally.
+	g.speed[i] += g.rng.NormFloat64() * 2
+	if g.speed[i] < 0 {
+		g.speed[i] = 0
+	}
+	if g.speed[i] > 100 {
+		g.speed[i] = 100
+	}
+	if g.rng.Intn(4) == 0 {
+		step := []int{-1, 1, -g.grid, g.grid}[g.rng.Intn(4)]
+		next := g.pos[i] + step
+		if next >= 0 && next < g.grid*g.grid {
+			g.pos[i] = next
+		}
+	}
+	g.now += int64(g.rng.Intn(3) + 1)
+	return stream.Tuple{
+		Values: []any{
+			fmt.Sprintf("bus-%04d", i),
+			fmt.Sprintf("region-%03d", g.pos[i]),
+			math.Round(g.speed[i]*10) / 10,
+		},
+		Ts: g.now,
+	}
+}
+
+// CountedSpout adapts a generator function into a bounded stream.Spout
+// emitting exactly n tuples.
+type CountedSpout struct {
+	n    int
+	next func() stream.Tuple
+}
+
+var _ stream.Spout = (*CountedSpout)(nil)
+
+// NewCountedSpout wraps next into a spout that ends after n tuples.
+func NewCountedSpout(n int, next func() stream.Tuple) *CountedSpout {
+	return &CountedSpout{n: n, next: next}
+}
+
+// Next implements stream.Spout.
+func (s *CountedSpout) Next() (stream.Tuple, bool) {
+	if s.n <= 0 {
+		return stream.Tuple{}, false
+	}
+	s.n--
+	return s.next(), true
+}
+
+// FillState populates a MapStore with synthetic keyed aggregates until
+// its serialized size reaches approximately targetBytes — how the figure
+// benchmarks materialize "a state of size S".
+func FillState(store *state.MapStore, targetBytes int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const valueSize = 128
+	i := 0
+	for store.SizeBytes() < targetBytes {
+		val := make([]byte, valueSize)
+		rng.Read(val)
+		store.Put(fmt.Sprintf("key-%09d", i), val)
+		i++
+	}
+}
+
+// SyntheticSnapshot returns a serialized MapStore state of approximately
+// targetBytes.
+func SyntheticSnapshot(targetBytes int, seed int64) ([]byte, error) {
+	store := state.NewMapStore()
+	FillState(store, targetBytes, seed)
+	return store.Snapshot()
+}

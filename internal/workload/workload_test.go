@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sr3/internal/state"
+	"sr3/internal/stream"
+)
+
+func TestFinanceGenDeterministicAndSane(t *testing.T) {
+	g1 := NewFinanceGen(7, 20)
+	g2 := NewFinanceGen(7, 20)
+	for i := 0; i < 100; i++ {
+		t1, t2 := g1.Next(), g2.Next()
+		if t1.StringAt(0) != t2.StringAt(0) || t1.FloatAt(1) != t2.FloatAt(1) {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, t1, t2)
+		}
+		if t1.FloatAt(1) <= 0 {
+			t.Fatalf("price %v not positive", t1.FloatAt(1))
+		}
+		if t1.IntAt(2) < 100 || t1.IntAt(2) >= 1000 {
+			t.Fatalf("volume %v out of range", t1.IntAt(2))
+		}
+	}
+}
+
+func TestTextGenZipfSkew(t *testing.T) {
+	g := NewTextGen(1, 500, 10)
+	counts := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		for _, w := range splitWords(g.NextLine()) {
+			counts[w]++
+		}
+	}
+	// Zipf: the most common word should dwarf the median.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2000 {
+		t.Fatalf("head word count %d too small for zipf", max)
+	}
+}
+
+func splitWords(line string) []string {
+	var out []string
+	start := -1
+	for i, r := range line {
+		if r == ' ' {
+			if start >= 0 {
+				out = append(out, line[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, line[start:])
+	}
+	return out
+}
+
+func TestTrafficGenMovesWithinGrid(t *testing.T) {
+	g := NewTrafficGen(2, 50, 4)
+	for i := 0; i < 500; i++ {
+		tp := g.Next()
+		if tp.StringAt(0) == "" || tp.StringAt(1) == "" {
+			t.Fatalf("malformed observation %v", tp)
+		}
+		sp := tp.FloatAt(2)
+		if sp < 0 || sp > 100 {
+			t.Fatalf("speed %v out of range", sp)
+		}
+	}
+}
+
+func TestCountedSpoutBounds(t *testing.T) {
+	g := NewTextGen(3, 10, 4)
+	s := NewCountedSpout(5, g.Next)
+	n := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("spout emitted %d, want 5", n)
+	}
+}
+
+func TestFillStateHitsTarget(t *testing.T) {
+	store := state.NewMapStore()
+	FillState(store, 100_000, 4)
+	if store.SizeBytes() < 100_000 {
+		t.Fatalf("size %d below target", store.SizeBytes())
+	}
+	if store.SizeBytes() > 120_000 {
+		t.Fatalf("size %d overshoots target badly", store.SizeBytes())
+	}
+	snap, err := SyntheticSnapshot(50_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) < 50_000 {
+		t.Fatalf("snapshot %d bytes below target", len(snap))
+	}
+}
+
+func runApp(t *testing.T, topo *stream.Topology) {
+	t.Helper()
+	rt, err := stream.NewRuntime(topo, stream.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.ExecuteErrors() != 0 {
+		t.Fatalf("%d execute errors", rt.ExecuteErrors())
+	}
+}
+
+func TestWordCountAppEndToEnd(t *testing.T) {
+	app, err := BuildWordCount("wc", 500, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runApp(t, app.Topology)
+	// Total counted words must equal lines × wordsPerLine.
+	total := uint64(0)
+	for _, k := range storeKeys(app.Counter.store) {
+		total += app.Counter.Count(k)
+	}
+	if total != 500*8 {
+		t.Fatalf("counted %d words, want %d", total, 500*8)
+	}
+}
+
+func storeKeys(s *state.MapStore) []string { return s.Keys() }
+
+func TestBargainIndexAppEndToEnd(t *testing.T) {
+	app, err := BuildBargainIndex("bi", 2000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runApp(t, app.Topology)
+	// Every traded symbol must have a sane VWAP.
+	symbols := app.Bargains.store.Keys()
+	if len(symbols) == 0 {
+		t.Fatal("no symbols traded")
+	}
+	for _, s := range symbols {
+		v := app.Bargains.VWAP(s)
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("VWAP[%s] = %v", s, v)
+		}
+	}
+}
+
+func TestTrafficAppEndToEnd(t *testing.T) {
+	app, err := BuildTrafficMonitor("tm", 3000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runApp(t, app.Topology)
+	regions := app.Speeds.store.Keys()
+	if len(regions) == 0 {
+		t.Fatal("no regions observed")
+	}
+	totalObs := 0
+	for _, r := range regions {
+		avg, n := app.Speeds.AvgSpeed(r)
+		if n <= 0 || avg < 0 || avg > 100 {
+			t.Fatalf("region %s: avg=%v n=%d", r, avg, n)
+		}
+		totalObs += n
+	}
+	if totalObs != 3000 {
+		t.Fatalf("aggregated %d observations, want 3000", totalObs)
+	}
+}
+
+func TestBargainBoltRejectsMalformed(t *testing.T) {
+	b := NewBargainIndexBolt()
+	err := b.Execute(stream.Tuple{Values: []any{"", 1.0, 0}}, func(stream.Tuple) {})
+	if err == nil {
+		t.Fatal("malformed tick accepted")
+	}
+}
+
+func TestPurchaseGenBaskets(t *testing.T) {
+	g := NewPurchaseGen(3, 60, 6)
+	for i := 0; i < 300; i++ {
+		tp := g.Next()
+		if len(tp.Values) < 2 || len(tp.Values) > 4 {
+			t.Fatalf("basket size %d", len(tp.Values))
+		}
+		seen := make(map[string]bool)
+		for j := range tp.Values {
+			item := tp.StringAt(j)
+			if item == "" || seen[item] {
+				t.Fatalf("bad basket %v", tp)
+			}
+			seen[item] = true
+		}
+	}
+}
+
+func TestBundlingAppEndToEnd(t *testing.T) {
+	app, err := BuildProductBundling("pb", 4000, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runApp(t, app.Topology)
+	g := app.Bundler.Graph()
+	if g.EdgeCount() == 0 {
+		t.Fatal("no edges learned")
+	}
+	// Affinity structure: an item's top recommendation should be from
+	// its own group (items 0-9 form group 0 with 120/12=10 per group).
+	recs := app.Bundler.Recommend("item-000")
+	if len(recs) == 0 {
+		t.Fatal("no recommendations for item-000")
+	}
+	var top int
+	if _, err := fmt.Sscanf(recs[0], "item-%d", &top); err != nil {
+		t.Fatal(err)
+	}
+	if top >= 10 {
+		t.Fatalf("top recommendation %s not from item-000's affinity group", recs[0])
+	}
+}
+
+func TestBundlingBoltRejectsMalformed(t *testing.T) {
+	b := NewBundlingBolt(3)
+	if err := b.Execute(stream.Tuple{Values: []any{"solo"}}, func(stream.Tuple) {}); err == nil {
+		t.Fatal("single-item basket accepted")
+	}
+	if err := b.Execute(stream.Tuple{Values: []any{"a", 7}}, func(stream.Tuple) {}); err == nil {
+		t.Fatal("non-string item accepted")
+	}
+}

@@ -1,0 +1,180 @@
+// Package sr3 is the public API of the SR3 reproduction: a customizable
+// state-recovery framework for stateful stream processing systems
+// (Xu et al., "SR3: Customizable Recovery for Stateful Stream Processing
+// Systems", Middleware 2020).
+//
+// SR3 protects large distributed operator state without a central
+// master: each state is split into m shards × r replicas scattered over
+// a Pastry-style DHT ring, and lost state is rebuilt by one of three
+// customizable mechanisms — star, line, or tree — chosen per
+// application by the §3.7 selection heuristic or pinned explicitly via
+// the Table 2 API (StarDefine / LineDefine / TreeDefine).
+//
+// A Framework bundles the whole substrate (overlay, shard managers,
+// Scribe multicast) in one process; the stream runtime plugs into it
+// through Backend().
+package sr3
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/recovery"
+	"sr3/internal/shard"
+	"sr3/internal/stream"
+)
+
+// Mechanism selects a recovery structure (star/line/tree).
+type Mechanism = recovery.Mechanism
+
+// Mechanisms.
+const (
+	Star = recovery.Star
+	Line = recovery.Line
+	Tree = recovery.Tree
+)
+
+// Options are the per-mechanism tuning knobs.
+type Options = recovery.Options
+
+// NodeID identifies an overlay node.
+type NodeID = id.ID
+
+// Shard is one replicated fragment of a state snapshot.
+type Shard = shard.Shard
+
+// Config sizes a Framework.
+type Config struct {
+	// Nodes is the overlay size (default 64).
+	Nodes int
+	// Seed makes node IDs and placement deterministic.
+	Seed int64
+	// LeafSetSize is the DHT leaf set size (default 24, the paper's).
+	LeafSetSize int
+	// DefaultShards and DefaultReplicas apply when an app has not called
+	// StateSplit/…Define with its own values (defaults 8 and 2).
+	DefaultShards   int
+	DefaultReplicas int
+	// Now supplies version timestamps (defaults to wall clock).
+	Now func() int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 64
+	}
+	if c.LeafSetSize <= 0 {
+		c.LeafSetSize = 24
+	}
+	if c.DefaultShards <= 0 {
+		c.DefaultShards = 8
+	}
+	if c.DefaultReplicas <= 0 {
+		c.DefaultReplicas = 2
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixMilli() }
+	}
+	return c
+}
+
+// Framework errors.
+var (
+	ErrUnknownApp  = errors.New("sr3: no state saved under this name")
+	ErrBadArgument = errors.New("sr3: invalid argument")
+)
+
+type appConfig struct {
+	mechanism Mechanism // 0 = use selection heuristic
+	options   Options
+	shards    int
+	replicas  int
+	lastSize  int64
+}
+
+// Framework is an in-process SR3 deployment: DHT overlay + per-node
+// shard managers + mechanism registry.
+type Framework struct {
+	cfg     Config
+	ring    *dht.Ring
+	cluster *recovery.Cluster
+
+	mu   sync.Mutex
+	apps map[string]*appConfig
+}
+
+// New builds the overlay and attaches SR3 managers to every node.
+func New(cfg Config) (*Framework, error) {
+	cfg = cfg.withDefaults()
+	// KVReplicas guards the placement records: they must survive the
+	// failure of their own KV root, not just the state owner's.
+	ring, err := dht.NewRing(dht.Config{LeafSetSize: cfg.LeafSetSize, KVReplicas: 2}, cfg.Seed, cfg.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("sr3: build overlay: %w", err)
+	}
+	return &Framework{
+		cfg:     cfg,
+		ring:    ring,
+		cluster: recovery.NewCluster(ring),
+		apps:    make(map[string]*appConfig),
+	}, nil
+}
+
+// Cluster exposes the recovery cluster (benchmarks and advanced users).
+func (f *Framework) Cluster() *recovery.Cluster { return f.cluster }
+
+// Nodes returns all overlay node IDs.
+func (f *Framework) Nodes() []NodeID { return f.ring.IDs() }
+
+// FailNode crashes one overlay node (failure injection).
+func (f *Framework) FailNode(n NodeID) { f.ring.Fail(n) }
+
+// RestoreNode revives a crashed node.
+func (f *Framework) RestoreNode(n NodeID) { f.ring.Restore(n) }
+
+// MaintenanceRound runs one keep-alive round on every live node.
+func (f *Framework) MaintenanceRound() { f.ring.MaintenanceRound() }
+
+// OwnerOf returns the node currently owning an app's state.
+func (f *Framework) OwnerOf(app string) (NodeID, error) {
+	anyNode, err := f.ring.AnyLive()
+	if err != nil {
+		return NodeID{}, fmt.Errorf("sr3: %w", err)
+	}
+	p, err := f.cluster.Manager(anyNode.ID()).LookupPlacement(app)
+	if err != nil {
+		return NodeID{}, fmt.Errorf("%w: %v", ErrUnknownApp, err)
+	}
+	return p.Owner, nil
+}
+
+// Backend returns a stream-runtime state backend that saves and recovers
+// through this framework. Mechanism 0 engages the selection heuristic.
+func (f *Framework) Backend(mech Mechanism, shards, replicas int) *stream.SR3Backend {
+	if shards <= 0 {
+		shards = f.cfg.DefaultShards
+	}
+	if replicas <= 0 {
+		replicas = f.cfg.DefaultReplicas
+	}
+	b := stream.NewSR3Backend(f.cluster, shards, replicas)
+	b.Mechanism = mech
+	return b
+}
+
+func (f *Framework) app(name string) *appConfig {
+	ac, ok := f.apps[name]
+	if !ok {
+		ac = &appConfig{
+			shards:   f.cfg.DefaultShards,
+			replicas: f.cfg.DefaultReplicas,
+			options:  recovery.DefaultOptions(),
+		}
+		f.apps[name] = ac
+	}
+	return ac
+}
