@@ -54,6 +54,8 @@ func experiments() []experiment {
 		figExp("12c", "overlay maintenance traffic", bench.Fig12c),
 		{id: "fp4s", desc: "FP4S vs SR3 comparison (§2.3)", run: runFP4S},
 		figExp("ablation-speculation", "straggler hedging (§6 future work)", bench.AblationSpeculation),
+		figExp("ablation-speculation-linetree", "line/tree straggler hedging", bench.AblationSpeculationLineTree),
+		{id: "chaos", desc: "failover ladder under seeded fault injection", run: bench.ChaosReport},
 		figExp("ablation-flowpenalty", "star flow-penalty contribution", bench.AblationFlowPenalty),
 		figExp("ablation-selection", "mechanism choice per environment (§3.7)", bench.AblationMechanismDefaults),
 		{id: "table1", desc: "recovery approach overview (Table 1)", run: func() (string, error) {

@@ -73,6 +73,72 @@ func AblationSpeculation() (Figure, error) {
 	return fig, nil
 }
 
+// AblationSpeculationLineTree measures straggler hedging for the line
+// and tree mechanisms on a 64 MB state: with Options.Speculate the
+// planner lifts the straggling provider out of the chain/tree and
+// fetches its shards star-style from a backup replica after
+// SpeculationDelay — the same shape the executor's failover ladder takes
+// when a stage dies mid-collection.
+func AblationSpeculationLineTree() (Figure, error) {
+	sc := Unconstrained()
+	fig := Figure{
+		ID:     "ablation-speculation-linetree",
+		Title:  "line/tree recovery of 64 MB with one straggling provider",
+		XLabel: "straggler slowdown (x)",
+		YLabel: "recovery time (s)",
+	}
+	for _, scheme := range []string{"line", "tree"} {
+		for _, speculate := range []bool{false, true} {
+			label := scheme + ", no speculation"
+			if speculate {
+				label = scheme + ", speculation"
+			}
+			s := Series{Label: label}
+			for _, slowdown := range []float64{1, 4, 16, 64} {
+				env, err := newPlanEnv(envConfig{
+					seed: 42, totalBytes: 64 * MB, shards: 16, replicas: 2,
+				})
+				if err != nil {
+					return Figure{}, err
+				}
+				spec := env.spec(sc)
+				spec.SpeculationDelay = 2.0
+				big := 0
+				for i := range spec.Stages {
+					if spec.Stages[i].Bytes > spec.Stages[big].Bytes {
+						big = i
+					}
+				}
+				spec.Stages[big].Straggler = true
+				spec.Stages[big].Backup = spec.Stages[(big+1)%len(spec.Stages)].Node
+
+				sim := sc.NewSim()
+				sim.SetNode(spec.Stages[big].Node, simnet.Res{
+					UpBps:      LanBps / slowdown,
+					DownBps:    LanBps,
+					ComputeBps: SoftwareBps / slowdown,
+				})
+				opts := recovery.DefaultOptions()
+				opts.Speculate = speculate
+				p := recovery.NewPlanner()
+				if scheme == "line" {
+					p.Line(spec, opts)
+				} else {
+					p.Tree(spec, opts)
+				}
+				res, err := sim.Run(p.Tasks())
+				if err != nil {
+					return Figure{}, err
+				}
+				s.X = append(s.X, slowdown)
+				s.Y = append(s.Y, res.Makespan)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
 // AblationFlowPenalty re-runs the constrained 128 MB recovery with the
 // star flow penalty switched off, isolating how much of Fig 8b's
 // star-degradation the concurrent-inbound-connection model contributes.

@@ -144,6 +144,11 @@ func (n *Node) Send(to id.ID, msg simnet.Message) (simnet.Message, error) {
 // when their own point-to-point sends fail.
 func (n *Node) ReportDead(other id.ID) { n.forget(other) }
 
+// PeerAlive reports whether the transport currently considers a peer
+// reachable. Upper layers use it to re-validate membership snapshots
+// (e.g. a placement about to be published) against churn.
+func (n *Node) PeerAlive(other id.ID) bool { return n.net.Alive(other) }
+
 // NextHop exposes the routing decision for key: the next overlay hop, or
 // deliverHere == true when this node is the root. Upper layers that build
 // per-hop structures (Scribe trees) use this.

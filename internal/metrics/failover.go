@@ -1,0 +1,64 @@
+package metrics
+
+// FailoverStats aggregates recovery outcome reports across many
+// recoveries (the chaos benchmarks and the stream runtime feed one
+// recovery.Outcome per recovery into Add). The package stays free of
+// internal imports, so the fields arrive as plain numbers.
+type FailoverStats struct {
+	// Recoveries is how many outcomes were aggregated.
+	Recoveries int
+	// Attempts sums collection passes (initial pass + retry rounds +
+	// chain replans) across all recoveries.
+	Attempts int
+	// Failovers sums shard fetches that needed redirection to another
+	// replica or a retry before succeeding.
+	Failovers int
+	// RetriedBytes sums the shard bytes obtained through those failover
+	// fetches — the retransmission overhead the ladder paid.
+	RetriedBytes int
+	// DeadProviders sums distinct providers observed unreachable
+	// mid-recovery.
+	DeadProviders int
+	// Degraded counts recoveries where the mechanism fell down the
+	// failover ladder (e.g. line/tree finishing some shards star-style).
+	Degraded int
+}
+
+// Add folds one recovery outcome into the aggregate.
+func (f *FailoverStats) Add(attempts, failovers, retriedBytes, deadProviders int, degraded bool) {
+	f.Recoveries++
+	f.Attempts += attempts
+	f.Failovers += failovers
+	f.RetriedBytes += retriedBytes
+	f.DeadProviders += deadProviders
+	if degraded {
+		f.Degraded++
+	}
+}
+
+// Merge folds another aggregate into this one.
+func (f *FailoverStats) Merge(o FailoverStats) {
+	f.Recoveries += o.Recoveries
+	f.Attempts += o.Attempts
+	f.Failovers += o.Failovers
+	f.RetriedBytes += o.RetriedBytes
+	f.DeadProviders += o.DeadProviders
+	f.Degraded += o.Degraded
+}
+
+// FailoverRate returns the mean failovers per recovery (0 when empty).
+func (f FailoverStats) FailoverRate() float64 {
+	if f.Recoveries == 0 {
+		return 0
+	}
+	return float64(f.Failovers) / float64(f.Recoveries)
+}
+
+// DegradedFraction returns the fraction of recoveries that degraded
+// down the ladder (0 when empty).
+func (f FailoverStats) DegradedFraction() float64 {
+	if f.Recoveries == 0 {
+		return 0
+	}
+	return float64(f.Degraded) / float64(f.Recoveries)
+}

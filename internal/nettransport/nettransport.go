@@ -24,10 +24,20 @@ var (
 	ErrNodeDown    = errors.New("nettransport: node is down")
 	ErrUnknownNode = errors.New("nettransport: unknown node")
 	ErrDuplicate   = errors.New("nettransport: node already registered")
+	// ErrTimeout reports a request/reply exchange exceeding the I/O
+	// deadline: the peer accepted the connection but stalled. Callers
+	// treat it like a dead peer and fail over.
+	ErrTimeout = errors.New("nettransport: i/o timeout")
 )
 
 // DialTimeout bounds connection establishment to a peer.
 const DialTimeout = 2 * time.Second
+
+// DefaultIOTimeout bounds one whole request/reply exchange on a
+// connection (both sides). Without it a hung peer — accepted connection,
+// no reply — would block a recovery forever; with it the caller gets
+// ErrTimeout and the failover ladder takes over.
+const DefaultIOTimeout = 10 * time.Second
 
 // wireRequest is the on-the-wire request frame.
 type wireRequest struct {
@@ -56,10 +66,11 @@ type server struct {
 // loopback listener, and Call dials the peer and exchanges one gob frame
 // pair per request.
 type Network struct {
-	mu      sync.RWMutex
-	servers map[id.ID]*server
-	addrs   map[id.ID]string
-	closed  bool
+	mu        sync.RWMutex
+	servers   map[id.ID]*server
+	addrs     map[id.ID]string
+	closed    bool
+	ioTimeout time.Duration
 }
 
 var _ simnet.Transport = (*Network)(nil)
@@ -67,9 +78,31 @@ var _ simnet.Transport = (*Network)(nil)
 // New returns an empty TCP transport.
 func New() *Network {
 	return &Network{
-		servers: make(map[id.ID]*server),
-		addrs:   make(map[id.ID]string),
+		servers:   make(map[id.ID]*server),
+		addrs:     make(map[id.ID]string),
+		ioTimeout: DefaultIOTimeout,
 	}
+}
+
+// SetIOTimeout overrides the per-exchange read/write deadline (0
+// disables deadlines — not recommended outside tests).
+func (n *Network) SetIOTimeout(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ioTimeout = d
+}
+
+func (n *Network) timeout() time.Duration {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ioTimeout
+}
+
+// isTimeout reports whether err is a network deadline expiry (gob wraps
+// the underlying net.Error, so unwrap via errors.As).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Register starts a listener for the node and serves its handler.
@@ -111,6 +144,11 @@ func (n *Network) serve(nid id.ID, srv *server) {
 }
 
 func (n *Network) serveConn(nid id.ID, srv *server, conn net.Conn) {
+	// Bound the whole exchange: a client that connects and never sends
+	// (or never drains the reply) must not pin this handler goroutine.
+	if d := n.timeout(); d > 0 {
+		_ = conn.SetDeadline(time.Now().Add(d))
+	}
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var req wireRequest
@@ -162,14 +200,25 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 		return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrNodeDown, err)
 	}
 	defer func() { _ = conn.Close() }()
+	// Per-request deadline: a peer that accepts but stalls mid-exchange
+	// yields ErrTimeout instead of blocking the caller forever.
+	if d := n.timeout(); d > 0 {
+		_ = conn.SetDeadline(time.Now().Add(d))
+	}
 
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(&wireRequest{From: from, Kind: msg.Kind, Size: msg.Size, Body: msg.Payload}); err != nil {
+		if isTimeout(err) {
+			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
+		}
 		return simnet.Message{}, fmt.Errorf("call to %s: encode: %w", to.Short(), err)
 	}
 	var reply wireReply
 	if err := dec.Decode(&reply); err != nil {
+		if isTimeout(err) {
+			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
+		}
 		return simnet.Message{}, fmt.Errorf("call to %s: decode: %w", to.Short(), err)
 	}
 	if reply.ErrMsg != "" {

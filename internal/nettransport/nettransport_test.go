@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"sr3/internal/dht"
 	"sr3/internal/id"
@@ -75,6 +76,37 @@ func TestCallErrors(t *testing.T) {
 	}
 	if err := n.Register(b, nil); !errors.Is(err, ErrDuplicate) {
 		t.Fatalf("dup: %v", err)
+	}
+}
+
+// TestCallTimeoutOnStalledServer registers a handler that never replies
+// within the deadline: the caller must get ErrTimeout promptly instead of
+// hanging for the full stall.
+func TestCallTimeoutOnStalledServer(t *testing.T) {
+	n := New()
+	defer n.Close()
+	n.SetIOTimeout(100 * time.Millisecond)
+
+	a := id.HashKey("caller")
+	stalled := id.HashKey("stalled")
+	release := make(chan struct{})
+	_ = n.Register(a, func(id.ID, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{}, nil
+	})
+	_ = n.Register(stalled, func(id.ID, simnet.Message) (simnet.Message, error) {
+		<-release // simulate a wedged server: accepted, never replies
+		return simnet.Message{Kind: "late"}, nil
+	})
+
+	start := time.Now()
+	_, err := n.Call(a, stalled, simnet.Message{Kind: "ping"})
+	elapsed := time.Since(start)
+	close(release)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v; deadline not applied", elapsed)
 	}
 }
 

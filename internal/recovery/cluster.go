@@ -1,9 +1,11 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sr3/internal/dht"
 	"sr3/internal/id"
@@ -48,6 +50,60 @@ type Result struct {
 	Version     state.Version
 	Providers   int
 	ShardsMoved int
+	// Outcome reports how the recovery weathered provider faults.
+	Outcome Outcome
+}
+
+// outcomeRecorder accumulates an Outcome across the concurrent parts of
+// one recovery.
+type outcomeRecorder struct {
+	mu   sync.Mutex
+	o    Outcome
+	dead map[id.ID]bool
+}
+
+func newOutcomeRecorder() *outcomeRecorder {
+	return &outcomeRecorder{dead: make(map[id.ID]bool)}
+}
+
+// attempt counts one collection pass or retry wave.
+func (r *outcomeRecorder) attempt() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.o.Attempts++
+}
+
+// failover counts n shard fetches redirected after a provider loss,
+// carrying bytes of re-fetched data.
+func (r *outcomeRecorder) failover(n, bytes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.o.Failovers += n
+	r.o.RetriedBytes += bytes
+}
+
+// deadNode records one provider observed unreachable.
+func (r *outcomeRecorder) deadNode(nid id.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.dead[nid] {
+		r.dead[nid] = true
+		r.o.DeadProviders++
+	}
+}
+
+// degrade records the mechanism falling down the failover ladder.
+func (r *outcomeRecorder) degrade(to Mechanism) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.o.Degraded = true
+	r.o.DegradedTo = to
+}
+
+func (r *outcomeRecorder) snapshot() Outcome {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.o
 }
 
 // Recover rebuilds the state of app after its owner failed, using the
@@ -74,14 +130,15 @@ func (c *Cluster) Recover(app string, mech Mechanism, opts Options) (Result, err
 	}
 
 	rm := c.managers[replacement]
+	oc := newOutcomeRecorder()
 	var shards []shard.Shard
 	switch mech {
 	case Star:
-		shards, err = rm.collectStar(app, placement, opts)
+		shards, err = rm.collectStar(app, placement, opts, oc)
 	case Line:
-		shards, err = rm.collectLine(app, stages)
+		shards, err = rm.collectLine(app, stages, placement, opts, oc)
 	case Tree:
-		shards, err = rm.collectTree(app, stages, 1<<clampBit(opts.TreeFanoutBit))
+		shards, err = rm.collectTree(app, stages, 1<<clampBit(opts.TreeFanoutBit), placement, opts, oc)
 	default:
 		return Result{}, fmt.Errorf("recover %q: %d: %w", app, mech, ErrBadMechanism)
 	}
@@ -102,6 +159,7 @@ func (c *Cluster) Recover(app string, mech Mechanism, opts Options) (Result, err
 		Version:     placement.Version,
 		Providers:   len(stages),
 		ShardsMoved: len(shards),
+		Outcome:     oc.snapshot(),
 	}, nil
 }
 
@@ -205,8 +263,11 @@ func clampBit(b int) int {
 
 // collectStar fetches one live replica of each shard index directly from
 // its holder, in parallel (paper §3.4). With opts.Speculate, two replicas
-// are requested concurrently and the first success wins.
-func (m *Manager) collectStar(app string, p shard.Placement, opts Options) ([]shard.Shard, error) {
+// are requested concurrently and the first success wins. Provider losses
+// fail over to the remaining replicas with bounded retries and
+// exponential backoff (unless opts.DisableFailover).
+func (m *Manager) collectStar(app string, p shard.Placement, opts Options, oc *outcomeRecorder) ([]shard.Shard, error) {
+	oc.attempt()
 	type res struct {
 		s   shard.Shard
 		err error
@@ -217,7 +278,7 @@ func (m *Manager) collectStar(app string, p shard.Placement, opts Options) ([]sh
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i].s, out[i].err = m.fetchIndex(app, i, p, opts.Speculate)
+			out[i].s, out[i].err = m.fetchIndexRetry(app, i, p, opts, oc)
 		}(i)
 	}
 	wg.Wait()
@@ -231,11 +292,16 @@ func (m *Manager) collectStar(app string, p shard.Placement, opts Options) ([]sh
 	return shards, nil
 }
 
-// fetchIndex retrieves one replica of a shard index, trying replica
-// holders in order and skipping dead or shardless ones.
-func (m *Manager) fetchIndex(app string, index int, p shard.Placement, speculate bool) (shard.Shard, error) {
+// fetchIndexRetry retrieves one replica of a shard index. Holders are
+// tried in replica order; a full pass with no success is retried up to
+// opts.FailoverRetries times with exponentially growing backoff (so a
+// transiently crashed provider can come back). With opts.DisableFailover
+// a single pass is made, reproducing the original abort-on-loss
+// behaviour. With opts.Speculate the first two replicas are raced before
+// falling back to the ordered passes.
+func (m *Manager) fetchIndexRetry(app string, index int, p shard.Placement, opts Options, oc *outcomeRecorder) (shard.Shard, error) {
 	holders := p.NodesForIndex(index)
-	if speculate && len(holders) > 1 {
+	if opts.Speculate && len(holders) > 1 {
 		type res struct {
 			s  shard.Shard
 			ok bool
@@ -252,15 +318,38 @@ func (m *Manager) fetchIndex(app string, index int, p shard.Placement, speculate
 				return r.s, nil
 			}
 		}
-		holders = holders[2:]
 	}
-	for _, h := range holders {
-		s, err := m.fetchFrom(h, app, index)
-		if err == nil {
-			return s, nil
+	rounds := opts.FailoverRetries
+	if opts.DisableFailover {
+		rounds = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	for round := 0; ; round++ {
+		for hi, h := range holders {
+			s, err := m.fetchFrom(h, app, index)
+			if err == nil {
+				if round > 0 || hi > 0 {
+					oc.failover(1, len(s.Data))
+				}
+				return s, nil
+			}
+			if !errors.Is(err, ErrShardLost) {
+				oc.deadNode(h)
+			}
 		}
+		if round >= rounds {
+			if opts.DisableFailover {
+				return shard.Shard{}, fmt.Errorf("shard index %d: %w", index, ErrShardLost)
+			}
+			return shard.Shard{}, fmt.Errorf("shard index %d: %w", index, ErrReplicasExhausted)
+		}
+		oc.attempt()
+		time.Sleep(backoff)
+		backoff *= 2
 	}
-	return shard.Shard{}, ErrShardLost
 }
 
 func (m *Manager) fetchFrom(holder id.ID, app string, index int) (shard.Shard, error) {
@@ -289,49 +378,10 @@ func (m *Manager) fetchFrom(holder id.ID, app string, index int) (shard.Shard, e
 	return reply.Shard, nil
 }
 
-// collectLine runs the chain collection (paper §3.5): the request enters
-// at the farthest provider and shards accumulate stage by stage.
-func (m *Manager) collectLine(app string, stages []stage) ([]shard.Shard, error) {
-	if len(stages) == 0 {
-		return nil, ErrShardLost
-	}
-	// The replacement may itself hold shards (it is a leaf-set member);
-	// contribute them locally rather than over the wire.
-	var local []shard.Shard
-	chain := make([]stage, 0, len(stages))
-	for _, st := range stages {
-		if st.Node == m.node.ID() {
-			local = append(local, m.localShardsFor(app, st.Indices)...)
-			continue
-		}
-		chain = append(chain, st)
-	}
-	if len(chain) == 0 {
-		return local, nil
-	}
-	resp, err := m.node.Send(chain[0].Node, simnet.Message{
-		Kind:    kindLineCollect,
-		Size:    msgHeader + 64,
-		Payload: &lineCollectMsg{App: app, Chain: chain},
-	})
-	if err != nil {
-		return nil, err
-	}
-	reply, ok := resp.Payload.(*collectReply)
-	if !ok {
-		return nil, fmt.Errorf("recovery: bad line reply %T", resp.Payload)
-	}
-	return append(local, reply.Shards...), nil
-}
-
-// collectTree runs the spanning-tree collection (paper §3.6) with the
-// given fan-out.
-func (m *Manager) collectTree(app string, stages []stage, fanout int) ([]shard.Shard, error) {
-	if len(stages) == 0 {
-		return nil, ErrShardLost
-	}
-	var local []shard.Shard
-	remote := make([]stage, 0, len(stages))
+// splitLocal separates the stages this manager can serve from local
+// storage from those needing the wire, contributing the local shards.
+func (m *Manager) splitLocal(app string, stages []stage) (local []shard.Shard, remote []stage) {
+	remote = make([]stage, 0, len(stages))
 	for _, st := range stages {
 		if st.Node == m.node.ID() {
 			local = append(local, m.localShardsFor(app, st.Indices)...)
@@ -339,23 +389,207 @@ func (m *Manager) collectTree(app string, stages []stage, fanout int) ([]shard.S
 		}
 		remote = append(remote, st)
 	}
-	root := buildTree(remote, fanout)
-	if root == nil {
-		return local, nil
+	return local, remote
+}
+
+// missingIndices lists the shard indices of p not yet present in acc.
+func missingIndices(p shard.Placement, acc []shard.Shard) []int {
+	have := make(map[int]bool, len(acc))
+	for _, s := range acc {
+		if s.App == p.App {
+			have[s.Index] = true
+		}
 	}
-	resp, err := m.node.Send(root.Stage.Node, simnet.Message{
-		Kind:    kindTreeCollect,
-		Size:    msgHeader + 64,
-		Payload: &treeCollectMsg{App: app, Tree: root},
-	})
-	if err != nil {
+	var out []int
+	for i := 0; i < p.M; i++ {
+		if !have[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// replanStages picks, for every missing index, a replica holder not yet
+// observed dead, and groups indices by holder (deterministic order). It
+// returns nil when some index has no remaining candidate — the caller
+// then falls down the ladder.
+func replanStages(p shard.Placement, missing []int, dead map[id.ID]bool) []stage {
+	byHolder := make(map[id.ID][]int, len(missing))
+	for _, i := range missing {
+		found := false
+		for _, h := range p.NodesForIndex(i) {
+			if dead[h] {
+				continue
+			}
+			byHolder[h] = append(byHolder[h], i)
+			found = true
+			break
+		}
+		if !found {
+			return nil
+		}
+	}
+	holders := make([]id.ID, 0, len(byHolder))
+	for h := range byHolder {
+		holders = append(holders, h)
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i].Less(holders[j]) })
+	stages := make([]stage, 0, len(holders))
+	for _, h := range holders {
+		idx := byHolder[h]
+		sort.Ints(idx)
+		stages = append(stages, stage{Node: h, Indices: idx})
+	}
+	return stages
+}
+
+// collectLine runs the chain collection (paper §3.5): the request enters
+// at the farthest provider and shards accumulate stage by stage. When a
+// stage dies mid-chain, the partial accumulation unwinds to the
+// replacement, which re-plans the remaining indices over surviving
+// replicas (avoiding observed-dead nodes) and resumes — repeatedly, with
+// backoff, until the state is whole or opts.FailoverRetries is spent;
+// any remainder degrades to direct star-style fetches.
+func (m *Manager) collectLine(app string, stages []stage, p shard.Placement, opts Options, oc *outcomeRecorder) ([]shard.Shard, error) {
+	if len(stages) == 0 {
+		return nil, ErrShardLost
+	}
+	oc.attempt()
+	dead := make(map[id.ID]bool)
+	acc, chain := m.splitLocal(app, stages)
+
+	// sendChain walks one chain, appending whatever it gathered. Only
+	// with DisableFailover does a dead stage surface as an error.
+	sendChain := func(chain []stage) error {
+		if len(chain) == 0 {
+			return nil
+		}
+		resp, err := m.node.Send(chain[0].Node, simnet.Message{
+			Kind:    kindLineCollect,
+			Size:    msgHeader + 64,
+			Payload: &lineCollectMsg{App: app, Chain: chain, NoFailover: opts.DisableFailover},
+		})
+		if err != nil {
+			if opts.DisableFailover {
+				return err
+			}
+			oc.deadNode(chain[0].Node)
+			dead[chain[0].Node] = true
+			return nil
+		}
+		reply, ok := resp.Payload.(*collectReply)
+		if !ok {
+			return fmt.Errorf("recovery: bad line reply %T", resp.Payload)
+		}
+		acc = append(acc, reply.Shards...)
+		for _, d := range reply.Dead {
+			oc.deadNode(d)
+			dead[d] = true
+		}
+		return nil
+	}
+
+	if err := sendChain(chain); err != nil {
 		return nil, err
 	}
-	reply, ok := resp.Payload.(*collectReply)
-	if !ok {
-		return nil, fmt.Errorf("recovery: bad tree reply %T", resp.Payload)
+	missing := missingIndices(p, acc)
+	if opts.DisableFailover {
+		if len(missing) > 0 {
+			return nil, fmt.Errorf("line: %d shard indices uncollected: %w", len(missing), ErrShardLost)
+		}
+		return acc, nil
 	}
-	return append(local, reply.Shards...), nil
+
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	for replan := 0; len(missing) > 0 && replan < opts.FailoverRetries; replan++ {
+		next := replanStages(p, missing, dead)
+		if next == nil {
+			break // some index has no non-dead candidate left: try star below
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		oc.attempt()
+		sizeBefore := shardsSize(acc)
+		local, chain := m.splitLocal(app, next)
+		acc = append(acc, local...)
+		if err := sendChain(chain); err != nil {
+			return nil, err
+		}
+		still := missingIndices(p, acc)
+		oc.failover(len(missing)-len(still), shardsSize(acc)-sizeBefore)
+		missing = still
+	}
+	if len(missing) > 0 {
+		// Ladder: finish the stragglers star-style, replica by replica.
+		oc.degrade(Star)
+		for _, idx := range missing {
+			s, err := m.fetchIndexRetry(app, idx, p, opts, oc)
+			if err != nil {
+				return nil, fmt.Errorf("line degraded to star, index %d: %w", idx, err)
+			}
+			oc.failover(1, len(s.Data))
+			acc = append(acc, s)
+		}
+	}
+	return acc, nil
+}
+
+// collectTree runs the spanning-tree collection (paper §3.6) with the
+// given fan-out. A dead subtree is dropped from the union by its parent;
+// the replacement then degrades the missing sub-shards to direct
+// star-style fetches of surviving replicas (the tree → star rung of the
+// failover ladder).
+func (m *Manager) collectTree(app string, stages []stage, fanout int, p shard.Placement, opts Options, oc *outcomeRecorder) ([]shard.Shard, error) {
+	if len(stages) == 0 {
+		return nil, ErrShardLost
+	}
+	oc.attempt()
+	acc, remote := m.splitLocal(app, stages)
+	root := buildTree(remote, fanout)
+	if root != nil {
+		resp, err := m.node.Send(root.Stage.Node, simnet.Message{
+			Kind:    kindTreeCollect,
+			Size:    msgHeader + 64,
+			Payload: &treeCollectMsg{App: app, Tree: root, NoFailover: opts.DisableFailover},
+		})
+		if err != nil {
+			if opts.DisableFailover {
+				return nil, err
+			}
+			oc.deadNode(root.Stage.Node)
+		} else {
+			reply, ok := resp.Payload.(*collectReply)
+			if !ok {
+				return nil, fmt.Errorf("recovery: bad tree reply %T", resp.Payload)
+			}
+			acc = append(acc, reply.Shards...)
+			for _, d := range reply.Dead {
+				oc.deadNode(d)
+			}
+		}
+	}
+	missing := missingIndices(p, acc)
+	if opts.DisableFailover {
+		if len(missing) > 0 {
+			return nil, fmt.Errorf("tree: %d shard indices uncollected: %w", len(missing), ErrShardLost)
+		}
+		return acc, nil
+	}
+	if len(missing) > 0 {
+		oc.degrade(Star)
+		for _, idx := range missing {
+			s, err := m.fetchIndexRetry(app, idx, p, opts, oc)
+			if err != nil {
+				return nil, fmt.Errorf("tree degraded to star, index %d: %w", idx, err)
+			}
+			oc.failover(1, len(s.Data))
+			acc = append(acc, s)
+		}
+	}
+	return acc, nil
 }
 
 // CollectStarForTest runs the star collection and reassembly directly on
@@ -363,7 +597,7 @@ func (m *Manager) collectTree(app string, stages []stage, fanout int) ([]shard.S
 // TCP-transport integration tests, which have no Ring to coordinate
 // through.
 func (m *Manager) CollectStarForTest(app string, p shard.Placement) ([]byte, error) {
-	shards, err := m.collectStar(app, p, DefaultOptions())
+	shards, err := m.collectStar(app, p, DefaultOptions(), newOutcomeRecorder())
 	if err != nil {
 		return nil, err
 	}

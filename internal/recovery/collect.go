@@ -21,10 +21,17 @@ type lineCollectMsg struct {
 	App   string
 	Chain []stage // remaining stages, first is the recipient
 	Acc   []shard.Shard
+	// NoFailover propagates Options.DisableFailover down the chain: a
+	// dead stage aborts the collection instead of returning a partial.
+	NoFailover bool
 }
 
 type collectReply struct {
 	Shards []shard.Shard
+	// Dead lists providers observed unreachable during the collection,
+	// so the replacement's replan can route around them. The replacement
+	// derives which shard indices are still missing from Shards itself.
+	Dead []id.ID
 }
 
 func shardsSize(ss []shard.Shard) int {
@@ -37,14 +44,16 @@ func shardsSize(ss []shard.Shard) int {
 
 // handleLineCollect runs at each chain stage: contribute local shards,
 // then forward the accumulated set to the next stage; the final stage
-// returns the full set, which unwinds to the replacement.
+// returns the full set, which unwinds to the replacement. When the next
+// stage is dead, the partial accumulation unwinds instead (with the dead
+// node reported), and the replacement replans around the loss.
 func (m *Manager) handleLineCollect(_ id.ID, msg simnet.Message) (simnet.Message, error) {
 	req, ok := msg.Payload.(*lineCollectMsg)
 	if !ok {
 		return simnet.Message{}, fmt.Errorf("recovery: bad line payload %T", msg.Payload)
 	}
 	if len(req.Chain) == 0 || req.Chain[0].Node != m.node.ID() {
-		return simnet.Message{}, fmt.Errorf("recovery: line chain misrouted at %s", m.node.ID().Short())
+		return simnet.Message{}, fmt.Errorf("%w: line chain at %s", ErrMisrouted, m.node.ID().Short())
 	}
 	acc := append(req.Acc, m.localShardsFor(req.App, req.Chain[0].Indices)...)
 	rest := req.Chain[1:]
@@ -55,14 +64,23 @@ func (m *Manager) handleLineCollect(_ id.ID, msg simnet.Message) (simnet.Message
 			Payload: &collectReply{Shards: acc},
 		}, nil
 	}
-	fwd := &lineCollectMsg{App: req.App, Chain: rest, Acc: acc}
+	fwd := &lineCollectMsg{App: req.App, Chain: rest, Acc: acc, NoFailover: req.NoFailover}
 	resp, err := m.node.Send(rest[0].Node, simnet.Message{
 		Kind:    kindLineCollect,
 		Size:    msgHeader + shardsSize(acc),
 		Payload: fwd,
 	})
 	if err != nil {
-		return simnet.Message{}, fmt.Errorf("line forward to %s: %w", rest[0].Node.Short(), err)
+		if req.NoFailover {
+			return simnet.Message{}, fmt.Errorf("line forward to %s: %w: %v", rest[0].Node.Short(), ErrProviderLost, err)
+		}
+		// Dead stage: unwind what we have; the replacement resumes with
+		// these shards and replans the remainder around the dead node.
+		return simnet.Message{
+			Kind:    kindAck,
+			Size:    msgHeader + shardsSize(acc),
+			Payload: &collectReply{Shards: acc, Dead: []id.ID{rest[0].Node}},
+		}, nil
 	}
 	return resp, nil
 }
@@ -76,40 +94,50 @@ type treeNode struct {
 type treeCollectMsg struct {
 	App  string
 	Tree *treeNode // rooted at the recipient
+	// NoFailover propagates Options.DisableFailover down the tree.
+	NoFailover bool
 }
 
 // handleTreeCollect runs at each tree member: collect children's shard
 // sets (each child gathers its own subtree), merge with local shards, and
 // return the union to the parent (paper Fig 5/6: sub-shards recombined
-// up the spanning tree).
+// up the spanning tree). A dead child drops its whole subtree from the
+// union (the child's node is reported dead); the replacement degrades
+// those sub-shards to direct star-style fetches.
 func (m *Manager) handleTreeCollect(_ id.ID, msg simnet.Message) (simnet.Message, error) {
 	req, ok := msg.Payload.(*treeCollectMsg)
 	if !ok {
 		return simnet.Message{}, fmt.Errorf("recovery: bad tree payload %T", msg.Payload)
 	}
 	if req.Tree == nil || req.Tree.Stage.Node != m.node.ID() {
-		return simnet.Message{}, fmt.Errorf("recovery: tree collect misrouted at %s", m.node.ID().Short())
+		return simnet.Message{}, fmt.Errorf("%w: tree collect at %s", ErrMisrouted, m.node.ID().Short())
 	}
 	acc := m.localShardsFor(req.App, req.Tree.Stage.Indices)
+	var dead []id.ID
 	for _, child := range req.Tree.Children {
 		resp, err := m.node.Send(child.Stage.Node, simnet.Message{
 			Kind:    kindTreeCollect,
 			Size:    msgHeader + 64,
-			Payload: &treeCollectMsg{App: req.App, Tree: child},
+			Payload: &treeCollectMsg{App: req.App, Tree: child, NoFailover: req.NoFailover},
 		})
 		if err != nil {
-			return simnet.Message{}, fmt.Errorf("tree collect from %s: %w", child.Stage.Node.Short(), err)
+			if req.NoFailover {
+				return simnet.Message{}, fmt.Errorf("tree collect from %s: %w: %v", child.Stage.Node.Short(), ErrProviderLost, err)
+			}
+			dead = append(dead, child.Stage.Node)
+			continue
 		}
 		reply, ok := resp.Payload.(*collectReply)
 		if !ok {
 			return simnet.Message{}, fmt.Errorf("recovery: bad tree reply %T", resp.Payload)
 		}
 		acc = append(acc, reply.Shards...)
+		dead = append(dead, reply.Dead...)
 	}
 	return simnet.Message{
 		Kind:    kindAck,
 		Size:    msgHeader + shardsSize(acc),
-		Payload: &collectReply{Shards: acc},
+		Payload: &collectReply{Shards: acc, Dead: dead},
 	}, nil
 }
 

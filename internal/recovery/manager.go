@@ -104,7 +104,20 @@ func (m *Manager) Save(app string, snapshot []byte, mShards, replicas int, v sta
 	for _, s := range reps {
 		target := placement.Loc[s.Key()]
 		if err := m.pushShard(target, s); err != nil {
-			return shard.Placement{}, fmt.Errorf("save %q shard %s: %w", app, s.Key(), err)
+			return shard.Placement{}, fmt.Errorf("save %q shard %s: %w: %v", app, s.Key(), ErrSaveAborted, err)
+		}
+	}
+
+	// Churn guard: the leaf set may have changed while shards were being
+	// pushed. Publishing a placement that points at departed nodes would
+	// poison every future recovery of this state, so re-verify the
+	// holders and abort cleanly instead.
+	for _, holder := range placement.Holders() {
+		if holder == m.node.ID() {
+			continue
+		}
+		if !m.node.PeerAlive(holder) {
+			return shard.Placement{}, fmt.Errorf("save %q: holder %s departed: %w", app, holder.Short(), ErrSaveAborted)
 		}
 	}
 
@@ -117,7 +130,7 @@ func (m *Manager) Save(app string, snapshot []byte, mShards, replicas int, v sta
 		return shard.Placement{}, fmt.Errorf("save %q: %w", app, err)
 	}
 	if err := m.node.Put(placementKVKey(app), blob); err != nil {
-		return shard.Placement{}, fmt.Errorf("save %q placement: %w", app, err)
+		return shard.Placement{}, fmt.Errorf("save %q placement: %w: %v", app, ErrSaveAborted, err)
 	}
 	return placement, nil
 }

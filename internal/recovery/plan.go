@@ -150,6 +150,44 @@ func (p *Planner) Star(spec PlanSpec, opts Options) simnet.TaskID {
 	return p.compute(spec.Replacement, spec.TotalBytes, spec.App+"/star/merge", deps...)
 }
 
+// splitHedged partitions the spec's stages into structure members and
+// straggler stages that speculation lifts out of the structure entirely.
+// This mirrors the executor's failover ladder: line replans its chain
+// around a slow or dead member, tree degrades a failed subtree, and in
+// both cases the displaced shards are fetched star-style straight from a
+// backup replica. Without Options.Speculate all stages stay in place.
+func splitHedged(spec PlanSpec, opts Options) (kept, hedged []PlanStage) {
+	if !opts.Speculate {
+		return spec.Stages, nil
+	}
+	for _, st := range spec.Stages {
+		if st.Straggler && st.Backup != "" {
+			hedged = append(hedged, st)
+			continue
+		}
+		kept = append(kept, st)
+	}
+	return kept, hedged
+}
+
+// hedge emits the degraded direct fetches for stages speculation lifted
+// out of a line/tree structure: a quarter of the straggler's volume is
+// wasted before its in-structure stream is abandoned, then the backup
+// replica uploads the full stage to the replacement after the
+// speculation delay. Returns the tasks the final restore must wait for.
+func (p *Planner) hedge(spec PlanSpec, hedged []PlanStage, scheme string) []simnet.TaskID {
+	deps := make([]simnet.TaskID, 0, len(hedged))
+	for i, st := range hedged {
+		p.transfer(st.Node, spec.Replacement, st.Bytes/4,
+			spec.RouteDelay+spec.stageDelay(st),
+			fmt.Sprintf("%s/%s/abort%d", spec.App, scheme, i))
+		deps = append(deps, p.transfer(st.Backup, spec.Replacement, st.Bytes,
+			spec.RouteDelay+spec.SpeculationDelay,
+			fmt.Sprintf("%s/%s/spec%d", spec.App, scheme, i)))
+	}
+	return deps
+}
+
 // mergeCheapFactor reflects that concatenating already-reconstructed
 // shards is much cheaper than the full deserialize-and-merge the star
 // replacement performs: line/tree stages pay 1/5 of the byte cost.
@@ -168,9 +206,11 @@ const tokenBytes = 1024
 // opts.LinePathLength regroups providers into that many stages (0 = one
 // stage per provider; Fig 9b sweeps this).
 func (p *Planner) Line(spec PlanSpec, opts Options) simnet.TaskID {
-	stages := regroupStages(spec.Stages, opts.LinePathLength)
+	chain, hedgedStages := splitHedged(spec, opts)
+	restoreDeps := p.hedge(spec, hedgedStages, "line")
+	stages := regroupStages(chain, opts.LinePathLength)
 	if len(stages) == 0 {
-		return p.compute(spec.Replacement, spec.TotalBytes/mergeCheapFactor, spec.App+"/line/restore")
+		return p.compute(spec.Replacement, spec.TotalBytes/mergeCheapFactor, spec.App+"/line/restore", restoreDeps...)
 	}
 	acc := 0.0
 	var token simnet.TaskID
@@ -200,7 +240,8 @@ func (p *Planner) Line(spec PlanSpec, opts Options) simnet.TaskID {
 			hasToken = true
 		}
 	}
-	return p.compute(spec.Replacement, spec.TotalBytes/mergeCheapFactor, spec.App+"/line/restore", lastBulk)
+	return p.compute(spec.Replacement, spec.TotalBytes/mergeCheapFactor, spec.App+"/line/restore",
+		append(restoreDeps, lastBulk)...)
 }
 
 // Tree emits the tree-structured plan (paper §3.6): providers form
@@ -222,9 +263,11 @@ func (p *Planner) Tree(spec PlanSpec, opts Options) simnet.TaskID {
 	if depth <= 0 {
 		depth = 1 << 20 // uncapped
 	}
-	stages := regroupStages(spec.Stages, fanout*depth)
+	members, hedgedStages := splitHedged(spec, opts)
+	restoreDeps := p.hedge(spec, hedgedStages, "tree")
+	stages := regroupStages(members, fanout*depth)
 	if len(stages) == 0 {
-		return p.compute(spec.Replacement, spec.TotalBytes/mergeCheapFactor, spec.App+"/tree/restore")
+		return p.compute(spec.Replacement, spec.TotalBytes/mergeCheapFactor, spec.App+"/tree/restore", restoreDeps...)
 	}
 
 	// Contiguous branches of at most `depth` members.
@@ -280,7 +323,7 @@ func (p *Planner) Tree(spec PlanSpec, opts Options) simnet.TaskID {
 	// No flow penalty here: the tree bounds its fan-in by construction
 	// ("respects bandwidth asymmetry", §3.6), unlike star's uncontrolled
 	// convergence.
-	deps := make([]simnet.TaskID, 0, len(finals))
+	deps := append([]simnet.TaskID(nil), restoreDeps...)
 	for b, h := range finals {
 		deps = append(deps, p.transfer(h.node, spec.Replacement, h.bytes, h.delay,
 			fmt.Sprintf("%s/tree/final%d", spec.App, b)))

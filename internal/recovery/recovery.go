@@ -23,6 +23,7 @@ package recovery
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Mechanism selects the recovery structure.
@@ -61,9 +62,27 @@ type Options struct {
 	TreeFanoutBit int
 	// TreeBranchDepth caps the tree depth (Fig 9c).
 	TreeBranchDepth int
-	// Speculate re-requests a shard from the next replica when a provider
-	// stalls (straggler mitigation, paper §6 future work).
+	// Speculate hedges slow or lost providers with a concurrent request
+	// to the next replica (straggler mitigation, paper §6 future work).
+	// All three mechanisms honor it: the star executor and planner hedge
+	// the initial fetches, and the line/tree planners hedge straggler
+	// stages with their Backup replica. It complements — not replaces —
+	// the failover ladder below, which handles providers that are
+	// actually dead rather than merely slow.
 	Speculate bool
+	// FailoverRetries bounds how many extra passes the failover logic
+	// makes over a shard's replica holders after a provider loss: star
+	// retry rounds, line chain replans, and tree sub-shard refetches all
+	// count against it. 0 still allows one full pass over the replicas.
+	FailoverRetries int
+	// RetryBackoff is the pause before the first failover pass; it
+	// doubles on every subsequent pass (exponential backoff), giving
+	// transiently-dead providers time to come back.
+	RetryBackoff time.Duration
+	// DisableFailover reverts to the pre-chaos behaviour: the first
+	// provider lost mid-recovery aborts the whole recovery. The chaos
+	// tests and ablations use it to demonstrate the failover win.
+	DisableFailover bool
 }
 
 // DefaultOptions returns the defaults used by the evaluation unless a
@@ -74,6 +93,8 @@ func DefaultOptions() Options {
 		LinePathLength:  0, // 0 = one stage per shard
 		TreeFanoutBit:   1,
 		TreeBranchDepth: 8,
+		FailoverRetries: 3,
+		RetryBackoff:    10 * time.Millisecond,
 	}
 }
 
@@ -83,4 +104,43 @@ var (
 	ErrShardLost     = errors.New("recovery: some shard has no live replica")
 	ErrNoReplacement = errors.New("recovery: no live node available as replacement")
 	ErrBadMechanism  = errors.New("recovery: unknown mechanism")
+	// ErrProviderLost reports a provider dying mid-recovery; with
+	// failover disabled it aborts the recovery, otherwise the ladder
+	// routes around it.
+	ErrProviderLost = errors.New("recovery: provider lost mid-recovery")
+	// ErrReplicasExhausted is the failover ladder's floor: every replica
+	// of some shard was tried (with retries and backoff) and none answered.
+	ErrReplicasExhausted = errors.New("recovery: all replicas of a shard exhausted")
+	// ErrMisrouted reports a line/tree collect message delivered to a
+	// node that is not the stage it was built for (stale plan or overlay
+	// churn between planning and execution).
+	ErrMisrouted = errors.New("recovery: collect message misrouted")
+	// ErrSaveAborted reports a Save interrupted by leaf-set churn: a
+	// shard push failed or a target departed before the placement was
+	// published. Nothing was published; the caller may retry.
+	ErrSaveAborted = errors.New("recovery: save aborted by leaf-set churn")
 )
+
+// Outcome reports how a recovery weathered provider faults. It is
+// attached to every Result so operators, the bench harness and
+// metrics aggregation (metrics.FailoverStats) can see what the failover
+// ladder actually did.
+type Outcome struct {
+	// Attempts counts collection passes: the initial one plus every
+	// retry round or chain replan.
+	Attempts int
+	// Failovers counts shard fetches that succeeded only after being
+	// redirected to another replica or retried.
+	Failovers int
+	// RetriedBytes sums the shard bytes obtained through those failover
+	// fetches.
+	RetriedBytes int
+	// DeadProviders counts distinct providers observed unreachable
+	// mid-recovery.
+	DeadProviders int
+	// Degraded reports that the mechanism fell down the failover ladder
+	// (line/tree finishing some shards star-style); DegradedTo names the
+	// rung that finished the job.
+	Degraded   bool
+	DegradedTo Mechanism
+}

@@ -1,0 +1,285 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"sr3/internal/id"
+)
+
+// Chaos-injected failures. Callers treat both like any other transport
+// failure (a lost packet or an unreachable peer).
+var (
+	ErrLinkDropped  = errors.New("simnet: message dropped by fault injection")
+	ErrPartitioned  = errors.New("simnet: link severed by network partition")
+	ErrChaosCrashed = errors.New("simnet: node crashed by fault schedule")
+)
+
+// LinkFaults describes probabilistic per-message faults on transport
+// links. Probabilities are in [0,1] and evaluated independently per
+// message from a deterministic per-link sequence (see Chaos), so a run
+// with the same seed and the same per-link message order reproduces the
+// same faults.
+type LinkFaults struct {
+	// DropProb is the probability a request is lost before delivery (the
+	// sender sees an error, as it would a timed-out TCP call).
+	DropProb float64
+	// DupProb is the probability the request is delivered twice
+	// back-to-back, exercising handler idempotency.
+	DupProb float64
+	// DelayProb is the probability the delivery is delayed by Delay.
+	DelayProb float64
+	// Delay is the injected latency for delayed messages.
+	Delay time.Duration
+	// KindPrefix restricts fault injection to messages whose Kind starts
+	// with this prefix ("" = all traffic). Chaos runs use this to target
+	// one protocol layer (e.g. "sr3." for recovery traffic) without
+	// destabilizing the overlay underneath.
+	KindPrefix string
+}
+
+// CrashSchedule kills a node at a deterministic point in the message
+// flow: when the node is about to receive its AfterMessages-th message
+// whose Kind starts with KindPrefix, it crashes (the triggering message
+// fails like a connect to a dead peer). A zero Downtime is a permanent
+// crash; otherwise the node restarts after that long. This is how chaos
+// tests express "kill provider X mid-recovery".
+type CrashSchedule struct {
+	Node id.ID
+	// KindPrefix selects which inbound messages count ("" = all).
+	KindPrefix string
+	// AfterMessages is the 1-based count of matching messages at which
+	// the crash fires.
+	AfterMessages int
+	// Downtime is how long the node stays dead (0 = forever).
+	Downtime time.Duration
+}
+
+type crashState struct {
+	CrashSchedule
+	seen  int
+	fired bool
+}
+
+// ChaosStats counts injected faults, for assertions and reports.
+type ChaosStats struct {
+	Dropped    int
+	Duplicated int
+	Delayed    int
+	Crashes    int
+	Severed    int // calls blocked by a partition
+}
+
+// Chaos is a deterministic fault-injection plan attached to a Network.
+// All probabilistic decisions derive from a seed hashed with the link
+// endpoints and a per-link message counter, so they do not depend on
+// goroutine interleaving across links: the n-th message on a given link
+// always receives the same verdict for a given seed.
+type Chaos struct {
+	mu      sync.Mutex
+	seed    uint64
+	faults  LinkFaults
+	perLink map[[2]id.ID]*LinkFaults
+	seq     map[[2]id.ID]uint64
+	groups  map[id.ID]int
+	crashes []*crashState
+	stats   ChaosStats
+}
+
+// NewChaos returns an empty fault plan with the given seed.
+func NewChaos(seed int64) *Chaos {
+	return &Chaos{
+		seed:    uint64(seed),
+		perLink: make(map[[2]id.ID]*LinkFaults),
+		seq:     make(map[[2]id.ID]uint64),
+		groups:  make(map[id.ID]int),
+	}
+}
+
+// SetLinkFaults installs the default per-message fault probabilities
+// applied to every link.
+func (c *Chaos) SetLinkFaults(f LinkFaults) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = f
+}
+
+// SetLink overrides fault probabilities for one directed link.
+func (c *Chaos) SetLink(from, to id.ID, f LinkFaults) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc := f
+	c.perLink[[2]id.ID{from, to}] = &fc
+}
+
+// Crash adds a crash schedule.
+func (c *Chaos) Crash(s CrashSchedule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashes = append(c.crashes, &crashState{CrashSchedule: s})
+}
+
+// Partition splits the listed nodes into isolated groups: a call between
+// nodes of different groups fails with ErrPartitioned. Nodes not listed
+// in any group keep full connectivity. Calling Partition replaces any
+// previous partition.
+func (c *Chaos) Partition(groups ...[]id.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.groups = make(map[id.ID]int)
+	for g, members := range groups {
+		for _, nid := range members {
+			c.groups[nid] = g
+		}
+	}
+}
+
+// Heal removes the current partition.
+func (c *Chaos) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.groups = make(map[id.ID]int)
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *Chaos) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// chaosAction is the verdict for one message.
+type chaosAction struct {
+	block    error // non-nil: fail the call with this error
+	crash    bool
+	downtime time.Duration
+	dup      bool
+	delay    time.Duration
+}
+
+// decide evaluates the fault plan for one inbound message. It is called
+// by Network.Call with no Network locks held.
+func (c *Chaos) decide(from, to id.ID, kind string) chaosAction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Partition first: a severed link fails before any node-local fault.
+	if len(c.groups) > 0 {
+		gf, fok := c.groups[from]
+		gt, tok := c.groups[to]
+		if fok && tok && gf != gt {
+			c.stats.Severed++
+			return chaosAction{block: ErrPartitioned}
+		}
+	}
+
+	// Crash schedules: count this arrival against every matching
+	// schedule for the destination.
+	for _, cs := range c.crashes {
+		if cs.fired || cs.Node != to || !strings.HasPrefix(kind, cs.KindPrefix) {
+			continue
+		}
+		cs.seen++
+		if cs.seen >= cs.AfterMessages {
+			cs.fired = true
+			c.stats.Crashes++
+			return chaosAction{block: ErrChaosCrashed, crash: true, downtime: cs.Downtime}
+		}
+	}
+
+	// Probabilistic link faults from the deterministic per-link stream.
+	f := c.faults
+	if lf, ok := c.perLink[[2]id.ID{from, to}]; ok {
+		f = *lf
+	}
+	if !strings.HasPrefix(kind, f.KindPrefix) {
+		return chaosAction{}
+	}
+	if f.DropProb <= 0 && f.DupProb <= 0 && f.DelayProb <= 0 {
+		return chaosAction{}
+	}
+	key := [2]id.ID{from, to}
+	n := c.seq[key]
+	c.seq[key] = n + 1
+
+	var act chaosAction
+	if chaosUnit(c.seed, from, to, n, 0) < f.DropProb {
+		c.stats.Dropped++
+		act.block = ErrLinkDropped
+		return act
+	}
+	if chaosUnit(c.seed, from, to, n, 1) < f.DupProb {
+		c.stats.Duplicated++
+		act.dup = true
+	}
+	if chaosUnit(c.seed, from, to, n, 2) < f.DelayProb {
+		c.stats.Delayed++
+		act.delay = f.Delay
+	}
+	return act
+}
+
+// chaosUnit hashes (seed, link, per-link sequence number, fault channel)
+// to a uniform float64 in [0,1). splitmix64-style finalization.
+func chaosUnit(seed uint64, from, to id.ID, n uint64, channel uint64) float64 {
+	h := seed ^ (n * 0x9e3779b97f4a7c15) ^ (channel * 0xbf58476d1ce4e5b9)
+	for i := 0; i < id.Bytes; i += 8 {
+		h = mix64(h ^ beU64(from[i:i+8]))
+		h = mix64(h ^ beU64(to[i:i+8]))
+	}
+	h = mix64(h)
+	return float64(h>>11) / float64(1<<53)
+}
+
+func beU64(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SetChaos attaches (or, with nil, detaches) a fault-injection plan to
+// the transport. Faults apply to subsequent Calls.
+func (n *Network) SetChaos(c *Chaos) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.chaos = c
+}
+
+// applyChaos evaluates the fault plan for one delivery. It returns an
+// error if the message should fail, and reports whether the delivery
+// should be duplicated. Crashes mark the destination down on the spot
+// (and schedule its revival when the schedule has a Downtime).
+func (n *Network) applyChaos(from, to id.ID, kind string) (dup bool, err error) {
+	n.mu.RLock()
+	c := n.chaos
+	n.mu.RUnlock()
+	if c == nil {
+		return false, nil
+	}
+	act := c.decide(from, to, kind)
+	if act.crash {
+		n.Fail(to)
+		if act.downtime > 0 {
+			time.AfterFunc(act.downtime, func() { n.Restore(to) })
+		}
+	}
+	if act.block != nil {
+		return false, fmt.Errorf("call to %s: %w", to.Short(), act.block)
+	}
+	if act.delay > 0 {
+		time.Sleep(act.delay)
+	}
+	return act.dup, nil
+}

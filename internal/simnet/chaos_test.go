@@ -1,0 +1,254 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sr3/internal/id"
+)
+
+// chaosNet registers n echo endpoints and returns the network plus IDs.
+func chaosNet(t *testing.T, n int) (*Network, []id.ID) {
+	t.Helper()
+	net := NewNetwork()
+	ids := make([]id.ID, n)
+	for i := range ids {
+		ids[i] = id.HashKey(fmt.Sprintf("chaos-node-%d", i))
+		nid := ids[i]
+		if err := net.Register(nid, func(from id.ID, msg Message) (Message, error) {
+			return Message{Kind: "echo", Size: msg.Size, Payload: msg.Payload}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, ids
+}
+
+// TestChaosDropsAreDeterministic runs the same message sequence twice
+// under the same seed and once under a different seed: identical seeds
+// must produce identical per-message verdicts.
+func TestChaosDropsAreDeterministic(t *testing.T) {
+	verdicts := func(seed int64) []bool {
+		net, ids := chaosNet(t, 2)
+		ch := NewChaos(seed)
+		ch.SetLinkFaults(LinkFaults{DropProb: 0.4})
+		net.SetChaos(ch)
+		out := make([]bool, 0, 64)
+		for i := 0; i < 64; i++ {
+			_, err := net.Call(ids[0], ids[1], Message{Kind: "m", Size: 10})
+			out = append(out, err != nil)
+			if err != nil && !errors.Is(err, ErrLinkDropped) {
+				t.Fatalf("unexpected error %v", err)
+			}
+		}
+		return out
+	}
+	a, b := verdicts(99), verdicts(99)
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at message %d", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("drop pattern degenerate: %d/%d dropped", drops, len(a))
+	}
+	c := verdicts(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical verdicts")
+	}
+}
+
+// TestChaosVerdictsIndependentOfOtherLinks checks that traffic on one
+// link does not perturb another link's fault stream — the property that
+// makes chaos runs reproducible under goroutine interleaving.
+func TestChaosVerdictsIndependentOfOtherLinks(t *testing.T) {
+	run := func(noise int) []bool {
+		net, ids := chaosNet(t, 3)
+		ch := NewChaos(7)
+		ch.SetLinkFaults(LinkFaults{DropProb: 0.4})
+		net.SetChaos(ch)
+		out := make([]bool, 0, 32)
+		for i := 0; i < 32; i++ {
+			for k := 0; k < noise; k++ {
+				_, _ = net.Call(ids[0], ids[2], Message{Kind: "noise", Size: 1})
+			}
+			_, err := net.Call(ids[0], ids[1], Message{Kind: "m", Size: 10})
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	quiet, noisy := run(0), run(3)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("cross-link traffic changed verdict at message %d", i)
+		}
+	}
+}
+
+func TestChaosDuplicateDelivery(t *testing.T) {
+	net := NewNetwork()
+	a, b := id.HashKey("dup-a"), id.HashKey("dup-b")
+	calls := 0
+	_ = net.Register(a, func(id.ID, Message) (Message, error) { return Message{}, nil })
+	_ = net.Register(b, func(id.ID, Message) (Message, error) {
+		calls++
+		return Message{Kind: "ok"}, nil
+	})
+	ch := NewChaos(1)
+	ch.SetLinkFaults(LinkFaults{DupProb: 1})
+	net.SetChaos(ch)
+	if _, err := net.Call(a, b, Message{Kind: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("handler ran %d times, want 2", calls)
+	}
+	if st := ch.Stats(); st.Duplicated != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestChaosKindPrefixScoping(t *testing.T) {
+	net, ids := chaosNet(t, 2)
+	ch := NewChaos(3)
+	ch.SetLinkFaults(LinkFaults{DropProb: 1, KindPrefix: "sr3."})
+	net.SetChaos(ch)
+	if _, err := net.Call(ids[0], ids[1], Message{Kind: "dht.ping"}); err != nil {
+		t.Fatalf("out-of-scope kind was faulted: %v", err)
+	}
+	if _, err := net.Call(ids[0], ids[1], Message{Kind: "sr3.shard.fetch"}); !errors.Is(err, ErrLinkDropped) {
+		t.Fatalf("in-scope kind not dropped: %v", err)
+	}
+}
+
+func TestChaosPartitionAndHeal(t *testing.T) {
+	net, ids := chaosNet(t, 4)
+	ch := NewChaos(5)
+	ch.Partition([]id.ID{ids[0], ids[1]}, []id.ID{ids[2]})
+	net.SetChaos(ch)
+
+	if _, err := net.Call(ids[0], ids[1], Message{Kind: "m"}); err != nil {
+		t.Fatalf("intra-group call failed: %v", err)
+	}
+	if _, err := net.Call(ids[0], ids[2], Message{Kind: "m"}); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-group call: %v", err)
+	}
+	// Unlisted nodes keep full connectivity.
+	if _, err := net.Call(ids[3], ids[2], Message{Kind: "m"}); err != nil {
+		t.Fatalf("unlisted node severed: %v", err)
+	}
+	if st := ch.Stats(); st.Severed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	ch.Heal()
+	if _, err := net.Call(ids[0], ids[2], Message{Kind: "m"}); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+// TestChaosCrashSchedule kills a node on its 3rd matching inbound
+// message; non-matching kinds must not advance the counter, and a
+// Downtime brings the node back.
+func TestChaosCrashSchedule(t *testing.T) {
+	net, ids := chaosNet(t, 2)
+	ch := NewChaos(9)
+	ch.Crash(CrashSchedule{
+		Node: ids[1], KindPrefix: "sr3.", AfterMessages: 3,
+		Downtime: 30 * time.Millisecond,
+	})
+	net.SetChaos(ch)
+
+	for i := 0; i < 5; i++ { // non-matching kinds don't count
+		if _, err := net.Call(ids[0], ids[1], Message{Kind: "dht.ping"}); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := net.Call(ids[0], ids[1], Message{Kind: "sr3.fetch"}); err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	// Third matching message triggers the crash; the message itself fails.
+	if _, err := net.Call(ids[0], ids[1], Message{Kind: "sr3.fetch"}); !errors.Is(err, ErrChaosCrashed) {
+		t.Fatalf("crash trigger: %v", err)
+	}
+	if net.Alive(ids[1]) {
+		t.Fatal("node alive right after crash")
+	}
+	// The node restarts after Downtime.
+	deadline := time.Now().Add(2 * time.Second)
+	for !net.Alive(ids[1]) {
+		if time.Now().After(deadline) {
+			t.Fatal("node never restarted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := net.Call(ids[0], ids[1], Message{Kind: "sr3.fetch"}); err != nil {
+		t.Fatalf("fetch after restart: %v", err)
+	}
+	if st := ch.Stats(); st.Crashes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestChaosDelay(t *testing.T) {
+	net, ids := chaosNet(t, 2)
+	ch := NewChaos(2)
+	ch.SetLinkFaults(LinkFaults{DelayProb: 1, Delay: 20 * time.Millisecond})
+	net.SetChaos(ch)
+	start := time.Now()
+	if _, err := net.Call(ids[0], ids[1], Message{Kind: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+	if st := ch.Stats(); st.Delayed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestFluidFailNodeAt injects a mid-transfer node failure into the fluid
+// simulator: tasks touching the failed node abort at the failure time and
+// the abort cascades to dependents, while independent tasks finish.
+func TestFluidFailNodeAt(t *testing.T) {
+	b := NewPlanBuilder()
+	doomed := b.Transfer("a", "b", 1000, 0, "doomed")
+	dependent := b.Compute("c", 100, "dependent", doomed)
+	survivor := b.Transfer("c", "d", 1000, 0, "survivor")
+
+	sim := NewSim(Res{UpBps: 100, DownBps: 100, ComputeBps: 100})
+	sim.FailNodeAt("b", 2.0) // transfer a->b needs 10s; dies at t=2
+	res, err := sim.Run(b.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed[doomed] {
+		t.Fatal("transfer touching failed node not marked failed")
+	}
+	if !res.Failed[dependent] {
+		t.Fatal("dependent task did not cascade to failed")
+	}
+	if res.Failed[survivor] {
+		t.Fatal("independent task wrongly failed")
+	}
+	if got := res.Finish[doomed]; got != 2.0 {
+		t.Fatalf("doomed task aborted at %v, want 2.0", got)
+	}
+	if res.Finish[survivor] != 10.0 {
+		t.Fatalf("survivor finished at %v, want 10.0", res.Finish[survivor])
+	}
+}

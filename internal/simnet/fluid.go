@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Res describes a simulated node's resources for the fluid model. A zero
@@ -72,6 +73,10 @@ type Result struct {
 	BytesSent map[string]float64
 	// Util samples per-node utilization over time for overhead plots.
 	Util []UtilSample
+	// Failed marks tasks aborted by an injected node failure (see
+	// Sim.FailNodeAt) or by a failed dependency. A failed task's Finish
+	// time is the moment it was aborted.
+	Failed map[TaskID]bool
 }
 
 // UtilSample is one point of the utilization timeline.
@@ -84,13 +89,25 @@ type UtilSample struct {
 // Sim runs task plans in virtual time over a set of resource-annotated
 // nodes using max-min fair sharing of each node's up/down/compute ports.
 type Sim struct {
-	def   Res
-	nodes map[string]Res
+	def      Res
+	nodes    map[string]Res
+	failures map[string]float64
 }
 
 // NewSim returns a simulator whose unknown nodes default to def.
 func NewSim(def Res) *Sim {
-	return &Sim{def: def.normalized(), nodes: make(map[string]Res)}
+	return &Sim{def: def.normalized(), nodes: make(map[string]Res), failures: make(map[string]float64)}
+}
+
+// FailNodeAt schedules a node crash at virtual time t: every unfinished
+// task touching the node is aborted at t and marked in Result.Failed,
+// and the abort cascades to dependent tasks. This is the fluid-model
+// half of the chaos layer — the figure benchmarks use it to model
+// providers dying mid-recovery.
+func (s *Sim) FailNodeAt(name string, t float64) {
+	if prev, ok := s.failures[name]; !ok || t < prev {
+		s.failures[name] = t
+	}
 }
 
 // SetNode overrides resources for one node.
@@ -122,6 +139,7 @@ type runTask struct {
 	startTime float64
 	finish    float64
 	done      bool
+	failed    bool
 	rate      float64
 }
 
@@ -171,6 +189,7 @@ func (s *Sim) Run(tasks []Task) (Result, error) {
 		Finish:      make(map[TaskID]float64, len(all)),
 		BusySeconds: make(map[string]float64),
 		BytesSent:   make(map[string]float64),
+		Failed:      make(map[TaskID]bool),
 	}
 
 	now := 0.0
@@ -182,7 +201,61 @@ func (s *Sim) Run(tasks []Task) (Result, error) {
 		}
 	}
 
+	// Scheduled node failures, as a sorted event stream.
+	type failEvent struct {
+		node string
+		at   float64
+	}
+	failEvents := make([]failEvent, 0, len(s.failures))
+	for name, t := range s.failures {
+		failEvents = append(failEvents, failEvent{name, t})
+	}
+	sort.Slice(failEvents, func(i, j int) bool { return failEvents[i].at < failEvents[j].at })
+	failedNodes := make(map[string]bool)
+	nextFail := 0
+	// processFailures applies every failure due by `now`: tasks touching a
+	// failed node abort, and aborts cascade through the dependency graph.
+	processFailures := func(now float64) {
+		for nextFail < len(failEvents) && failEvents[nextFail].at <= now+1e-12 {
+			failedNodes[failEvents[nextFail].node] = true
+			nextFail++
+		}
+		if len(failedNodes) == 0 {
+			return
+		}
+		for {
+			progress := false
+			for _, rt := range all {
+				if rt.done {
+					continue
+				}
+				hit := failedNodes[rt.To] || (rt.Kind == TransferTask && failedNodes[rt.From])
+				for _, dep := range rt.DependsOn {
+					if d := byID[dep]; d.done && d.failed {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					rt.done, rt.failed = true, true
+					rt.finish = now
+					res.Finish[rt.ID] = now
+					res.Failed[rt.ID] = true
+					doneCount++
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+	}
+
 	for doneCount < len(all) {
+		processFailures(now)
+		if doneCount == len(all) {
+			break
+		}
 		running := activeTasks(all, now)
 		rates := allocate(running, s)
 		for _, rt := range running {
@@ -212,6 +285,11 @@ func (s *Sim) Run(tasks []Task) (Result, error) {
 				if t := rt.readyAt - now; t < horizon {
 					horizon = t
 				}
+			}
+		}
+		if nextFail < len(failEvents) {
+			if t := failEvents[nextFail].at - now; t > 0 && t < horizon {
+				horizon = t
 			}
 		}
 		if math.IsInf(horizon, 1) {

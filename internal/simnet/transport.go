@@ -53,6 +53,9 @@ type endpoint struct {
 type Network struct {
 	mu        sync.RWMutex
 	endpoints map[id.ID]*endpoint
+	// chaos, when set, injects deterministic faults (drops, duplicates,
+	// delays, partitions, crash schedules) into every Call. See chaos.go.
+	chaos *Chaos
 
 	statsMu   sync.Mutex
 	sentBytes map[id.ID]int64
@@ -131,21 +134,25 @@ func (n *Network) Nodes() []id.ID {
 // be alive (otherwise ErrNodeDown, which routing layers treat as a probe
 // failure).
 func (n *Network) Call(from, to id.ID, msg Message) (Message, error) {
+	// The down flags are snapshotted under the lock: chaos crash timers
+	// flip them concurrently (Fail/Restore) while calls are in flight.
 	n.mu.RLock()
 	src, srcOK := n.endpoints[from]
 	dst, dstOK := n.endpoints[to]
+	srcDown := srcOK && src.down
+	dstDown := dstOK && dst.down
 	n.mu.RUnlock()
 
 	if !srcOK {
 		return Message{}, fmt.Errorf("call from %s: %w", from.Short(), ErrUnknownNode)
 	}
-	if src.down {
+	if srcDown {
 		return Message{}, fmt.Errorf("call from %s: %w", from.Short(), ErrNodeDown)
 	}
 	if !dstOK {
 		return Message{}, fmt.Errorf("call to %s: %w", to.Short(), ErrUnknownNode)
 	}
-	if dst.down {
+	if dstDown {
 		return Message{}, fmt.Errorf("call to %s: %w", to.Short(), ErrNodeDown)
 	}
 
@@ -155,6 +162,17 @@ func (n *Network) Call(from, to id.ID, msg Message) (Message, error) {
 	n.kindBytes[msg.Kind] += int64(msg.Size)
 	n.statsMu.Unlock()
 
+	dup, err := n.applyChaos(from, to, msg.Kind)
+	if err != nil {
+		return Message{}, err
+	}
+	if dup {
+		// Duplicate delivery: the handler runs twice (as a retransmitted
+		// datagram would make it); the first reply is discarded.
+		if _, err := dst.handler(from, msg); err != nil {
+			return Message{}, err
+		}
+	}
 	reply, err := dst.handler(from, msg)
 	if err != nil {
 		return Message{}, err
