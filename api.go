@@ -9,6 +9,7 @@ import (
 	"sr3/internal/recovery"
 	"sr3/internal/shard"
 	"sr3/internal/state"
+	"sr3/internal/supervise"
 )
 
 // This file implements the SR3 user API of paper Table 2, adapted to Go
@@ -44,6 +45,8 @@ func (f *Framework) Save(appName string, stateBytes []byte) error {
 	ac := f.app(appName)
 	m, r := ac.shards, ac.replicas
 	ac.lastSize = int64(len(stateBytes))
+	mech, opts := ac.mechanism, ac.options
+	sup := f.sup
 	f.mu.Unlock()
 
 	owner, ok := f.ring.ClosestLive(id.HashKey(appName))
@@ -54,6 +57,15 @@ func (f *Framework) Save(appName string, stateBytes []byte) error {
 	v := mgr.NextVersion(f.cfg.Now())
 	if _, err := mgr.Save(appName, stateBytes, m, r, v); err != nil {
 		return fmt.Errorf("sr3: save %q: %w", appName, err)
+	}
+	if sup != nil {
+		// Supervised mode: every saved state is self-healing from here on.
+		sup.Protect(supervise.StateSpec{
+			App:        appName,
+			Mechanism:  mech,
+			Options:    opts,
+			StateBytes: int64(len(stateBytes)),
+		})
 	}
 	return nil
 }

@@ -56,6 +56,7 @@ func experiments() []experiment {
 		figExp("ablation-speculation", "straggler hedging (§6 future work)", bench.AblationSpeculation),
 		figExp("ablation-speculation-linetree", "line/tree straggler hedging", bench.AblationSpeculationLineTree),
 		{id: "chaos", desc: "failover ladder under seeded fault injection", run: bench.ChaosReport},
+		{id: "self-heal", desc: "detection latency and MTTR vs heartbeat interval and φ threshold", run: bench.SelfHealReport},
 		figExp("ablation-flowpenalty", "star flow-penalty contribution", bench.AblationFlowPenalty),
 		figExp("ablation-selection", "mechanism choice per environment (§3.7)", bench.AblationMechanismDefaults),
 		{id: "table1", desc: "recovery approach overview (Table 1)", run: func() (string, error) {

@@ -1,0 +1,493 @@
+// Package detector implements a φ-accrual failure detector (Hayashibara
+// et al., "The φ Accrual Failure Detector", SRDS 2004) for the SR3
+// overlay. Every node probes its Pastry leaf set with periodic
+// heartbeats over the ordinary transport seam, feeds the inter-arrival
+// history of each peer into a sliding statistical window, and converts
+// silence into a continuously growing suspicion level
+//
+//	φ(t) = -log10( P(arrival later than t) )
+//
+// under a normal model of the observed inter-arrival distribution.
+// When φ crosses the configured threshold the node suspects the peer
+// and gossips the suspicion to its leaf set; once a quorum of distinct
+// suspecters agrees (self-confirmation included), the peer is declared
+// dead, the verdict is gossiped as an obituary, and the death hooks
+// fire — this is what drives the auto-recovery supervisor
+// (internal/supervise) without any manual Recover call.
+//
+// Probing is leaf-set-scoped, so per-node detection cost stays
+// O(|leaf set|) regardless of overlay size, matching the paper's
+// reliance on Pastry leaf-set liveness (§3.2) while replacing its
+// binary ping timeout with an adaptive accrual estimate.
+package detector
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/simnet"
+)
+
+// Message kinds on the transport. They share the "sr3." prefix with the
+// recovery layer so chaos plans scoped to SR3 traffic also exercise the
+// detector (and crash schedules can count heartbeats).
+const (
+	kindProbe    = "sr3.hb.probe"
+	kindSuspect  = "sr3.hb.suspect"
+	kindObituary = "sr3.hb.obituary"
+
+	probeSize  = 48
+	gossipSize = 48 + id.Bytes + 8
+
+	// reprobeEvery is the tick period at which declared-dead peers are
+	// probed again, so a node revived after a chaos downtime (or an
+	// operator restart) is eventually noticed and un-declared.
+	reprobeEvery = 8
+)
+
+// Config tunes one detector.
+type Config struct {
+	// Interval is the heartbeat probe period (default 50ms).
+	Interval time.Duration
+	// Threshold is the φ level at which a peer becomes suspected
+	// (default 8 ≈ one-in-10⁸ chance the peer is merely slow).
+	Threshold float64
+	// WindowSize bounds the inter-arrival history per peer (default 128).
+	WindowSize int
+	// MinStddev floors the modeled inter-arrival deviation so a
+	// perfectly regular in-process transport does not make φ explode on
+	// microsecond jitter (default Interval/4).
+	MinStddev time.Duration
+	// Quorum is how many distinct suspecters (this node included) must
+	// agree before a suspect is declared dead (default 2). A crashed
+	// node can neither gossip nor receive suspicions, so with Quorum≥2
+	// an isolated node cannot spuriously declare its whole leaf set
+	// dead. Use 1 only in two-node deployments.
+	Quorum int
+	// Now injects the clock (default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 8
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 128
+	}
+	if c.MinStddev <= 0 {
+		c.MinStddev = c.Interval / 4
+	}
+	if c.Quorum <= 0 {
+		c.Quorum = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Stats counts detector activity, for tests and the bench harness.
+type Stats struct {
+	ProbesSent   int64
+	Arrivals     int64
+	Suspicions   int64 // local φ-threshold crossings
+	Declarations int64 // peers declared dead by this detector
+	Suppressed   int64 // declarations withheld by the self-isolation guard
+}
+
+// peerState tracks one probed peer.
+type peerState struct {
+	win      *arrivalWindow
+	last     time.Time // last arrival (or tracking start)
+	inflight bool
+	hinted   bool // upper layer reported a failed call: halve the threshold
+	suspect  bool
+	// outOfSet marks a peer the leaf set no longer contains. Overlay
+	// maintenance purges crashed nodes from leaf sets quickly — often
+	// before φ crosses the threshold — so tracking must survive the
+	// purge: the peer keeps being probed and is dropped only when it
+	// answers (live churn), never on silence (a death in progress).
+	outOfSet bool
+}
+
+// suspectMsg gossips one suspicion to the leaf set.
+type suspectMsg struct {
+	Target id.ID
+	Phi    float64
+}
+
+// obituaryMsg gossips a confirmed death verdict.
+type obituaryMsg struct {
+	Target id.ID
+}
+
+// Detector is the per-node φ-accrual failure detector.
+type Detector struct {
+	node *dht.Node
+	cfg  Config
+
+	mu         sync.Mutex
+	peers      map[id.ID]*peerState
+	suspecters map[id.ID]map[id.ID]bool // target -> distinct reporters
+	dead       map[id.ID]bool
+	onDead     []func(peer id.ID)
+	stats      Stats
+	tickN      uint64
+
+	stop    chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// New attaches a detector to a DHT node and registers its heartbeat and
+// gossip handlers. Call Start to begin probing.
+func New(node *dht.Node, cfg Config) *Detector {
+	d := &Detector{
+		node:       node,
+		cfg:        cfg.withDefaults(),
+		peers:      make(map[id.ID]*peerState),
+		suspecters: make(map[id.ID]map[id.ID]bool),
+		dead:       make(map[id.ID]bool),
+		stop:       make(chan struct{}),
+	}
+	node.HandleDirect(kindProbe, d.handleProbe)
+	node.HandleDirect(kindSuspect, d.handleSuspect)
+	node.HandleDirect(kindObituary, d.handleObituary)
+	// Liveness hook: when an upper layer (Scribe, recovery, the
+	// maintenance loop) reports a peer unreachable, fast-path the
+	// detector's attention to it instead of waiting for φ to accrue.
+	node.OnPeerDown(d.Hint)
+	return d
+}
+
+// OnDead registers a callback fired exactly once per dead verdict (the
+// supervisor's subscription point). Callbacks run outside the detector
+// lock and must not block for long.
+func (d *Detector) OnDead(f func(peer id.ID)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onDead = append(d.onDead, f)
+}
+
+// Start launches the heartbeat loop.
+func (d *Detector) Start() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(d.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				d.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts probing. Handlers stay registered but inert.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.mu.Unlock()
+	close(d.stop)
+	d.wg.Wait()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (d *Detector) Snapshot() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Dead reports whether the detector has declared peer dead.
+func (d *Detector) Dead(peer id.ID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead[peer]
+}
+
+// Hint tells the detector an upper layer observed a failed call to the
+// peer: its suspicion threshold is halved until the next heartbeat
+// arrival, accelerating detection without letting a single dropped
+// message declare a death on its own.
+func (d *Detector) Hint(peer id.ID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ps, ok := d.peers[peer]; ok {
+		ps.hinted = true
+	}
+}
+
+// Phi returns the current suspicion level for a tracked peer (0 when
+// untracked).
+func (d *Detector) Phi(peer id.ID) float64 {
+	now := d.cfg.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps, ok := d.peers[peer]
+	if !ok {
+		return 0
+	}
+	return d.phiLocked(ps, now)
+}
+
+// Tick runs one detection round: probe every leaf-set peer that has no
+// probe in flight, then re-evaluate every tracked peer's φ, gossiping
+// fresh suspicions and declaring quorum-confirmed deaths. Start calls it
+// on the heartbeat interval; tests may call it directly.
+func (d *Detector) Tick() {
+	now := d.cfg.Now()
+	targets := d.node.LeafSet()
+
+	var probes []id.ID
+	d.mu.Lock()
+	d.tickN++
+	reprobeDead := d.tickN%reprobeEvery == 0
+	inSet := make(map[id.ID]bool, len(targets))
+	for _, t := range targets {
+		if d.dead[t] {
+			continue
+		}
+		inSet[t] = true
+		ps, ok := d.peers[t]
+		if !ok {
+			// Tracking starts now: the prior window (mean=Interval)
+			// stands in until real arrivals accumulate.
+			ps = &peerState{win: newArrivalWindow(d.cfg.WindowSize), last: now}
+			d.peers[t] = ps
+		}
+		ps.outOfSet = false
+		if !ps.inflight {
+			ps.inflight = true
+			probes = append(probes, t)
+			d.stats.ProbesSent++
+		}
+	}
+	// Occasionally re-probe declared-dead peers so a revived node is
+	// noticed and its verdict cleared (resurrection).
+	if reprobeDead {
+		for p := range d.dead {
+			if ps, ok := d.peers[p]; ok && !ps.inflight {
+				ps.inflight = true
+				probes = append(probes, p)
+				d.stats.ProbesSent++
+			}
+		}
+	}
+	// Keep probing tracked peers that fell out of the leaf set: a live
+	// churned peer answers the next probe and is dropped there; a crashed
+	// peer stays silent and keeps accruing φ until the verdict lands.
+	for p, ps := range d.peers {
+		if inSet[p] || d.dead[p] {
+			continue
+		}
+		ps.outOfSet = true
+		if !ps.inflight {
+			ps.inflight = true
+			probes = append(probes, p)
+			d.stats.ProbesSent++
+		}
+	}
+	d.mu.Unlock()
+
+	for _, t := range probes {
+		d.wg.Add(1)
+		go d.probe(t)
+	}
+
+	d.evaluate(now)
+}
+
+// probe sends one heartbeat and records the reply arrival.
+func (d *Detector) probe(target id.ID) {
+	defer d.wg.Done()
+	_, err := d.node.Send(target, simnet.Message{Kind: kindProbe, Size: probeSize})
+	now := d.cfg.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps, ok := d.peers[target]
+	if !ok {
+		return
+	}
+	ps.inflight = false
+	if err != nil {
+		return // silence accrues into φ
+	}
+	d.stats.Arrivals++
+	if ps.outOfSet && !d.dead[target] {
+		// The peer answered but the overlay no longer lists it: genuine
+		// churn (graceful departure / leaf-set reshuffle), stop tracking.
+		delete(d.peers, target)
+		delete(d.suspecters, target)
+		return
+	}
+	if d.dead[target] {
+		// Resurrection (chaos downtime, operator restart): clear the
+		// verdict and restart the arrival model — the downtime gap is
+		// not an inter-arrival sample.
+		delete(d.dead, target)
+		ps.win = newArrivalWindow(d.cfg.WindowSize)
+	} else {
+		ps.win.add(now.Sub(ps.last))
+	}
+	ps.last = now
+	ps.hinted = false
+	ps.suspect = false
+	delete(d.suspecters, target)
+}
+
+// evaluate turns accrued silence into suspicions and verdicts.
+func (d *Detector) evaluate(now time.Time) {
+	type verdictFn struct {
+		target id.ID
+		hooks  []func(id.ID)
+	}
+	var gossip []suspectMsg
+	var verdicts []verdictFn
+	var leafGossip []id.ID
+
+	d.mu.Lock()
+	suspected := 0
+	tracked := 0
+	for peer, ps := range d.peers {
+		if d.dead[peer] {
+			continue
+		}
+		tracked++
+		phi := d.phiLocked(ps, now)
+		threshold := d.cfg.Threshold
+		if ps.hinted {
+			threshold /= 2
+		}
+		if phi < threshold {
+			continue
+		}
+		suspected++
+		if !ps.suspect {
+			ps.suspect = true
+			d.stats.Suspicions++
+		}
+		d.addSuspicionLocked(peer, d.node.ID())
+		gossip = append(gossip, suspectMsg{Target: peer, Phi: phi})
+	}
+
+	// Self-isolation guard: a node that suddenly suspects most of its
+	// leaf set is far more likely to be partitioned or dying itself than
+	// to have witnessed a mass failure — withhold verdicts (Akka's
+	// "down-all-or-self" dilemma, resolved toward self-doubt).
+	isolated := tracked > 1 && suspected*2 > tracked
+	if !isolated {
+		for peer, ps := range d.peers {
+			if !ps.suspect || d.dead[peer] {
+				continue
+			}
+			if len(d.suspecters[peer]) >= d.cfg.Quorum {
+				d.dead[peer] = true
+				d.stats.Declarations++
+				hooks := make([]func(id.ID), len(d.onDead))
+				copy(hooks, d.onDead)
+				verdicts = append(verdicts, verdictFn{target: peer, hooks: hooks})
+			}
+		}
+	} else if suspected > 0 {
+		d.stats.Suppressed++
+	}
+	d.mu.Unlock()
+
+	if len(gossip) > 0 || len(verdicts) > 0 {
+		leafGossip = d.node.LeafSet()
+	}
+	for _, g := range gossip {
+		for _, l := range leafGossip {
+			if l == g.Target {
+				continue
+			}
+			msg := g
+			_, _ = d.node.Send(l, simnet.Message{Kind: kindSuspect, Size: gossipSize, Payload: &msg})
+		}
+	}
+	for _, v := range verdicts {
+		// Purge the corpse from the overlay tables, spread the verdict,
+		// then notify subscribers (the supervisor).
+		d.node.ReportDead(v.target)
+		for _, l := range leafGossip {
+			if l == v.target {
+				continue
+			}
+			msg := obituaryMsg{Target: v.target}
+			_, _ = d.node.Send(l, simnet.Message{Kind: kindObituary, Size: gossipSize, Payload: &msg})
+		}
+		for _, h := range v.hooks {
+			h(v.target)
+		}
+	}
+}
+
+func (d *Detector) phiLocked(ps *peerState, now time.Time) float64 {
+	mean, std := ps.win.meanStd(float64(d.cfg.Interval), float64(d.cfg.MinStddev))
+	return phi(now.Sub(ps.last), mean, std)
+}
+
+func (d *Detector) addSuspicionLocked(target, reporter id.ID) {
+	m, ok := d.suspecters[target]
+	if !ok {
+		m = make(map[id.ID]bool, 4)
+		d.suspecters[target] = m
+	}
+	m[reporter] = true
+}
+
+// --- handlers ---
+
+func (d *Detector) handleProbe(_ id.ID, _ simnet.Message) (simnet.Message, error) {
+	return simnet.Message{Kind: kindProbe, Size: probeSize}, nil
+}
+
+func (d *Detector) handleSuspect(from id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*suspectMsg)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("detector: bad suspect payload %T", msg.Payload)
+	}
+	d.mu.Lock()
+	if !d.dead[req.Target] && req.Target != d.node.ID() {
+		d.addSuspicionLocked(req.Target, from)
+	}
+	d.mu.Unlock()
+	return simnet.Message{Kind: kindSuspect, Size: probeSize}, nil
+}
+
+func (d *Detector) handleObituary(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*obituaryMsg)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("detector: bad obituary payload %T", msg.Payload)
+	}
+	var hooks []func(id.ID)
+	d.mu.Lock()
+	if !d.dead[req.Target] && req.Target != d.node.ID() {
+		d.dead[req.Target] = true
+		hooks = append(hooks, d.onDead...)
+	}
+	d.mu.Unlock()
+	if hooks != nil {
+		d.node.ReportDead(req.Target)
+		for _, h := range hooks {
+			h(req.Target)
+		}
+	}
+	return simnet.Message{Kind: kindObituary, Size: probeSize}, nil
+}

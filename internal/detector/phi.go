@@ -1,0 +1,72 @@
+package detector
+
+import (
+	"math"
+	"time"
+)
+
+// arrivalWindow is a fixed-size ring of heartbeat inter-arrival times
+// with running sums, giving O(1) mean/variance updates.
+type arrivalWindow struct {
+	buf   []float64 // nanoseconds
+	next  int
+	n     int
+	sum   float64
+	sumSq float64
+}
+
+func newArrivalWindow(size int) *arrivalWindow {
+	return &arrivalWindow{buf: make([]float64, size)}
+}
+
+func (w *arrivalWindow) add(d time.Duration) {
+	v := float64(d)
+	if w.n == len(w.buf) {
+		old := w.buf[w.next]
+		w.sum -= old
+		w.sumSq -= old * old
+	} else {
+		w.n++
+	}
+	w.buf[w.next] = v
+	w.sum += v
+	w.sumSq += v * v
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+// meanStd returns the modeled inter-arrival mean and standard deviation
+// in nanoseconds. With no samples yet it falls back to the prior (the
+// configured probe interval), and the deviation is floored at minStd so
+// a jitter-free transport cannot make φ a step function.
+func (w *arrivalWindow) meanStd(prior, minStd float64) (mean, std float64) {
+	if w.n == 0 {
+		return prior, math.Max(prior/4, minStd)
+	}
+	mean = w.sum / float64(w.n)
+	variance := w.sumSq/float64(w.n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std = math.Sqrt(variance)
+	if std < minStd {
+		std = minStd
+	}
+	return mean, std
+}
+
+// phi is the accrual suspicion level for a peer last heard from `since`
+// ago, under a normal model N(mean, std²) of its inter-arrival times:
+//
+//	φ(t) = -log10( P(X > t) ) with X ~ N(mean, std²)
+//
+// P(X > t) = ½·erfc((t-mean)/(std·√2)). A peer exactly on schedule has
+// φ ≈ 0.3 (P = 0.5); each unit of φ is another 10× of confidence that
+// the peer is gone. The tail probability is floored to keep φ finite.
+func phi(since time.Duration, mean, std float64) float64 {
+	x := (float64(since) - mean) / (std * math.Sqrt2)
+	p := 0.5 * math.Erfc(x)
+	if p < 1e-30 {
+		p = 1e-30
+	}
+	return -math.Log10(p)
+}

@@ -1,0 +1,12 @@
+package detector
+
+import "encoding/gob"
+
+// RegisterWire registers the detector's payload types with gob so the
+// TCP transport (internal/nettransport) can carry heartbeat gossip.
+// The in-process simnet transport passes payloads by pointer and does
+// not need this.
+func RegisterWire() {
+	gob.Register(&suspectMsg{})
+	gob.Register(&obituaryMsg{})
+}

@@ -90,6 +90,12 @@ type Node struct {
 	direct  map[string]DirectFunc
 	kv      map[string][]byte
 	joined  bool
+
+	// peerDown hooks fire when an upper layer reports a peer unreachable
+	// via ReportDead. They are liveness *hints*, not verdicts: the φ-accrual
+	// detector (internal/detector) subscribes here to focus its attention,
+	// and only its own quorum logic declares a death.
+	peerDown []func(peer id.ID)
 }
 
 // DirectFunc handles a point-to-point message addressed to this node by an
@@ -141,8 +147,28 @@ func (n *Node) Send(to id.ID, msg simnet.Message) (simnet.Message, error) {
 
 // ReportDead tells the node that a peer was observed to be unreachable so
 // it is purged from the leaf set and routing table. Upper layers call this
-// when their own point-to-point sends fail.
-func (n *Node) ReportDead(other id.ID) { n.forget(other) }
+// when their own point-to-point sends fail. Registered OnPeerDown hooks
+// fire afterwards, outside the node lock.
+func (n *Node) ReportDead(other id.ID) {
+	n.forget(other)
+	n.mu.RLock()
+	hooks := make([]func(id.ID), len(n.peerDown))
+	copy(hooks, n.peerDown)
+	n.mu.RUnlock()
+	for _, h := range hooks {
+		h(other)
+	}
+}
+
+// OnPeerDown registers a hook invoked (outside the node lock) every time
+// ReportDead is called for a peer. Hooks fire only on explicit unreachable
+// reports from upper layers — not on routine maintenance pruning — so a
+// single dropped message never cascades into overlay-wide forgetting.
+func (n *Node) OnPeerDown(f func(peer id.ID)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peerDown = append(n.peerDown, f)
+}
 
 // PeerAlive reports whether the transport currently considers a peer
 // reachable. Upper layers use it to re-validate membership snapshots
@@ -193,8 +219,14 @@ func (n *Node) RoutingTableEntries() []id.ID {
 	return out
 }
 
-// handle dispatches inbound transport messages.
+// handle dispatches inbound transport messages. Payloads are structurally
+// validated first so a malformed or hostile frame is rejected with an
+// error instead of reaching a handler that might index or allocate on its
+// claimed sizes.
 func (n *Node) handle(from id.ID, msg simnet.Message) (simnet.Message, error) {
+	if err := validateInbound(msg); err != nil {
+		return simnet.Message{}, err
+	}
 	switch msg.Kind {
 	case kindPing:
 		return simnet.Message{Kind: kindAck, Size: pingSize}, nil

@@ -10,17 +10,18 @@ import (
 // Routed KV kinds (delivered at the key's root) and direct kinds (sent
 // straight to a replica holder).
 const (
-	kindKVPut   = "dht.kv.put"
-	kindKVGet   = "dht.kv.get"
-	kindKVDel   = "dht.kv.del"
-	kindKVRoot  = "dht.kv.root" // no-op probe used by Lookup
-	kindKVStore = "dht.kv.store"
-	kindKVFetch = "dht.kv.fetch"
+	kindKVPut    = "dht.kv.put"
+	kindKVGet    = "dht.kv.get"
+	kindKVGetAll = "dht.kv.getall"
+	kindKVDel    = "dht.kv.del"
+	kindKVRoot   = "dht.kv.root" // no-op probe used by Lookup
+	kindKVStore  = "dht.kv.store"
+	kindKVFetch  = "dht.kv.fetch"
 )
 
 func isKVKind(kind string) bool {
 	switch kind {
-	case kindKVPut, kindKVGet, kindKVDel, kindKVRoot:
+	case kindKVPut, kindKVGet, kindKVGetAll, kindKVDel, kindKVRoot:
 		return true
 	}
 	return false
@@ -36,6 +37,10 @@ type kvGetRequest struct{ Key string }
 type kvReply struct {
 	Found bool
 	Value []byte
+}
+
+type kvAllReply struct {
+	Values [][]byte
 }
 
 // Put stores value under key at the key's root node, with leaf-set
@@ -73,6 +78,45 @@ func (n *Node) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("kv get %q: %w", key, ErrNotFound)
 	}
 	return r.Value, nil
+}
+
+// GetAll fetches every reachable copy of key — the root's plus all
+// replicas in the root's leaf set. After churn, same-version copies of a
+// mutable record can disagree (a republish does not reach nodes that held
+// the key under an older ring geometry), so callers that can rank copies
+// read them all and pick the best instead of trusting one.
+func (n *Node) GetAll(key string) ([][]byte, error) {
+	msg := simnet.Message{
+		Kind:    kindKVGetAll,
+		Size:    msgHeader + len(key),
+		Payload: &kvGetRequest{Key: key},
+	}
+	reply, _, _, err := n.Route(id.HashKey(key), msg)
+	if err != nil {
+		return nil, fmt.Errorf("kv getall %q: %w", key, err)
+	}
+	r, ok := reply.Payload.(*kvAllReply)
+	if !ok {
+		return nil, fmt.Errorf("dht: bad kv getall reply %T", reply.Payload)
+	}
+	if len(r.Values) == 0 {
+		return nil, fmt.Errorf("kv getall %q: %w", key, ErrNotFound)
+	}
+	return r.Values, nil
+}
+
+// StoreDirect pushes a copy of key directly onto one node, bypassing
+// routing. Writers that know the ground-truth root (the recovery layer
+// sees the whole ring) use it after a routed Put: right after churn a
+// node's routing view can misdeliver the Put, leaving the fresh record
+// somewhere no converged reader will ever look.
+func (n *Node) StoreDirect(target id.ID, key string, value []byte) error {
+	_, err := n.net.Call(n.id, target, simnet.Message{
+		Kind:    kindKVStore,
+		Size:    msgHeader + len(key) + len(value),
+		Payload: &kvPutRequest{Key: key, Value: value},
+	})
+	return err
 }
 
 // Delete removes key at its root and replicas (best effort on replicas).
@@ -121,6 +165,41 @@ func (n *Node) handleKV(_ id.ID, msg simnet.Message) (simnet.Message, error) {
 			Kind:    kindAck,
 			Size:    msgHeader + len(v),
 			Payload: &kvReply{Found: found, Value: v},
+		}, nil
+
+	case kindKVGetAll:
+		req, ok := msg.Payload.(*kvGetRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("dht: bad kv getall payload %T", msg.Payload)
+		}
+		var values [][]byte
+		n.mu.RLock()
+		if v, found := n.kv[req.Key]; found {
+			values = append(values, v)
+		}
+		n.mu.RUnlock()
+		total := 0
+		for _, l := range n.LeafSet() {
+			resp, err := n.net.Call(n.id, l, simnet.Message{
+				Kind:    kindKVFetch,
+				Size:    msgHeader + len(req.Key),
+				Payload: &kvGetRequest{Key: req.Key},
+			})
+			if err != nil {
+				n.forget(l)
+				continue
+			}
+			if r, ok := resp.Payload.(*kvReply); ok && r.Found {
+				values = append(values, r.Value)
+			}
+		}
+		for _, v := range values {
+			total += len(v)
+		}
+		return simnet.Message{
+			Kind:    kindAck,
+			Size:    msgHeader + total,
+			Payload: &kvAllReply{Values: values},
 		}, nil
 
 	case kindKVDel:

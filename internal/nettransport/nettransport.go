@@ -11,6 +11,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -28,10 +29,72 @@ var (
 	// deadline: the peer accepted the connection but stalled. Callers
 	// treat it like a dead peer and fail over.
 	ErrTimeout = errors.New("nettransport: i/o timeout")
+	// ErrDialExhausted reports that every dial attempt of the retry
+	// policy failed. It always arrives wrapped together with ErrNodeDown,
+	// so existing callers that treat dial failure as a dead peer keep
+	// working while retry-aware callers can match the specific cause.
+	ErrDialExhausted = errors.New("nettransport: dial retries exhausted")
 )
 
 // DialTimeout bounds connection establishment to a peer.
 const DialTimeout = 2 * time.Second
+
+// DialRetryPolicy tunes Call's dial loop: transient connection failures
+// (a peer restarting its listener, accept-queue overflow under churn) are
+// retried with capped exponential backoff plus jitter before the caller
+// sees ErrDialExhausted. The zero value selects the defaults.
+type DialRetryPolicy struct {
+	// Attempts is the total number of dials tried (default 4).
+	Attempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// attempt (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 250ms).
+	MaxDelay time.Duration
+}
+
+func (p DialRetryPolicy) withDefaults() DialRetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the sleep before attempt number attempt (1-based count
+// of failures so far): BaseDelay doubling per failure, capped at
+// MaxDelay, plus up to 50% random jitter so synchronized callers
+// (every node re-dialing one restarted peer) do not reconnect in
+// lockstep.
+func (p DialRetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 { // <=0 guards shift overflow
+		d = p.MaxDelay
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// dialRetry runs the dial loop for one address under the policy.
+func dialRetry(addr string, p DialRetryPolicy) (net.Conn, error) {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 1; attempt <= p.Attempts; attempt++ {
+		conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if attempt < p.Attempts {
+			time.Sleep(p.backoff(attempt))
+		}
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %v", ErrDialExhausted, p.Attempts, lastErr)
+}
 
 // DefaultIOTimeout bounds one whole request/reply exchange on a
 // connection (both sides). Without it a hung peer — accepted connection,
@@ -71,6 +134,7 @@ type Network struct {
 	addrs     map[id.ID]string
 	closed    bool
 	ioTimeout time.Duration
+	dial      DialRetryPolicy
 }
 
 var _ simnet.Transport = (*Network)(nil)
@@ -90,6 +154,19 @@ func (n *Network) SetIOTimeout(d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.ioTimeout = d
+}
+
+// SetDialRetryPolicy overrides the dial retry policy for future Calls.
+func (n *Network) SetDialRetryPolicy(p DialRetryPolicy) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dial = p
+}
+
+func (n *Network) dialPolicy() DialRetryPolicy {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.dial
 }
 
 func (n *Network) timeout() time.Duration {
@@ -195,9 +272,11 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 		return simnet.Message{}, fmt.Errorf("call to %s: %w", to.Short(), ErrNodeDown)
 	}
 
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	conn, err := dialRetry(addr, n.dialPolicy())
 	if err != nil {
-		return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrNodeDown, err)
+		// Wrap ErrNodeDown too: routing layers treat an unreachable peer
+		// as dead, and retry exhaustion is exactly that signal.
+		return simnet.Message{}, fmt.Errorf("call to %s: %w: %w", to.Short(), ErrNodeDown, err)
 	}
 	defer func() { _ = conn.Close() }()
 	// Per-request deadline: a peer that accepts but stalls mid-exchange

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -352,5 +353,101 @@ func TestScribeMulticastOverTCP(t *testing.T) {
 		if len(got[i]) != 1 || got[i][0] != "over-the-wire" {
 			t.Fatalf("subscriber %d got %v", i, got[i])
 		}
+	}
+}
+
+func TestDialRetryLateBindingListener(t *testing.T) {
+	// Reserve a port, release it, and only re-listen after the first dial
+	// attempts have already failed: the retry loop must ride over the gap.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	var mu sync.Mutex
+	var late net.Listener
+	time.AfterFunc(60*time.Millisecond, func() {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the test will report exhaustion
+		}
+		mu.Lock()
+		late = l
+		mu.Unlock()
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				_ = c.Close()
+			}
+		}()
+	})
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if late != nil {
+			_ = late.Close()
+		}
+	}()
+
+	conn, err := dialRetry(addr, DialRetryPolicy{Attempts: 8, BaseDelay: 20 * time.Millisecond, MaxDelay: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial through late-binding listener: %v", err)
+	}
+	_ = conn.Close()
+}
+
+func TestDialRetryExhaustion(t *testing.T) {
+	// Nothing ever listens on the reserved port: every attempt must fail
+	// and the typed error must surface after the full backoff schedule.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	start := time.Now()
+	_, err = dialRetry(addr, DialRetryPolicy{Attempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 20 * time.Millisecond})
+	if !errors.Is(err, ErrDialExhausted) {
+		t.Fatalf("want ErrDialExhausted, got %v", err)
+	}
+	// Two sleeps happen between three attempts: 10ms then 20ms minimum.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("backoff not applied: done in %v", elapsed)
+	}
+}
+
+func TestCallWrapsDialExhaustion(t *testing.T) {
+	// A peer whose listener vanished without being marked down (crashed
+	// process, not an orderly Fail) must yield both ErrNodeDown (routing
+	// contract) and ErrDialExhausted (retry detail) from Call.
+	n := New()
+	defer n.Close()
+	n.SetDialRetryPolicy(DialRetryPolicy{Attempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond})
+	a, b := id.HashKey("a"), id.HashKey("b")
+	ok := func(id.ID, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{Kind: "ok"}, nil
+	}
+	if err := n.Register(a, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(b, ok); err != nil {
+		t.Fatal(err)
+	}
+	n.mu.Lock()
+	_ = n.servers[b].ln.Close() // crash the listener, keep down=false
+	n.mu.Unlock()
+
+	_, err := n.Call(a, b, simnet.Message{Kind: "ping"})
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown wrap, got %v", err)
+	}
+	if !errors.Is(err, ErrDialExhausted) {
+		t.Fatalf("want ErrDialExhausted wrap, got %v", err)
 	}
 }

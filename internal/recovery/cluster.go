@@ -627,5 +627,13 @@ func (c *Cluster) RecoverAndReprotect(app string, mech Mechanism, opts Options) 
 	if _, err := newMgr.Save(app, res.Snapshot, old.M, old.R, v); err != nil {
 		return Result{}, fmt.Errorf("reprotect %q: %w", app, err)
 	}
+	// The re-save's routed publish went through the replacement's routing
+	// view, freshly disturbed by the failure — pin the new placement at
+	// the ground-truth root so converged readers see it.
+	if p, ok := newMgr.Placement(app); ok {
+		if blob, err := EncodePlacement(p); err == nil {
+			c.pinPlacement(newMgr, app, blob)
+		}
+	}
 	return res, nil
 }

@@ -1,8 +1,6 @@
 package recovery
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
 	"sync"
@@ -125,7 +123,7 @@ func (m *Manager) Save(app string, snapshot []byte, mShards, replicas int, v sta
 	m.placements[app] = placement
 	m.mu.Unlock()
 
-	blob, err := encodePlacement(placement)
+	blob, err := EncodePlacement(placement)
 	if err != nil {
 		return shard.Placement{}, fmt.Errorf("save %q: %w", app, err)
 	}
@@ -189,6 +187,48 @@ func (m *Manager) HasShard(k shard.Key) bool {
 	return ok
 }
 
+// hasShardAt reports whether any replica of (app, index) is stored here
+// at exactly version v — the repair loop's health predicate.
+func (m *Manager) hasShardAt(app string, index int, v state.Version) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, s := range m.shards {
+		if k.App == app && k.Index == index && s.Version == v {
+			return true
+		}
+	}
+	return false
+}
+
+// GCShards applies version-scoped garbage collection for one app against
+// its published placement p: replicas with a version older than p.Version
+// are stale leftovers of earlier saves; replicas at p.Version that the
+// placement no longer assigns to this node are orphans (the slot moved
+// during repair). Both are deleted. Replicas *newer* than p.Version are
+// kept — they belong to a save whose placement has not been published
+// yet, and deleting them would destroy the only copy of in-flight state.
+// Returns (stale, orphans) deletion counts.
+func (m *Manager) GCShards(app string, p shard.Placement) (stale, orphans int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	self := m.node.ID()
+	for k, s := range m.shards {
+		if k.App != app {
+			continue
+		}
+		if p.Version.Newer(s.Version) {
+			delete(m.shards, k)
+			stale++
+			continue
+		}
+		if s.Version == p.Version && p.Loc[k] != self {
+			delete(m.shards, k)
+			orphans++
+		}
+	}
+	return stale, orphans
+}
+
 // Placement returns the locally recorded placement for app (owner side).
 func (m *Manager) Placement(app string) (shard.Placement, bool) {
 	m.mu.Lock()
@@ -197,13 +237,31 @@ func (m *Manager) Placement(app string) (shard.Placement, bool) {
 	return p, ok
 }
 
-// LookupPlacement fetches a state's placement table from the DHT.
+// LookupPlacement fetches a state's placement table from the DHT. Repair
+// republishes tables in place (same version, bumped epoch), and after
+// churn stale same-version copies can linger on old KV replicas — so the
+// lookup reads every reachable copy and returns the one that supersedes
+// the rest, not whichever copy one node happens to hold.
 func (m *Manager) LookupPlacement(app string) (shard.Placement, error) {
-	blob, err := m.node.Get(placementKVKey(app))
+	blobs, err := m.node.GetAll(placementKVKey(app))
 	if err != nil {
 		return shard.Placement{}, fmt.Errorf("%w: %v", ErrNoPlacement, err)
 	}
-	return decodePlacement(blob)
+	var best shard.Placement
+	found := false
+	for _, blob := range blobs {
+		p, err := DecodePlacement(blob)
+		if err != nil {
+			continue // a corrupt replica must not mask a valid one
+		}
+		if !found || p.Supersedes(best) {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return shard.Placement{}, fmt.Errorf("%w: no valid placement copy for %q", ErrNoPlacement, app)
+	}
+	return best, nil
 }
 
 // SetRecovered records a reconstructed snapshot at the replacement node.
@@ -231,7 +289,7 @@ func (m *Manager) handleStore(_ id.ID, msg simnet.Message) (simnet.Message, erro
 	if !ok {
 		return simnet.Message{}, fmt.Errorf("recovery: bad store payload %T", msg.Payload)
 	}
-	if err := s.Verify(); err != nil {
+	if err := ValidateShard(*s); err != nil {
 		return simnet.Message{}, err
 	}
 	m.storeLocal(*s)
@@ -319,20 +377,3 @@ func (m *Manager) localShardsFor(app string, indices []int) []shard.Shard {
 	return out
 }
 
-// --- placement codec (gob over the DHT KV) ---
-
-func encodePlacement(p shard.Placement) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
-		return nil, fmt.Errorf("encode placement: %w", err)
-	}
-	return buf.Bytes(), nil
-}
-
-func decodePlacement(b []byte) (shard.Placement, error) {
-	var p shard.Placement
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
-		return shard.Placement{}, fmt.Errorf("decode placement: %w", err)
-	}
-	return p, nil
-}

@@ -210,7 +210,22 @@ type Placement struct {
 	M, R     int
 	Version  state.Version
 	TotalLen int
-	Loc      map[Key]id.ID
+	// Epoch orders republishes WITHIN one version: a repair pass rewrites
+	// the table (new owner, moved slots) without minting a new state
+	// version, so readers holding several same-version copies — stale KV
+	// replicas survive churn — rank them by epoch. A fresh save resets it.
+	Epoch uint64
+	Loc   map[Key]id.ID
+}
+
+// Supersedes reports whether this copy of a placement table is strictly
+// newer than other: a newer state version always wins; within one version
+// the higher repair epoch wins.
+func (p Placement) Supersedes(other Placement) bool {
+	if p.Version != other.Version {
+		return p.Version.Newer(other.Version)
+	}
+	return p.Epoch > other.Epoch
 }
 
 // Place assigns each (index, replica) to a node round-robin, keeping the

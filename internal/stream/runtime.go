@@ -95,7 +95,8 @@ type Runtime struct {
 	execWG   sync.WaitGroup
 	spoutWG  sync.WaitGroup
 	waited   bool
-	failures atomic.Int64 // bolt Execute errors (reported, not fatal)
+	stopped  chan struct{} // closed once Wait has shut the executors down
+	failures atomic.Int64  // bolt Execute errors (reported, not fatal)
 }
 
 // TaskKey names a task for backends and failure injection.
@@ -115,6 +116,7 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 		tasks:   make(map[string][]*task),
 		subs:    make(map[string][]subscription),
 		shuffle: make(map[string]*atomic.Int64),
+		stopped: make(chan struct{}),
 	}
 	for _, id := range topo.order {
 		decl, ok := topo.bolts[id]
@@ -312,14 +314,28 @@ func (rt *Runtime) recoverTask(t *task, emit Emit) error {
 	return nil
 }
 
+// control sends one control envelope to a task's executor. Both the send
+// and the reply race against runtime shutdown: a supervisor may issue a
+// kill/recover after Wait has already stopped the executor, and blocking
+// on a channel nobody reads would deadlock the caller. The stopped channel
+// turns that into ErrAlreadyWaited instead.
 func (rt *Runtime) control(bolt string, index int, kind ctlKind) error {
 	ts, ok := rt.tasks[bolt]
 	if !ok || index < 0 || index >= len(ts) {
 		return fmt.Errorf("%s[%d]: %w", bolt, index, ErrUnknownTask)
 	}
 	done := make(chan error, 1)
-	ts[index].in <- envelope{kind: kind, done: done}
-	return <-done
+	select {
+	case ts[index].in <- envelope{kind: kind, done: done}:
+	case <-rt.stopped:
+		return fmt.Errorf("%s[%d]: %w", bolt, index, ErrAlreadyWaited)
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-rt.stopped:
+		return fmt.Errorf("%s[%d]: %w", bolt, index, ErrAlreadyWaited)
+	}
 }
 
 // Save snapshots one stateful task's state through the backend.
@@ -353,6 +369,54 @@ func (rt *Runtime) Kill(bolt string, index int) error {
 // input log.
 func (rt *Runtime) RecoverTask(bolt string, index int) error {
 	return rt.control(bolt, index, ctlRecover)
+}
+
+// taskByKey resolves a task key ("topo/bolt/idx") to its bolt and index.
+func (rt *Runtime) taskByKey(key string) (string, int, error) {
+	for bolt, ts := range rt.tasks {
+		for _, t := range ts {
+			if t.key == key {
+				return bolt, t.index, nil
+			}
+		}
+	}
+	return "", 0, fmt.Errorf("%s: %w", key, ErrUnknownTask)
+}
+
+// KillByKey crashes the task with the given task key — the supervisor's
+// entry point, which knows tasks by the keys the state backend uses.
+func (rt *Runtime) KillByKey(key string) error {
+	bolt, index, err := rt.taskByKey(key)
+	if err != nil {
+		return err
+	}
+	return rt.Kill(bolt, index)
+}
+
+// RecoverTaskByKey restores a killed task by its task key (backend
+// recovery plus input-log replay), for the supervisor.
+func (rt *Runtime) RecoverTaskByKey(key string) error {
+	bolt, index, err := rt.taskByKey(key)
+	if err != nil {
+		return err
+	}
+	return rt.RecoverTask(bolt, index)
+}
+
+// StatefulTaskKeys lists the task keys of all stateful tasks, in
+// topological bolt order — what a supervisor protects.
+func (rt *Runtime) StatefulTaskKeys() []string {
+	var out []string
+	for _, id := range rt.topo.sortedBolts() {
+		decl, ok := rt.topo.bolts[id]
+		if !ok || !decl.stateful {
+			continue
+		}
+		for _, t := range rt.tasks[id] {
+			out = append(out, t.key)
+		}
+	}
+	return out
 }
 
 // Flusher lets windowed bolts emit buffered results when the stream
@@ -390,6 +454,7 @@ func (rt *Runtime) Wait() error {
 		}
 	}
 	rt.execWG.Wait()
+	close(rt.stopped)
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"sr3/internal/recovery"
 	"sr3/internal/shard"
 	"sr3/internal/stream"
+	"sr3/internal/supervise"
 )
 
 // Mechanism selects a recovery structure (star/line/tree).
@@ -105,6 +106,7 @@ type Framework struct {
 
 	mu   sync.Mutex
 	apps map[string]*appConfig
+	sup  *supervise.Supervisor // non-nil while supervised mode is active
 }
 
 // New builds the overlay and attaches SR3 managers to every node.

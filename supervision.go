@@ -1,0 +1,120 @@
+package sr3
+
+import (
+	"fmt"
+	"time"
+
+	"sr3/internal/detector"
+	"sr3/internal/supervise"
+)
+
+// SupervisionConfig tunes the framework's self-healing mode: φ-accrual
+// failure detection on every node, automatic recovery of dead owners'
+// states, and background replica repair.
+type SupervisionConfig struct {
+	// Heartbeat is the φ-accrual probe interval (default 50ms).
+	Heartbeat time.Duration
+	// PhiThreshold is the suspicion level at which a silent peer is
+	// suspected (default 8).
+	PhiThreshold float64
+	// Quorum is how many distinct suspecters must agree before a death
+	// is declared (default 2).
+	Quorum int
+	// RepairInterval is the background replica-repair period
+	// (default 250ms).
+	RepairInterval time.Duration
+}
+
+// SelfHealEvent records one automatically handled node death.
+type SelfHealEvent = supervise.Event
+
+// StartSupervision switches the framework into supervised mode: every
+// overlay node runs a φ-accrual failure detector, dead state owners are
+// recovered at replacements without any Recover call, and a maintenance
+// loop repairs under-replicated shards back to each state's replication
+// factor. States already saved are protected immediately; later Save
+// calls protect their states automatically.
+func (f *Framework) StartSupervision(cfg SupervisionConfig) error {
+	f.mu.Lock()
+	if f.sup != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("sr3: supervision already running")
+	}
+	sup := supervise.New(f.cluster, supervise.Config{
+		Detector: detector.Config{
+			Interval:  cfg.Heartbeat,
+			Threshold: cfg.PhiThreshold,
+			Quorum:    cfg.Quorum,
+		},
+		RepairInterval: cfg.RepairInterval,
+	})
+	f.sup = sup
+	for name, ac := range f.apps {
+		if ac.lastSize > 0 {
+			sup.Protect(supervise.StateSpec{
+				App:        name,
+				Mechanism:  ac.mechanism,
+				Options:    ac.options,
+				StateBytes: ac.lastSize,
+			})
+		}
+	}
+	f.mu.Unlock()
+	return sup.Start()
+}
+
+// StopSupervision leaves supervised mode (idempotent).
+func (f *Framework) StopSupervision() {
+	f.mu.Lock()
+	sup := f.sup
+	f.sup = nil
+	f.mu.Unlock()
+	if sup != nil {
+		sup.Stop()
+	}
+}
+
+// Supervised reports whether self-healing mode is active.
+func (f *Framework) Supervised() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sup != nil
+}
+
+// SelfHealEvents returns the supervisor's handled-death log (empty when
+// supervision never ran).
+func (f *Framework) SelfHealEvents() []SelfHealEvent {
+	f.mu.Lock()
+	sup := f.sup
+	f.mu.Unlock()
+	if sup == nil {
+		return nil
+	}
+	return sup.Events()
+}
+
+// Supervisor exposes the running supervisor (advanced callers and the
+// bench harness); nil when supervision is not active.
+func (f *Framework) Supervisor() *supervise.Supervisor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sup
+}
+
+// SuperviseRuntime binds a stream runtime to the running supervisor:
+// every stateful task is protected as a task-bound state, so a dead
+// state owner triggers kill → backend recovery → input-log replay on the
+// task with no manual intervention.
+func (f *Framework) SuperviseRuntime(rt *Runtime) error {
+	f.mu.Lock()
+	sup := f.sup
+	f.mu.Unlock()
+	if sup == nil {
+		return fmt.Errorf("sr3: supervision not running")
+	}
+	sup.BindRuntime(rt)
+	for _, key := range rt.StatefulTaskKeys() {
+		sup.Protect(supervise.StateSpec{App: key, TaskBound: true})
+	}
+	return nil
+}
