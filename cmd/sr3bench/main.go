@@ -56,6 +56,7 @@ func experiments() []experiment {
 		figExp("ablation-speculation", "straggler hedging (§6 future work)", bench.AblationSpeculation),
 		figExp("ablation-speculation-linetree", "line/tree straggler hedging", bench.AblationSpeculationLineTree),
 		{id: "chaos", desc: "failover ladder under seeded fault injection", run: bench.ChaosReport},
+		{id: "dataplane", desc: "recovery goodput over TCP: size x mechanism x fetch concurrency", run: runDataPlane},
 		{id: "self-heal", desc: "detection latency and MTTR vs heartbeat interval and φ threshold", run: bench.SelfHealReport},
 		figExp("ablation-flowpenalty", "star flow-penalty contribution", bench.AblationFlowPenalty),
 		figExp("ablation-selection", "mechanism choice per environment (§3.7)", bench.AblationMechanismDefaults),
@@ -79,6 +80,25 @@ func runFP4S() (string, error) {
 		cmp.StarRecoverySec, cmp.SR3ReplicaFactor)
 	fmt.Fprintf(&b, "  extra erasure-codec time: %8.2f s (paper: ~10 s)\n", cmp.ExtraCodecSec)
 	return b.String(), nil
+}
+
+// dataPlaneOut is where the dataplane experiment writes its JSON
+// artifact (relative to the working directory — run from the repo root).
+const dataPlaneOut = "BENCH_dataplane.json"
+
+func runDataPlane() (string, error) {
+	report, err := bench.DataPlaneSweep(bench.DataPlaneConfig{})
+	if err != nil {
+		return "", err
+	}
+	blob, err := report.JSON()
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(dataPlaneOut, blob, 0o644); err != nil {
+		return "", err
+	}
+	return report.Format() + "wrote " + dataPlaneOut + "\n", nil
 }
 
 func runSummary() (string, error) {

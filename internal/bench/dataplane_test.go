@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestDataPlaneSweepSmoke runs a miniature sweep (2 MB, 10 nodes, one
+// concurrency step) over real TCP and checks the report's shape: every
+// (mechanism × mode) cell present, baselines at speedup 1.0, goodput
+// positive, and the JSON artifact round-trips.
+func TestDataPlaneSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP sweep")
+	}
+	cfg := DataPlaneConfig{SizesMB: []int{2}, Concurrencies: []int{4}, Nodes: 10, M: 8, R: 3}
+	report, err := DataPlaneSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 2; len(report.Runs) != want { // 3 mechanisms × {seq, c4}
+		t.Fatalf("got %d runs, want %d", len(report.Runs), want)
+	}
+	for _, run := range report.Runs {
+		if run.GoodputMBps <= 0 {
+			t.Errorf("%dMB %s %s: goodput %v", run.StateMB, run.Mechanism, run.Mode, run.GoodputMBps)
+		}
+		if run.BytesMoved != 2_000_000 {
+			t.Errorf("%s %s: moved %d bytes", run.Mechanism, run.Mode, run.BytesMoved)
+		}
+		if run.Mode == "seq" {
+			if run.SpeedupVsSeq != 1 {
+				t.Errorf("%s seq: speedup %v, want 1", run.Mechanism, run.SpeedupVsSeq)
+			}
+			// Sequential star is the inline-gob control: no raw-body
+			// traffic at all. Line/tree always frame shard bodies in the
+			// collect raw path; sequential there means one unsegmented
+			// chain/tree.
+			if run.Mechanism == "star" && run.RawWireBytes != 0 {
+				t.Errorf("star seq: raw wire bytes %d, want 0 (inline gob)", run.RawWireBytes)
+			}
+		} else if run.RawWireBytes == 0 {
+			t.Errorf("%s %s: no raw wire traffic on streaming path", run.Mechanism, run.Mode)
+		}
+	}
+	blob, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DataPlaneReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != len(report.Runs) {
+		t.Fatalf("JSON round trip lost runs: %d vs %d", len(back.Runs), len(report.Runs))
+	}
+}

@@ -2,6 +2,7 @@ package dht
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -42,6 +43,45 @@ const (
 	maxRouteHops    = 1024
 	maxRouteNesting = 4
 )
+
+// MaxFrameLen caps one length-prefixed frame (see AppendFrame): large
+// enough for any shard this system ships, small enough that a hostile
+// prefix cannot demand an absurd allocation or subslice.
+const MaxFrameLen = 1 << 30
+
+// ErrBadFrame reports a structurally invalid length-prefixed frame.
+var ErrBadFrame = errors.New("dht: malformed length-prefixed frame")
+
+// AppendFrame appends b to dst as one length-prefixed frame
+// ([u32 big-endian length][bytes]). It is the batched data-plane
+// encoding: concatenated frames let one message carry many bodies with
+// zero per-item gob overhead, and decoding is subslicing, not copying.
+func AppendFrame(dst, b []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, b...)
+}
+
+// NextFrame splits the first length-prefixed frame off b, returning the
+// frame body (a subslice of b, no copy) and the remainder. A truncated
+// or oversized prefix yields ErrBadFrame.
+func NextFrame(b []byte) (frame, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: %d-byte header", ErrBadFrame, len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > MaxFrameLen {
+		return nil, nil, fmt.Errorf("%w: claimed length %d", ErrBadFrame, n)
+	}
+	if int(n) > len(b)-4 {
+		return nil, nil, fmt.Errorf("%w: claimed %d bytes, have %d", ErrBadFrame, n, len(b)-4)
+	}
+	return b[4 : 4+n : 4+n], b[4+n:], nil
+}
+
+// FrameOverhead is the per-frame encoding overhead of AppendFrame.
+const FrameOverhead = 4
 
 // EncodePayload serializes one registered wire payload (interface-encoded
 // gob, the same framing a serializing transport applies).

@@ -8,12 +8,14 @@
 package nettransport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sr3/internal/id"
@@ -102,12 +104,19 @@ func dialRetry(addr string, p DialRetryPolicy) (net.Conn, error) {
 // ErrTimeout and the failover ladder takes over.
 const DefaultIOTimeout = 10 * time.Second
 
-// wireRequest is the on-the-wire request frame.
+// maxRawLen caps an announced raw-body length (1 GiB): far above any
+// shard batch this system moves, tight enough that a hostile header
+// cannot demand an absurd allocation.
+const maxRawLen = 1 << 30
+
+// wireRequest is the on-the-wire request frame. RawLen announces a chunked
+// raw body following the gob frame (see frame.go).
 type wireRequest struct {
-	From id.ID
-	Kind string
-	Size int
-	Body any
+	From   id.ID
+	Kind   string
+	Size   int
+	Body   any
+	RawLen int
 }
 
 // wireReply is the on-the-wire reply frame.
@@ -116,6 +125,7 @@ type wireReply struct {
 	Size   int
 	Body   any
 	ErrMsg string
+	RawLen int
 }
 
 type server struct {
@@ -135,6 +145,35 @@ type Network struct {
 	closed    bool
 	ioTimeout time.Duration
 	dial      DialRetryPolicy
+
+	// Data-plane accounting (see frame.go): raw-body bytes and chunk
+	// frames moved through this transport, and the destination-buffer pool.
+	pool        bufPool
+	rawBytes    atomic.Int64
+	rawFrames   atomic.Int64
+	rawMessages atomic.Int64
+}
+
+// DataPlaneStats is a snapshot of the transport's raw-body accounting.
+type DataPlaneStats struct {
+	// RawBytes counts raw-body payload bytes moved (both directions).
+	RawBytes int64
+	// RawFrames counts chunk frames moved.
+	RawFrames int64
+	// RawMessages counts exchanges that carried a raw body.
+	RawMessages int64
+	// Pool reports destination-buffer reuse.
+	Pool PoolStats
+}
+
+// DataPlane returns the transport's raw-body counters.
+func (n *Network) DataPlane() DataPlaneStats {
+	return DataPlaneStats{
+		RawBytes:    n.rawBytes.Load(),
+		RawFrames:   n.rawFrames.Load(),
+		RawMessages: n.rawMessages.Load(),
+		Pool:        PoolStats{Hits: n.pool.hits.Load(), Misses: n.pool.misses.Load()},
+	}
 }
 
 var _ simnet.Transport = (*Network)(nil)
@@ -223,14 +262,33 @@ func (n *Network) serve(nid id.ID, srv *server) {
 func (n *Network) serveConn(nid id.ID, srv *server, conn net.Conn) {
 	// Bound the whole exchange: a client that connects and never sends
 	// (or never drains the reply) must not pin this handler goroutine.
-	if d := n.timeout(); d > 0 {
-		_ = conn.SetDeadline(time.Now().Add(d))
-	}
-	dec := gob.NewDecoder(conn)
+	// Raw-body frames refresh the deadline per chunk (frame.go), turning
+	// it into an idle timeout for large transfers.
+	fio := frameIO{conn: conn, r: bufio.NewReader(conn), timeout: n.timeout()}
+	fio.refresh()
+	dec := gob.NewDecoder(fio.r)
 	enc := gob.NewEncoder(conn)
 	var req wireRequest
 	if err := dec.Decode(&req); err != nil {
 		return
+	}
+	// The raw body must be drained before any reply can go out — the
+	// client writes it unconditionally and the stream cannot resync
+	// otherwise — so read it even on the down path.
+	var reqRaw []byte
+	if req.RawLen > 0 {
+		if req.RawLen > maxRawLen {
+			return // hostile header: drop the connection
+		}
+		reqRaw = n.pool.get(req.RawLen)
+		defer n.pool.put(reqRaw)
+		frames, err := fio.readRaw(reqRaw)
+		n.rawFrames.Add(frames)
+		if err != nil {
+			return
+		}
+		n.rawBytes.Add(int64(req.RawLen))
+		n.rawMessages.Add(1)
 	}
 	n.mu.RLock()
 	down := srv.down
@@ -239,14 +297,30 @@ func (n *Network) serveConn(nid id.ID, srv *server, conn net.Conn) {
 		_ = enc.Encode(&wireReply{ErrMsg: ErrNodeDown.Error()})
 		return
 	}
+	// The request buffer is pooled (deferred put above): the handler
+	// contract is that Raw is not retained past return.
 	reply, err := srv.handler(req.From, simnet.Message{
-		Kind: req.Kind, Size: req.Size, Payload: req.Body,
+		Kind: req.Kind, Size: req.Size, Payload: req.Body, Raw: reqRaw,
 	})
-	out := &wireReply{Kind: reply.Kind, Size: reply.Size, Body: reply.Payload}
+	out := &wireReply{Kind: reply.Kind, Size: reply.Size, Body: reply.Payload, RawLen: len(reply.Raw)}
 	if err != nil {
 		out = &wireReply{ErrMsg: err.Error()}
 	}
-	_ = enc.Encode(out)
+	if err := enc.Encode(out); err != nil {
+		reply.ReleaseRaw()
+		return
+	}
+	if out.RawLen > 0 {
+		frames, werr := fio.writeRaw(reply.Raw)
+		n.rawFrames.Add(frames)
+		if werr == nil {
+			n.rawBytes.Add(int64(out.RawLen))
+			n.rawMessages.Add(1)
+		}
+	}
+	// A handler that forwarded a pooled body attaches its recycler to the
+	// reply; the bytes are on the wire now, so return the buffer.
+	reply.ReleaseRaw()
 }
 
 // Call dials the destination and performs one request/reply exchange.
@@ -280,18 +354,30 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 	}
 	defer func() { _ = conn.Close() }()
 	// Per-request deadline: a peer that accepts but stalls mid-exchange
-	// yields ErrTimeout instead of blocking the caller forever.
-	if d := n.timeout(); d > 0 {
-		_ = conn.SetDeadline(time.Now().Add(d))
-	}
+	// yields ErrTimeout instead of blocking the caller forever. Raw-body
+	// frames refresh it per chunk (frame.go).
+	fio := frameIO{conn: conn, r: bufio.NewReader(conn), timeout: n.timeout()}
+	fio.refresh()
 
 	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(&wireRequest{From: from, Kind: msg.Kind, Size: msg.Size, Body: msg.Payload}); err != nil {
+	dec := gob.NewDecoder(fio.r)
+	if err := enc.Encode(&wireRequest{From: from, Kind: msg.Kind, Size: msg.Size, Body: msg.Payload, RawLen: len(msg.Raw)}); err != nil {
 		if isTimeout(err) {
 			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 		}
 		return simnet.Message{}, fmt.Errorf("call to %s: encode: %w", to.Short(), err)
+	}
+	if len(msg.Raw) > 0 {
+		frames, err := fio.writeRaw(msg.Raw)
+		n.rawFrames.Add(frames)
+		if err != nil {
+			if isTimeout(err) {
+				return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
+			}
+			return simnet.Message{}, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)
+		}
+		n.rawBytes.Add(int64(len(msg.Raw)))
+		n.rawMessages.Add(1)
 	}
 	var reply wireReply
 	if err := dec.Decode(&reply); err != nil {
@@ -303,7 +389,27 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 	if reply.ErrMsg != "" {
 		return simnet.Message{}, fmt.Errorf("call to %s: remote: %s", to.Short(), reply.ErrMsg)
 	}
-	return simnet.Message{Kind: reply.Kind, Size: reply.Size, Payload: reply.Body}, nil
+	out := simnet.Message{Kind: reply.Kind, Size: reply.Size, Payload: reply.Body}
+	if reply.RawLen > 0 {
+		if reply.RawLen > maxRawLen {
+			return simnet.Message{}, fmt.Errorf("call to %s: raw body of %d bytes exceeds cap", to.Short(), reply.RawLen)
+		}
+		buf := n.pool.get(reply.RawLen)
+		frames, err := fio.readRaw(buf)
+		n.rawFrames.Add(frames)
+		if err != nil {
+			n.pool.put(buf)
+			if isTimeout(err) {
+				return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
+			}
+			return simnet.Message{}, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)
+		}
+		n.rawBytes.Add(int64(reply.RawLen))
+		n.rawMessages.Add(1)
+		out.Raw = buf
+		out.SetFree(func() { n.pool.put(buf) })
+	}
+	return out, nil
 }
 
 // Alive reports whether nid is registered and its listener is serving.

@@ -1,0 +1,153 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"sr3/internal/shard"
+	"sr3/internal/state"
+)
+
+// errShardMismatch reports a fetched shard that does not belong to the
+// placement being assembled (wrong version, geometry off the canonical
+// split grid, or checksum failure). Callers treat it like a missing
+// replica and fail over, rather than aborting the whole recovery.
+var errShardMismatch = errors.New("recovery: shard does not match placement")
+
+// assembler is the replacement-side merge sink of a recovery: a
+// preallocated snapshot buffer that incoming shards are copied into at
+// their final offset as they arrive. It replaces the old
+// collect-everything-then-Reassemble path, so merging overlaps with
+// fetching (the pipelining the line/tree mechanisms exploit) and the
+// snapshot bytes are written exactly once.
+//
+// Geometry is pinned up front from the placement: shard index i of a
+// state of TotalLen bytes split m ways occupies one deterministic byte
+// range (the same grid shard.Split produces). A shard claiming any other
+// range is rejected, which both defeats hostile offsets and makes
+// concurrent copies provably disjoint — the copy itself runs outside the
+// lock.
+type assembler struct {
+	app     string
+	version state.Version
+	total   int // shard count m
+	out     []byte
+
+	mu        sync.Mutex
+	have      []bool
+	remaining int
+	merged    int
+	bytesIn   int64
+}
+
+// newAssembler pins the assembly geometry from a placement.
+func newAssembler(p shard.Placement) *assembler {
+	return &assembler{
+		app:       p.App,
+		version:   p.Version,
+		total:     p.M,
+		out:       make([]byte, p.TotalLen),
+		have:      make([]bool, p.M),
+		remaining: p.M,
+	}
+}
+
+// grid returns the canonical byte range of shard index i (mirrors
+// shard.Split's near-equal partition).
+func (a *assembler) grid(i int) (off, n int) {
+	m, l := a.total, len(a.out)
+	if l == 0 {
+		return 0, 0
+	}
+	// Split never produces more shards than bytes; an all-empty grid only
+	// happens for the l==0 case above.
+	base, rem := l/m, l%m
+	if i < rem {
+		return i * (base + 1), base + 1
+	}
+	return rem*(base+1) + (i-rem)*base, base
+}
+
+// add merges one shard into the snapshot. s.Data may alias a transport
+// buffer — it is fully consumed (copied) before add returns. A duplicate
+// index is ignored (replicas at one version are byte-identical by
+// construction, enforced by the checksum). Returns the number of bytes
+// merged (0 for duplicates).
+func (a *assembler) add(s shard.Shard) (int, error) {
+	if s.App != a.app || s.Version != a.version || s.Total != a.total || s.TotalLen != len(a.out) {
+		return 0, fmt.Errorf("shard %s version %v: %w", s.Key(), s.Version, errShardMismatch)
+	}
+	if s.Index < 0 || s.Index >= a.total {
+		return 0, fmt.Errorf("shard index %d of %d: %w", s.Index, a.total, errShardMismatch)
+	}
+	off, n := a.grid(s.Index)
+	if s.Offset != off || len(s.Data) != n {
+		return 0, fmt.Errorf("shard %s range [%d,%d) off the split grid [%d,%d): %w",
+			s.Key(), s.Offset, s.Offset+len(s.Data), off, off+n, errShardMismatch)
+	}
+	if crc32.ChecksumIEEE(s.Data) != s.Checksum {
+		return 0, fmt.Errorf("shard %s: %w: %w", s.Key(), shard.ErrChecksum, errShardMismatch)
+	}
+
+	a.mu.Lock()
+	if a.have[s.Index] {
+		a.mu.Unlock()
+		return 0, nil
+	}
+	a.have[s.Index] = true
+	a.remaining--
+	a.merged++
+	a.bytesIn += int64(n)
+	a.mu.Unlock()
+
+	// Disjoint region by the grid check above: safe outside the lock.
+	copy(a.out[off:off+n], s.Data)
+	return n, nil
+}
+
+// hasIndex reports whether index i has been merged.
+func (a *assembler) hasIndex(i int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.have[i]
+}
+
+// missing lists the shard indices not yet merged, ascending.
+func (a *assembler) missing() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []int
+	for i, ok := range a.have {
+		if !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// complete reports whether every index has been merged.
+func (a *assembler) complete() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.remaining == 0
+}
+
+// stats returns (shards merged, data bytes merged).
+func (a *assembler) stats() (int, int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.merged, a.bytesIn
+}
+
+// bytes returns the assembled snapshot, or ErrIncomplete when indices
+// are still missing.
+func (a *assembler) bytes() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.remaining != 0 {
+		return nil, fmt.Errorf("have %d of %d shard indices: %w", a.total-a.remaining, a.total, shard.ErrIncomplete)
+	}
+	return a.out, nil
+}

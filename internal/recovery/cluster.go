@@ -131,14 +131,14 @@ func (c *Cluster) Recover(app string, mech Mechanism, opts Options) (Result, err
 
 	rm := c.managers[replacement]
 	oc := newOutcomeRecorder()
-	var shards []shard.Shard
+	a := newAssembler(placement)
 	switch mech {
 	case Star:
-		shards, err = rm.collectStar(app, placement, opts, oc)
+		err = rm.collectStar(app, placement, opts, oc, a)
 	case Line:
-		shards, err = rm.collectLine(app, stages, placement, opts, oc)
+		err = rm.collectLine(app, stages, placement, opts, oc, a)
 	case Tree:
-		shards, err = rm.collectTree(app, stages, 1<<clampBit(opts.TreeFanoutBit), placement, opts, oc)
+		err = rm.collectTree(app, stages, 1<<clampBit(opts.TreeFanoutBit), placement, opts, oc, a)
 	default:
 		return Result{}, fmt.Errorf("recover %q: %d: %w", app, mech, ErrBadMechanism)
 	}
@@ -146,11 +146,12 @@ func (c *Cluster) Recover(app string, mech Mechanism, opts Options) (Result, err
 		return Result{}, fmt.Errorf("recover %q (%s): %w", app, mech, err)
 	}
 
-	snapshot, err := shard.Reassemble(shards)
+	snapshot, err := a.bytes()
 	if err != nil {
 		return Result{}, fmt.Errorf("recover %q (%s): %w", app, mech, err)
 	}
 	rm.SetRecovered(app, snapshot)
+	merged, _ := a.stats()
 	return Result{
 		App:         app,
 		Mechanism:   mech,
@@ -158,7 +159,7 @@ func (c *Cluster) Recover(app string, mech Mechanism, opts Options) (Result, err
 		Snapshot:    snapshot,
 		Version:     placement.Version,
 		Providers:   len(stages),
-		ShardsMoved: len(shards),
+		ShardsMoved: merged,
 		Outcome:     oc.snapshot(),
 	}, nil
 }
@@ -261,61 +262,73 @@ func clampBit(b int) int {
 
 // --- real mechanism executors (run on the replacement's manager) ---
 
-// collectStar fetches one live replica of each shard index directly from
-// its holder, in parallel (paper §3.4). With opts.Speculate, two replicas
-// are requested concurrently and the first success wins. Provider losses
-// fail over to the remaining replicas with bounded retries and
-// exponential backoff (unless opts.DisableFailover).
-func (m *Manager) collectStar(app string, p shard.Placement, opts Options, oc *outcomeRecorder) ([]shard.Shard, error) {
+// collectStar fetches one live replica of every still-missing shard index
+// directly from its holders, merging each into the assembler as it lands
+// (paper §3.4). Fetches run under a bounded worker pool
+// (opts.FetchConcurrency; 1 when opts.SequentialFetch), so a wide m×r
+// placement pulls many providers concurrently without unbounded fan-out.
+// With opts.Speculate, two replicas are requested concurrently and the
+// first success wins. Provider losses fail over to the remaining replicas
+// with bounded retries and exponential backoff (unless
+// opts.DisableFailover).
+func (m *Manager) collectStar(app string, p shard.Placement, opts Options, oc *outcomeRecorder, a *assembler) error {
 	oc.attempt()
-	type res struct {
-		s   shard.Shard
-		err error
+	conc := opts.FetchConcurrency
+	if conc < 1 {
+		conc = defaultFetchConcurrency
 	}
-	out := make([]res, p.M)
+	if opts.SequentialFetch {
+		conc = 1
+	}
+	missing := a.missing()
+	sem := make(chan struct{}, conc)
+	errs := make([]error, len(missing))
 	var wg sync.WaitGroup
-	for i := 0; i < p.M; i++ {
+	for k, idx := range missing {
 		wg.Add(1)
-		go func(i int) {
+		sem <- struct{}{}
+		go func(k, idx int) {
 			defer wg.Done()
-			out[i].s, out[i].err = m.fetchIndexRetry(app, i, p, opts, oc)
-		}(i)
+			defer func() { <-sem }()
+			_, errs[k] = m.fetchIndexRetryInto(a, app, idx, p, opts, oc)
+		}(k, idx)
 	}
 	wg.Wait()
-	shards := make([]shard.Shard, 0, p.M)
-	for i, r := range out {
-		if r.err != nil {
-			return nil, fmt.Errorf("star fetch index %d: %w", i, r.err)
+	for k, err := range errs {
+		if err != nil {
+			return fmt.Errorf("star fetch index %d: %w", missing[k], err)
 		}
-		shards = append(shards, r.s)
 	}
-	return shards, nil
+	return nil
 }
 
-// fetchIndexRetry retrieves one replica of a shard index. Holders are
-// tried in replica order; a full pass with no success is retried up to
+// fetchIndexRetryInto retrieves one replica of a shard index and merges
+// it into the assembler, returning the bytes merged (0 when the index
+// was already assembled by a concurrent path). Holders are tried in
+// replica order; a full pass with no success is retried up to
 // opts.FailoverRetries times with exponentially growing backoff (so a
 // transiently crashed provider can come back). With opts.DisableFailover
 // a single pass is made, reproducing the original abort-on-loss
 // behaviour. With opts.Speculate the first two replicas are raced before
 // falling back to the ordered passes.
-func (m *Manager) fetchIndexRetry(app string, index int, p shard.Placement, opts Options, oc *outcomeRecorder) (shard.Shard, error) {
+func (m *Manager) fetchIndexRetryInto(a *assembler, app string, index int, p shard.Placement, opts Options, oc *outcomeRecorder) (int, error) {
 	holders := p.NodesForIndex(index)
+	inline := opts.SequentialFetch
 	if opts.Speculate && len(holders) > 1 {
 		type res struct {
-			s  shard.Shard
+			n  int
 			ok bool
 		}
 		ch := make(chan res, 2)
 		for _, h := range holders[:2] {
 			go func(h id.ID) {
-				s, err := m.fetchFrom(h, app, index)
-				ch <- res{s, err == nil}
+				n, err := m.fetchInto(a, h, app, index, inline)
+				ch <- res{n, err == nil}
 			}(h)
 		}
 		for i := 0; i < 2; i++ {
 			if r := <-ch; r.ok {
-				return r.s, nil
+				return r.n, nil
 			}
 		}
 	}
@@ -329,22 +342,24 @@ func (m *Manager) fetchIndexRetry(app string, index int, p shard.Placement, opts
 	}
 	for round := 0; ; round++ {
 		for hi, h := range holders {
-			s, err := m.fetchFrom(h, app, index)
+			n, err := m.fetchInto(a, h, app, index, inline)
 			if err == nil {
 				if round > 0 || hi > 0 {
-					oc.failover(1, len(s.Data))
+					oc.failover(1, n)
 				}
-				return s, nil
+				return n, nil
 			}
-			if !errors.Is(err, ErrShardLost) {
+			// A shard that arrived but failed validation counts like a
+			// missing replica, not a dead node.
+			if !errors.Is(err, ErrShardLost) && !errors.Is(err, errShardMismatch) {
 				oc.deadNode(h)
 			}
 		}
 		if round >= rounds {
 			if opts.DisableFailover {
-				return shard.Shard{}, fmt.Errorf("shard index %d: %w", index, ErrShardLost)
+				return 0, fmt.Errorf("shard index %d: %w", index, ErrShardLost)
 			}
-			return shard.Shard{}, fmt.Errorf("shard index %d: %w", index, ErrReplicasExhausted)
+			return 0, fmt.Errorf("shard index %d: %w", index, ErrReplicasExhausted)
 		}
 		oc.attempt()
 		time.Sleep(backoff)
@@ -352,6 +367,47 @@ func (m *Manager) fetchIndexRetry(app string, index int, p shard.Placement, opts
 	}
 }
 
+// fetchInto retrieves one replica of (app, index) from holder and merges
+// it straight into the assembler — the recovery hot path. Over a
+// serializing transport the shard body arrives as chunked frames in a
+// pooled buffer; the assembler copies it into its final snapshot position
+// and the buffer is released, so no whole-shard intermediate copy is ever
+// made. inline selects the legacy payload-embedded encoding (the
+// benchmark baseline).
+func (m *Manager) fetchInto(a *assembler, holder id.ID, app string, index int, inline bool) (int, error) {
+	if holder == m.node.ID() {
+		ss := m.localShardsFor(app, []int{index})
+		if len(ss) == 0 {
+			return 0, ErrShardLost
+		}
+		return a.add(ss[0])
+	}
+	resp, err := m.node.Send(holder, simnet.Message{
+		Kind:    kindFetchIndex,
+		Size:    msgHeader + len(app) + 8,
+		Payload: &fetchIndexRequest{App: app, Index: index, Inline: inline},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer resp.ReleaseRaw()
+	reply, ok := resp.Payload.(*fetchReply)
+	if !ok {
+		return 0, fmt.Errorf("recovery: bad fetch reply %T", resp.Payload)
+	}
+	if !reply.Found {
+		return 0, ErrShardLost
+	}
+	s := reply.Shard
+	if s.Data == nil {
+		s.Data = resp.Raw
+	}
+	return a.add(s)
+}
+
+// fetchFrom retrieves one replica of (app, index) from holder with an
+// owned Data copy — the repair path's donor fetch, which re-pushes the
+// shard long after the transport buffer is recycled.
 func (m *Manager) fetchFrom(holder id.ID, app string, index int) (shard.Shard, error) {
 	if holder == m.node.ID() {
 		ss := m.localShardsFor(app, []int{index})
@@ -368,6 +424,7 @@ func (m *Manager) fetchFrom(holder id.ID, app string, index int) (shard.Shard, e
 	if err != nil {
 		return shard.Shard{}, err
 	}
+	defer resp.ReleaseRaw()
 	reply, ok := resp.Payload.(*fetchReply)
 	if !ok {
 		return shard.Shard{}, fmt.Errorf("recovery: bad fetch reply %T", resp.Payload)
@@ -375,38 +432,50 @@ func (m *Manager) fetchFrom(holder id.ID, app string, index int) (shard.Shard, e
 	if !reply.Found {
 		return shard.Shard{}, ErrShardLost
 	}
-	return reply.Shard, nil
+	s := reply.Shard
+	if s.Data == nil && len(resp.Raw) > 0 {
+		s.Data = append([]byte(nil), resp.Raw...)
+	}
+	return s, nil
 }
 
-// splitLocal separates the stages this manager can serve from local
-// storage from those needing the wire, contributing the local shards.
-func (m *Manager) splitLocal(app string, stages []stage) (local []shard.Shard, remote []stage) {
+// mergeLocal merges this node's own replicas for the given stages into
+// the assembler and returns the stages that need the wire plus the bytes
+// merged locally.
+func (m *Manager) mergeLocal(a *assembler, app string, stages []stage) (remote []stage, merged int) {
 	remote = make([]stage, 0, len(stages))
 	for _, st := range stages {
-		if st.Node == m.node.ID() {
-			local = append(local, m.localShardsFor(app, st.Indices)...)
+		if st.Node != m.node.ID() {
+			remote = append(remote, st)
 			continue
 		}
-		remote = append(remote, st)
+		for _, s := range m.localShardsFor(app, st.Indices) {
+			// A mismatch just leaves the index missing; failover covers it.
+			n, _ := a.add(s)
+			merged += n
+		}
 	}
-	return local, remote
+	return remote, merged
 }
 
-// missingIndices lists the shard indices of p not yet present in acc.
-func missingIndices(p shard.Placement, acc []shard.Shard) []int {
-	have := make(map[int]bool, len(acc))
-	for _, s := range acc {
-		if s.App == p.App {
-			have[s.Index] = true
-		}
+// mergeCollect decodes one collect reply (metas + framed raw body) and
+// merges every shard into the assembler, returning the bytes merged.
+// Individually mismatched shards are skipped — their indices stay missing
+// and the failover ladder re-fetches them.
+func mergeCollect(a *assembler, reply *collectReply, raw []byte) (int, error) {
+	shards, err := DecodeShardBatch(reply.Shards, raw)
+	if err != nil {
+		return 0, err
 	}
-	var out []int
-	for i := 0; i < p.M; i++ {
-		if !have[i] {
-			out = append(out, i)
+	total := 0
+	for _, s := range shards {
+		n, err := a.add(s)
+		if err != nil {
+			continue
 		}
+		total += n
 	}
-	return out
+	return total, nil
 }
 
 // replanStages picks, for every missing index, a replica holder not yet
@@ -443,61 +512,109 @@ func replanStages(p shard.Placement, missing []int, dead map[id.ID]bool) []stage
 	return stages
 }
 
-// collectLine runs the chain collection (paper §3.5): the request enters
-// at the farthest provider and shards accumulate stage by stage. When a
+// segmentStages cuts a chain into up to depth contiguous sub-chains of
+// near-equal length — the line executor's pipeline lanes.
+func segmentStages(chain []stage, depth int) [][]stage {
+	if len(chain) == 0 {
+		return nil
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > len(chain) {
+		depth = len(chain)
+	}
+	out := make([][]stage, 0, depth)
+	base, rem, off := len(chain)/depth, len(chain)%depth, 0
+	for i := 0; i < depth; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		out = append(out, chain[off:off+n])
+		off += n
+	}
+	return out
+}
+
+// collectLine runs the chain collection (paper §3.5), pipelined: the
+// chain is cut into opts.PipelineDepth segments whose sub-chains collect
+// concurrently, so the replacement merges one segment's shards into the
+// snapshot while the next segment's bytes are still in flight. When a
 // stage dies mid-chain, the partial accumulation unwinds to the
 // replacement, which re-plans the remaining indices over surviving
 // replicas (avoiding observed-dead nodes) and resumes — repeatedly, with
 // backoff, until the state is whole or opts.FailoverRetries is spent;
 // any remainder degrades to direct star-style fetches.
-func (m *Manager) collectLine(app string, stages []stage, p shard.Placement, opts Options, oc *outcomeRecorder) ([]shard.Shard, error) {
+func (m *Manager) collectLine(app string, stages []stage, p shard.Placement, opts Options, oc *outcomeRecorder, a *assembler) error {
 	if len(stages) == 0 {
-		return nil, ErrShardLost
+		return ErrShardLost
 	}
 	oc.attempt()
 	dead := make(map[id.ID]bool)
-	acc, chain := m.splitLocal(app, stages)
+	chain, _ := m.mergeLocal(a, app, stages)
 
-	// sendChain walks one chain, appending whatever it gathered. Only
-	// with DisableFailover does a dead stage surface as an error.
-	sendChain := func(chain []stage) error {
-		if len(chain) == 0 {
-			return nil
-		}
-		resp, err := m.node.Send(chain[0].Node, simnet.Message{
-			Kind:    kindLineCollect,
-			Size:    msgHeader + 64,
-			Payload: &lineCollectMsg{App: app, Chain: chain, NoFailover: opts.DisableFailover},
-		})
-		if err != nil {
+	depth := opts.PipelineDepth
+	if depth < 1 {
+		depth = defaultPipelineDepth
+	}
+	if opts.SequentialFetch {
+		depth = 1
+	}
+	type segOut struct {
+		resp simnet.Message
+		head id.ID
+		err  error
+	}
+	segs := segmentStages(chain, depth)
+	ch := make(chan segOut, len(segs))
+	for _, seg := range segs {
+		go func(seg []stage) {
+			resp, err := m.node.Send(seg[0].Node, simnet.Message{
+				Kind:    kindLineCollect,
+				Size:    msgHeader + 64,
+				Payload: &lineCollectMsg{App: app, Chain: seg, NoFailover: opts.DisableFailover},
+			})
+			ch <- segOut{resp: resp, head: seg[0].Node, err: err}
+		}(seg)
+	}
+	var failed error
+	for range segs {
+		o := <-ch
+		if o.err != nil {
 			if opts.DisableFailover {
-				return err
+				failed = o.err
+			} else {
+				oc.deadNode(o.head)
+				dead[o.head] = true
 			}
-			oc.deadNode(chain[0].Node)
-			dead[chain[0].Node] = true
-			return nil
+			continue
 		}
-		reply, ok := resp.Payload.(*collectReply)
+		reply, ok := o.resp.Payload.(*collectReply)
 		if !ok {
-			return fmt.Errorf("recovery: bad line reply %T", resp.Payload)
+			o.resp.ReleaseRaw()
+			failed = fmt.Errorf("recovery: bad line reply %T", o.resp.Payload)
+			continue
 		}
-		acc = append(acc, reply.Shards...)
+		if _, err := mergeCollect(a, reply, o.resp.Raw); err != nil {
+			failed = err
+		}
+		o.resp.ReleaseRaw()
 		for _, d := range reply.Dead {
 			oc.deadNode(d)
 			dead[d] = true
 		}
-		return nil
+	}
+	if failed != nil {
+		return failed
 	}
 
-	if err := sendChain(chain); err != nil {
-		return nil, err
-	}
-	missing := missingIndices(p, acc)
+	missing := a.missing()
 	if opts.DisableFailover {
 		if len(missing) > 0 {
-			return nil, fmt.Errorf("line: %d shard indices uncollected: %w", len(missing), ErrShardLost)
+			return fmt.Errorf("line: %d shard indices uncollected: %w", len(missing), ErrShardLost)
 		}
-		return acc, nil
+		return nil
 	}
 
 	backoff := opts.RetryBackoff
@@ -512,96 +629,144 @@ func (m *Manager) collectLine(app string, stages []stage, p shard.Placement, opt
 		time.Sleep(backoff)
 		backoff *= 2
 		oc.attempt()
-		sizeBefore := shardsSize(acc)
-		local, chain := m.splitLocal(app, next)
-		acc = append(acc, local...)
-		if err := sendChain(chain); err != nil {
-			return nil, err
+		chain, gained := m.mergeLocal(a, app, next)
+		if len(chain) > 0 {
+			resp, err := m.node.Send(chain[0].Node, simnet.Message{
+				Kind:    kindLineCollect,
+				Size:    msgHeader + 64,
+				Payload: &lineCollectMsg{App: app, Chain: chain},
+			})
+			if err != nil {
+				oc.deadNode(chain[0].Node)
+				dead[chain[0].Node] = true
+			} else {
+				reply, ok := resp.Payload.(*collectReply)
+				if !ok {
+					resp.ReleaseRaw()
+					return fmt.Errorf("recovery: bad line reply %T", resp.Payload)
+				}
+				n, err := mergeCollect(a, reply, resp.Raw)
+				resp.ReleaseRaw()
+				if err != nil {
+					return err
+				}
+				gained += n
+				for _, d := range reply.Dead {
+					oc.deadNode(d)
+					dead[d] = true
+				}
+			}
 		}
-		still := missingIndices(p, acc)
-		oc.failover(len(missing)-len(still), shardsSize(acc)-sizeBefore)
+		still := a.missing()
+		oc.failover(len(missing)-len(still), gained)
 		missing = still
 	}
 	if len(missing) > 0 {
 		// Ladder: finish the stragglers star-style, replica by replica.
 		oc.degrade(Star)
 		for _, idx := range missing {
-			s, err := m.fetchIndexRetry(app, idx, p, opts, oc)
+			n, err := m.fetchIndexRetryInto(a, app, idx, p, opts, oc)
 			if err != nil {
-				return nil, fmt.Errorf("line degraded to star, index %d: %w", idx, err)
+				return fmt.Errorf("line degraded to star, index %d: %w", idx, err)
 			}
-			oc.failover(1, len(s.Data))
-			acc = append(acc, s)
+			oc.failover(1, n)
 		}
 	}
-	return acc, nil
+	return nil
 }
 
 // collectTree runs the spanning-tree collection (paper §3.6) with the
-// given fan-out. A dead subtree is dropped from the union by its parent;
-// the replacement then degrades the missing sub-shards to direct
-// star-style fetches of surviving replicas (the tree → star rung of the
-// failover ladder).
-func (m *Manager) collectTree(app string, stages []stage, fanout int, p shard.Placement, opts Options, oc *outcomeRecorder) ([]shard.Shard, error) {
+// given fan-out, as a forest: the providers are partitioned into up to
+// fanout subtrees that collect concurrently, and each subtree's reply is
+// merged into the snapshot while the others are still gathering. A dead
+// subtree is dropped from the union by its parent; the replacement then
+// degrades the missing sub-shards to direct star-style fetches of
+// surviving replicas (the tree → star rung of the failover ladder).
+func (m *Manager) collectTree(app string, stages []stage, fanout int, p shard.Placement, opts Options, oc *outcomeRecorder, a *assembler) error {
 	if len(stages) == 0 {
-		return nil, ErrShardLost
+		return ErrShardLost
 	}
 	oc.attempt()
-	acc, remote := m.splitLocal(app, stages)
-	root := buildTree(remote, fanout)
-	if root != nil {
-		resp, err := m.node.Send(root.Stage.Node, simnet.Message{
-			Kind:    kindTreeCollect,
-			Size:    msgHeader + 64,
-			Payload: &treeCollectMsg{App: app, Tree: root, NoFailover: opts.DisableFailover},
-		})
-		if err != nil {
+	remote, _ := m.mergeLocal(a, app, stages)
+	roots := buildForest(remote, fanout)
+	if opts.SequentialFetch && len(roots) > 1 {
+		// Baseline mode: one subtree, walked as a single sequential unit.
+		roots = []*treeNode{buildTree(remote, fanout)}
+	}
+	type treeOut struct {
+		resp simnet.Message
+		root id.ID
+		err  error
+	}
+	ch := make(chan treeOut, len(roots))
+	for _, rt := range roots {
+		go func(rt *treeNode) {
+			resp, err := m.node.Send(rt.Stage.Node, simnet.Message{
+				Kind:    kindTreeCollect,
+				Size:    msgHeader + 64,
+				Payload: &treeCollectMsg{App: app, Tree: rt, NoFailover: opts.DisableFailover},
+			})
+			ch <- treeOut{resp: resp, root: rt.Stage.Node, err: err}
+		}(rt)
+	}
+	var failed error
+	for range roots {
+		o := <-ch
+		if o.err != nil {
 			if opts.DisableFailover {
-				return nil, err
+				failed = o.err
+			} else {
+				oc.deadNode(o.root)
 			}
-			oc.deadNode(root.Stage.Node)
-		} else {
-			reply, ok := resp.Payload.(*collectReply)
-			if !ok {
-				return nil, fmt.Errorf("recovery: bad tree reply %T", resp.Payload)
-			}
-			acc = append(acc, reply.Shards...)
-			for _, d := range reply.Dead {
-				oc.deadNode(d)
-			}
+			continue
+		}
+		reply, ok := o.resp.Payload.(*collectReply)
+		if !ok {
+			o.resp.ReleaseRaw()
+			failed = fmt.Errorf("recovery: bad tree reply %T", o.resp.Payload)
+			continue
+		}
+		if _, err := mergeCollect(a, reply, o.resp.Raw); err != nil {
+			failed = err
+		}
+		o.resp.ReleaseRaw()
+		for _, d := range reply.Dead {
+			oc.deadNode(d)
 		}
 	}
-	missing := missingIndices(p, acc)
+	if failed != nil {
+		return failed
+	}
+	missing := a.missing()
 	if opts.DisableFailover {
 		if len(missing) > 0 {
-			return nil, fmt.Errorf("tree: %d shard indices uncollected: %w", len(missing), ErrShardLost)
+			return fmt.Errorf("tree: %d shard indices uncollected: %w", len(missing), ErrShardLost)
 		}
-		return acc, nil
+		return nil
 	}
 	if len(missing) > 0 {
 		oc.degrade(Star)
 		for _, idx := range missing {
-			s, err := m.fetchIndexRetry(app, idx, p, opts, oc)
+			n, err := m.fetchIndexRetryInto(a, app, idx, p, opts, oc)
 			if err != nil {
-				return nil, fmt.Errorf("tree degraded to star, index %d: %w", idx, err)
+				return fmt.Errorf("tree degraded to star, index %d: %w", idx, err)
 			}
-			oc.failover(1, len(s.Data))
-			acc = append(acc, s)
+			oc.failover(1, n)
 		}
 	}
-	return acc, nil
+	return nil
 }
 
-// CollectStarForTest runs the star collection and reassembly directly on
+// CollectStarForTest runs the star collection and assembly directly on
 // this manager — the transport-agnostic recovery path used by the
 // TCP-transport integration tests, which have no Ring to coordinate
 // through.
 func (m *Manager) CollectStarForTest(app string, p shard.Placement) ([]byte, error) {
-	shards, err := m.collectStar(app, p, DefaultOptions(), newOutcomeRecorder())
-	if err != nil {
+	a := newAssembler(p)
+	if err := m.collectStar(app, p, DefaultOptions(), newOutcomeRecorder(), a); err != nil {
 		return nil, err
 	}
-	return shard.Reassemble(shards)
+	return a.bytes()
 }
 
 // RecoverAndReprotect completes the failure-handling lifecycle: the state

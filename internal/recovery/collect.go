@@ -3,6 +3,7 @@ package recovery
 import (
 	"fmt"
 
+	"sr3/internal/dht"
 	"sr3/internal/id"
 	"sr3/internal/shard"
 	"sr3/internal/simnet"
@@ -17,6 +18,10 @@ type stage struct {
 
 // lineCollectMsg travels down the provider chain accumulating shards
 // (paper Fig 4: N3 uploads s2,0 to N0, which merges s1,0 and forwards...).
+// Acc accumulates shard *metadata*; the matching data bodies travel as
+// length-prefixed frames in the message's raw byte body (frame i ↔
+// Acc[i]), so intermediate stages forward bytes without decoding them and
+// serializing transports stream them in chunks.
 type lineCollectMsg struct {
 	App   string
 	Chain []stage // remaining stages, first is the recipient
@@ -26,6 +31,9 @@ type lineCollectMsg struct {
 	NoFailover bool
 }
 
+// collectReply carries a collection result: data-free shard metadata in
+// Shards, the matching data frames in the reply message's raw body
+// (decode with DecodeShardBatch).
 type collectReply struct {
 	Shards []shard.Shard
 	// Dead lists providers observed unreachable during the collection,
@@ -34,19 +42,27 @@ type collectReply struct {
 	Dead []id.ID
 }
 
-func shardsSize(ss []shard.Shard) int {
-	n := 0
-	for _, s := range ss {
-		n += len(s.Data)
+// appendShards strips local shards into the (metas, framed raw)
+// accumulator pair. Both slices must already be capped (or owned) by the
+// caller: append must reallocate rather than scribble into transport- or
+// peer-owned backing arrays.
+func appendShards(metas []shard.Shard, raw []byte, shards []shard.Shard) ([]shard.Shard, []byte) {
+	for _, s := range shards {
+		raw = dht.AppendFrame(raw, s.Data)
+		s.Data = nil
+		metas = append(metas, s)
 	}
-	return n
+	return metas, raw
 }
 
 // handleLineCollect runs at each chain stage: contribute local shards,
 // then forward the accumulated set to the next stage; the final stage
-// returns the full set, which unwinds to the replacement. When the next
-// stage is dead, the partial accumulation unwinds instead (with the dead
-// node reported), and the replacement replans around the loss.
+// returns the full set, which unwinds to the replacement. A deeper
+// stage's reply is passed through untouched — its raw body flows from
+// socket to socket via pooled buffers without this stage ever decoding
+// the shard data. When the next stage is dead, the partial accumulation
+// unwinds instead (with the dead node reported), and the replacement
+// replans around the loss.
 func (m *Manager) handleLineCollect(_ id.ID, msg simnet.Message) (simnet.Message, error) {
 	req, ok := msg.Payload.(*lineCollectMsg)
 	if !ok {
@@ -55,20 +71,27 @@ func (m *Manager) handleLineCollect(_ id.ID, msg simnet.Message) (simnet.Message
 	if len(req.Chain) == 0 || req.Chain[0].Node != m.node.ID() {
 		return simnet.Message{}, fmt.Errorf("%w: line chain at %s", ErrMisrouted, m.node.ID().Short())
 	}
-	acc := append(req.Acc, m.localShardsFor(req.App, req.Chain[0].Indices)...)
+	// Cap both accumulators: the raw body may be a pooled transport
+	// buffer and the metas may alias the sender's memory (in-process
+	// transport) — appends must copy, not scribble.
+	metas := req.Acc[:len(req.Acc):len(req.Acc)]
+	raw := msg.Raw[:len(msg.Raw):len(msg.Raw)]
+	metas, raw = appendShards(metas, raw, m.localShardsFor(req.App, req.Chain[0].Indices))
 	rest := req.Chain[1:]
 	if len(rest) == 0 {
 		return simnet.Message{
 			Kind:    kindAck,
-			Size:    msgHeader + shardsSize(acc),
-			Payload: &collectReply{Shards: acc},
+			Size:    msgHeader + len(raw),
+			Payload: &collectReply{Shards: metas},
+			Raw:     raw,
 		}, nil
 	}
-	fwd := &lineCollectMsg{App: req.App, Chain: rest, Acc: acc, NoFailover: req.NoFailover}
+	fwd := &lineCollectMsg{App: req.App, Chain: rest, Acc: metas, NoFailover: req.NoFailover}
 	resp, err := m.node.Send(rest[0].Node, simnet.Message{
 		Kind:    kindLineCollect,
-		Size:    msgHeader + shardsSize(acc),
+		Size:    msgHeader + len(raw),
 		Payload: fwd,
+		Raw:     raw,
 	})
 	if err != nil {
 		if req.NoFailover {
@@ -78,8 +101,9 @@ func (m *Manager) handleLineCollect(_ id.ID, msg simnet.Message) (simnet.Message
 		// these shards and replans the remainder around the dead node.
 		return simnet.Message{
 			Kind:    kindAck,
-			Size:    msgHeader + shardsSize(acc),
-			Payload: &collectReply{Shards: acc, Dead: []id.ID{rest[0].Node}},
+			Size:    msgHeader + len(raw),
+			Payload: &collectReply{Shards: metas, Dead: []id.ID{rest[0].Node}},
+			Raw:     raw,
 		}, nil
 	}
 	return resp, nil
@@ -101,9 +125,11 @@ type treeCollectMsg struct {
 // handleTreeCollect runs at each tree member: collect children's shard
 // sets (each child gathers its own subtree), merge with local shards, and
 // return the union to the parent (paper Fig 5/6: sub-shards recombined
-// up the spanning tree). A dead child drops its whole subtree from the
-// union (the child's node is reported dead); the replacement degrades
-// those sub-shards to direct star-style fetches.
+// up the spanning tree). Children's data frames are concatenated into the
+// reply's raw body without being decoded; the pooled buffers backing them
+// are released as soon as their bytes are appended. A dead child drops
+// its whole subtree from the union (the child's node is reported dead);
+// the replacement degrades those sub-shards to direct star-style fetches.
 func (m *Manager) handleTreeCollect(_ id.ID, msg simnet.Message) (simnet.Message, error) {
 	req, ok := msg.Payload.(*treeCollectMsg)
 	if !ok {
@@ -112,7 +138,7 @@ func (m *Manager) handleTreeCollect(_ id.ID, msg simnet.Message) (simnet.Message
 	if req.Tree == nil || req.Tree.Stage.Node != m.node.ID() {
 		return simnet.Message{}, fmt.Errorf("%w: tree collect at %s", ErrMisrouted, m.node.ID().Short())
 	}
-	acc := m.localShardsFor(req.App, req.Tree.Stage.Indices)
+	metas, raw := appendShards(nil, nil, m.localShardsFor(req.App, req.Tree.Stage.Indices))
 	var dead []id.ID
 	for _, child := range req.Tree.Children {
 		resp, err := m.node.Send(child.Stage.Node, simnet.Message{
@@ -129,15 +155,19 @@ func (m *Manager) handleTreeCollect(_ id.ID, msg simnet.Message) (simnet.Message
 		}
 		reply, ok := resp.Payload.(*collectReply)
 		if !ok {
+			resp.ReleaseRaw()
 			return simnet.Message{}, fmt.Errorf("recovery: bad tree reply %T", resp.Payload)
 		}
-		acc = append(acc, reply.Shards...)
+		metas = append(metas, reply.Shards...)
+		raw = append(raw, resp.Raw...)
+		resp.ReleaseRaw()
 		dead = append(dead, reply.Dead...)
 	}
 	return simnet.Message{
 		Kind:    kindAck,
-		Size:    msgHeader + shardsSize(acc),
-		Payload: &collectReply{Shards: acc, Dead: dead},
+		Size:    msgHeader + len(raw),
+		Payload: &collectReply{Shards: metas, Dead: dead},
+		Raw:     raw,
 	}, nil
 }
 
@@ -159,6 +189,34 @@ func buildTree(stages []stage, fanout int) *treeNode {
 		parent.Children = append(parent.Children, nodes[i])
 	}
 	return nodes[0]
+}
+
+// buildForest partitions stages into up to fanout contiguous groups and
+// builds a balanced subtree over each. The groups are the units the
+// replacement fans out to concurrently, so one subtree's reply is merged
+// into the snapshot while the others are still collecting.
+func buildForest(stages []stage, fanout int) []*treeNode {
+	if len(stages) == 0 {
+		return nil
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	groups := fanout
+	if groups > len(stages) {
+		groups = len(stages)
+	}
+	out := make([]*treeNode, 0, groups)
+	base, rem, off := len(stages)/groups, len(stages)%groups, 0
+	for g := 0; g < groups; g++ {
+		n := base
+		if g < rem {
+			n++
+		}
+		out = append(out, buildTree(stages[off:off+n], fanout))
+		off += n
+	}
+	return out
 }
 
 // treeDepth returns the depth of the tree (root = 1).

@@ -15,6 +15,7 @@ import (
 // Message kinds served by the per-node Manager.
 const (
 	kindStore       = "sr3.shard.store"
+	kindStoreBatch  = "sr3.shard.storeBatch"
 	kindFetch       = "sr3.shard.fetch"
 	kindFetchIndex  = "sr3.shard.fetchIndex"
 	kindLineCollect = "sr3.line.collect"
@@ -51,6 +52,7 @@ func NewManager(n *dht.Node) *Manager {
 		recovered:  make(map[string][]byte),
 	}
 	n.HandleDirect(kindStore, m.handleStore)
+	n.HandleDirect(kindStoreBatch, m.handleStoreBatch)
 	n.HandleDirect(kindFetch, m.handleFetch)
 	n.HandleDirect(kindFetchIndex, m.handleFetchIndex)
 	n.HandleDirect(kindLineCollect, m.handleLineCollect)
@@ -81,9 +83,12 @@ func (m *Manager) ShardBytes() int {
 
 // Save splits a state snapshot into mShards shards, replicates each
 // replicas times, and writes them to the owner's leaf set (paper §3.3
-// Layer 2; writes are serial, matching the evaluation's fair-comparison
-// setup for Fig 8c). The placement table is recorded locally and published
-// into the DHT KV so any node can recover the state later.
+// Layer 2). All replicas bound for one holder travel as a single batched
+// store — one round trip per holder, bodies framed in the message's raw
+// byte body — and holders are written serially, matching the evaluation's
+// fair-comparison setup for Fig 8c. The placement table is recorded
+// locally and published into the DHT KV so any node can recover the
+// state later.
 func (m *Manager) Save(app string, snapshot []byte, mShards, replicas int, v state.Version) (shard.Placement, error) {
 	shards, err := shard.Split(app, m.node.ID(), snapshot, mShards, v)
 	if err != nil {
@@ -99,10 +104,18 @@ func (m *Manager) Save(app string, snapshot []byte, mShards, replicas int, v sta
 	if err != nil {
 		return shard.Placement{}, fmt.Errorf("save %q: %w", app, err)
 	}
+	byTarget := make(map[id.ID][]shard.Shard, len(leaves))
 	for _, s := range reps {
-		target := placement.Loc[s.Key()]
-		if err := m.pushShard(target, s); err != nil {
-			return shard.Placement{}, fmt.Errorf("save %q shard %s: %w: %v", app, s.Key(), ErrSaveAborted, err)
+		byTarget[placement.Loc[s.Key()]] = append(byTarget[placement.Loc[s.Key()]], s)
+	}
+	targets := make([]id.ID, 0, len(byTarget))
+	for t := range byTarget {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Less(targets[j]) })
+	for _, target := range targets {
+		if err := m.pushShardBatch(target, byTarget[target]); err != nil {
+			return shard.Placement{}, fmt.Errorf("save %q to %s: %w: %v", app, target.Short(), ErrSaveAborted, err)
 		}
 	}
 
@@ -141,15 +154,33 @@ func (m *Manager) NextVersion(now int64) state.Version {
 	return state.Version{Timestamp: now, Seq: m.saveSeq}
 }
 
+// pushShard delivers one replica to a holder (a single-shard batch; the
+// repair path and tests use it directly).
 func (m *Manager) pushShard(target id.ID, s shard.Shard) error {
-	if target == m.node.ID() {
-		m.storeLocal(s)
+	return m.pushShardBatch(target, []shard.Shard{s})
+}
+
+// pushShardBatch delivers a group of replicas to one holder as a single
+// batched store: metadata rides the gob payload, the shard bodies ride
+// the message's raw byte body as length-prefixed frames, which
+// serializing transports stream in chunks through pooled buffers. One
+// round trip per holder instead of one per shard.
+func (m *Manager) pushShardBatch(target id.ID, shards []shard.Shard) error {
+	if len(shards) == 0 {
 		return nil
 	}
+	if target == m.node.ID() {
+		for _, s := range shards {
+			m.storeLocal(s)
+		}
+		return nil
+	}
+	metas, raw := EncodeShardBatch(shards, nil)
 	_, err := m.node.Send(target, simnet.Message{
-		Kind:    kindStore,
-		Size:    msgHeader + len(s.Data),
-		Payload: &s,
+		Kind:    kindStoreBatch,
+		Size:    msgHeader + len(raw),
+		Payload: &storeBatchMsg{Metas: metas},
+		Raw:     raw,
 	})
 	return err
 }
@@ -296,18 +327,69 @@ func (m *Manager) handleStore(_ id.ID, msg simnet.Message) (simnet.Message, erro
 	return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
 }
 
+// storeBatchMsg is the batched store: Metas carries data-free shard
+// metadata, the message's raw body carries the matching data frames
+// (frame i ↔ Metas[i], see EncodeShardBatch).
+type storeBatchMsg struct {
+	Metas []shard.Shard
+}
+
+func (m *Manager) handleStoreBatch(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+	req, ok := msg.Payload.(*storeBatchMsg)
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("recovery: bad store batch payload %T", msg.Payload)
+	}
+	shards, err := DecodeShardBatch(req.Metas, msg.Raw)
+	if err != nil {
+		return simnet.Message{}, err
+	}
+	for _, s := range shards {
+		// The decoded Data subslices the transport-owned raw body, which
+		// is recycled after this handler returns — store an owned copy.
+		s.Data = append([]byte(nil), s.Data...)
+		m.storeLocal(s)
+	}
+	return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
+}
+
 type fetchRequest struct {
 	Key shard.Key
+	// Inline requests the legacy encoding: shard data gob-encoded inside
+	// the reply payload instead of riding the raw byte body. Kept as the
+	// pre-data-plane baseline for A/B benchmarking.
+	Inline bool
 }
 
 type fetchIndexRequest struct {
-	App   string
-	Index int
+	App    string
+	Index  int
+	Inline bool
 }
 
 type fetchReply struct {
 	Found bool
+	// Shard arrives with Data nil unless Inline was requested; the data
+	// travels in the reply's raw byte body (chunk-streamed by serializing
+	// transports) and the caller reattaches it.
 	Shard shard.Shard
+}
+
+// fetchReplyMsg builds the reply for one found shard, splitting data into
+// the raw body unless the inline (baseline) encoding was requested. The
+// raw body aliases the stored shard's data — safe because shard Data is
+// immutable once stored and the transport finishes writing before the
+// handler's reply is released.
+func fetchReplyMsg(s shard.Shard, inline bool) simnet.Message {
+	out := simnet.Message{Kind: kindAck, Size: msgHeader + len(s.Data)}
+	if inline {
+		out.Payload = &fetchReply{Found: true, Shard: s}
+		return out
+	}
+	data := s.Data
+	s.Data = nil
+	out.Payload = &fetchReply{Found: true, Shard: s}
+	out.Raw = data[:len(data):len(data)]
+	return out
 }
 
 func (m *Manager) handleFetch(_ id.ID, msg simnet.Message) (simnet.Message, error) {
@@ -318,11 +400,10 @@ func (m *Manager) handleFetch(_ id.ID, msg simnet.Message) (simnet.Message, erro
 	m.mu.Lock()
 	s, found := m.shards[req.Key]
 	m.mu.Unlock()
-	return simnet.Message{
-		Kind:    kindAck,
-		Size:    msgHeader + len(s.Data),
-		Payload: &fetchReply{Found: found, Shard: s},
-	}, nil
+	if !found {
+		return simnet.Message{Kind: kindAck, Size: msgHeader, Payload: &fetchReply{}}, nil
+	}
+	return fetchReplyMsg(s, req.Inline), nil
 }
 
 // handleFetchIndex returns any replica of the given shard index stored
@@ -344,11 +425,10 @@ func (m *Manager) handleFetchIndex(_ id.ID, msg simnet.Message) (simnet.Message,
 		}
 	}
 	m.mu.Unlock()
-	return simnet.Message{
-		Kind:    kindAck,
-		Size:    msgHeader + len(best.Data),
-		Payload: &fetchReply{Found: found, Shard: best},
-	}, nil
+	if !found {
+		return simnet.Message{Kind: kindAck, Size: msgHeader, Payload: &fetchReply{}}, nil
+	}
+	return fetchReplyMsg(best, req.Inline), nil
 }
 
 // localShardsFor returns this node's replicas for the given app indices,
@@ -376,4 +456,3 @@ func (m *Manager) localShardsFor(app string, indices []int) []shard.Shard {
 	}
 	return out
 }
-

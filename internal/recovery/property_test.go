@@ -37,7 +37,18 @@ func TestPropertyRecoverUnderRandomFailures(t *testing.T) {
 		p, _ := mgr.Placement("papp")
 
 		// Fail the owner plus up to 5 random nodes, but never the last
-		// replica of any index.
+		// replica of any index, nor the last live KV copy of the placement
+		// record (a state whose placement is unreadable is legitimately
+		// unrecoverable, which is not the property under test).
+		kvKey := placementKVKey("papp")
+		holdsPlacement := func(nid id.ID) bool {
+			for _, k := range c.Ring.Node(nid).LocalKeys() {
+				if k == kvKey {
+					return true
+				}
+			}
+			return false
+		}
 		c.Ring.Fail(owner)
 		for k := 0; k < 5; k++ {
 			victim := c.Ring.IDs()[rng.Intn(50)]
@@ -55,6 +66,17 @@ func TestPropertyRecoverUnderRandomFailures(t *testing.T) {
 				if liveLeft == 0 {
 					safe = false
 					break
+				}
+			}
+			if safe && holdsPlacement(victim) {
+				copiesLeft := 0
+				for _, nid := range c.Ring.LiveIDs() {
+					if nid != victim && holdsPlacement(nid) {
+						copiesLeft++
+					}
+				}
+				if copiesLeft == 0 {
+					safe = false
 				}
 			}
 			if safe {

@@ -83,18 +83,41 @@ type Options struct {
 	// provider lost mid-recovery aborts the whole recovery. The chaos
 	// tests and ablations use it to demonstrate the failover win.
 	DisableFailover bool
+	// FetchConcurrency bounds how many provider fetches the star executor
+	// (and the degraded-to-star tail of line/tree) keeps in flight at
+	// once — the data plane's worker pool width. 0 selects the default.
+	FetchConcurrency int
+	// PipelineDepth is how many concurrent sub-chains the line executor
+	// cuts the provider chain into, so merging one segment's shards
+	// overlaps the next segment's transfer. 1 is the classic single
+	// chain; 0 selects the default.
+	PipelineDepth int
+	// SequentialFetch reverts the data plane to the pre-pipelining
+	// baseline: one fetch in flight at a time, no chain segmentation or
+	// forest fan-out, shard data gob-encoded inline in fetch replies.
+	// The dataplane benchmark uses it as the A/B control.
+	SequentialFetch bool
 }
+
+// Data-plane defaults, applied when the corresponding Options field is
+// zero (so literal Options values get the pipelined behaviour too).
+const (
+	defaultFetchConcurrency = 8
+	defaultPipelineDepth    = 2
+)
 
 // DefaultOptions returns the defaults used by the evaluation unless a
 // figure sweeps a knob.
 func DefaultOptions() Options {
 	return Options{
-		StarFanoutBit:   1,
-		LinePathLength:  0, // 0 = one stage per shard
-		TreeFanoutBit:   1,
-		TreeBranchDepth: 8,
-		FailoverRetries: 3,
-		RetryBackoff:    10 * time.Millisecond,
+		StarFanoutBit:    1,
+		LinePathLength:   0, // 0 = one stage per shard
+		TreeFanoutBit:    1,
+		TreeBranchDepth:  8,
+		FailoverRetries:  3,
+		RetryBackoff:     10 * time.Millisecond,
+		FetchConcurrency: defaultFetchConcurrency,
+		PipelineDepth:    defaultPipelineDepth,
 	}
 }
 

@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"fmt"
+	"sort"
 
 	"sr3/internal/id"
 	"sr3/internal/shard"
@@ -96,6 +97,18 @@ func (c *Cluster) RepairApp(app string) (RepairReport, error) {
 		return hs
 	}
 
+	// Phase 1 — plan: find every unhealthy slot, fetch a donor copy (once
+	// per index — the pass caches it), pick a new holder, and update the
+	// placement tentatively. The actual pushes are deferred so all
+	// replicas bound for one holder travel as a single batched store.
+	type pendingPush struct {
+		key  shard.Key
+		prev id.ID
+		had  bool
+		s    shard.Shard
+	}
+	pending := make(map[id.ID][]pendingPush)
+	fetched := make(map[int]shard.Shard)
 	for i := 0; i < p.M; i++ {
 		for j := 0; j < p.R; j++ {
 			key := shard.Key{App: app, Index: i, Replica: j}
@@ -106,33 +119,39 @@ func (c *Cluster) RepairApp(app string) (RepairReport, error) {
 			}
 			rep.Missing++
 
-			// Donor: any live holder of this index at the published version.
-			var donor id.ID
-			haveDonor := false
-			for _, h := range p.NodesForIndex(i) {
-				if h != cur && c.Ring.Net.Alive(h) && c.hasShardVersion(h, app, i, p.Version) {
-					donor = h
-					haveDonor = true
-					break
+			s, haveShard := fetched[i]
+			if !haveShard {
+				// Donor: any live holder of this index at the published
+				// version.
+				var donor id.ID
+				haveDonor := false
+				for _, h := range p.NodesForIndex(i) {
+					if h != cur && c.Ring.Net.Alive(h) && c.hasShardVersion(h, app, i, p.Version) {
+						donor = h
+						haveDonor = true
+						break
+					}
 				}
-			}
-			if !haveDonor {
-				rep.Unrepairable++
-				continue
-			}
-			s, err := cm.fetchFrom(donor, app, i)
-			if err != nil || s.Version != p.Version {
-				if err == nil && s.Version.Newer(p.Version) {
-					// A newer save is landing: stand down, it re-protects.
-					rep.Superseded = true
-					return rep, nil
+				if !haveDonor {
+					rep.Unrepairable++
+					continue
 				}
-				rep.Unrepairable++
-				continue
-			}
-			if err := ValidateShard(s); err != nil {
-				rep.Unrepairable++
-				continue
+				var err error
+				s, err = cm.fetchFrom(donor, app, i)
+				if err != nil || s.Version != p.Version {
+					if err == nil && s.Version.Newer(p.Version) {
+						// A newer save is landing: stand down, it re-protects.
+						rep.Superseded = true
+						return rep, nil
+					}
+					rep.Unrepairable++
+					continue
+				}
+				if err := ValidateShard(s); err != nil {
+					rep.Unrepairable++
+					continue
+				}
+				fetched[i] = s
 			}
 
 			// New holder: nearest live node to the owner not already
@@ -156,14 +175,39 @@ func (c *Cluster) RepairApp(app string) (RepairReport, error) {
 			}
 			s.Replica = j
 			s.Owner = p.Owner
-			if err := cm.pushShard(target, s); err != nil {
-				rep.Unrepairable++
-				continue
-			}
+			pending[target] = append(pending[target], pendingPush{key: key, prev: cur, had: assigned, s: s})
 			p.Loc[key] = target
-			rep.Repushed++
-			changed = true
 		}
+	}
+
+	// Phase 2 — execute: one batched push per new holder (metadata in the
+	// payload, shard bodies framed in the raw byte body) instead of one
+	// round trip per slot. A failed batch rolls its slots back so the
+	// placement never points at a holder that missed the bytes.
+	targets := make([]id.ID, 0, len(pending))
+	for t := range pending {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Less(targets[j]) })
+	for _, target := range targets {
+		pushes := pending[target]
+		batch := make([]shard.Shard, len(pushes))
+		for k, pp := range pushes {
+			batch[k] = pp.s
+		}
+		if err := cm.pushShardBatch(target, batch); err != nil {
+			for _, pp := range pushes {
+				if pp.had {
+					p.Loc[pp.key] = pp.prev
+				} else {
+					delete(p.Loc, pp.key)
+				}
+			}
+			rep.Unrepairable += len(pushes)
+			continue
+		}
+		rep.Repushed += len(pushes)
+		changed = true
 	}
 
 	if changed {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sr3/internal/dht"
 	"sr3/internal/id"
 	"sr3/internal/shard"
 )
@@ -21,6 +22,7 @@ func RegisterWire() {
 	gob.Register(&lineCollectMsg{})
 	gob.Register(&collectReply{})
 	gob.Register(&treeCollectMsg{})
+	gob.Register(&storeBatchMsg{})
 }
 
 // ErrMalformed reports a structurally invalid recovery payload — one no
@@ -89,6 +91,68 @@ func ValidatePlacement(p shard.Placement) error {
 		}
 	}
 	return nil
+}
+
+// --- batched shard framing (the data plane) ---
+//
+// Shard payloads travel split in two: gob-encoded metadata (identity,
+// geometry, checksum — Data nil) and a single raw byte body holding every
+// shard's data as concatenated length-prefixed frames (dht.AppendFrame).
+// One message therefore carries any number of shards with no per-shard
+// round trip, serializing transports stream the body in chunk frames
+// through pooled buffers (internal/nettransport), and decoding is
+// subslicing rather than copying.
+
+// maxBatchShards caps the number of shards one batch may claim.
+const maxBatchShards = maxShardCount
+
+// EncodeShardBatch strips the shards' data into a single framed raw body,
+// appending to raw (which may be nil), and returns the data-free metas
+// alongside it. The metas' order matches the frame order.
+func EncodeShardBatch(shards []shard.Shard, raw []byte) ([]shard.Shard, []byte) {
+	metas := make([]shard.Shard, len(shards))
+	for i, s := range shards {
+		raw = dht.AppendFrame(raw, s.Data)
+		s.Data = nil
+		metas[i] = s
+	}
+	return metas, raw
+}
+
+// DecodeShardBatch reattaches a framed raw body to its metas and
+// validates every shard (geometry and checksum — a frame corrupted or
+// truncated mid-stream fails here, not during reassembly). The returned
+// shards' Data subslice raw: callers either consume them before releasing
+// the transport buffer or copy.
+func DecodeShardBatch(metas []shard.Shard, raw []byte) ([]shard.Shard, error) {
+	if len(metas) > maxBatchShards {
+		return nil, fmt.Errorf("%w: batch of %d shards", ErrMalformed, len(metas))
+	}
+	out := make([]shard.Shard, len(metas))
+	rest := raw
+	for i, meta := range metas {
+		var frame []byte
+		var err error
+		frame, rest, err = dht.NextFrame(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard %d/%d: %v", ErrMalformed, i, len(metas), err)
+		}
+		meta.Data = frame
+		if err := ValidateShard(meta); err != nil {
+			return nil, err
+		}
+		out[i] = meta
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d shards", ErrMalformed, len(rest), len(metas))
+	}
+	return out, nil
+}
+
+// BatchRawSize returns the framed-body size for shards of the given total
+// data length (for wire-size accounting).
+func BatchRawSize(dataBytes, count int) int {
+	return dataBytes + count*dht.FrameOverhead
 }
 
 // EncodeShard serializes one shard (the store-message framing).

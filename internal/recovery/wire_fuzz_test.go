@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"bytes"
 	"testing"
 
 	"sr3/internal/id"
@@ -72,6 +73,47 @@ func FuzzDecodeShard(f *testing.F) {
 		}
 		if got.Offset+len(got.Data) > got.TotalLen {
 			t.Fatalf("decoded shard range escapes state: off=%d len=%d total=%d", got.Offset, len(got.Data), got.TotalLen)
+		}
+	})
+}
+
+// FuzzDecodeShardBatch drives arbitrary raw bodies through the batch
+// decoder against a fixed set of valid metas: truncated, corrupted or
+// trailing-garbage bodies must be rejected (never panic, never loop on a
+// claimed length), and an accepted batch must reproduce the encoded data
+// exactly.
+func FuzzDecodeShardBatch(f *testing.F) {
+	shards, err := shard.Split("app", id.HashKey("owner"), bytes.Repeat([]byte("wire body "), 40), 4,
+		state.Version{Timestamp: 11, Seq: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	metas, raw := EncodeShardBatch(shards, nil)
+	f.Add(raw)
+	f.Add(raw[:len(raw)-3])                       // truncated final frame
+	f.Add(append(raw[:0:0], raw...)[:len(raw)/2]) // truncated mid-stream
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})            // absurd frame length
+	f.Add(append(append([]byte(nil), raw...), 0x00)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		got, err := DecodeShardBatch(metas, body)
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ every shard checksums out and matches the original
+		// split byte for byte (the metas pin identity and checksum, so
+		// only the true body can pass).
+		if len(got) != len(shards) {
+			t.Fatalf("accepted batch of %d shards, want %d", len(got), len(shards))
+		}
+		for i := range got {
+			if err := ValidateShard(got[i]); err != nil {
+				t.Fatalf("accepted invalid shard %d: %v", i, err)
+			}
+			if !bytes.Equal(got[i].Data, shards[i].Data) {
+				t.Fatalf("accepted shard %d with different data", i)
+			}
 		}
 	})
 }

@@ -165,7 +165,8 @@ func Reassemble(shards []Shard) ([]byte, error) {
 }
 
 // SplitBytes divides raw bytes into k near-equal chunks (used for the
-// tree mechanism's sub-shards).
+// tree mechanism's sub-shards). Empty data yields one empty (non-nil)
+// chunk, so a nil part in a merge always signals a *lost* sub-shard.
 func SplitBytes(data []byte, k int) [][]byte {
 	if k <= 0 {
 		k = 1
@@ -174,7 +175,7 @@ func SplitBytes(data []byte, k int) [][]byte {
 		k = len(data)
 	}
 	if len(data) == 0 {
-		return [][]byte{nil}
+		return [][]byte{{}}
 	}
 	out := make([][]byte, 0, k)
 	base, rem, off := len(data)/k, len(data)%k, 0
@@ -189,17 +190,30 @@ func SplitBytes(data []byte, k int) [][]byte {
 	return out
 }
 
-// MergeBytes concatenates chunks produced by SplitBytes.
-func MergeBytes(parts [][]byte) []byte {
-	total := 0
-	for _, p := range parts {
-		total += len(p)
+// MergeBytes concatenates chunks produced by SplitBytes back into the
+// original data. total is the expected merged length; pass total < 0 to
+// skip the length check (callers that no longer know it). A nil part (a
+// lost sub-shard) or a length mismatch (truncated or inflated parts) is
+// an explicit error rather than silently corrupted output.
+func MergeBytes(parts [][]byte, total int) ([]byte, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("merge of no parts: %w", ErrIncomplete)
 	}
-	out := make([]byte, 0, total)
+	sum := 0
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("part %d of %d is nil: %w", i, len(parts), ErrIncomplete)
+		}
+		sum += len(p)
+	}
+	if total >= 0 && sum != total {
+		return nil, fmt.Errorf("parts sum to %d bytes, want %d: %w", sum, total, ErrIncomplete)
+	}
+	out := make([]byte, 0, sum)
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
 }
 
 // Placement records where every shard replica of one state lives — the

@@ -29,6 +29,35 @@ type Message struct {
 	Kind    string
 	Size    int
 	Payload any
+	// Raw is an optional byte body carried outside Payload — the data
+	// plane. Serializing transports (internal/nettransport) move it as
+	// length-prefixed chunk frames through pooled buffers instead of
+	// gob-encoding it inside Payload; the in-process transport passes the
+	// slice through untouched (zero-copy). Receivers must treat Raw as
+	// read-only and must not retain it (or subslices of it) after the
+	// handler returns / after calling ReleaseRaw — the backing buffer may
+	// be transport-owned and recycled.
+	Raw []byte
+	// free recycles a transport-owned buffer backing Raw. Set by
+	// transports via SetFree; nil when Raw is caller-owned.
+	free func()
+}
+
+// SetFree attaches a recycler for the transport-owned buffer backing Raw.
+func (m *Message) SetFree(f func()) { m.free = f }
+
+// ReleaseRaw returns the Raw buffer to its owning transport pool (if
+// any) and clears Raw. The final consumer of a message calls it once the
+// bytes have been merged or copied out.
+func (m *Message) ReleaseRaw() {
+	if m.free != nil {
+		f := m.free
+		m.free = nil
+		m.Raw = nil
+		f()
+		return
+	}
+	m.Raw = nil
 }
 
 // Handler processes one inbound message and returns the reply.
