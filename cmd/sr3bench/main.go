@@ -16,6 +16,8 @@ import (
 	"strings"
 
 	"sr3/internal/bench"
+	"sr3/internal/metrics"
+	"sr3/internal/obs"
 )
 
 type experiment struct {
@@ -57,6 +59,7 @@ func experiments() []experiment {
 		figExp("ablation-speculation-linetree", "line/tree straggler hedging", bench.AblationSpeculationLineTree),
 		{id: "chaos", desc: "failover ladder under seeded fault injection", run: bench.ChaosReport},
 		{id: "dataplane", desc: "recovery goodput over TCP: size x mechanism x fetch concurrency", run: runDataPlane},
+		{id: "trace", desc: "per-phase recovery breakdown from one distributed trace per mechanism", run: runTrace},
 		{id: "self-heal", desc: "detection latency and MTTR vs heartbeat interval and φ threshold", run: bench.SelfHealReport},
 		figExp("ablation-flowpenalty", "star flow-penalty contribution", bench.AblationFlowPenalty),
 		figExp("ablation-selection", "mechanism choice per environment (§3.7)", bench.AblationMechanismDefaults),
@@ -101,6 +104,24 @@ func runDataPlane() (string, error) {
 	return report.Format() + "wrote " + dataPlaneOut + "\n", nil
 }
 
+// traceOut is the trace experiment's JSON artifact.
+const traceOut = "BENCH_trace.json"
+
+func runTrace() (string, error) {
+	report, err := bench.TraceSweep(bench.TraceConfig{Registry: metricsReg})
+	if err != nil {
+		return "", err
+	}
+	blob, err := report.JSON()
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(traceOut, blob, 0o644); err != nil {
+		return "", err
+	}
+	return report.Format() + "wrote " + traceOut + "\n", nil
+}
+
 func runSummary() (string, error) {
 	var b strings.Builder
 	for _, apps := range []int{500, 1000} {
@@ -114,10 +135,26 @@ func runSummary() (string, error) {
 	return b.String(), nil
 }
 
+// metricsReg is non-nil when -metrics is set: experiments that support
+// it (trace) aggregate per-phase latency histograms into it, and the
+// registry is served as Prometheus text for the run's duration.
+var metricsReg *metrics.Registry
+
 func main() {
 	figFlag := flag.String("fig", "", "experiment id to run (default: all)")
 	listFlag := flag.Bool("list", false, "list experiments")
+	metricsFlag := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090) for the run")
 	flag.Parse()
+	if *metricsFlag != "" {
+		metricsReg = metrics.NewRegistry()
+		srv, err := obs.ServeMetrics(*metricsFlag, metricsReg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sr3bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
+	}
 	if err := run(*figFlag, *listFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "sr3bench:", err)
 		os.Exit(1)

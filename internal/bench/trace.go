@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"sr3/internal/detector"
+	"sr3/internal/dht"
+	"sr3/internal/metrics"
+	"sr3/internal/obs"
+	"sr3/internal/recovery"
+	"sr3/internal/state"
+	"sr3/internal/stream"
+	"sr3/internal/supervise"
+)
+
+// TraceConfig sizes the trace experiment. The zero value is the default
+// sweep (32 nodes, 48 tuples of warm state — deliberately tiny so the
+// experiment doubles as a CI smoke test).
+type TraceConfig struct {
+	// Nodes is the overlay size (default 32).
+	Nodes int
+	// Seed fixes node IDs and placement (default 911).
+	Seed int64
+	// Tuples is how many input tuples are processed before the
+	// checkpoint that the kill must recover (default 48).
+	Tuples int
+	// Registry, when non-nil, additionally aggregates every span into
+	// per-phase latency histograms (the sr3bench -metrics endpoint).
+	Registry *metrics.Registry
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 911
+	}
+	if c.Tuples <= 0 {
+		c.Tuples = 48
+	}
+	return c
+}
+
+// TraceBreakdown is one traced kill→detect→recover cycle: the phase
+// totals of a single coherent distributed trace (the repo's Fig. 9/11
+// analogue, reconstructed from spans instead of ad-hoc timers).
+type TraceBreakdown struct {
+	Mechanism string `json:"mechanism"`
+	TraceID   uint64 `json:"trace_id"`
+	// Spans counts every span in the trace (collect spans scale with the
+	// provider chain/tree, so line and tree produce more than star).
+	Spans int `json:"spans"`
+	// MTTRMs is the selfheal root span's duration: silence start →
+	// state recovered, replayed and re-protected.
+	MTTRMs float64 `json:"mttr_ms"`
+	// PhaseMs sums span durations by phase within the trace.
+	PhaseMs map[string]float64 `json:"phase_ms"`
+}
+
+// TraceReport is the trace experiment's result set.
+type TraceReport struct {
+	Nodes int              `json:"nodes"`
+	Seed  int64            `json:"seed"`
+	Rows  []TraceBreakdown `json:"rows"`
+}
+
+// JSON renders the report as an indented artifact (BENCH_trace.json).
+func (r TraceReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// tracePhaseOrder fixes the breakdown column order (pipeline order).
+var tracePhaseOrder = []string{
+	obs.PhaseDetect, obs.PhaseEnqueue, obs.PhasePlan, obs.PhaseFetch,
+	obs.PhaseCollect, obs.PhaseMerge, obs.PhaseStall, obs.PhaseReplay,
+	obs.PhaseSave, obs.PhaseReprotect,
+}
+
+// Format renders the per-phase table.
+func (r TraceReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: one supervised kill→detect→recover per mechanism on a %d-node ring (seed %d); phase totals from one distributed trace each\n", r.Nodes, r.Seed)
+	fmt.Fprintf(&b, "%-6s %6s %9s", "mech", "spans", "mttr")
+	for _, p := range tracePhaseOrder {
+		fmt.Fprintf(&b, " %9s", p)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6s %6d %7.1fms", row.Mechanism, row.Spans, row.MTTRMs)
+		for _, p := range tracePhaseOrder {
+			fmt.Fprintf(&b, " %7.1fms", row.PhaseMs[p])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("(mttr = selfheal root span; fetch is star's transfer phase, collect is line/tree's; phase sums overlap-free per span but concurrent spans can overlap wall-clock)\n")
+	return b.String()
+}
+
+// TraceSweep runs one traced task-bound self-heal per mechanism —
+// star, line, tree — on identically seeded clusters and returns the
+// per-phase breakdowns.
+func TraceSweep(cfg TraceConfig) (TraceReport, error) {
+	cfg = cfg.withDefaults()
+	report := TraceReport{Nodes: cfg.Nodes, Seed: cfg.Seed}
+	for _, mech := range []recovery.Mechanism{recovery.Star, recovery.Line, recovery.Tree} {
+		row, err := traceCell(mech, cfg)
+		if err != nil {
+			return report, fmt.Errorf("trace %v: %w", mech, err)
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// traceCounter is the stateful word-count bolt the trace topology
+// protects.
+type traceCounter struct{ store *state.MapStore }
+
+func (c *traceCounter) Execute(t stream.Tuple, _ stream.Emit) error {
+	w := t.StringAt(0)
+	n := 0
+	if v, ok := c.store.Get(w); ok {
+		if _, err := fmt.Sscanf(string(v), "%d", &n); err != nil {
+			return err
+		}
+	}
+	c.store.Put(w, []byte(fmt.Sprintf("%d", n+1)))
+	return nil
+}
+
+func (c *traceCounter) Store() stream.StateStore { return c.store }
+
+// traceCell runs one supervised kill→heal with tracing on — a live
+// word-count topology checkpointing through the SR3 backend, its state
+// owner killed, φ-accrual detection, task kill + backend recovery +
+// input-log replay + re-protection — and extracts the resulting trace's
+// breakdown.
+func traceCell(mech recovery.Mechanism, cfg TraceConfig) (TraceBreakdown, error) {
+	var row TraceBreakdown
+	collector := obs.NewCollector()
+	var sink obs.Sink = collector
+	if cfg.Registry != nil {
+		sink = obs.MultiSink{collector, obs.NewMetricsSink(cfg.Registry, "")}
+	}
+	tracer := obs.New(sink)
+
+	ring, err := dht.BuildConverged(dht.DefaultConfig(), cfg.Seed, cfg.Nodes)
+	if err != nil {
+		return row, err
+	}
+	cluster := recovery.NewCluster(ring)
+	cluster.SetTracer(tracer)
+	backend := stream.NewSR3Backend(cluster, 6, 2)
+	backend.Mechanism = mech
+
+	topoName := "trace-" + mech.String()
+	topo := stream.NewTopology(topoName)
+	in := make(chan stream.Tuple, cfg.Tuples*2)
+	if err := topo.AddSpout("src", stream.SpoutFunc(func() (stream.Tuple, bool) {
+		tp, ok := <-in
+		return tp, ok
+	})); err != nil {
+		return row, err
+	}
+	store := state.NewMapStore()
+	if err := topo.AddBolt("count", &traceCounter{store: store}, 1).Fields("src", 0).Err(); err != nil {
+		return row, err
+	}
+	rt, err := stream.NewRuntime(topo, stream.Config{Backend: backend})
+	if err != nil {
+		return row, err
+	}
+	rt.Start()
+
+	words := 4
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			in <- stream.Tuple{Values: []any{fmt.Sprintf("w%d", i%words)}, Ts: int64(i)}
+		}
+	}
+	count := func(w string) int {
+		v, ok := store.Get(w)
+		if !ok {
+			return 0
+		}
+		n := 0
+		fmt.Sscanf(string(v), "%d", &n)
+		return n
+	}
+	waitFor := func(what string, d time.Duration, cond func() bool) error {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return nil
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return fmt.Errorf("timed out waiting for %s", what)
+	}
+
+	push(cfg.Tuples)
+	target := cfg.Tuples / words
+	if err := waitFor("warm state", 20*time.Second, func() bool { return count("w0") >= target }); err != nil {
+		return row, err
+	}
+	if err := rt.SaveAll(); err != nil {
+		return row, err
+	}
+
+	taskKey := stream.TaskKey(topoName, "count", 0)
+
+	// The wide repair interval keeps the untraced repair-loop backstop
+	// from winning the race against φ-accrual detection: the heal must
+	// come from a death verdict, which carries the trace root.
+	sup := supervise.New(cluster, supervise.Config{
+		Detector:       detector.Config{Interval: 15 * time.Millisecond, Threshold: 8},
+		RepairInterval: 5 * time.Second,
+		Tracer:         tracer,
+	})
+	sup.BindRuntime(rt)
+	sup.Protect(supervise.StateSpec{App: taskKey, TaskBound: true})
+	if err := sup.Start(); err != nil {
+		return row, err
+	}
+	defer sup.Stop()
+
+	// A post-checkpoint batch forces real replay work during recovery.
+	push(cfg.Tuples)
+	if err := waitFor("post-checkpoint batch", 20*time.Second, func() bool { return count("w0") >= 2*target }); err != nil {
+		return row, err
+	}
+	p, err := cluster.Manager(ring.IDs()[0]).LookupPlacement(taskKey)
+	if err != nil {
+		return row, err
+	}
+	ring.Fail(p.Owner)
+
+	var traceID uint64
+	if err := waitFor("task-bound self-heal", 30*time.Second, func() bool {
+		for _, e := range sup.Events() {
+			if e.App == taskKey && e.TaskBound && e.Err == nil && !e.ReprotectedAt.IsZero() {
+				traceID = e.Trace
+				return true
+			}
+		}
+		return false
+	}); err != nil {
+		return row, err
+	}
+	sup.Stop()
+	close(in)
+	if err := rt.Wait(); err != nil {
+		return row, err
+	}
+	if traceID == 0 {
+		return row, fmt.Errorf("healed event for %s carries no trace ID", taskKey)
+	}
+	return extractBreakdown(collector, mech.String(), traceID)
+}
+
+// extractBreakdown sums one trace's phases into a breakdown row.
+func extractBreakdown(collector *obs.Collector, mech string, traceID uint64) (TraceBreakdown, error) {
+	spans := collector.Trace(traceID)
+	var mttr int64
+	rootSeen := false
+	for _, s := range spans {
+		if s.Phase == obs.PhaseSelfHeal && s.Parent == 0 {
+			rootSeen = true
+			mttr = s.Duration()
+		}
+	}
+	if !rootSeen {
+		return TraceBreakdown{}, fmt.Errorf("trace %d has no selfheal root (%d spans)", traceID, len(spans))
+	}
+	phases := make(map[string]float64, len(spans))
+	for p, ns := range collector.PhaseTotals(traceID) {
+		phases[p] = float64(ns) / float64(time.Millisecond)
+	}
+	return TraceBreakdown{
+		Mechanism: mech,
+		TraceID:   traceID,
+		Spans:     len(spans),
+		MTTRMs:    float64(mttr) / float64(time.Millisecond),
+		PhaseMs:   phases,
+	}, nil
+}

@@ -168,3 +168,40 @@ func TestPlanSaveTiming(t *testing.T) {
 		t.Fatalf("checkpoint save %v s too fast", res.Makespan)
 	}
 }
+
+// TestReplayFactorDefaultAndScaling: an unset (or negative) ReplayFactor
+// defaults to 1×, and a larger factor strictly lengthens recovery — the
+// knob behind Fig 8's replay sensitivity.
+func TestReplayFactorDefaultAndScaling(t *testing.T) {
+	if got := (Spec{}).replayFactor(); got != 1 {
+		t.Fatalf("zero ReplayFactor = %g, want 1", got)
+	}
+	if got := (Spec{ReplayFactor: -2}).replayFactor(); got != 1 {
+		t.Fatalf("negative ReplayFactor = %g, want 1", got)
+	}
+	if got := (Spec{ReplayFactor: 3.5}).replayFactor(); got != 3.5 {
+		t.Fatalf("ReplayFactor passthrough = %g", got)
+	}
+
+	run := func(factor float64) float64 {
+		b := simnet.NewPlanBuilder()
+		PlanRecover(b, Spec{
+			App: "app", Node: "standby", StoreNode: "hdfs", UpstreamNode: "up",
+			TotalBytes: 64e6, ReplayFactor: factor, RouteDelay: 0.1,
+		})
+		sim := simnet.NewSim(simnet.Res{UpBps: 125e6, DownBps: 125e6, ComputeBps: 10e6})
+		sim.SetNode("hdfs", simnet.Res{UpBps: 4e6, DownBps: 4e6, ComputeBps: 1e12})
+		res, err := sim.Run(b.Tasks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	base := run(0) // defaulted to 1×
+	if one := run(1); one != base {
+		t.Fatalf("factor 0 (defaulted) %g != factor 1 %g", base, one)
+	}
+	if four := run(4); four <= base {
+		t.Fatalf("4× replay (%g s) not slower than 1× (%g s)", four, base)
+	}
+}

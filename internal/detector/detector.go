@@ -28,6 +28,7 @@ import (
 
 	"sr3/internal/dht"
 	"sr3/internal/id"
+	"sr3/internal/obs"
 	"sr3/internal/simnet"
 )
 
@@ -69,6 +70,10 @@ type Config struct {
 	Quorum int
 	// Now injects the clock (default time.Now).
 	Now func() time.Time
+	// Tracer, when non-nil, pre-allocates a trace root for every death
+	// verdict, so the silence window, the supervisor's handling and the
+	// recovery land in one connected trace (see DeathReport.Trace).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +143,7 @@ type Detector struct {
 	suspecters map[id.ID]map[id.ID]bool // target -> distinct reporters
 	dead       map[id.ID]bool
 	onDead     []func(peer id.ID)
+	onDeadRep  []func(DeathReport)
 	stats      Stats
 	tickN      uint64
 
@@ -174,6 +180,32 @@ func (d *Detector) OnDead(f func(peer id.ID)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.onDead = append(d.onDead, f)
+}
+
+// DeathReport is the annotated form of a dead verdict, for subscribers
+// that trace or time the detection (the supervisor).
+type DeathReport struct {
+	// Peer is the node declared dead.
+	Peer id.ID
+	// Trace is a pre-allocated trace root (zero when tracing is off).
+	// Nothing is recorded against it by the detector itself; the adopter
+	// opens the root span and a retroactive PhaseDetect child, so verdicts
+	// nobody adopts leave no orphan records.
+	Trace obs.SpanContext
+	// SilentSince is when the peer was last heard from — the start of the
+	// silence window that φ turned into this verdict. Zero when the peer
+	// was never tracked here (obituary for an unknown node).
+	SilentSince time.Time
+	// DetectedAt is the verdict timestamp on the detector's clock.
+	DetectedAt time.Time
+}
+
+// OnDeadReport registers an annotated verdict callback. Same contract as
+// OnDead; both kinds fire for every verdict.
+func (d *Detector) OnDeadReport(f func(DeathReport)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onDeadRep = append(d.onDeadRep, f)
 }
 
 // Start launches the heartbeat loop.
@@ -354,8 +386,10 @@ func (d *Detector) probe(target id.ID) {
 // evaluate turns accrued silence into suspicions and verdicts.
 func (d *Detector) evaluate(now time.Time) {
 	type verdictFn struct {
-		target id.ID
-		hooks  []func(id.ID)
+		target      id.ID
+		silentSince time.Time
+		hooks       []func(id.ID)
+		hooksRep    []func(DeathReport)
 	}
 	var gossip []suspectMsg
 	var verdicts []verdictFn
@@ -401,7 +435,11 @@ func (d *Detector) evaluate(now time.Time) {
 				d.stats.Declarations++
 				hooks := make([]func(id.ID), len(d.onDead))
 				copy(hooks, d.onDead)
-				verdicts = append(verdicts, verdictFn{target: peer, hooks: hooks})
+				hooksRep := make([]func(DeathReport), len(d.onDeadRep))
+				copy(hooksRep, d.onDeadRep)
+				verdicts = append(verdicts, verdictFn{
+					target: peer, silentSince: ps.last, hooks: hooks, hooksRep: hooksRep,
+				})
 			}
 		}
 	} else if suspected > 0 {
@@ -434,6 +472,15 @@ func (d *Detector) evaluate(now time.Time) {
 		}
 		for _, h := range v.hooks {
 			h(v.target)
+		}
+		rep := DeathReport{
+			Peer:        v.target,
+			Trace:       d.cfg.Tracer.NewRootContext(),
+			SilentSince: v.silentSince,
+			DetectedAt:  now,
+		}
+		for _, h := range v.hooksRep {
+			h(rep)
 		}
 	}
 }
@@ -477,16 +524,33 @@ func (d *Detector) handleObituary(_ id.ID, msg simnet.Message) (simnet.Message, 
 		return simnet.Message{}, fmt.Errorf("detector: bad obituary payload %T", msg.Payload)
 	}
 	var hooks []func(id.ID)
+	var hooksRep []func(DeathReport)
+	var silentSince time.Time
 	d.mu.Lock()
 	if !d.dead[req.Target] && req.Target != d.node.ID() {
 		d.dead[req.Target] = true
 		hooks = append(hooks, d.onDead...)
+		hooksRep = append(hooksRep, d.onDeadRep...)
+		if ps, ok := d.peers[req.Target]; ok {
+			silentSince = ps.last
+		}
 	}
 	d.mu.Unlock()
-	if hooks != nil {
+	if hooks != nil || hooksRep != nil {
 		d.node.ReportDead(req.Target)
 		for _, h := range hooks {
 			h(req.Target)
+		}
+		if len(hooksRep) > 0 {
+			rep := DeathReport{
+				Peer:        req.Target,
+				Trace:       d.cfg.Tracer.NewRootContext(),
+				SilentSince: silentSince,
+				DetectedAt:  d.cfg.Now(),
+			}
+			for _, h := range hooksRep {
+				h(rep)
+			}
 		}
 	}
 	return simnet.Message{Kind: kindObituary, Size: probeSize}, nil

@@ -42,11 +42,21 @@ func (n *Node) repairLeafSet() {
 	need := len(n.leafCand) > 0 && len(n.leafCand) < n.cfg.LeafSetSize
 	var askCW, askCCW id.ID
 	if need {
-		if len(n.leafCW) > 0 {
-			askCW = n.leafCW[len(n.leafCW)-1]
+		// Ask the furthest leaf that genuinely lies on that side: when a
+		// depleted half is padded with wrapped-around members from the
+		// other side, asking a wrapped leaf merges the wrong neighborhood
+		// and the half never re-learns its true next neighbors.
+		for i := len(n.leafCW) - 1; i >= 0; i-- {
+			if x := n.leafCW[i]; x.Sub(n.id).Cmp(n.id.Sub(x)) <= 0 {
+				askCW = x
+				break
+			}
 		}
-		if len(n.leafCCW) > 0 {
-			askCCW = n.leafCCW[len(n.leafCCW)-1]
+		for i := len(n.leafCCW) - 1; i >= 0; i-- {
+			if x := n.leafCCW[i]; n.id.Sub(x).Cmp(x.Sub(n.id)) <= 0 {
+				askCCW = x
+				break
+			}
 		}
 	}
 	n.mu.RUnlock()

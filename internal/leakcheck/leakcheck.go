@@ -1,0 +1,132 @@
+// Package leakcheck is a hand-rolled goroutine-leak detector for tests:
+// it snapshots the live goroutines before a test body runs and fails the
+// test if goroutines executing this repo's code outlive the body. Shut
+// down paths (Runtime.Wait, Supervisor.Stop, Network.Close,
+// Detector.Stop) are the intended customers — a leaked worker goroutine
+// is a shutdown bug even when no assertion notices.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TB is the slice of testing.TB the checker needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// modulePrefixes identify stacks that belong to this repo. Goroutines
+// from the runtime, the testing framework, or the net/http helpers of a
+// test are not ours to police.
+var modulePrefixes = []string{"sr3/internal/", "sr3."}
+
+// grace is how long a goroutine gets to finish winding down after the
+// test body returns: Stop/Close calls return before their workers'
+// final context switch, so an immediate snapshot would flake.
+const grace = 5 * time.Second
+
+// Verify snapshots the current goroutines and returns a function to
+// defer: it fails t if, after the grace period, any goroutine running
+// repo code exists that was not alive at the Verify call.
+//
+//	defer leakcheck.Verify(t)()
+func Verify(t TB) func() {
+	baseline := ids(snapshot())
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(grace)
+		var leaked []goroutine
+		for {
+			leaked = leaked[:0]
+			for _, g := range snapshot() {
+				if !baseline[g.id] && g.ours() {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		var b strings.Builder
+		for _, g := range leaked {
+			fmt.Fprintf(&b, "goroutine %d:\n%s\n", g.id, g.stack)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked after %v grace:\n%s", len(leaked), grace, b.String())
+	}
+}
+
+// goroutine is one parsed entry of a full runtime.Stack dump.
+type goroutine struct {
+	id    int64
+	stack string
+}
+
+// ours reports whether the goroutine is executing repo code. The
+// leakcheck frames themselves are excluded (the caller's goroutine
+// always contains them).
+func (g goroutine) ours() bool {
+	if strings.Contains(g.stack, "sr3/internal/leakcheck.") {
+		return false
+	}
+	for _, p := range modulePrefixes {
+		if strings.Contains(g.stack, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot parses runtime.Stack(all=true) into goroutines.
+func snapshot() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if g, ok := parse(block); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// parse extracts the ID from one "goroutine N [state]:" block.
+func parse(block string) (goroutine, bool) {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(block, prefix) {
+		return goroutine{}, false
+	}
+	rest := block[len(prefix):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return goroutine{}, false
+	}
+	id, err := strconv.ParseInt(rest[:sp], 10, 64)
+	if err != nil {
+		return goroutine{}, false
+	}
+	return goroutine{id: id, stack: block}, true
+}
+
+func ids(gs []goroutine) map[int64]bool {
+	m := make(map[int64]bool, len(gs))
+	for _, g := range gs {
+		m[g.id] = true
+	}
+	return m
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries verifies the HDR layout invariants: boundaries
+// are contiguous and monotone, every value lands in the bucket whose
+// [lower, upper) range contains it, and the first 8 buckets are exact.
+func TestBucketBoundaries(t *testing.T) {
+	for i := 0; i < Buckets(); i++ {
+		lo, hi := BucketLower(i), BucketUpper(i)
+		if lo >= hi {
+			t.Fatalf("bucket %d: lower %d >= upper %d", i, lo, hi)
+		}
+		if i > 0 && BucketUpper(i-1) != lo {
+			t.Fatalf("bucket %d not contiguous: prev upper %d, lower %d", i, BucketUpper(i-1), lo)
+		}
+		if got := hdrIndex(lo); got != i {
+			t.Fatalf("hdrIndex(BucketLower(%d)=%d) = %d", i, lo, got)
+		}
+		if hi != math.MaxInt64 {
+			if got := hdrIndex(hi - 1); got != i {
+				t.Fatalf("hdrIndex(upper-1=%d) = %d, want %d", hi-1, got, i)
+			}
+		}
+	}
+	for v := int64(0); v < 8; v++ {
+		if got := hdrIndex(v); got != int(v) {
+			t.Fatalf("small value %d not exact: bucket %d", v, got)
+		}
+	}
+	if BucketUpper(Buckets()-1) != math.MaxInt64 {
+		t.Fatal("last bucket must extend to MaxInt64")
+	}
+}
+
+// TestBucketRelativeError: the layout promises ≤12.5% relative error —
+// every bucket's width is at most 1/8 of its lower bound (past the exact
+// range).
+func TestBucketRelativeError(t *testing.T) {
+	for i := hdrSub; i < Buckets()-1; i++ {
+		lo, hi := BucketLower(i), BucketUpper(i)
+		if width := hi - lo; width > lo/hdrSub {
+			t.Fatalf("bucket %d [%d,%d): width %d exceeds %d (12.5%% of lower)", i, lo, hi, width, lo/hdrSub)
+		}
+	}
+}
+
+// TestRecordStats checks count/sum/min/max/mean bookkeeping, including
+// the negative-value clamp and the zero-min encoding.
+func TestRecordStats(t *testing.T) {
+	var h LatencyHistogram
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read as zeros")
+	}
+	for _, v := range []int64{100, 0, 50, -7, 1000} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1150 { // -7 clamps to 0
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if h.Min() != 0 {
+		t.Fatalf("min = %d, want 0 (clamped negative)", h.Min())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if got := h.Mean(); got != 230 {
+		t.Fatalf("mean = %g", got)
+	}
+}
+
+// TestQuantileAccuracy: quantiles of a known distribution must land
+// within one bucket width (≤12.5%) of the true value.
+func TestQuantileAccuracy(t *testing.T) {
+	var h LatencyHistogram
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		want := q * 10000
+		got := float64(h.Quantile(q))
+		if math.Abs(got-want) > want*0.125+1 {
+			t.Fatalf("q%.2f = %g, want %g ±12.5%%", q, got, want)
+		}
+	}
+	if h.Quantile(0) < 1 {
+		t.Fatalf("q0 = %d, below observed min", h.Quantile(0))
+	}
+}
+
+// TestMergeAssociativity: (a⊕b)⊕c and a⊕(b⊕c) must agree bucket for
+// bucket and in every aggregate, for seeded random inputs.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	fill := func(n int) *LatencyHistogram {
+		h := &LatencyHistogram{}
+		for i := 0; i < n; i++ {
+			h.Record(rng.Int63n(1 << 40))
+		}
+		return h
+	}
+	clone := func(src *LatencyHistogram) *LatencyHistogram {
+		c := &LatencyHistogram{}
+		c.Merge(src)
+		return c
+	}
+	a, b, c := fill(500), fill(300), fill(700)
+
+	left := clone(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := clone(b)
+	bc.Merge(c)
+	right := clone(a)
+	right.Merge(bc)
+
+	if left.Count() != right.Count() || left.Sum() != right.Sum() ||
+		left.Min() != right.Min() || left.Max() != right.Max() {
+		t.Fatalf("aggregates differ: left {%d %d %d %d} right {%d %d %d %d}",
+			left.Count(), left.Sum(), left.Min(), left.Max(),
+			right.Count(), right.Sum(), right.Min(), right.Max())
+	}
+	for i := 0; i < Buckets(); i++ {
+		if left.BucketCount(i) != right.BucketCount(i) {
+			t.Fatalf("bucket %d differs: %d vs %d", i, left.BucketCount(i), right.BucketCount(i))
+		}
+	}
+
+	// Commutativity falls out of the same bucket-wise addition; spot-check.
+	ab := clone(a)
+	ab.Merge(b)
+	ba := clone(b)
+	ba.Merge(a)
+	if ab.Count() != ba.Count() || ab.Sum() != ba.Sum() {
+		t.Fatal("merge not commutative")
+	}
+}
+
+// TestMergeEmptyAndNil: merging from an empty histogram or nil must not
+// disturb min/max.
+func TestMergeEmptyAndNil(t *testing.T) {
+	var h LatencyHistogram
+	h.Record(10)
+	h.Record(20)
+	h.Merge(nil)
+	h.Merge(&LatencyHistogram{})
+	if h.Min() != 10 || h.Max() != 20 || h.Count() != 2 {
+		t.Fatalf("empty merge disturbed stats: min=%d max=%d count=%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+// TestConcurrentRecord: N goroutines × M records with known totals; the
+// histogram must not lose a single observation (the atomic-hot-path
+// property), under -race.
+func TestConcurrentRecord(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("lost records: count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	var inBuckets int64
+	for i := 0; i < Buckets(); i++ {
+		inBuckets += h.BucketCount(i)
+	}
+	if inBuckets != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, h.Count())
+	}
+}

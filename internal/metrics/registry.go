@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named collection of latency histograms, gauges and
+// counters with Prometheus text exposition. It is the aggregation point
+// the observability layer (internal/obs) feeds: one histogram per
+// recovery phase, gauges for point-in-time state, counters for totals.
+// All accessors are concurrency-safe and create the instrument on first
+// use, so recording sites never need registration ceremony.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[string]*LatencyHistogram
+	gauges   map[string]*Gauge
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    make(map[string]*LatencyHistogram),
+		gauges:   make(map[string]*Gauge),
+		counters: make(map[string]*Counter),
+	}
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *LatencyHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &LatencyHistogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// HistogramNames lists the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Gauge is a settable point-in-time value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add increments the gauge.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Counter is a monotonically increasing total.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// promName sanitizes a metric name into the Prometheus charset
+// [a-zA-Z0-9_:], mapping '.', '-', '/' and spaces to '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Latency histograms are emitted as native
+// Prometheus histograms with second-valued cumulative le buckets (values
+// are recorded in nanoseconds); gauges and counters as plain samples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	histNames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		histNames = append(histNames, n)
+	}
+	gaugeNames := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gaugeNames = append(gaugeNames, n)
+	}
+	counterNames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		counterNames = append(counterNames, n)
+	}
+	hists := make(map[string]*LatencyHistogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	r.mu.Unlock()
+
+	sort.Strings(histNames)
+	sort.Strings(gaugeNames)
+	sort.Strings(counterNames)
+
+	for _, name := range histNames {
+		h := hists[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, i := range h.NonEmptyBuckets() {
+			cum += h.BucketCount(i)
+			le := float64(BucketUpper(i)) / 1e9
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatLe(le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n", pn, float64(h.Sum())/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, h.Count()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gaugeNames {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range counterNames {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatLe renders a bucket bound compactly (Prometheus just needs a
+// parseable float; trailing zeros add noise at 488 potential buckets).
+func formatLe(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}

@@ -104,6 +104,10 @@ type frameIO struct {
 	conn    net.Conn
 	r       *bufio.Reader
 	timeout time.Duration
+	// stallNs, when non-nil, accumulates time writeRaw spends blocked
+	// waiting for credit grants — the backpressure measurement behind
+	// DataPlaneStats.StallNanos and traced PhaseStall spans.
+	stallNs *int64
 }
 
 // refresh pushes the connection deadline forward so the I/O timeout acts
@@ -127,8 +131,12 @@ func (d frameIO) writeRaw(raw []byte) (int64, error) {
 			// Window exhausted: wait for one credit grant from the
 			// receiver before sending more.
 			d.refresh()
+			waitStart := time.Now()
 			if _, err := io.ReadFull(d.r, credit[:]); err != nil {
 				return frames, fmt.Errorf("raw credit: %w", err)
+			}
+			if d.stallNs != nil {
+				*d.stallNs += time.Since(waitStart).Nanoseconds()
 			}
 			inFlight -= creditEvery
 		}

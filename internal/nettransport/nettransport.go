@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sr3/internal/id"
+	"sr3/internal/obs"
 	"sr3/internal/simnet"
 )
 
@@ -117,15 +118,22 @@ type wireRequest struct {
 	Size   int
 	Body   any
 	RawLen int
+	// TraceID/SpanID carry the sender's span context across the wire
+	// (see simnet.Message); zero for untraced traffic, which gob then
+	// omits entirely.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // wireReply is the on-the-wire reply frame.
 type wireReply struct {
-	Kind   string
-	Size   int
-	Body   any
-	ErrMsg string
-	RawLen int
+	Kind    string
+	Size    int
+	Body    any
+	ErrMsg  string
+	RawLen  int
+	TraceID uint64
+	SpanID  uint64
 }
 
 type server struct {
@@ -145,6 +153,7 @@ type Network struct {
 	closed    bool
 	ioTimeout time.Duration
 	dial      DialRetryPolicy
+	tracer    *obs.Tracer
 
 	// Data-plane accounting (see frame.go): raw-body bytes and chunk
 	// frames moved through this transport, and the destination-buffer pool.
@@ -152,6 +161,11 @@ type Network struct {
 	rawBytes    atomic.Int64
 	rawFrames   atomic.Int64
 	rawMessages atomic.Int64
+	// stallNanos accumulates sender time blocked on the credit window —
+	// the data plane's backpressure signal, surfaced per-exchange as
+	// PhaseStall spans when the message is traced.
+	stallNanos atomic.Int64
+	stallCount atomic.Int64
 }
 
 // DataPlaneStats is a snapshot of the transport's raw-body accounting.
@@ -162,6 +176,11 @@ type DataPlaneStats struct {
 	RawFrames int64
 	// RawMessages counts exchanges that carried a raw body.
 	RawMessages int64
+	// StallNanos is sender time spent blocked on the chunk credit window
+	// (flow-control backpressure); StallCount is how many raw-body writes
+	// stalled at least once.
+	StallNanos int64
+	StallCount int64
 	// Pool reports destination-buffer reuse.
 	Pool PoolStats
 }
@@ -172,6 +191,8 @@ func (n *Network) DataPlane() DataPlaneStats {
 		RawBytes:    n.rawBytes.Load(),
 		RawFrames:   n.rawFrames.Load(),
 		RawMessages: n.rawMessages.Load(),
+		StallNanos:  n.stallNanos.Load(),
+		StallCount:  n.stallCount.Load(),
 		Pool:        PoolStats{Hits: n.pool.hits.Load(), Misses: n.pool.misses.Load()},
 	}
 }
@@ -200,6 +221,38 @@ func (n *Network) SetDialRetryPolicy(p DialRetryPolicy) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.dial = p
+}
+
+// SetTracer attaches an observability tracer: credit-window stalls on
+// traced exchanges are then emitted as PhaseStall spans parented on the
+// message's span context. nil (the default) keeps stat-only accounting.
+func (n *Network) SetTracer(tr *obs.Tracer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracer = tr
+}
+
+func (n *Network) getTracer() *obs.Tracer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.tracer
+}
+
+// noteStall folds one raw-body write's stall time into the counters and,
+// when the exchange was traced, emits a retroactive PhaseStall span.
+func (n *Network) noteStall(stallNs int64, traceID, spanID uint64) {
+	if stallNs <= 0 {
+		return
+	}
+	n.stallNanos.Add(stallNs)
+	n.stallCount.Add(1)
+	tr := n.getTracer()
+	if tr == nil || traceID == 0 {
+		return
+	}
+	end := tr.Now()
+	tr.RecordSpan(obs.SpanContext{Trace: traceID, Span: spanID}, obs.PhaseStall,
+		end.Add(-time.Duration(stallNs)), end, obs.Int("stall_ns", stallNs))
 }
 
 func (n *Network) dialPolicy() DialRetryPolicy {
@@ -301,8 +354,10 @@ func (n *Network) serveConn(nid id.ID, srv *server, conn net.Conn) {
 	// contract is that Raw is not retained past return.
 	reply, err := srv.handler(req.From, simnet.Message{
 		Kind: req.Kind, Size: req.Size, Payload: req.Body, Raw: reqRaw,
+		TraceID: req.TraceID, SpanID: req.SpanID,
 	})
-	out := &wireReply{Kind: reply.Kind, Size: reply.Size, Body: reply.Payload, RawLen: len(reply.Raw)}
+	out := &wireReply{Kind: reply.Kind, Size: reply.Size, Body: reply.Payload, RawLen: len(reply.Raw),
+		TraceID: reply.TraceID, SpanID: reply.SpanID}
 	if err != nil {
 		out = &wireReply{ErrMsg: err.Error()}
 	}
@@ -311,11 +366,14 @@ func (n *Network) serveConn(nid id.ID, srv *server, conn net.Conn) {
 		return
 	}
 	if out.RawLen > 0 {
+		var stallNs int64
+		fio.stallNs = &stallNs
 		frames, werr := fio.writeRaw(reply.Raw)
 		n.rawFrames.Add(frames)
 		if werr == nil {
 			n.rawBytes.Add(int64(out.RawLen))
 			n.rawMessages.Add(1)
+			n.noteStall(stallNs, req.TraceID, req.SpanID)
 		}
 	}
 	// A handler that forwarded a pooled body attaches its recycler to the
@@ -361,13 +419,16 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(fio.r)
-	if err := enc.Encode(&wireRequest{From: from, Kind: msg.Kind, Size: msg.Size, Body: msg.Payload, RawLen: len(msg.Raw)}); err != nil {
+	if err := enc.Encode(&wireRequest{From: from, Kind: msg.Kind, Size: msg.Size, Body: msg.Payload,
+		RawLen: len(msg.Raw), TraceID: msg.TraceID, SpanID: msg.SpanID}); err != nil {
 		if isTimeout(err) {
 			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 		}
 		return simnet.Message{}, fmt.Errorf("call to %s: encode: %w", to.Short(), err)
 	}
 	if len(msg.Raw) > 0 {
+		var stallNs int64
+		fio.stallNs = &stallNs
 		frames, err := fio.writeRaw(msg.Raw)
 		n.rawFrames.Add(frames)
 		if err != nil {
@@ -378,6 +439,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 		}
 		n.rawBytes.Add(int64(len(msg.Raw)))
 		n.rawMessages.Add(1)
+		n.noteStall(stallNs, msg.TraceID, msg.SpanID)
 	}
 	var reply wireReply
 	if err := dec.Decode(&reply); err != nil {
@@ -389,7 +451,8 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 	if reply.ErrMsg != "" {
 		return simnet.Message{}, fmt.Errorf("call to %s: remote: %s", to.Short(), reply.ErrMsg)
 	}
-	out := simnet.Message{Kind: reply.Kind, Size: reply.Size, Payload: reply.Body}
+	out := simnet.Message{Kind: reply.Kind, Size: reply.Size, Payload: reply.Body,
+		TraceID: reply.TraceID, SpanID: reply.SpanID}
 	if reply.RawLen > 0 {
 		if reply.RawLen > maxRawLen {
 			return simnet.Message{}, fmt.Errorf("call to %s: raw body of %d bytes exceeds cap", to.Short(), reply.RawLen)

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"sr3/internal/metrics"
+)
+
+// MetricsServer serves a registry as Prometheus text on /metrics plus
+// the standard net/http/pprof endpoints under /debug/pprof/ — the
+// operational surface of a supervised SR3 process (and of sr3bench runs
+// started with -metrics).
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeMetrics starts an HTTP server on addr (e.g. ":9090" or
+// "127.0.0.1:0"; the latter picks a free port — read it back via Addr).
+func ServeMetrics(addr string, reg *metrics.Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ms := &MetricsServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (ms *MetricsServer) Addr() string { return ms.ln.Addr().String() }
+
+// Close shuts the server down.
+func (ms *MetricsServer) Close() error { return ms.srv.Close() }

@@ -9,6 +9,7 @@ import (
 
 	"sr3/internal/dht"
 	"sr3/internal/id"
+	"sr3/internal/obs"
 	"sr3/internal/shard"
 	"sr3/internal/simnet"
 	"sr3/internal/state"
@@ -20,6 +21,7 @@ import (
 type Cluster struct {
 	Ring     *dht.Ring
 	managers map[id.ID]*Manager
+	tracer   *obs.Tracer
 }
 
 // NewCluster attaches SR3 managers to all ring nodes.
@@ -34,9 +36,20 @@ func NewCluster(ring *dht.Ring) *Cluster {
 // Manager returns the SR3 agent on one node.
 func (c *Cluster) Manager(nid id.ID) *Manager { return c.managers[nid] }
 
+// SetTracer installs a tracer on the cluster and every manager, so
+// handler-side collect spans on provider nodes land in the same trace as
+// the coordinator's. Call during setup, before recoveries run.
+func (c *Cluster) SetTracer(tr *obs.Tracer) {
+	c.tracer = tr
+	for _, m := range c.managers {
+		m.SetTracer(tr)
+	}
+}
+
 // AttachNode adds a manager for a node joined after cluster creation.
 func (c *Cluster) AttachNode(n *dht.Node) *Manager {
 	m := NewManager(n)
+	m.SetTracer(c.tracer)
 	c.managers[n.ID()] = m
 	return m
 }
@@ -109,25 +122,49 @@ func (r *outcomeRecorder) snapshot() Outcome {
 // Recover rebuilds the state of app after its owner failed, using the
 // given mechanism, and installs the snapshot at the replacement node
 // (the live node closest to the failed owner's ID, mirroring Fig 3's N6
-// replacing N5).
+// replacing N5). When a tracer is set (opts.Tracer or SetTracer), the
+// run is wrapped in a PhaseRecover span with plan/fetch/collect/merge
+// children.
 func (c *Cluster) Recover(app string, mech Mechanism, opts Options) (Result, error) {
+	if opts.Tracer == nil {
+		opts.Tracer = c.tracer
+	}
+	sp := opts.Tracer.StartSpan(opts.TraceParent, obs.PhaseRecover)
+	sp.SetStr("app", app)
+	sp.SetStr("mech", mech.String())
+	opts.TraceParent = sp.Ctx()
+	res, err := c.recover(app, mech, opts)
+	sp.SetInt("bytes", int64(len(res.Snapshot)))
+	sp.EndErr(err)
+	return res, err
+}
+
+func (c *Cluster) recover(app string, mech Mechanism, opts Options) (Result, error) {
+	plan := opts.Tracer.StartSpan(opts.TraceParent, obs.PhasePlan)
 	anyNode, err := c.Ring.AnyLive()
 	if err != nil {
+		plan.EndErr(err)
 		return Result{}, fmt.Errorf("recover %q: %w", app, err)
 	}
 	placement, err := c.managers[anyNode.ID()].LookupPlacement(app)
 	if err != nil {
+		plan.EndErr(err)
 		return Result{}, fmt.Errorf("recover %q: %w", app, err)
 	}
 
 	replacement, ok := c.pickReplacement(placement.Owner)
 	if !ok {
+		plan.EndErr(ErrNoReplacement)
 		return Result{}, fmt.Errorf("recover %q: %w", app, ErrNoReplacement)
 	}
 	stages, err := c.liveStages(placement, replacement)
 	if err != nil {
+		plan.EndErr(err)
 		return Result{}, fmt.Errorf("recover %q: %w", app, err)
 	}
+	plan.SetStr("replacement", replacement.Short())
+	plan.SetInt("providers", int64(len(stages)))
+	plan.End()
 
 	rm := c.managers[replacement]
 	oc := newOutcomeRecorder()
@@ -310,8 +347,18 @@ func (m *Manager) collectStar(app string, p shard.Placement, opts Options, oc *o
 // transiently crashed provider can come back). With opts.DisableFailover
 // a single pass is made, reproducing the original abort-on-loss
 // behaviour. With opts.Speculate the first two replicas are raced before
-// falling back to the ordered passes.
+// falling back to the ordered passes. Each index's retrieval is one
+// PhaseFetch span (with its merge as a PhaseMerge child).
 func (m *Manager) fetchIndexRetryInto(a *assembler, app string, index int, p shard.Placement, opts Options, oc *outcomeRecorder) (int, error) {
+	sp := opts.Tracer.StartSpan(opts.TraceParent, obs.PhaseFetch)
+	sp.SetInt("index", int64(index))
+	n, err := m.fetchIndexRetry(a, app, index, p, opts, oc, sp.Ctx())
+	sp.SetInt("bytes", int64(n))
+	sp.EndErr(err)
+	return n, err
+}
+
+func (m *Manager) fetchIndexRetry(a *assembler, app string, index int, p shard.Placement, opts Options, oc *outcomeRecorder, tc obs.SpanContext) (int, error) {
 	holders := p.NodesForIndex(index)
 	inline := opts.SequentialFetch
 	if opts.Speculate && len(holders) > 1 {
@@ -322,7 +369,7 @@ func (m *Manager) fetchIndexRetryInto(a *assembler, app string, index int, p sha
 		ch := make(chan res, 2)
 		for _, h := range holders[:2] {
 			go func(h id.ID) {
-				n, err := m.fetchInto(a, h, app, index, inline)
+				n, err := m.fetchInto(a, h, app, index, inline, opts.Tracer, tc)
 				ch <- res{n, err == nil}
 			}(h)
 		}
@@ -342,7 +389,7 @@ func (m *Manager) fetchIndexRetryInto(a *assembler, app string, index int, p sha
 	}
 	for round := 0; ; round++ {
 		for hi, h := range holders {
-			n, err := m.fetchInto(a, h, app, index, inline)
+			n, err := m.fetchInto(a, h, app, index, inline, opts.Tracer, tc)
 			if err == nil {
 				if round > 0 || hi > 0 {
 					oc.failover(1, n)
@@ -373,19 +420,22 @@ func (m *Manager) fetchIndexRetryInto(a *assembler, app string, index int, p sha
 // pooled buffer; the assembler copies it into its final snapshot position
 // and the buffer is released, so no whole-shard intermediate copy is ever
 // made. inline selects the legacy payload-embedded encoding (the
-// benchmark baseline).
-func (m *Manager) fetchInto(a *assembler, holder id.ID, app string, index int, inline bool) (int, error) {
+// benchmark baseline). tc stamps the fetch request so remote stall spans
+// and the merge span parent on the enclosing fetch.
+func (m *Manager) fetchInto(a *assembler, holder id.ID, app string, index int, inline bool, tr *obs.Tracer, tc obs.SpanContext) (int, error) {
 	if holder == m.node.ID() {
 		ss := m.localShardsFor(app, []int{index})
 		if len(ss) == 0 {
 			return 0, ErrShardLost
 		}
-		return a.add(ss[0])
+		return mergeTraced(a, ss[0], tr, tc)
 	}
 	resp, err := m.node.Send(holder, simnet.Message{
 		Kind:    kindFetchIndex,
 		Size:    msgHeader + len(app) + 8,
 		Payload: &fetchIndexRequest{App: app, Index: index, Inline: inline},
+		TraceID: tc.Trace,
+		SpanID:  tc.Span,
 	})
 	if err != nil {
 		return 0, err
@@ -402,7 +452,20 @@ func (m *Manager) fetchInto(a *assembler, holder id.ID, app string, index int, i
 	if s.Data == nil {
 		s.Data = resp.Raw
 	}
-	return a.add(s)
+	return mergeTraced(a, s, tr, tc)
+}
+
+// mergeTraced merges one shard into the assembler under a retroactive
+// PhaseMerge span (recorded only when the fetch itself is traced, so
+// untraced recoveries pay nothing).
+func mergeTraced(a *assembler, s shard.Shard, tr *obs.Tracer, tc obs.SpanContext) (int, error) {
+	if !tr.Enabled() || !tc.Valid() {
+		return a.add(s)
+	}
+	start := tr.Now()
+	n, err := a.add(s)
+	tr.RecordSpan(tc, obs.PhaseMerge, start, tr.Now(), obs.Int("bytes", int64(n)))
+	return n, err
 }
 
 // fetchFrom retrieves one replica of (app, index) from holder with an
@@ -476,6 +539,18 @@ func mergeCollect(a *assembler, reply *collectReply, raw []byte) (int, error) {
 		total += n
 	}
 	return total, nil
+}
+
+// mergeCollectTraced is mergeCollect under a retroactive PhaseMerge span.
+func mergeCollectTraced(a *assembler, reply *collectReply, raw []byte, tr *obs.Tracer, parent obs.SpanContext) (int, error) {
+	if !tr.Enabled() || !parent.Valid() {
+		return mergeCollect(a, reply, raw)
+	}
+	start := tr.Now()
+	n, err := mergeCollect(a, reply, raw)
+	tr.RecordSpan(parent, obs.PhaseMerge, start, tr.Now(),
+		obs.Int("bytes", int64(n)), obs.Int("shards", int64(len(reply.Shards))))
+	return n, err
 }
 
 // replanStages picks, for every missing index, a replica holder not yet
@@ -574,6 +649,8 @@ func (m *Manager) collectLine(app string, stages []stage, p shard.Placement, opt
 				Kind:    kindLineCollect,
 				Size:    msgHeader + 64,
 				Payload: &lineCollectMsg{App: app, Chain: seg, NoFailover: opts.DisableFailover},
+				TraceID: opts.TraceParent.Trace,
+				SpanID:  opts.TraceParent.Span,
 			})
 			ch <- segOut{resp: resp, head: seg[0].Node, err: err}
 		}(seg)
@@ -596,7 +673,7 @@ func (m *Manager) collectLine(app string, stages []stage, p shard.Placement, opt
 			failed = fmt.Errorf("recovery: bad line reply %T", o.resp.Payload)
 			continue
 		}
-		if _, err := mergeCollect(a, reply, o.resp.Raw); err != nil {
+		if _, err := mergeCollectTraced(a, reply, o.resp.Raw, opts.Tracer, opts.TraceParent); err != nil {
 			failed = err
 		}
 		o.resp.ReleaseRaw()
@@ -635,6 +712,8 @@ func (m *Manager) collectLine(app string, stages []stage, p shard.Placement, opt
 				Kind:    kindLineCollect,
 				Size:    msgHeader + 64,
 				Payload: &lineCollectMsg{App: app, Chain: chain},
+				TraceID: opts.TraceParent.Trace,
+				SpanID:  opts.TraceParent.Span,
 			})
 			if err != nil {
 				oc.deadNode(chain[0].Node)
@@ -645,7 +724,7 @@ func (m *Manager) collectLine(app string, stages []stage, p shard.Placement, opt
 					resp.ReleaseRaw()
 					return fmt.Errorf("recovery: bad line reply %T", resp.Payload)
 				}
-				n, err := mergeCollect(a, reply, resp.Raw)
+				n, err := mergeCollectTraced(a, reply, resp.Raw, opts.Tracer, opts.TraceParent)
 				resp.ReleaseRaw()
 				if err != nil {
 					return err
@@ -705,6 +784,8 @@ func (m *Manager) collectTree(app string, stages []stage, fanout int, p shard.Pl
 				Kind:    kindTreeCollect,
 				Size:    msgHeader + 64,
 				Payload: &treeCollectMsg{App: app, Tree: rt, NoFailover: opts.DisableFailover},
+				TraceID: opts.TraceParent.Trace,
+				SpanID:  opts.TraceParent.Span,
 			})
 			ch <- treeOut{resp: resp, root: rt.Stage.Node, err: err}
 		}(rt)
@@ -726,7 +807,7 @@ func (m *Manager) collectTree(app string, stages []stage, fanout int, p shard.Pl
 			failed = fmt.Errorf("recovery: bad tree reply %T", o.resp.Payload)
 			continue
 		}
-		if _, err := mergeCollect(a, reply, o.resp.Raw); err != nil {
+		if _, err := mergeCollectTraced(a, reply, o.resp.Raw, opts.Tracer, opts.TraceParent); err != nil {
 			failed = err
 		}
 		o.resp.ReleaseRaw()
@@ -775,22 +856,38 @@ func (m *Manager) CollectStarForTest(app string, p shard.Placement) ([]byte, err
 // protected against the next failure without waiting for its periodic
 // save. The refreshed placement supersedes the old one in the DHT.
 func (c *Cluster) RecoverAndReprotect(app string, mech Mechanism, opts Options) (Result, error) {
+	if opts.Tracer == nil {
+		opts.Tracer = c.tracer
+	}
 	res, err := c.Recover(app, mech, opts)
 	if err != nil {
 		return Result{}, err
 	}
+	// The reprotect span is a sibling of the recover span under the
+	// caller's parent (Recover traced its own copy of opts).
+	rp := opts.Tracer.StartSpan(opts.TraceParent, obs.PhaseReprotect)
+	rp.SetStr("app", app)
+	err = c.reprotect(app, res, opts.Tracer, rp.Ctx())
+	rp.EndErr(err)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+func (c *Cluster) reprotect(app string, res Result, tr *obs.Tracer, tc obs.SpanContext) error {
 	anyNode, err := c.Ring.AnyLive()
 	if err != nil {
-		return Result{}, fmt.Errorf("reprotect %q: %w", app, err)
+		return fmt.Errorf("reprotect %q: %w", app, err)
 	}
 	old, err := c.managers[anyNode.ID()].LookupPlacement(app)
 	if err != nil {
-		return Result{}, fmt.Errorf("reprotect %q: %w", app, err)
+		return fmt.Errorf("reprotect %q: %w", app, err)
 	}
 	newMgr := c.managers[res.Replacement]
 	v := newMgr.NextVersion(old.Version.Timestamp + 1)
-	if _, err := newMgr.Save(app, res.Snapshot, old.M, old.R, v); err != nil {
-		return Result{}, fmt.Errorf("reprotect %q: %w", app, err)
+	if _, err := newMgr.SaveTraced(app, res.Snapshot, old.M, old.R, v, tr, tc); err != nil {
+		return fmt.Errorf("reprotect %q: %w", app, err)
 	}
 	// The re-save's routed publish went through the replacement's routing
 	// view, freshly disturbed by the failure — pin the new placement at
@@ -800,5 +897,5 @@ func (c *Cluster) RecoverAndReprotect(app string, mech Mechanism, opts Options) 
 			c.pinPlacement(newMgr, app, blob)
 		}
 	}
-	return res, nil
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"sr3/internal/dht"
 	"sr3/internal/id"
+	"sr3/internal/obs"
 	"sr3/internal/shard"
 	"sr3/internal/simnet"
 )
@@ -71,6 +72,20 @@ func (m *Manager) handleLineCollect(_ id.ID, msg simnet.Message) (simnet.Message
 	if len(req.Chain) == 0 || req.Chain[0].Node != m.node.ID() {
 		return simnet.Message{}, fmt.Errorf("%w: line chain at %s", ErrMisrouted, m.node.ID().Short())
 	}
+	// An inbound trace context opens a per-stage PhaseCollect span, so the
+	// coordinator's trace shows where time went down the chain. Untraced
+	// messages (TraceID 0) open nothing.
+	fwdCtx := obs.SpanContext{Trace: msg.TraceID, Span: msg.SpanID}
+	var sp *obs.Span
+	if fwdCtx.Valid() {
+		sp = m.getTracer().StartSpan(fwdCtx, obs.PhaseCollect)
+		sp.SetStr("node", m.node.ID().Short())
+		sp.SetInt("indices", int64(len(req.Chain[0].Indices)))
+		if c := sp.Ctx(); c.Valid() {
+			fwdCtx = c
+		}
+	}
+	defer sp.End()
 	// Cap both accumulators: the raw body may be a pooled transport
 	// buffer and the metas may alias the sender's memory (in-process
 	// transport) — appends must copy, not scribble.
@@ -92,6 +107,8 @@ func (m *Manager) handleLineCollect(_ id.ID, msg simnet.Message) (simnet.Message
 		Size:    msgHeader + len(raw),
 		Payload: fwd,
 		Raw:     raw,
+		TraceID: fwdCtx.Trace,
+		SpanID:  fwdCtx.Span,
 	})
 	if err != nil {
 		if req.NoFailover {
@@ -138,6 +155,20 @@ func (m *Manager) handleTreeCollect(_ id.ID, msg simnet.Message) (simnet.Message
 	if req.Tree == nil || req.Tree.Stage.Node != m.node.ID() {
 		return simnet.Message{}, fmt.Errorf("%w: tree collect at %s", ErrMisrouted, m.node.ID().Short())
 	}
+	// As in handleLineCollect: a traced request opens a per-member
+	// PhaseCollect span, and children parent on it (the trace mirrors the
+	// collection tree's shape).
+	fwdCtx := obs.SpanContext{Trace: msg.TraceID, Span: msg.SpanID}
+	var sp *obs.Span
+	if fwdCtx.Valid() {
+		sp = m.getTracer().StartSpan(fwdCtx, obs.PhaseCollect)
+		sp.SetStr("node", m.node.ID().Short())
+		sp.SetInt("indices", int64(len(req.Tree.Stage.Indices)))
+		if c := sp.Ctx(); c.Valid() {
+			fwdCtx = c
+		}
+	}
+	defer sp.End()
 	metas, raw := appendShards(nil, nil, m.localShardsFor(req.App, req.Tree.Stage.Indices))
 	var dead []id.ID
 	for _, child := range req.Tree.Children {
@@ -145,6 +176,8 @@ func (m *Manager) handleTreeCollect(_ id.ID, msg simnet.Message) (simnet.Message
 			Kind:    kindTreeCollect,
 			Size:    msgHeader + 64,
 			Payload: &treeCollectMsg{App: req.App, Tree: child, NoFailover: req.NoFailover},
+			TraceID: fwdCtx.Trace,
+			SpanID:  fwdCtx.Span,
 		})
 		if err != nil {
 			if req.NoFailover {

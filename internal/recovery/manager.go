@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sr3/internal/dht"
 	"sr3/internal/id"
+	"sr3/internal/obs"
 	"sr3/internal/shard"
 	"sr3/internal/simnet"
 	"sr3/internal/state"
@@ -35,6 +37,9 @@ func placementKVKey(app string) string { return "sr3/placement/" + app }
 // collection. One Manager is attached to every DHT node.
 type Manager struct {
 	node *dht.Node
+	// tracer parents handler-side collect spans on the inbound message's
+	// span context (atomic: handlers read it concurrently with SetTracer).
+	tracer atomic.Pointer[obs.Tracer]
 
 	mu         sync.Mutex
 	shards     map[shard.Key]shard.Shard
@@ -62,6 +67,12 @@ func NewManager(n *dht.Node) *Manager {
 
 // Node returns the underlying DHT node.
 func (m *Manager) Node() *dht.Node { return m.node }
+
+// SetTracer installs the tracer used by this node's collect handlers.
+func (m *Manager) SetTracer(tr *obs.Tracer) { m.tracer.Store(tr) }
+
+// getTracer returns the node's tracer (nil when tracing is off).
+func (m *Manager) getTracer() *obs.Tracer { return m.tracer.Load() }
 
 // ShardCount returns how many shard replicas this node stores.
 func (m *Manager) ShardCount() int {
@@ -144,6 +155,18 @@ func (m *Manager) Save(app string, snapshot []byte, mShards, replicas int, v sta
 		return shard.Placement{}, fmt.Errorf("save %q placement: %w: %v", app, ErrSaveAborted, err)
 	}
 	return placement, nil
+}
+
+// SaveTraced runs Save under a PhaseSave span parented on tc, recorded
+// with tr (nil tr, or an invalid parent with no trace of its own wanted,
+// degrade gracefully — the span machinery is nil-safe).
+func (m *Manager) SaveTraced(app string, snapshot []byte, mShards, replicas int, v state.Version, tr *obs.Tracer, tc obs.SpanContext) (shard.Placement, error) {
+	sp := tr.StartSpan(tc, obs.PhaseSave)
+	sp.SetStr("app", app)
+	sp.SetInt("bytes", int64(len(snapshot)))
+	p, err := m.Save(app, snapshot, mShards, replicas, v)
+	sp.EndErr(err)
+	return p, err
 }
 
 // NextVersion mints a monotonically increasing version for this owner.

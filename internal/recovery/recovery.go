@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"sr3/internal/obs"
 )
 
 // Mechanism selects the recovery structure.
@@ -97,6 +99,17 @@ type Options struct {
 	// forest fan-out, shard data gob-encoded inline in fetch replies.
 	// The dataplane benchmark uses it as the A/B control.
 	SequentialFetch bool
+	// Tracer, when non-nil, records per-phase spans for this recovery
+	// (plan, fetch, collect, merge — see internal/obs). Nil falls back to
+	// the cluster's tracer; nil everywhere disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// TraceParent parents the recovery's spans — typically the
+	// supervisor's selfheal root — so one failure yields one connected
+	// trace. An invalid (zero) parent starts a fresh trace.
+	//
+	// Both fields are comparable (a pointer and two uint64s), keeping
+	// Options usable as a == operand and map key.
+	TraceParent obs.SpanContext
 }
 
 // Data-plane defaults, applied when the corresponding Options field is

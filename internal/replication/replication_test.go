@@ -92,3 +92,93 @@ func TestPlanRecoverNearlyInstant(t *testing.T) {
 		t.Fatal("replication must cost 2x hardware")
 	}
 }
+
+// TestActiveTracksFailover: Active serves the primary while it lives,
+// the secondary after failover, and errors with both down.
+func TestActiveTracksFailover(t *testing.T) {
+	p := NewPair()
+	if err := p.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Active()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Get("k"); string(v) != "v" {
+		t.Fatalf("primary active missing write: %q", v)
+	}
+	if err := p.FailPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Active()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("Active did not switch replicas after primary failure")
+	}
+	if v, _ := b.Get("k"); string(v) != "v" {
+		t.Fatalf("standby active missing mirrored write: %q", v)
+	}
+	if err := p.FailSecondary(); !errors.Is(err, ErrBothDown) {
+		t.Fatalf("second failure = %v, want ErrBothDown", err)
+	}
+	if _, err := p.Active(); !errors.Is(err, ErrBothDown) {
+		t.Fatalf("Active with both down = %v", err)
+	}
+}
+
+// TestFailureOrderSecondaryFirst: losing the standby first leaves the
+// primary serving; losing the primary after is fatal.
+func TestFailureOrderSecondaryFirst(t *testing.T) {
+	p := NewPair()
+	if err := p.FailSecondary(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FailSecondary(); !errors.Is(err, ErrSecondaryDown) {
+		t.Fatalf("repeat secondary failure = %v", err)
+	}
+	if err := p.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := p.Get("k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("primary-only get = %q %v %v", v, ok, err)
+	}
+	if err := p.FailPrimary(); !errors.Is(err, ErrBothDown) {
+		t.Fatalf("final failure = %v, want ErrBothDown", err)
+	}
+}
+
+// TestRestorePrimaryNeedsLiveSecondary: rebuilding the primary from a
+// dead standby must fail; after a good restore the pair survives a
+// SECOND primary failure.
+func TestRestorePrimaryNeedsLiveSecondary(t *testing.T) {
+	p := NewPair()
+	_ = p.Put("k", []byte("v1"))
+	if err := p.FailPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FailSecondary(); !errors.Is(err, ErrBothDown) {
+		t.Fatal(err)
+	}
+	if err := p.RestorePrimary(); !errors.Is(err, ErrSecondaryDown) {
+		t.Fatalf("restore from dead secondary = %v", err)
+	}
+
+	q := NewPair()
+	_ = q.Put("k", []byte("v1"))
+	if err := q.FailPrimary(); err != nil {
+		t.Fatal(err)
+	}
+	_ = q.Put("k", []byte("v2")) // applied to the surviving secondary only
+	if err := q.RestorePrimary(); err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt primary is active again and carries the post-failover write.
+	if err := q.FailSecondary(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := q.Get("k"); err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("rebuilt primary state = %q %v %v, want v2", v, ok, err)
+	}
+}

@@ -38,9 +38,22 @@ type Message struct {
 	// handler returns / after calling ReleaseRaw — the backing buffer may
 	// be transport-owned and recycled.
 	Raw []byte
+	// TraceID/SpanID carry the sender's span context (internal/obs) so
+	// one recovery yields one coherent distributed trace: remote handlers
+	// parent their spans on the inbound context. Plain uint64s — not an
+	// obs type — keep the transport free of upward imports, and untraced
+	// messages leave them zero (gob omits zero fields, so the disabled
+	// path adds nothing on the wire).
+	TraceID uint64
+	SpanID  uint64
 	// free recycles a transport-owned buffer backing Raw. Set by
 	// transports via SetFree; nil when Raw is caller-owned.
 	free func()
+}
+
+// SetTrace stamps the message with a span context given as raw IDs.
+func (m *Message) SetTrace(traceID, spanID uint64) {
+	m.TraceID, m.SpanID = traceID, spanID
 }
 
 // SetFree attaches a recycler for the transport-owned buffer backing Raw.

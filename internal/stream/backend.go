@@ -6,6 +6,7 @@ import (
 
 	"sr3/internal/checkpoint"
 	"sr3/internal/id"
+	"sr3/internal/obs"
 	"sr3/internal/recovery"
 	"sr3/internal/state"
 )
@@ -63,6 +64,13 @@ func (b *SR3Backend) Save(taskKey string, snapshot []byte, v state.Version) erro
 // Recover rebuilds the snapshot with the configured or selected
 // mechanism.
 func (b *SR3Backend) Recover(taskKey string) ([]byte, error) {
+	return b.RecoverTraced(taskKey, nil, obs.SpanContext{})
+}
+
+// RecoverTraced is Recover with the cluster recovery's spans parented on
+// the caller's trace (the supervisor's selfheal root) — the TracedBackend
+// hookup.
+func (b *SR3Backend) RecoverTraced(taskKey string, tr *obs.Tracer, parent obs.SpanContext) ([]byte, error) {
 	mech := b.Mechanism
 	opts := b.Options
 	if mech == 0 {
@@ -75,6 +83,10 @@ func (b *SR3Backend) Recover(taskKey string) ([]byte, error) {
 			LatencySensitive:     b.LatencySensitive,
 		})
 		mech, opts = d.Mechanism, d.Options
+	}
+	if tr != nil {
+		opts.Tracer = tr
+		opts.TraceParent = parent
 	}
 	res, err := b.cluster.Recover(taskKey, mech, opts)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sr3/internal/obs"
 	"sr3/internal/state"
 )
 
@@ -15,6 +16,13 @@ import (
 type StateBackend interface {
 	Save(taskKey string, snapshot []byte, v state.Version) error
 	Recover(taskKey string) ([]byte, error)
+}
+
+// TracedBackend is the traced extension of StateBackend: the recovery's
+// spans parent on the caller's trace. SR3Backend implements it; backends
+// that don't are recovered untraced.
+type TracedBackend interface {
+	RecoverTraced(taskKey string, tr *obs.Tracer, parent obs.SpanContext) ([]byte, error)
 }
 
 // Config tunes a runtime.
@@ -67,6 +75,10 @@ type envelope struct {
 	kind  ctlKind
 	tuple Tuple
 	done  chan error
+	// tr/traceParent ride on ctlRecover envelopes so the backend recovery
+	// and the input-log replay land in the caller's trace.
+	tr          *obs.Tracer
+	traceParent obs.SpanContext
 }
 
 // task is one executor instance of a bolt.
@@ -238,7 +250,7 @@ func (rt *Runtime) runTask(t *task) {
 			env.done <- nil
 
 		case ctlRecover:
-			env.done <- rt.recoverTask(t, emit)
+			env.done <- rt.recoverTask(t, emit, env.tr, env.traceParent)
 
 		case ctlFlush:
 			var err error
@@ -285,8 +297,9 @@ func (rt *Runtime) saveTask(t *task) error {
 }
 
 // recoverTask restores the last saved snapshot and replays the input log
-// (executor goroutine only).
-func (rt *Runtime) recoverTask(t *task, emit Emit) error {
+// (executor goroutine only). With a tracer, the backend recovery parents
+// its spans on parent and the replay is one PhaseReplay span.
+func (rt *Runtime) recoverTask(t *task, emit Emit, tr *obs.Tracer, parent obs.SpanContext) error {
 	if !t.dead {
 		return fmt.Errorf("recover %s: %w", t.key, ErrTaskAlive)
 	}
@@ -297,12 +310,24 @@ func (rt *Runtime) recoverTask(t *task, emit Emit) error {
 	if rt.cfg.Backend == nil {
 		return fmt.Errorf("recover %s: %w", t.key, ErrNoBackend)
 	}
-	snap, err := rt.cfg.Backend.Recover(t.key)
+	var snap []byte
+	var err error
+	if tb, ok := rt.cfg.Backend.(TracedBackend); ok && tr.Enabled() && parent.Valid() {
+		snap, err = tb.RecoverTraced(t.key, tr, parent)
+	} else {
+		snap, err = rt.cfg.Backend.Recover(t.key)
+	}
 	if err != nil {
 		return fmt.Errorf("recover %s: %w", t.key, err)
 	}
 	if err := sb.Store().Restore(snap); err != nil {
 		return fmt.Errorf("recover %s: %w", t.key, err)
+	}
+	var sp *obs.Span
+	if parent.Valid() {
+		sp = tr.StartSpan(parent, obs.PhaseReplay)
+		sp.SetStr("task", t.key)
+		sp.SetInt("tuples", int64(len(t.log)))
 	}
 	for _, tuple := range t.log {
 		if err := t.decl.bolt.Execute(tuple, emit); err != nil {
@@ -310,6 +335,7 @@ func (rt *Runtime) recoverTask(t *task, emit Emit) error {
 		}
 		t.handled.Add(1)
 	}
+	sp.End()
 	t.dead = false
 	return nil
 }
@@ -320,13 +346,18 @@ func (rt *Runtime) recoverTask(t *task, emit Emit) error {
 // on a channel nobody reads would deadlock the caller. The stopped channel
 // turns that into ErrAlreadyWaited instead.
 func (rt *Runtime) control(bolt string, index int, kind ctlKind) error {
+	return rt.controlEnv(bolt, index, envelope{kind: kind})
+}
+
+func (rt *Runtime) controlEnv(bolt string, index int, env envelope) error {
 	ts, ok := rt.tasks[bolt]
 	if !ok || index < 0 || index >= len(ts) {
 		return fmt.Errorf("%s[%d]: %w", bolt, index, ErrUnknownTask)
 	}
 	done := make(chan error, 1)
+	env.done = done
 	select {
-	case ts[index].in <- envelope{kind: kind, done: done}:
+	case ts[index].in <- env:
 	case <-rt.stopped:
 		return fmt.Errorf("%s[%d]: %w", bolt, index, ErrAlreadyWaited)
 	}
@@ -401,6 +432,17 @@ func (rt *Runtime) RecoverTaskByKey(key string) error {
 		return err
 	}
 	return rt.RecoverTask(bolt, index)
+}
+
+// RecoverTaskByKeyTraced is RecoverTaskByKey with the recovery and
+// replay spans parented on the caller's trace — the supervisor's traced
+// restore path (supervise.TracedTaskRuntime).
+func (rt *Runtime) RecoverTaskByKeyTraced(key string, tr *obs.Tracer, parent obs.SpanContext) error {
+	bolt, index, err := rt.taskByKey(key)
+	if err != nil {
+		return err
+	}
+	return rt.controlEnv(bolt, index, envelope{kind: ctlRecover, tr: tr, traceParent: parent})
 }
 
 // StatefulTaskKeys lists the task keys of all stateful tasks, in

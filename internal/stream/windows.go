@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -31,7 +32,15 @@ var (
 
 // NewTumblingWindow builds a tumbling window of the given size (ms).
 func NewTumblingWindow(sizeMs int64, agg Aggregator) *TumblingWindowBolt {
-	return &TumblingWindowBolt{Size: sizeMs, Aggregate: agg, buckets: make(map[int64][]Tuple)}
+	return &TumblingWindowBolt{
+		Size:      sizeMs,
+		Aggregate: agg,
+		buckets:   make(map[int64][]Tuple),
+		// Pre-epoch event times are valid; the zero value would treat
+		// every negative-timestamp tuple as late and drop it.
+		closedBefore: math.MinInt64,
+		watermark:    math.MinInt64,
+	}
 }
 
 // Execute implements Bolt.
@@ -183,7 +192,22 @@ func NewSessionWindow(gapMs int64, keyField int, agg Aggregator) *SessionWindowB
 		Aggregate: agg,
 		sessions:  make(map[string][]Tuple),
 		lastSeen:  make(map[string]int64),
+		// See NewTumblingWindow: the zero watermark would instantly expire
+		// any session whose events are pre-epoch.
+		watermark: math.MinInt64,
 	}
+}
+
+// sessionStart is the minimum event time in a key's open session.
+func (w *SessionWindowBolt) sessionStart(k string) int64 {
+	tuples := w.sessions[k]
+	start := int64(math.MaxInt64)
+	for _, t := range tuples {
+		if t.Ts < start {
+			start = t.Ts
+		}
+	}
+	return start
 }
 
 // Execute implements Bolt.
@@ -193,15 +217,28 @@ func (w *SessionWindowBolt) Execute(t Tuple, emit Emit) error {
 	}
 	key := ""
 	if len(t.Values) > 0 {
-		key = fmt.Sprintf("%v", t.Values[minInt(w.KeyField, len(t.Values)-1)])
+		key = fmt.Sprintf("%v", t.Values[clampIndex(w.KeyField, len(t.Values))])
 	}
-	// An event arriving after the gap starts a new session: close the old
-	// one first rather than extending it.
-	if last, ok := w.lastSeen[key]; ok && t.Ts-last > w.Gap {
-		w.closeKey(key, emit)
+	if last, ok := w.lastSeen[key]; ok {
+		switch {
+		case t.Ts-last > w.Gap:
+			// An event arriving after the gap starts a new session: close
+			// the old one first rather than extending it.
+			w.closeKey(key, emit)
+		case w.sessionStart(key)-t.Ts > w.Gap:
+			// A straggler more than one gap OLDER than everything in the
+			// open session cannot belong to it: emit it as its own,
+			// already-expired singleton session instead of stretching the
+			// open session backwards across the gap.
+			emit(Tuple{
+				Values: append([]any{key, t.Ts, t.Ts}, w.Aggregate([]Tuple{t})...),
+				Ts:     t.Ts,
+			})
+			return nil
+		}
 	}
 	w.sessions[key] = append(w.sessions[key], t)
-	if t.Ts > w.lastSeen[key] {
+	if last, ok := w.lastSeen[key]; !ok || t.Ts > last {
 		w.lastSeen[key] = t.Ts
 	}
 	if t.Ts > w.watermark {
@@ -230,15 +267,23 @@ func (w *SessionWindowBolt) closeExpired(emit Emit, all bool) {
 	}
 }
 
-// closeKey emits and discards one key's open session.
+// closeKey emits and discards one key's open session. The session start
+// is the minimum event time in the session, not the first arrival: an
+// out-of-order tuple that joins an open session can predate it.
 func (w *SessionWindowBolt) closeKey(k string, emit Emit) {
 	tuples := w.sessions[k]
 	if len(tuples) == 0 {
 		return
 	}
+	start := tuples[0].Ts
+	for _, t := range tuples[1:] {
+		if t.Ts < start {
+			start = t.Ts
+		}
+	}
 	vals := w.Aggregate(tuples)
 	emit(Tuple{
-		Values: append([]any{k, tuples[0].Ts, w.lastSeen[k]}, vals...),
+		Values: append([]any{k, start, w.lastSeen[k]}, vals...),
 		Ts:     w.lastSeen[k],
 	})
 	delete(w.sessions, k)
@@ -253,12 +298,14 @@ func mod(a, b int64) int64 {
 	return m
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	if b < 0 {
+// clampIndex bounds a configured field index into [0, n): a negative or
+// oversized KeyField degrades to a usable column instead of panicking.
+func clampIndex(i, n int) int {
+	if i < 0 {
 		return 0
 	}
-	return b
+	if i >= n {
+		return n - 1
+	}
+	return i
 }

@@ -179,3 +179,175 @@ func TestWindowBoltsInTopology(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionWindowOutOfOrderStart: a tuple that arrives late but falls
+// inside an open session must join it, and the reported session start is
+// the minimum event time — not the first arrival.
+func TestSessionWindowOutOfOrderStart(t *testing.T) {
+	w := NewSessionWindow(5, 0, countAgg)
+	out := runWindow(t, w, []Tuple{
+		{Values: []any{"u1"}, Ts: 10},
+		{Values: []any{"u1"}, Ts: 7}, // out of order, within gap of the open session
+		{Values: []any{"u1"}, Ts: 12},
+	})
+	if len(out) != 1 {
+		t.Fatalf("got %d sessions: %v", len(out), out)
+	}
+	s := out[0]
+	if s.Values[1].(int64) != 7 || s.Values[2].(int64) != 12 {
+		t.Fatalf("session bounds [%v,%v], want [7,12]", s.Values[1], s.Values[2])
+	}
+	if s.Values[3].(int) != 3 {
+		t.Fatalf("session count %v, want 3", s.Values[3])
+	}
+}
+
+// TestSessionWindowGapBoundary: a tuple exactly Gap after the last one
+// extends the session; Gap+1 splits it.
+func TestSessionWindowGapBoundary(t *testing.T) {
+	merged := runWindow(t, NewSessionWindow(5, 0, countAgg), []Tuple{
+		{Values: []any{"k"}, Ts: 0},
+		{Values: []any{"k"}, Ts: 5}, // exactly the gap: still the same session
+	})
+	if len(merged) != 1 || merged[0].Values[3].(int) != 2 {
+		t.Fatalf("gap-boundary tuple split the session: %v", merged)
+	}
+
+	split := runWindow(t, NewSessionWindow(5, 0, countAgg), []Tuple{
+		{Values: []any{"k"}, Ts: 0},
+		{Values: []any{"k"}, Ts: 6}, // one past the gap: new session
+	})
+	if len(split) != 2 {
+		t.Fatalf("past-gap tuple failed to split: %v", split)
+	}
+	if split[0].Values[1].(int64) != 0 || split[1].Values[1].(int64) != 6 {
+		t.Fatalf("split session starts %v / %v, want 0 / 6", split[0].Values[1], split[1].Values[1])
+	}
+}
+
+// TestSessionWindowIdleKeyClosedByWatermark: an idle key's session must
+// close when ANOTHER key's traffic advances the watermark past its gap —
+// before any flush.
+func TestSessionWindowIdleKeyClosedByWatermark(t *testing.T) {
+	w := NewSessionWindow(5, 0, countAgg)
+	var out []Tuple
+	emit := func(tp Tuple) { out = append(out, tp) }
+	for _, tp := range []Tuple{
+		{Values: []any{"idle"}, Ts: 0},
+		{Values: []any{"busy"}, Ts: 2},
+		{Values: []any{"busy"}, Ts: 6}, // watermark 6: idle not yet expired (6-0=6 > 5... )
+	} {
+		if err := w.Execute(tp, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) != 1 || out[0].Values[0].(string) != "idle" {
+		t.Fatalf("idle session not closed by cross-key watermark: %v", out)
+	}
+	if out[0].Values[3].(int) != 1 {
+		t.Fatalf("idle session count %v", out[0].Values[3])
+	}
+}
+
+// TestSessionWindowLateTupleAfterClose: a tuple older than the watermark
+// arriving after its session already closed must form its own session,
+// not resurrect or corrupt the closed one.
+func TestSessionWindowLateTupleAfterClose(t *testing.T) {
+	w := NewSessionWindow(5, 0, countAgg)
+	var out []Tuple
+	emit := func(tp Tuple) { out = append(out, tp) }
+	for _, tp := range []Tuple{
+		{Values: []any{"k"}, Ts: 0},
+		{Values: []any{"k"}, Ts: 20}, // closes [0,0], opens a new session
+		{Values: []any{"k"}, Ts: 2},  // very late: belongs to the closed era
+	} {
+		if err := w.Execute(tp, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d sessions: %v", len(out), out)
+	}
+	// Era 1: [0,0]. The late tuple at Ts=2 starts a fresh session that the
+	// standing watermark (20) immediately expires as [2,2]. Era 2: [20,20].
+	if out[0].Values[1].(int64) != 0 || out[0].Values[2].(int64) != 0 {
+		t.Fatalf("first session %v", out[0])
+	}
+	starts := []int64{out[1].Values[1].(int64), out[2].Values[1].(int64)}
+	if !(starts[0] == 2 && starts[1] == 20) && !(starts[0] == 20 && starts[1] == 2) {
+		t.Fatalf("late-era sessions have starts %v, want {2, 20}", starts)
+	}
+}
+
+// TestSessionWindowKeyFieldClamp: out-of-range key fields (negative or
+// beyond the tuple) must degrade to a real column, not panic.
+func TestSessionWindowKeyFieldClamp(t *testing.T) {
+	for _, field := range []int{-3, 7} {
+		w := NewSessionWindow(5, field, countAgg)
+		out := runWindow(t, w, []Tuple{
+			{Values: []any{"a", "x"}, Ts: 0},
+			{Values: []any{"a", "x"}, Ts: 1},
+		})
+		if len(out) != 1 || out[0].Values[3].(int) != 2 {
+			t.Fatalf("KeyField=%d: %v", field, out)
+		}
+	}
+}
+
+// TestSessionWindowRejectsBadGap: non-positive gaps error instead of
+// looping or dividing by zero.
+func TestSessionWindowRejectsBadGap(t *testing.T) {
+	w := NewSessionWindow(0, 0, countAgg)
+	if err := w.Execute(Tuple{Values: []any{"k"}, Ts: 1}, func(Tuple) {}); err == nil {
+		t.Fatal("zero gap should error")
+	}
+}
+
+// TestTumblingWindowLateDrop: tuples for an already-emitted window are
+// dropped and counted, never re-emitted.
+func TestTumblingWindowLateDrop(t *testing.T) {
+	w := NewTumblingWindow(10, countAgg)
+	var out []Tuple
+	emit := func(tp Tuple) { out = append(out, tp) }
+	_ = w.Execute(Tuple{Values: []any{1}, Ts: 3}, emit)
+	_ = w.Execute(Tuple{Values: []any{1}, Ts: 12}, emit) // closes [0,10)
+	if len(out) != 1 {
+		t.Fatalf("expected [0,10) closed, got %v", out)
+	}
+	_ = w.Execute(Tuple{Values: []any{1}, Ts: 4}, emit) // late for [0,10)
+	if w.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", w.Dropped())
+	}
+	_ = w.Execute(Tuple{Values: []any{1}, Ts: 25}, emit)
+	_ = w.Flush(emit)
+	// [0,10) must appear exactly once despite the late arrival.
+	seen := 0
+	for _, o := range out {
+		if o.Values[0].(int64) == 0 {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("window [0,10) emitted %d times: %v", seen, out)
+	}
+}
+
+// TestTumblingWindowNegativeTimestamps: pre-epoch event times must land
+// in the correct window (floor division, not truncation).
+func TestTumblingWindowNegativeTimestamps(t *testing.T) {
+	w := NewTumblingWindow(10, countAgg)
+	out := runWindow(t, w, []Tuple{
+		{Values: []any{1}, Ts: -5},
+		{Values: []any{1}, Ts: -1},
+		{Values: []any{1}, Ts: 1},
+	})
+	if len(out) != 2 {
+		t.Fatalf("got %d windows: %v", len(out), out)
+	}
+	if out[0].Values[0].(int64) != -10 || out[0].Values[2].(int) != 2 {
+		t.Fatalf("pre-epoch window %v, want start -10 count 2", out[0])
+	}
+}

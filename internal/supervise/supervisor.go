@@ -20,6 +20,7 @@ import (
 
 	"sr3/internal/detector"
 	"sr3/internal/id"
+	"sr3/internal/obs"
 	"sr3/internal/recovery"
 )
 
@@ -28,6 +29,15 @@ import (
 type TaskRuntime interface {
 	KillByKey(taskKey string) error
 	RecoverTaskByKey(taskKey string) error
+}
+
+// TracedTaskRuntime is the traced extension of TaskRuntime: the restore
+// runs under the given trace parent, so the backend recovery and the
+// input-log replay appear in the supervisor's selfheal trace.
+// *stream.Runtime implements it; the supervisor falls back to plain
+// RecoverTaskByKey when the bound runtime does not.
+type TracedTaskRuntime interface {
+	RecoverTaskByKeyTraced(taskKey string, tr *obs.Tracer, parent obs.SpanContext) error
 }
 
 // StateSpec describes one protected application state.
@@ -60,6 +70,11 @@ type Config struct {
 	DisableRepairLoop bool
 	// Now injects the clock (default time.Now).
 	Now func() time.Time
+	// Tracer, when non-nil, wraps every handled verdict in a selfheal
+	// root span with detect/enqueue/recover/replay/reprotect children —
+	// one trace per recovery (internal/obs). It is also handed to the
+	// detectors (unless Detector.Tracer is set separately).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +102,9 @@ type Event struct {
 	RecoveredAt   time.Time
 	ReprotectedAt time.Time
 	Err           error
+	// Trace is the selfheal trace ID for this recovery (0 untraced) —
+	// the join key into the tracer's collector.
+	Trace uint64
 }
 
 // Supervisor owns the detectors, the verdict queue and the repair loop
@@ -111,6 +129,11 @@ type Supervisor struct {
 type verdict struct {
 	node id.ID
 	at   time.Time
+	// trace is the detector's pre-allocated root context (zero when
+	// tracing is off or the verdict came from the repair backstop);
+	// silentSince starts the retroactive detect span.
+	trace       obs.SpanContext
+	silentSince time.Time
 }
 
 // New creates a supervisor for the cluster. Call Protect for each state,
@@ -164,15 +187,22 @@ func (s *Supervisor) Start() error {
 	s.stop = make(chan struct{})
 	s.mu.Unlock()
 
+	dcfg := s.cfg.Detector
+	if dcfg.Tracer == nil {
+		dcfg.Tracer = s.cfg.Tracer
+	}
 	for _, nid := range s.cluster.Ring.LiveIDs() {
 		node := s.cluster.Ring.Node(nid)
 		if node == nil {
 			continue
 		}
-		d := detector.New(node, s.cfg.Detector)
-		d.OnDead(func(peer id.ID) {
+		d := detector.New(node, dcfg)
+		d.OnDeadReport(func(rep detector.DeathReport) {
 			select {
-			case s.verdicts <- verdict{node: peer, at: s.cfg.Now()}:
+			case s.verdicts <- verdict{
+				node: rep.Peer, at: rep.DetectedAt,
+				trace: rep.Trace, silentSince: rep.SilentSince,
+			}:
 			default: // queue full: the repair loop is the backstop
 			}
 		})
@@ -321,13 +351,36 @@ func (s *Supervisor) handleDeath(v verdict) {
 	rt := s.runtime
 	s.mu.Unlock()
 
+	// Adopt the detector's pre-allocated trace: the root span opens at
+	// the start of the silence window, so its duration is the MTTR, with
+	// the detect window and the queue wait recorded retroactively as its
+	// first children. Duplicate verdicts for the same death (every
+	// detector declares it) are dropped above before touching the trace,
+	// so exactly one root gets records.
+	tr := s.cfg.Tracer
+	var root *obs.Span
+	if v.trace.Valid() {
+		start := v.silentSince
+		if start.IsZero() {
+			start = v.at
+		}
+		root = tr.StartRootAt(v.trace, obs.PhaseSelfHeal, start)
+		root.SetStr("node", v.node.Short())
+		if !v.silentSince.IsZero() {
+			tr.RecordSpan(v.trace, obs.PhaseDetect, v.silentSince, v.at,
+				obs.Str("peer", v.node.Short()))
+		}
+		tr.RecordSpan(v.trace, obs.PhaseEnqueue, v.at, tr.Now())
+	}
+	rootCtx := root.Ctx()
+
 	// The transport may not have the node marked down yet when the
 	// verdict raced a chaos restart; trust the quorum verdict.
 	allOK := true
 	for _, spec := range specs {
 		p, err := s.lookup(spec.App)
 		if err != nil {
-			s.record(Event{App: spec.App, Node: v.node, DetectedAt: v.at, Err: err})
+			s.record(Event{App: spec.App, Node: v.node, DetectedAt: v.at, Err: err, Trace: rootCtx.Trace})
 			allOK = false
 			continue
 		}
@@ -339,7 +392,7 @@ func (s *Supervisor) handleDeath(v verdict) {
 			}
 		}
 		if p.Owner == v.node {
-			if err := s.recoverState(spec, v, rt); err != nil {
+			if err := s.recoverState(spec, v, rt, rootCtx); err != nil {
 				allOK = false
 			}
 		} else if servedHere && s.repairAllowed(p) {
@@ -347,13 +400,39 @@ func (s *Supervisor) handleDeath(v verdict) {
 			// rather than waiting for the next timer tick. Never while a
 			// different, dead owner's verdict is still pending, though —
 			// the repair would migrate ownership out from under it.
-			_, _ = s.cluster.RepairApp(spec.App)
+			rp := tr.StartSpan(rootCtx, obs.PhaseReprotect)
+			rp.SetStr("app", spec.App)
+			_, err := s.cluster.RepairApp(spec.App)
+			rp.EndErr(err)
 		}
 	}
+	root.SetInt("specs", int64(len(specs)))
+	if !allOK {
+		root.SetStr("err", "some specs failed; verdict retryable")
+	}
+	root.End()
 	if allOK {
 		s.mu.Lock()
 		s.handled[v.node] = true
 		s.mu.Unlock()
+	}
+}
+
+// InjectVerdict enqueues a synthetic death verdict for node, as a
+// quorum of detectors would — the deterministic entry point for
+// integration tests, which want the full verdict→recover→reprotect
+// pipeline (and its trace) without waiting for wall-clock φ accrual.
+func (s *Supervisor) InjectVerdict(node id.ID) {
+	since := s.cfg.Now()
+	v := verdict{
+		node:        node,
+		silentSince: since,
+		at:          s.cfg.Now(),
+		trace:       s.cfg.Tracer.NewRootContext(),
+	}
+	select {
+	case s.verdicts <- v:
+	default:
 	}
 }
 
@@ -374,12 +453,14 @@ func (s *Supervisor) withRetry(f func() error) error {
 	return err
 }
 
-// recoverState rebuilds one dead-owner state and re-protects it. The
-// returned error (also recorded on the event) keeps the verdict retryable.
-func (s *Supervisor) recoverState(spec StateSpec, v verdict, rt TaskRuntime) error {
-	ev := Event{App: spec.App, Node: v.node, DetectedAt: v.at, TaskBound: spec.TaskBound}
+// recoverState rebuilds one dead-owner state and re-protects it, with
+// its spans parented on the verdict's selfheal root. The returned error
+// (also recorded on the event) keeps the verdict retryable.
+func (s *Supervisor) recoverState(spec StateSpec, v verdict, rt TaskRuntime, parent obs.SpanContext) error {
+	ev := Event{App: spec.App, Node: v.node, DetectedAt: v.at, TaskBound: spec.TaskBound, Trace: parent.Trace}
 	mech, opts := s.plan(spec)
 	ev.Mechanism = mech
+	tr := s.cfg.Tracer
 
 	if spec.TaskBound && rt != nil {
 		// Stream task: kill the executor (its in-memory state is on the
@@ -390,7 +471,11 @@ func (s *Supervisor) recoverState(spec StateSpec, v verdict, rt TaskRuntime) err
 			s.record(ev)
 			return ev.Err
 		}
-		if err := s.withRetry(func() error { return rt.RecoverTaskByKey(spec.App) }); err != nil {
+		recoverTask := func() error { return rt.RecoverTaskByKey(spec.App) }
+		if trt, ok := rt.(TracedTaskRuntime); ok && parent.Valid() {
+			recoverTask = func() error { return trt.RecoverTaskByKeyTraced(spec.App, tr, parent) }
+		}
+		if err := s.withRetry(recoverTask); err != nil {
 			ev.Err = fmt.Errorf("supervise recover %q: %w", spec.App, err)
 			s.record(ev)
 			return ev.Err
@@ -399,10 +484,13 @@ func (s *Supervisor) recoverState(spec StateSpec, v verdict, rt TaskRuntime) err
 		// The backend's recovery rebuilt the snapshot but the placement
 		// still names the dead owner: repair reassigns it and restores r
 		// replicas from the survivors.
+		rp := tr.StartSpan(parent, obs.PhaseReprotect)
+		rp.SetStr("app", spec.App)
 		err := s.withRetry(func() error {
 			_, e := s.cluster.RepairApp(spec.App)
 			return e
 		})
+		rp.EndErr(err)
 		if err != nil {
 			ev.Err = fmt.Errorf("supervise reprotect %q: %w", spec.App, err)
 			s.record(ev)
@@ -416,6 +504,10 @@ func (s *Supervisor) recoverState(spec StateSpec, v verdict, rt TaskRuntime) err
 		return nil
 	}
 
+	if opts.Tracer == nil {
+		opts.Tracer = tr
+	}
+	opts.TraceParent = parent
 	var res recovery.Result
 	err := s.withRetry(func() error {
 		var e error

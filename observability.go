@@ -1,0 +1,96 @@
+package sr3
+
+import (
+	"io"
+	"time"
+
+	"sr3/internal/metrics"
+	"sr3/internal/obs"
+)
+
+// Observability surface: structured tracing of the recovery pipeline and
+// a Prometheus-text /metrics endpoint.
+//
+// A Tracer threads one distributed trace through each recovery: a
+// "selfheal" root span (its duration is the MTTR) with "detect",
+// "enqueue", "recover" (→ "plan", "fetch", "merge", "collect"),
+// "replay", and "reprotect" (→ "save") children — the paper's Fig. 9
+// per-phase breakdown, reconstructed from spans instead of ad-hoc
+// timers. Wire a tracer in with Config.Tracer (framework-wide) or
+// Options.Tracer (one Recover call); a nil tracer is a no-op with zero
+// allocation on every instrumented path.
+type (
+	// Tracer emits spans to a TraceSink; nil means disabled.
+	Tracer = obs.Tracer
+	// TracerOption configures NewTracer (e.g. WithTraceClock).
+	TracerOption = obs.Option
+	// SpanContext names a position in a trace (Options.TraceParent).
+	SpanContext = obs.SpanContext
+	// SpanRecord is one finished span as delivered to sinks.
+	SpanRecord = obs.SpanRecord
+	// TraceSink receives finished spans.
+	TraceSink = obs.Sink
+	// TraceCollector buffers spans in memory for inspection
+	// (Trace / PhaseTotals / ExportBinary).
+	TraceCollector = obs.Collector
+	// MetricsRegistry holds named histograms, gauges and counters and
+	// renders them as Prometheus text.
+	MetricsRegistry = metrics.Registry
+	// MetricsServer serves /metrics and /debug/pprof.
+	MetricsServer = obs.MetricsServer
+)
+
+// Recovery-pipeline phase names as they appear in SpanRecord.Phase and
+// TraceCollector.PhaseTotals keys.
+const (
+	PhaseSelfHeal  = obs.PhaseSelfHeal
+	PhaseDetect    = obs.PhaseDetect
+	PhaseEnqueue   = obs.PhaseEnqueue
+	PhasePlan      = obs.PhasePlan
+	PhaseRecover   = obs.PhaseRecover
+	PhaseFetch     = obs.PhaseFetch
+	PhaseCollect   = obs.PhaseCollect
+	PhaseMerge     = obs.PhaseMerge
+	PhaseReplay    = obs.PhaseReplay
+	PhaseSave      = obs.PhaseSave
+	PhaseReprotect = obs.PhaseReprotect
+	PhaseStall     = obs.PhaseStall
+)
+
+// NewTracer builds a tracer over a sink. Pass the result in Config.Tracer
+// to trace everything the framework does, or in Options.Tracer for one
+// recovery.
+func NewTracer(sink TraceSink, opts ...TracerOption) *Tracer { return obs.New(sink, opts...) }
+
+// WithTraceClock substitutes the tracer's time source (tests use
+// obs.StepClock-style virtual clocks for deterministic durations).
+func WithTraceClock(now func() time.Time) TracerOption { return obs.WithClock(now) }
+
+// NewTraceCollector returns an empty in-memory span collector.
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
+
+// NewJSONLTraceSink streams one JSON object per span to w (offline
+// analysis; mergeable with cat, queryable with jq).
+func NewJSONLTraceSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewMetricsTraceSink aggregates span durations into per-phase latency
+// histograms ("sr3_phase_<phase>_ns") in reg — the bridge from traces to
+// the /metrics endpoint.
+func NewMetricsTraceSink(reg *MetricsRegistry) TraceSink { return obs.NewMetricsSink(reg, "") }
+
+// MultiTraceSink fans each span out to every non-nil sink.
+func MultiTraceSink(sinks ...TraceSink) TraceSink { return obs.MultiSink(sinks) }
+
+// ServeMetrics starts an HTTP server exposing reg as Prometheus text on
+// /metrics plus net/http/pprof under /debug/pprof/. addr may be ":0" to
+// pick a free port (read it back with Addr).
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.ServeMetrics(addr, reg)
+}
+
+// Tracer returns the tracer the framework was built with (nil when
+// tracing is disabled).
+func (f *Framework) Tracer() *Tracer { return f.cfg.Tracer }

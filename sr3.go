@@ -23,6 +23,7 @@ import (
 
 	"sr3/internal/dht"
 	"sr3/internal/id"
+	"sr3/internal/obs"
 	"sr3/internal/recovery"
 	"sr3/internal/shard"
 	"sr3/internal/stream"
@@ -62,6 +63,10 @@ type Config struct {
 	DefaultReplicas int
 	// Now supplies version timestamps (defaults to wall clock).
 	Now func() int64
+	// Tracer records structured spans for every recovery the framework
+	// runs (manual Recover calls and supervised self-heals alike). Nil
+	// disables tracing at zero cost. See NewTracer / NewTraceCollector.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -118,10 +123,12 @@ func New(cfg Config) (*Framework, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sr3: build overlay: %w", err)
 	}
+	cluster := recovery.NewCluster(ring)
+	cluster.SetTracer(cfg.Tracer)
 	return &Framework{
 		cfg:     cfg,
 		ring:    ring,
-		cluster: recovery.NewCluster(ring),
+		cluster: cluster,
 		apps:    make(map[string]*appConfig),
 	}, nil
 }

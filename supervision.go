@@ -47,6 +47,7 @@ func (f *Framework) StartSupervision(cfg SupervisionConfig) error {
 			Quorum:    cfg.Quorum,
 		},
 		RepairInterval: cfg.RepairInterval,
+		Tracer:         f.cfg.Tracer,
 	})
 	f.sup = sup
 	for name, ac := range f.apps {
