@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sr3/internal/bench"
 	"sr3/internal/metrics"
@@ -63,6 +64,7 @@ func experiments() []experiment {
 		{id: "self-heal", desc: "detection latency and MTTR vs heartbeat interval and φ threshold", run: bench.SelfHealReport},
 		figExp("ablation-flowpenalty", "star flow-penalty contribution", bench.AblationFlowPenalty),
 		figExp("ablation-selection", "mechanism choice per environment (§3.7)", bench.AblationMechanismDefaults),
+		{id: "steady", desc: "steady-state instrumentation overhead and one-scrape cluster view", run: runSteady},
 		{id: "table1", desc: "recovery approach overview (Table 1)", run: func() (string, error) {
 			return bench.FormatTable1(), nil
 		}},
@@ -135,19 +137,36 @@ func runSummary() (string, error) {
 	return b.String(), nil
 }
 
-// metricsReg is non-nil when -metrics is set: experiments that support
-// it (trace) aggregate per-phase latency histograms into it, and the
-// registry is served as Prometheus text for the run's duration.
-var metricsReg *metrics.Registry
+func runSteady() (string, error) {
+	rep, err := bench.SteadyState(bench.SteadyConfig{Cluster: clusterReg})
+	if err != nil {
+		return "", err
+	}
+	return rep.Format(), nil
+}
+
+// clusterReg and metricsReg are non-nil when -metrics is set: experiments
+// that support it register their registries (trace writes per-phase
+// histograms into metricsReg, steady folds runtime/ring/recovery
+// registries into clusterReg), and the whole cluster registry is served
+// as one labeled Prometheus scrape for the run's duration.
+var (
+	clusterReg *metrics.ClusterRegistry
+	metricsReg *metrics.Registry
+)
 
 func main() {
 	figFlag := flag.String("fig", "", "experiment id to run (default: all)")
 	listFlag := flag.Bool("list", false, "list experiments")
 	metricsFlag := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090) for the run")
+	holdFlag := flag.Duration("hold", 0, "keep the -metrics server up this long after the experiments finish (for scraping)")
 	flag.Parse()
+	var srv *obs.MetricsServer
 	if *metricsFlag != "" {
-		metricsReg = metrics.NewRegistry()
-		srv, err := obs.ServeMetrics(*metricsFlag, metricsReg)
+		clusterReg = metrics.NewClusterRegistry()
+		metricsReg = clusterReg.Node("bench")
+		var err error
+		srv, err = obs.ServeMetrics(*metricsFlag, clusterReg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sr3bench:", err)
 			os.Exit(1)
@@ -158,6 +177,10 @@ func main() {
 	if err := run(*figFlag, *listFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "sr3bench:", err)
 		os.Exit(1)
+	}
+	if srv != nil && *holdFlag > 0 {
+		fmt.Printf("holding metrics server for %s\n", *holdFlag)
+		time.Sleep(*holdFlag)
 	}
 }
 

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/metrics"
+	"sr3/internal/obs"
+	"sr3/internal/recovery"
+	"sr3/internal/state"
+	"sr3/internal/stream"
+)
+
+// SteadyConfig sizes the steady-state observability experiment: the same
+// topology is run with instruments off and on to price the overhead, then
+// a small instrumented overlay routes lookups and recovers one state so a
+// single cluster scrape carries runtime, ring and recovery families.
+type SteadyConfig struct {
+	// Tuples pushed through the topology per run (default 200_000).
+	Tuples int
+	// RingSize is the overlay size for the ring portion (default 32).
+	RingSize int
+	// Lookups is how many keys are routed on the ring (default 256).
+	Lookups int
+	// Seed fixes tuple contents and lookup keys (default 7).
+	Seed int64
+	// Cluster, when non-nil, receives every registry the experiment
+	// creates (runtime, ring nodes, recovery phases) so a -metrics
+	// endpoint exposes them live; nil uses a private one.
+	Cluster *metrics.ClusterRegistry
+}
+
+func (c SteadyConfig) withDefaults() SteadyConfig {
+	if c.Tuples <= 0 {
+		c.Tuples = 200_000
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 32
+	}
+	if c.Lookups <= 0 {
+		c.Lookups = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Cluster == nil {
+		c.Cluster = metrics.NewClusterRegistry()
+	}
+	return c
+}
+
+// SteadyReport is the experiment outcome.
+type SteadyReport struct {
+	Tuples           int
+	DisabledRate     float64 // tuples/s with Config.Metrics nil
+	InstrumentedRate float64 // tuples/s with full task instruments
+	OverheadPct      float64 // throughput cost of instrumentation
+	RingSize         int
+	Lookups          int
+	MaxHops          int64
+	Families         int // distinct metric families in one cluster scrape
+	ScrapeBytes      int
+}
+
+// Format renders the report.
+func (r SteadyReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "steady-state instrumentation overhead (%d tuples, spout->pass->count):\n", r.Tuples)
+	fmt.Fprintf(&b, "  instruments off: %10.0f tuples/s\n", r.DisabledRate)
+	fmt.Fprintf(&b, "  instruments on:  %10.0f tuples/s  (overhead %.1f%%)\n", r.InstrumentedRate, r.OverheadPct)
+	fmt.Fprintf(&b, "ring: %d lookups across %d instrumented nodes (max %d hops), one star recovery traced to phase histograms\n",
+		r.Lookups, r.RingSize, r.MaxHops)
+	fmt.Fprintf(&b, "one cluster scrape: %d metric families, %d bytes\n", r.Families, r.ScrapeBytes)
+	return b.String()
+}
+
+// steadyCount is the stateful word-count bolt of the steady topology.
+type steadyCount struct{ st *state.MapStore }
+
+func (c *steadyCount) Execute(t stream.Tuple, emit stream.Emit) error {
+	w := t.StringAt(0)
+	var n uint64
+	if b, ok := c.st.Get(w); ok && len(b) == 8 {
+		n = binary.BigEndian.Uint64(b)
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], n+1)
+	c.st.Put(w, b[:])
+	return nil
+}
+
+func (c *steadyCount) Store() stream.StateStore { return c.st }
+
+// runSteadyTopology pushes the tuples through spout->pass->count and
+// returns the wall time of the run.
+func runSteadyTopology(tuples []stream.Tuple, reg *metrics.Registry, fr *obs.FlightRecorder) (time.Duration, error) {
+	i := 0
+	src := stream.SpoutFunc(func() (stream.Tuple, bool) {
+		if i >= len(tuples) {
+			return stream.Tuple{}, false
+		}
+		t := tuples[i]
+		i++
+		return t, true
+	})
+	topo := stream.NewTopology("steady")
+	if err := topo.AddSpout("src", src); err != nil {
+		return 0, err
+	}
+	pass := stream.BoltFunc(func(t stream.Tuple, emit stream.Emit) error {
+		emit(stream.Tuple{Values: t.Values, Ts: t.Ts})
+		return nil
+	})
+	if err := topo.AddBolt("pass", pass, 2).Shuffle("src").Err(); err != nil {
+		return 0, err
+	}
+	if err := topo.AddBolt("count", &steadyCount{st: state.NewMapStore()}, 1).Fields("pass", 0).Err(); err != nil {
+		return 0, err
+	}
+	rt, err := stream.NewRuntime(topo, stream.Config{Metrics: reg, Flight: fr})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	rt.Start()
+	if err := rt.Wait(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// SteadyState measures the steady-state cost of the observability layer
+// and assembles a representative one-scrape cluster view.
+func SteadyState(cfg SteadyConfig) (SteadyReport, error) {
+	cfg = cfg.withDefaults()
+	rep := SteadyReport{Tuples: cfg.Tuples, RingSize: cfg.RingSize, Lookups: cfg.Lookups}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	words := []string{"stream", "state", "shard", "replica", "ring", "verdict", "scribe", "leaf"}
+	tuples := make([]stream.Tuple, cfg.Tuples)
+	for i := range tuples {
+		tuples[i] = stream.Tuple{Values: []any{words[rng.Intn(len(words))]}}
+	}
+
+	// Throughput with instruments off, then on (full per-task counters,
+	// latency histograms and queue gauges plus the flight journal).
+	dOff, err := runSteadyTopology(tuples, nil, nil)
+	if err != nil {
+		return rep, err
+	}
+	fr := obs.NewFlightRecorder(0)
+	dOn, err := runSteadyTopology(tuples, cfg.Cluster.Node("runtime"), fr)
+	if err != nil {
+		return rep, err
+	}
+	rep.DisabledRate = float64(cfg.Tuples) / dOff.Seconds()
+	rep.InstrumentedRate = float64(cfg.Tuples) / dOn.Seconds()
+	rep.OverheadPct = 100 * (1 - rep.InstrumentedRate/rep.DisabledRate)
+
+	// Ring portion: an instrumented overlay routes random keys, then one
+	// protected state is recovered with its phases traced into histograms.
+	ring, err := dht.BuildConverged(dht.DefaultConfig(), cfg.Seed, cfg.RingSize)
+	if err != nil {
+		return rep, err
+	}
+	ring.EnableMetrics(cfg.Cluster)
+	ids := ring.IDs()
+	for i := 0; i < cfg.Lookups; i++ {
+		origin := ring.Node(ids[rng.Intn(len(ids))])
+		if _, hops, err := origin.Lookup(id.HashKey(fmt.Sprintf("steady-%d", i))); err == nil {
+			if int64(hops) > rep.MaxHops {
+				rep.MaxHops = int64(hops)
+			}
+		}
+	}
+
+	rc := recovery.NewCluster(ring)
+	recReg := cfg.Cluster.Node("recovery")
+	tracer := obs.New(obs.NewMetricsSink(recReg, ""))
+	mgr := rc.Manager(ids[1])
+	snap := make([]byte, 64<<10)
+	rng.Read(snap)
+	if _, err := mgr.Save("steady", snap, 8, 2, mgr.NextVersion(1)); err != nil {
+		return rep, err
+	}
+	p, err := mgr.LookupPlacement("steady")
+	if err != nil {
+		return rep, err
+	}
+	ring.Fail(p.Owner)
+	ring.MaintenanceRound()
+	ring.MaintenanceRound()
+	opts := recovery.DefaultOptions()
+	opts.Tracer = tracer
+	if _, err := rc.RecoverAndReprotect("steady", recovery.Star, opts); err != nil {
+		return rep, err
+	}
+
+	var scrape strings.Builder
+	if err := cfg.Cluster.WritePrometheus(&scrape); err != nil {
+		return rep, err
+	}
+	rep.ScrapeBytes = scrape.Len()
+	rep.Families = strings.Count(scrape.String(), "# TYPE ")
+	return rep, nil
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"sr3/internal/metrics"
+)
+
+// TestSteadyStateSmall: a scaled-down steady run must produce plausible
+// rates and a single scrape carrying runtime, ring and recovery families,
+// all labeled by node.
+func TestSteadyStateSmall(t *testing.T) {
+	cr := metrics.NewClusterRegistry()
+	rep, err := SteadyState(SteadyConfig{Tuples: 2000, RingSize: 16, Lookups: 32, Cluster: cr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.Format())
+	if rep.DisabledRate <= 0 || rep.InstrumentedRate <= 0 {
+		t.Fatalf("implausible rates: %+v", rep)
+	}
+	var b strings.Builder
+	if err := cr.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	scrape := b.String()
+	for _, want := range []string{
+		"sr3_stream_tuples_in_total{node=\"runtime\"}",
+		"sr3_dht_routes_total{node=\"",
+		"sr3_phase_recover_ns_count{node=\"recovery\"}",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Fatalf("scrape missing %q", want)
+		}
+	}
+}

@@ -96,6 +96,10 @@ type Node struct {
 	// detector (internal/detector) subscribes here to focus its attention,
 	// and only its own quorum logic declares a death.
 	peerDown []func(peer id.ID)
+
+	// instr publishes the steady-state metric handles outside n.mu
+	// (instruments.go); nil until SetInstruments.
+	instr instrHolder
 }
 
 // DirectFunc handles a point-to-point message addressed to this node by an
@@ -227,6 +231,7 @@ func (n *Node) handle(from id.ID, msg simnet.Message) (simnet.Message, error) {
 	if err := validateInbound(msg); err != nil {
 		return simnet.Message{}, err
 	}
+	n.instr.load().noteMsg(msg.Kind)
 	switch msg.Kind {
 	case kindPing:
 		return simnet.Message{Kind: kindAck, Size: pingSize}, nil
@@ -276,6 +281,9 @@ func (n *Node) learn(other id.ID) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if !n.leafCand[other] {
+		n.instr.load().noteLearn()
+	}
 	n.insertLeafLocked(other)
 	n.insertRTLocked(other)
 }
@@ -284,6 +292,9 @@ func (n *Node) learn(other id.ID) {
 func (n *Node) forget(other id.ID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.leafCand[other] {
+		n.instr.load().noteForget()
+	}
 	delete(n.leafCand, other)
 	n.rebuildLeavesLocked()
 	row := id.CommonPrefixLen(n.id, other)

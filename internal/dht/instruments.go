@@ -1,0 +1,150 @@
+package dht
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sr3/internal/metrics"
+)
+
+// nodeInstruments are one overlay node's steady-state metric handles,
+// resolved once at SetInstruments so the message and routing paths never
+// do a registry lookup (per-kind counters are cached in a sync.Map on
+// first use). A nil *nodeInstruments records nothing — un-instrumented
+// nodes pay one atomic pointer load per site.
+type nodeInstruments struct {
+	reg           *metrics.Registry
+	routeHops     *metrics.LatencyHistogram // values are raw hop counts
+	routes        *metrics.Counter
+	routeFailures *metrics.Counter
+	leafLearned   *metrics.Counter
+	leafForgotten *metrics.Counter
+	leafRepairs   *metrics.Counter
+	storedBytes   *metrics.Gauge
+	storedKeys    *metrics.Gauge
+	msgs          sync.Map // message kind -> *metrics.Counter
+}
+
+func newNodeInstruments(reg *metrics.Registry) *nodeInstruments {
+	return &nodeInstruments{
+		reg:           reg,
+		routeHops:     reg.Histogram("sr3_dht_route_hops"),
+		routes:        reg.Counter("sr3_dht_routes_total"),
+		routeFailures: reg.Counter("sr3_dht_route_failures_total"),
+		leafLearned:   reg.Counter("sr3_dht_leaf_learned_total"),
+		leafForgotten: reg.Counter("sr3_dht_leaf_forgotten_total"),
+		leafRepairs:   reg.Counter("sr3_dht_leaf_repairs_total"),
+		storedBytes:   reg.Gauge("sr3_dht_stored_bytes"),
+		storedKeys:    reg.Gauge("sr3_dht_stored_keys"),
+	}
+}
+
+// noteMsg counts one inbound message by kind (sr3_dht_msg_<kind>_total;
+// promName maps the kind's dots to underscores at exposition).
+func (ni *nodeInstruments) noteMsg(kind string) {
+	if ni == nil {
+		return
+	}
+	c, ok := ni.msgs.Load(kind)
+	if !ok {
+		c, _ = ni.msgs.LoadOrStore(kind, ni.reg.Counter("sr3_dht_msg_"+kind+"_total"))
+	}
+	c.(*metrics.Counter).Inc()
+}
+
+// noteRoute records one successfully routed request and its hop count.
+func (ni *nodeInstruments) noteRoute(hops int) {
+	if ni == nil {
+		return
+	}
+	ni.routes.Inc()
+	ni.routeHops.Record(int64(hops))
+}
+
+func (ni *nodeInstruments) noteRouteFailure() {
+	if ni == nil {
+		return
+	}
+	ni.routeFailures.Inc()
+}
+
+func (ni *nodeInstruments) noteLearn() {
+	if ni == nil {
+		return
+	}
+	ni.leafLearned.Inc()
+}
+
+func (ni *nodeInstruments) noteForget() {
+	if ni == nil {
+		return
+	}
+	ni.leafForgotten.Inc()
+}
+
+func (ni *nodeInstruments) noteLeafRepair() {
+	if ni == nil {
+		return
+	}
+	ni.leafRepairs.Inc()
+}
+
+// noteStored tracks the node's KV footprint (root copies and replicas).
+func (ni *nodeInstruments) noteStored(bytesDelta, keysDelta int) {
+	if ni == nil {
+		return
+	}
+	ni.storedBytes.Add(int64(bytesDelta))
+	ni.storedKeys.Add(int64(keysDelta))
+}
+
+// instr is the atomically published instruments handle — Route and handle
+// run without n.mu, so the field cannot live behind it.
+type instrHolder struct {
+	p atomic.Pointer[nodeInstruments]
+}
+
+func (h *instrHolder) load() *nodeInstruments { return h.p.Load() }
+
+// SetInstruments enables steady-state metrics for this node in reg,
+// seeding the stored-bytes/keys gauges from the current KV content.
+// Passing nil disables instrumentation again.
+func (n *Node) SetInstruments(reg *metrics.Registry) {
+	if reg == nil {
+		n.instr.p.Store(nil)
+		return
+	}
+	ni := newNodeInstruments(reg)
+	n.mu.RLock()
+	bytes := 0
+	for _, v := range n.kv {
+		bytes += len(v)
+	}
+	ni.storedBytes.Set(int64(bytes))
+	ni.storedKeys.Set(int64(len(n.kv)))
+	n.mu.RUnlock()
+	n.instr.p.Store(ni)
+}
+
+// putKVLocked stores a value under n.mu, keeping the footprint gauges in
+// step. Every n.kv mutation goes through this or delKVLocked.
+func (n *Node) putKVLocked(key string, value []byte) {
+	old, had := n.kv[key]
+	n.kv[key] = value
+	if had {
+		n.instr.load().noteStored(len(value)-len(old), 0)
+	} else {
+		n.instr.load().noteStored(len(value), 1)
+	}
+}
+
+// delKVLocked removes a key under n.mu, keeping the footprint gauges in
+// step.
+func (n *Node) delKVLocked(key string) {
+	old, had := n.kv[key]
+	if !had {
+		return
+	}
+	delete(n.kv, key)
+	n.instr.load().noteStored(-len(old), -1)
+}

@@ -1,0 +1,142 @@
+package dht
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sr3/internal/id"
+	"sr3/internal/metrics"
+)
+
+// TestRouteHopsLogN verifies the paper's O(log n) routing claim through
+// the new hop histogram: across a 64-node ring and hundreds of lookups
+// from varied origins, the max observed hop count must stay within
+// ceil(log16 n) plus leaf-set slack (the leaf set can resolve the last
+// step without a prefix hop, but never adds more than a couple).
+func TestRouteHopsLogN(t *testing.T) {
+	const n = 64
+	ring, err := NewRing(DefaultConfig(), 42, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := metrics.NewClusterRegistry()
+	ring.EnableMetrics(cr)
+
+	rng := rand.New(rand.NewSource(7))
+	ids := ring.IDs()
+	const lookups = 256
+	for i := 0; i < lookups; i++ {
+		origin := ring.Node(ids[rng.Intn(len(ids))])
+		if _, _, err := origin.Lookup(id.Random(rng)); err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+	}
+
+	h := cr.Merged().Histogram("sr3_dht_route_hops")
+	if h.Count() != lookups {
+		t.Fatalf("hop histogram count = %d, want %d", h.Count(), lookups)
+	}
+	bound := int64(math.Ceil(math.Log(n)/math.Log(id.Base))) + 2
+	if h.Max() > bound {
+		t.Fatalf("max hops %d exceeds O(log n) bound %d for n=%d", h.Max(), bound, n)
+	}
+	if got := cr.Merged().Counter("sr3_dht_routes_total").Value(); got != lookups {
+		t.Fatalf("routes total = %d, want %d", got, lookups)
+	}
+}
+
+// TestNodeInstruments covers the remaining ring families end to end:
+// per-kind message counters, stored bytes/keys gauges through put,
+// replicate, delete and replica re-adoption, and churn counters after a
+// failure plus maintenance.
+func TestNodeInstruments(t *testing.T) {
+	ring, err := NewRing(DefaultConfig(), 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := metrics.NewClusterRegistry()
+	ring.EnableMetrics(cr)
+
+	origin, err := ring.AnyLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := origin.Put(fmt.Sprintf("key-%d", i), make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := cr.Merged()
+	// Every put lands on a root plus KVReplicas=2 replicas: 24 records.
+	if got := m.Gauge("sr3_dht_stored_keys").Value(); got != 24 {
+		t.Fatalf("stored keys = %d, want 24", got)
+	}
+	if got := m.Gauge("sr3_dht_stored_bytes").Value(); got != 2400 {
+		t.Fatalf("stored bytes = %d, want 2400", got)
+	}
+	if m.Counter("sr3_dht_msg_dht.route_total").Value() == 0 {
+		t.Fatal("route message counter empty")
+	}
+	if m.Counter("sr3_dht_msg_dht.kv.store_total").Value() == 0 &&
+		m.Counter("sr3_dht_msg_dht.kv.put_total").Value() == 0 {
+		t.Fatal("kv message counters empty")
+	}
+
+	// Delete removes root and replica copies; the gauges must go down.
+	if err := origin.Delete("key-0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.Merged().Gauge("sr3_dht_stored_keys").Value(); got >= 24 {
+		t.Fatalf("stored keys after delete = %d, want < 24", got)
+	}
+
+	// Fail a node that is not the origin, then run maintenance: churn-out
+	// and repair counters fire on the survivors.
+	var victim id.ID
+	for _, nid := range ring.IDs() {
+		if nid != origin.ID() {
+			victim = nid
+			break
+		}
+	}
+	ring.Fail(victim)
+	for i := 0; i < 4; i++ {
+		ring.MaintenanceRound()
+	}
+	m = cr.Merged()
+	if m.Counter("sr3_dht_leaf_forgotten_total").Value() == 0 {
+		t.Fatal("no churn-out recorded after failure + maintenance")
+	}
+
+	// A post-instrumentation join is churn-in: survivors learn the newcomer
+	// (and AddNode instruments the new node itself).
+	if _, err := ring.AddNode(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.Merged().Counter("sr3_dht_leaf_learned_total").Value(); got == 0 {
+		t.Fatal("no churn-in recorded after a join")
+	}
+
+	// The cluster scrape labels each node by its short ID.
+	var b strings.Builder
+	if err := cr.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantLabel := `node="` + origin.ID().Short() + `"`
+	if !strings.Contains(b.String(), wantLabel) {
+		t.Fatalf("scrape missing %s", wantLabel)
+	}
+
+	// Disabling returns the node to the uninstrumented path.
+	ring.EnableMetrics(nil)
+	before := cr.Merged().Counter("sr3_dht_routes_total").Value()
+	if _, _, err := origin.Lookup(id.Random(rand.New(rand.NewSource(2)))); err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.Merged().Counter("sr3_dht_routes_total").Value(); got != before {
+		t.Fatalf("instrumentation still live after disable: %d -> %d", before, got)
+	}
+}

@@ -145,7 +145,7 @@ func (n *Node) handleKV(_ id.ID, msg simnet.Message) (simnet.Message, error) {
 			return simnet.Message{}, fmt.Errorf("dht: bad kv put payload %T", msg.Payload)
 		}
 		n.mu.Lock()
-		n.kv[req.Key] = append([]byte(nil), req.Value...)
+		n.putKVLocked(req.Key, append([]byte(nil), req.Value...))
 		n.mu.Unlock()
 		n.replicate(req)
 		return simnet.Message{Kind: kindAck, Size: msgHeader}, nil
@@ -208,7 +208,7 @@ func (n *Node) handleKV(_ id.ID, msg simnet.Message) (simnet.Message, error) {
 			return simnet.Message{}, fmt.Errorf("dht: bad kv del payload %T", msg.Payload)
 		}
 		n.mu.Lock()
-		delete(n.kv, req.Key)
+		n.delKVLocked(req.Key)
 		n.mu.Unlock()
 		for _, l := range n.LeafSet() {
 			_, _ = n.net.Call(n.id, l, simnet.Message{
@@ -259,7 +259,7 @@ func (n *Node) fetchFromReplicas(key string) ([]byte, bool) {
 		if ok && r.Found {
 			// Re-adopt the pair locally now that we are its root.
 			n.mu.Lock()
-			n.kv[key] = r.Value
+			n.putKVLocked(key, r.Value)
 			n.mu.Unlock()
 			return r.Value, true
 		}
@@ -277,9 +277,9 @@ func (n *Node) handleKVDirect(_ id.ID, msg simnet.Message) (simnet.Message, erro
 		}
 		n.mu.Lock()
 		if req.Value == nil {
-			delete(n.kv, req.Key)
+			n.delKVLocked(req.Key)
 		} else {
-			n.kv[req.Key] = append([]byte(nil), req.Value...)
+			n.putKVLocked(req.Key, append([]byte(nil), req.Value...))
 		}
 		n.mu.Unlock()
 		return simnet.Message{Kind: kindAck, Size: msgHeader}, nil

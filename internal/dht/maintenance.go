@@ -65,6 +65,7 @@ func (n *Node) repairLeafSet() {
 		if ask == id.Zero {
 			continue
 		}
+		n.instr.load().noteLeafRepair()
 		resp, err := n.net.Call(n.id, ask, simnet.Message{Kind: kindLeafsetReq, Size: msgHeader})
 		if err != nil {
 			n.forget(ask)

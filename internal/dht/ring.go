@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sr3/internal/id"
+	"sr3/internal/metrics"
 	"sr3/internal/simnet"
 )
 
@@ -14,11 +15,12 @@ import (
 // (failure injection, maintenance rounds, ground-truth root computation).
 // Benchmarks and the stream runtime drive the overlay through a Ring.
 type Ring struct {
-	Net   *simnet.Network
-	cfg   Config
-	rng   *rand.Rand
-	nodes map[id.ID]*Node
-	order []id.ID // join order, for deterministic iteration
+	Net     *simnet.Network
+	cfg     Config
+	rng     *rand.Rand
+	nodes   map[id.ID]*Node
+	order   []id.ID                  // join order, for deterministic iteration
+	metrics *metrics.ClusterRegistry // nil until EnableMetrics
 }
 
 // NewRing creates an overlay of n nodes with deterministic IDs from seed.
@@ -63,7 +65,25 @@ func (r *Ring) AddNode() (*Node, error) {
 	}
 	r.nodes[nid] = node
 	r.order = append(r.order, nid)
+	if r.metrics != nil {
+		node.SetInstruments(r.metrics.Node(nid.Short()))
+	}
 	return node, nil
+}
+
+// EnableMetrics instruments every node (and all later AddNode additions)
+// into the cluster registry, one member per node labeled by its short ID.
+func (r *Ring) EnableMetrics(cr *metrics.ClusterRegistry) {
+	r.metrics = cr
+	if cr == nil {
+		for _, nid := range r.order {
+			r.nodes[nid].SetInstruments(nil)
+		}
+		return
+	}
+	for _, nid := range r.order {
+		r.nodes[nid].SetInstruments(cr.Node(nid.Short()))
+	}
 }
 
 func (r *Ring) randomLive() (id.ID, bool) {

@@ -30,8 +30,10 @@ func (n *Node) Route(key id.ID, msg simnet.Message) (simnet.Message, id.ID, int,
 	req := &routeRequest{Key: key, Inner: msg}
 	reply, err := n.routeStep(req)
 	if err != nil {
+		n.instr.load().noteRouteFailure()
 		return simnet.Message{}, id.Zero, 0, err
 	}
+	n.instr.load().noteRoute(reply.Hops)
 	return reply.Inner, reply.Root, reply.Hops, nil
 }
 

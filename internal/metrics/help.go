@@ -1,0 +1,86 @@
+package metrics
+
+import "strings"
+
+// helpCatalog maps the standard SR3 metric names to their # HELP text.
+// Recording sites create instruments by name with no registration
+// ceremony, so descriptions live here (plus Registry.SetHelp for ad-hoc
+// metrics) instead of at every call site.
+var helpCatalog = map[string]string{
+	// Stream runtime (internal/stream), runtime-wide families.
+	"sr3_stream_tuples_in_total":       "Tuples enqueued to task input channels across the runtime.",
+	"sr3_stream_tuples_out_total":      "Tuples emitted by bolt executors.",
+	"sr3_stream_acks_total":            "Tuples fully processed (acked) by bolt executors.",
+	"sr3_stream_replays_total":         "Tuples re-executed from input logs during task recovery.",
+	"sr3_stream_spout_tuples_total":    "Tuples produced by spouts.",
+	"sr3_stream_proc_ns":               "Per-tuple bolt processing latency in nanoseconds.",
+	"sr3_stream_emit_blocked_ns_total": "Nanoseconds emitters spent blocked on full input channels (backpressure).",
+	"sr3_stream_execute_errors_total":  "Bolt Execute calls that returned an error.",
+	// DHT overlay (internal/dht).
+	"sr3_dht_route_hops":              "Overlay hops per routed request, recorded at the origin node.",
+	"sr3_dht_routes_total":            "Routed requests originated by this node.",
+	"sr3_dht_route_failures_total":    "Routed requests that exhausted every forwarding attempt.",
+	"sr3_dht_leaf_learned_total":      "Nodes newly admitted to the leaf-set candidate pool (churn in).",
+	"sr3_dht_leaf_forgotten_total":    "Nodes purged from local state after being observed dead (churn out).",
+	"sr3_dht_leaf_repairs_total":      "Leaf-set repair requests issued to refill depleted halves.",
+	"sr3_dht_stored_bytes":            "Bytes of KV state (root copies and replicas) held by this node.",
+	"sr3_dht_stored_keys":             "KV records (state shards, placements) held by this node.",
+	"sr3_scribe_repairs_total":        "Multicast-tree re-join attempts after a parent death.",
+	"sr3_net_dials_total":             "TCP dial attempts (including retries).",
+	"sr3_net_dial_retries_total":      "TCP dial attempts beyond the first for one call.",
+	"sr3_net_dial_failures_total":     "Calls whose dial retry policy was exhausted.",
+	"sr3_net_io_timeouts_total":       "Request/reply exchanges aborted by the I/O deadline.",
+	"sr3_net_calls_total":             "Request/reply calls issued through the TCP transport.",
+	"sr3_flight_events_total":         "Events recorded by the flight recorder.",
+	"sr3_flight_events_dropped_total": "Flight-recorder events overwritten by ring-buffer wraparound.",
+}
+
+// helpRule describes one generated metric family whose names embed an
+// identity (a task key, a message kind, a phase): any name matching the
+// prefix and suffix gets the family's help text.
+type helpRule struct {
+	prefix, suffix, help string
+}
+
+var helpRules = []helpRule{
+	{"sr3_stream_task_", "_tuples_in_total", "Tuples enqueued to this task's input channel."},
+	{"sr3_stream_task_", "_tuples_out_total", "Tuples emitted by this task."},
+	{"sr3_stream_task_", "_acks_total", "Tuples fully processed (acked) by this task."},
+	{"sr3_stream_task_", "_replays_total", "Tuples re-executed from this task's input log during recovery."},
+	{"sr3_stream_task_", "_proc_ns", "Per-tuple processing latency of this task in nanoseconds."},
+	{"sr3_stream_task_", "_queue_depth", "Input-channel depth sampled at the last enqueue (backpressure signal)."},
+	{"sr3_stream_task_", "_queue_high_water", "Highest input-channel depth observed since start."},
+	{"sr3_stream_task_", "_state_bytes", "Size of this task's last saved state snapshot in bytes."},
+	{"sr3_stream_task_", "_emit_blocked_ns_total", "Nanoseconds senders spent blocked on this task's full input channel."},
+	{"sr3_dht_msg_", "_total", "Inbound overlay messages of this kind handled by the node."},
+	{"sr3_scribe_msg_", "_total", "Inbound Scribe multicast messages of this kind handled by the layer."},
+	{"sr3_phase_", "_ns", "Recovery-pipeline phase latency in nanoseconds (one histogram per phase)."},
+	{"sr3_phase_", "_total", "Recovery-pipeline phase completions."},
+}
+
+// catalogHelp resolves the built-in help text for a metric name, or "".
+func catalogHelp(name string) string {
+	if h, ok := helpCatalog[name]; ok {
+		return h
+	}
+	for _, r := range helpRules {
+		if strings.HasPrefix(name, r.prefix) && strings.HasSuffix(name, r.suffix) {
+			return r.help
+		}
+	}
+	return ""
+}
+
+// escapeHelp escapes a # HELP line body per the text exposition format
+// (backslash and newline are the only escaped characters).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the text exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -20,6 +20,7 @@ type Registry struct {
 	hists    map[string]*LatencyHistogram
 	gauges   map[string]*Gauge
 	counters map[string]*Counter
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -28,7 +29,25 @@ func NewRegistry() *Registry {
 		hists:    make(map[string]*LatencyHistogram),
 		gauges:   make(map[string]*Gauge),
 		counters: make(map[string]*Counter),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp attaches # HELP text to a metric name, overriding the built-in
+// catalog (help.go). Standard SR3 metrics never need this.
+func (r *Registry) SetHelp(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// helpFor resolves the help text for a metric: explicit SetHelp first,
+// then the built-in catalog (mu held).
+func (r *Registry) helpForLocked(name string) string {
+	if h, ok := r.help[name]; ok {
+		return h
+	}
+	return catalogHelp(name)
 }
 
 // Histogram returns the named latency histogram, creating it on first use.
@@ -88,6 +107,20 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Add increments the gauge.
 func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
+// SetMax raises the gauge to v when v is greater — an atomic high-water
+// mark (input-channel high-water gauges use this on the hot path).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if cur >= v {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value reads the gauge.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
@@ -125,75 +158,133 @@ func promName(name string) string {
 	return b.String()
 }
 
+// regSnapshot is a point-in-time view of a registry's instruments plus
+// their help text, taken under the lock and rendered outside it. The
+// cluster exporter (cluster.go) snapshots every member registry through
+// the same path.
+type regSnapshot struct {
+	histNames, gaugeNames, counterNames []string
+	hists                               map[string]*LatencyHistogram
+	gauges                              map[string]*Gauge
+	counters                            map[string]*Counter
+	help                                map[string]string
+}
+
+func (r *Registry) snapshot() regSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := regSnapshot{
+		histNames:    make([]string, 0, len(r.hists)),
+		gaugeNames:   make([]string, 0, len(r.gauges)),
+		counterNames: make([]string, 0, len(r.counters)),
+		hists:        make(map[string]*LatencyHistogram, len(r.hists)),
+		gauges:       make(map[string]*Gauge, len(r.gauges)),
+		counters:     make(map[string]*Counter, len(r.counters)),
+		help:         make(map[string]string, len(r.hists)+len(r.gauges)+len(r.counters)),
+	}
+	for n, h := range r.hists {
+		s.histNames = append(s.histNames, n)
+		s.hists[n] = h
+		s.help[n] = r.helpForLocked(n)
+	}
+	for n, g := range r.gauges {
+		s.gaugeNames = append(s.gaugeNames, n)
+		s.gauges[n] = g
+		s.help[n] = r.helpForLocked(n)
+	}
+	for n, c := range r.counters {
+		s.counterNames = append(s.counterNames, n)
+		s.counters[n] = c
+		s.help[n] = r.helpForLocked(n)
+	}
+	sort.Strings(s.histNames)
+	sort.Strings(s.gaugeNames)
+	sort.Strings(s.counterNames)
+	return s
+}
+
+// writeMeta emits the # HELP (when known) and # TYPE lines for a metric.
+func writeMeta(w io.Writer, pn, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", pn, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, typ)
+	return err
+}
+
+// writeHistogramProm renders one histogram's sample lines. labels is
+// either empty or a rendered label pair list without braces (e.g.
+// `node="a1b2"`) that is joined with the le label on bucket lines.
+func writeHistogramProm(w io.Writer, pn, labels string, h *LatencyHistogram) error {
+	sep := ""
+	if labels != "" {
+		sep = labels + ","
+	}
+	cum := int64(0)
+	for _, i := range h.NonEmptyBuckets() {
+		cum += h.BucketCount(i)
+		le := float64(BucketUpper(i)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", pn, sep, formatLe(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", pn, sep, h.Count()); err != nil {
+		return err
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", pn, suffix, float64(h.Sum())/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", pn, suffix, h.Count())
+	return err
+}
+
+// writeSampleProm renders one gauge/counter sample line.
+func writeSampleProm(w io.Writer, pn, labels string, v int64) error {
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s %d\n", pn, suffix, v)
+	return err
+}
+
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4). Latency histograms are emitted as native
 // Prometheus histograms with second-valued cumulative le buckets (values
 // are recorded in nanoseconds); gauges and counters as plain samples.
+// Metrics with known descriptions (help.go, SetHelp) get # HELP lines.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	r.mu.Lock()
-	histNames := make([]string, 0, len(r.hists))
-	for n := range r.hists {
-		histNames = append(histNames, n)
-	}
-	gaugeNames := make([]string, 0, len(r.gauges))
-	for n := range r.gauges {
-		gaugeNames = append(gaugeNames, n)
-	}
-	counterNames := make([]string, 0, len(r.counters))
-	for n := range r.counters {
-		counterNames = append(counterNames, n)
-	}
-	hists := make(map[string]*LatencyHistogram, len(r.hists))
-	for n, h := range r.hists {
-		hists[n] = h
-	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for n, g := range r.gauges {
-		gauges[n] = g
-	}
-	counters := make(map[string]*Counter, len(r.counters))
-	for n, c := range r.counters {
-		counters[n] = c
-	}
-	r.mu.Unlock()
-
-	sort.Strings(histNames)
-	sort.Strings(gaugeNames)
-	sort.Strings(counterNames)
-
-	for _, name := range histNames {
-		h := hists[name]
+	s := r.snapshot()
+	for _, name := range s.histNames {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		if err := writeMeta(w, pn, s.help[name], "histogram"); err != nil {
 			return err
 		}
-		cum := int64(0)
-		for _, i := range h.NonEmptyBuckets() {
-			cum += h.BucketCount(i)
-			le := float64(BucketUpper(i)) / 1e9
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatLe(le), cum); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count()); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n", pn, float64(h.Sum())/1e9); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, h.Count()); err != nil {
+		if err := writeHistogramProm(w, pn, "", s.hists[name]); err != nil {
 			return err
 		}
 	}
-	for _, name := range gaugeNames {
+	for _, name := range s.gaugeNames {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name].Value()); err != nil {
+		if err := writeMeta(w, pn, s.help[name], "gauge"); err != nil {
+			return err
+		}
+		if err := writeSampleProm(w, pn, "", s.gauges[name].Value()); err != nil {
 			return err
 		}
 	}
-	for _, name := range counterNames {
+	for _, name := range s.counterNames {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name].Value()); err != nil {
+		if err := writeMeta(w, pn, s.help[name], "counter"); err != nil {
+			return err
+		}
+		if err := writeSampleProm(w, pn, "", s.counters[name].Value()); err != nil {
 			return err
 		}
 	}

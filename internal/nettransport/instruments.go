@@ -1,0 +1,60 @@
+package nettransport
+
+import (
+	"sync/atomic"
+
+	"sr3/internal/metrics"
+)
+
+// netInstruments are the transport's steady-state counters, resolved once
+// at SetMetrics. The handle is published through an atomic pointer so
+// Call (which runs without the Network mutex held across I/O) reads it
+// with one load; nil means un-instrumented and costs only that load.
+type netInstruments struct {
+	calls        *metrics.Counter
+	dials        *metrics.Counter
+	dialRetries  *metrics.Counter
+	dialFailures *metrics.Counter
+	timeouts     *metrics.Counter
+}
+
+// SetMetrics enables transport counters (calls, dial attempts/retries/
+// failures, I/O timeouts) in reg; nil disables them again.
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		n.instr.Store((*netInstruments)(nil))
+		return
+	}
+	n.instr.Store(&netInstruments{
+		calls:        reg.Counter("sr3_net_calls_total"),
+		dials:        reg.Counter("sr3_net_dials_total"),
+		dialRetries:  reg.Counter("sr3_net_dial_retries_total"),
+		dialFailures: reg.Counter("sr3_net_dial_failures_total"),
+		timeouts:     reg.Counter("sr3_net_io_timeouts_total"),
+	})
+}
+
+// noteDial folds one dial loop's outcome into the counters.
+func (ni *netInstruments) noteDial(attempts int, err error) {
+	if ni == nil {
+		return
+	}
+	ni.dials.Add(int64(attempts))
+	if attempts > 1 {
+		ni.dialRetries.Add(int64(attempts - 1))
+	}
+	if err != nil {
+		ni.dialFailures.Inc()
+	}
+}
+
+// noteTimeout counts one exchange aborted by the I/O deadline.
+func (n *Network) noteTimeout() {
+	if ni := n.instr.Load(); ni != nil {
+		ni.timeouts.Inc()
+	}
+}
+
+// instrPtr aliases the atomic holder so the Network struct declaration
+// stays readable.
+type instrPtr = atomic.Pointer[netInstruments]

@@ -84,19 +84,26 @@ func (p DialRetryPolicy) backoff(attempt int) time.Duration {
 
 // dialRetry runs the dial loop for one address under the policy.
 func dialRetry(addr string, p DialRetryPolicy) (net.Conn, error) {
+	conn, _, err := dialRetryN(addr, p)
+	return conn, err
+}
+
+// dialRetryN is dialRetry reporting how many attempts were made, for the
+// transport's dial counters.
+func dialRetryN(addr string, p DialRetryPolicy) (net.Conn, int, error) {
 	p = p.withDefaults()
 	var lastErr error
 	for attempt := 1; attempt <= p.Attempts; attempt++ {
 		conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 		if err == nil {
-			return conn, nil
+			return conn, attempt, nil
 		}
 		lastErr = err
 		if attempt < p.Attempts {
 			time.Sleep(p.backoff(attempt))
 		}
 	}
-	return nil, fmt.Errorf("%w after %d attempts: %v", ErrDialExhausted, p.Attempts, lastErr)
+	return nil, p.Attempts, fmt.Errorf("%w after %d attempts: %v", ErrDialExhausted, p.Attempts, lastErr)
 }
 
 // DefaultIOTimeout bounds one whole request/reply exchange on a
@@ -166,6 +173,10 @@ type Network struct {
 	// PhaseStall spans when the message is traced.
 	stallNanos atomic.Int64
 	stallCount atomic.Int64
+
+	// instr publishes the steady-state counter handles (instruments.go);
+	// nil until SetMetrics.
+	instr instrPtr
 }
 
 // DataPlaneStats is a snapshot of the transport's raw-body accounting.
@@ -383,6 +394,10 @@ func (n *Network) serveConn(nid id.ID, srv *server, conn net.Conn) {
 
 // Call dials the destination and performs one request/reply exchange.
 func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, error) {
+	ni := n.instr.Load()
+	if ni != nil {
+		ni.calls.Inc()
+	}
 	n.mu.RLock()
 	src, srcOK := n.servers[from]
 	addr, dstOK := n.addrs[to]
@@ -404,7 +419,8 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 		return simnet.Message{}, fmt.Errorf("call to %s: %w", to.Short(), ErrNodeDown)
 	}
 
-	conn, err := dialRetry(addr, n.dialPolicy())
+	conn, attempts, err := dialRetryN(addr, n.dialPolicy())
+	ni.noteDial(attempts, err)
 	if err != nil {
 		// Wrap ErrNodeDown too: routing layers treat an unreachable peer
 		// as dead, and retry exhaustion is exactly that signal.
@@ -422,6 +438,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 	if err := enc.Encode(&wireRequest{From: from, Kind: msg.Kind, Size: msg.Size, Body: msg.Payload,
 		RawLen: len(msg.Raw), TraceID: msg.TraceID, SpanID: msg.SpanID}); err != nil {
 		if isTimeout(err) {
+			n.noteTimeout()
 			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 		}
 		return simnet.Message{}, fmt.Errorf("call to %s: encode: %w", to.Short(), err)
@@ -433,6 +450,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 		n.rawFrames.Add(frames)
 		if err != nil {
 			if isTimeout(err) {
+				n.noteTimeout()
 				return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 			}
 			return simnet.Message{}, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)
@@ -444,6 +462,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 	var reply wireReply
 	if err := dec.Decode(&reply); err != nil {
 		if isTimeout(err) {
+			n.noteTimeout()
 			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 		}
 		return simnet.Message{}, fmt.Errorf("call to %s: decode: %w", to.Short(), err)
@@ -463,6 +482,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 		if err != nil {
 			n.pool.put(buf)
 			if isTimeout(err) {
+				n.noteTimeout()
 				return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 			}
 			return simnet.Message{}, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func flightClock() func() time.Time {
+	var mu sync.Mutex
+	t := time.Unix(1000, 0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+// TestFlightRecorderBasics: sequencing, timestamps, Note error capture.
+func TestFlightRecorderBasics(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.SetClock(flightClock())
+	f.Note(FlightVerdict, "n1", "app", "owner died", nil)
+	f.Note(FlightRecoveryFail, "n1", "app", "", fmt.Errorf("boom"))
+
+	evs := f.Events()
+	if len(evs) != 2 || f.Len() != 2 || f.Total() != 2 || f.Dropped() != 0 {
+		t.Fatalf("evs=%d len=%d total=%d dropped=%d", len(evs), f.Len(), f.Total(), f.Dropped())
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("seqs = %d,%d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].Kind != FlightVerdict || evs[0].Node != "n1" || evs[0].Detail != "owner died" {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Err != "boom" {
+		t.Fatalf("Note dropped the error: %+v", evs[1])
+	}
+	if evs[1].At <= evs[0].At {
+		t.Fatalf("timestamps not advancing: %d then %d", evs[0].At, evs[1].At)
+	}
+}
+
+// TestFlightRecorderWrap: the ring keeps the newest capacity events,
+// oldest-first ordering survives wraparound, Dropped counts overwrites.
+func TestFlightRecorderWrap(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.SetClock(flightClock())
+	for i := 0; i < 10; i++ {
+		f.Add(FlightEvent{Kind: FlightChurn, Detail: fmt.Sprintf("ev%d", i)})
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := fmt.Sprintf("ev%d", 6+i)
+		if ev.Detail != want || ev.Seq != uint64(6+i) {
+			t.Fatalf("event %d = %+v, want detail %s", i, ev, want)
+		}
+	}
+	if f.Dropped() != 6 || f.Total() != 10 {
+		t.Fatalf("dropped=%d total=%d, want 6/10", f.Dropped(), f.Total())
+	}
+}
+
+// TestFlightRecorderNil: every method is a safe no-op on nil.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Note(FlightVerdict, "n", "a", "d", nil)
+	f.Add(FlightEvent{})
+	f.SetClock(time.Now)
+	if f.Len() != 0 || f.Total() != 0 || f.Dropped() != 0 || f.Events() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	var b strings.Builder
+	if err := f.WriteJSON(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil WriteJSON: err=%v out=%q", err, b.String())
+	}
+}
+
+// TestFlightWriteJSON: the dump is parseable JSONL, oldest-first.
+func TestFlightWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.SetClock(flightClock())
+	f.Note(FlightTopologyStart, "", "wordcount", "tasks=4", nil)
+	f.Note(FlightVerdict, "n2", "wordcount", "", nil)
+
+	var b strings.Builder
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var got []FlightEvent
+	for sc.Scan() {
+		var ev FlightEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != 2 || got[0].Kind != FlightTopologyStart || got[1].Node != "n2" {
+		t.Fatalf("dump = %+v", got)
+	}
+}
+
+// TestFlightRecorderConcurrent: concurrent Add/Events/WriteJSON must be
+// race-free (run under -race) and lose nothing.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				f.Note(FlightChurn, fmt.Sprintf("n%d", g), "", "", nil)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = f.Events()
+			var b strings.Builder
+			_ = f.WriteJSON(&b)
+		}
+	}()
+	wg.Wait()
+	if f.Total() != 400 {
+		t.Fatalf("total = %d, want 400", f.Total())
+	}
+	if f.Len() != 64 {
+		t.Fatalf("len = %d, want 64", f.Len())
+	}
+}

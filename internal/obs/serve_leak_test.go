@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"sr3/internal/leakcheck"
+	"sr3/internal/metrics"
+)
+
+// TestServeDebugSurfaces drives the full ServeConfig over real HTTP —
+// /metrics, /debug/sr3 and /debug/sr3/flight, including concurrent
+// scrapes — and verifies no handler goroutine outlives Close.
+func TestServeDebugSurfaces(t *testing.T) {
+	defer leakcheck.Verify(t)()
+
+	reg := metrics.NewRegistry()
+	reg.Counter("sr3_net_calls_total").Inc()
+	fr := NewFlightRecorder(16)
+	fr.Note(FlightVerdict, "n1", "", "specs=1", nil)
+	fr.Note(FlightRecoveryOK, "n1", "app", "star", nil)
+
+	srv, err := Serve("127.0.0.1:0", ServeConfig{
+		Metrics: reg,
+		Debug:   func() any { return map[string]int{"nodes": 3, "live": 2} },
+		Flight:  fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/debug/sr3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/debug/sr3 content type = %q", ct)
+	}
+	var dbg map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dbg["nodes"] != 3 || dbg["live"] != 2 {
+		t.Fatalf("/debug/sr3 = %v", dbg)
+	}
+
+	resp, err = http.Get(base + "/debug/sr3/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("flight content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var kinds []string
+	for sc.Scan() {
+		var ev FlightEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("flight line not JSON: %v", err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	resp.Body.Close()
+	if len(kinds) != 2 || kinds[0] != FlightVerdict || kinds[1] != FlightRecoveryOK {
+		t.Fatalf("flight kinds = %v", kinds)
+	}
+
+	// Concurrent scrapes of every surface must neither race nor strand
+	// handler goroutines past Close.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for _, path := range []string{"/metrics", "/debug/sr3", "/debug/sr3/flight"} {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				r, err := http.Get(base + p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer r.Body.Close()
+				var b strings.Builder
+				if _, err := bufio.NewReader(r.Body).WriteTo(&b); err != nil {
+					t.Error(err)
+				}
+			}(path)
+		}
+	}
+	wg.Wait()
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeWithoutDebug: surfaces left nil 404 instead of panicking.
+func TestServeWithoutDebug(t *testing.T) {
+	defer leakcheck.Verify(t)()
+	srv, err := Serve("127.0.0.1:0", ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/metrics", "/debug/sr3", "/debug/sr3/flight"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package scribe
+
+import (
+	"testing"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/metrics"
+)
+
+// TestScribeInstruments: joins, multicasts and tree repairs must show up
+// in the per-kind message counters and the repair counter; with Metrics
+// unset the layer registers nothing.
+func TestScribeInstruments(t *testing.T) {
+	ring, err := dht.NewRing(dht.DefaultConfig(), 11, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	layers := make(map[id.ID]*Layer, ring.Size())
+	for _, nid := range ring.IDs() {
+		layers[nid] = Attach(ring.Node(nid), Config{MaxFanout: 2, Metrics: reg})
+	}
+	col := &collector{}
+	for _, nid := range ring.IDs() {
+		if err := layers[nid].Join("topic", col.handler(nid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := layers[ring.IDs()[0]].Multicast("topic", "hi", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	if reg.Counter("sr3_scribe_msg_scribe.join_total").Value() == 0 {
+		t.Fatal("join counter empty after 24 joins")
+	}
+	if reg.Counter("sr3_scribe_msg_scribe.pub_total").Value() == 0 {
+		t.Fatal("pub counter empty after multicast")
+	}
+	if reg.Counter("sr3_scribe_msg_scribe.mcast_total").Value() == 0 {
+		t.Fatal("mcast counter empty after multicast")
+	}
+
+	// Kill an interior node and repair: the survivors' re-join attempts
+	// land in the repair counter.
+	for _, nid := range ring.IDs() {
+		l := layers[nid]
+		if p, ok := l.Parent("topic"); ok && p != id.Zero && !l.IsRoot("topic") && len(l.Children("topic")) > 0 {
+			ring.Fail(nid)
+			break
+		}
+	}
+	for _, nid := range ring.LiveIDs() {
+		layers[nid].Repair()
+	}
+	if reg.Counter("sr3_scribe_repairs_total").Value() == 0 {
+		t.Fatal("repair counter empty after interior failure")
+	}
+
+	// Leave produces its own kind counter.
+	if err := layers[ring.LiveIDs()[0]].Leave("topic"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScribeNoMetrics: an un-instrumented layer must work identically.
+func TestScribeNoMetrics(t *testing.T) {
+	c := buildCluster(t, 10, 3, Config{})
+	col := &collector{}
+	for _, nid := range c.ring.IDs() {
+		if err := c.layers[nid].Join("t", col.handler(nid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.layers[c.ring.IDs()[1]].Multicast("t", "x", 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"sr3/internal/dht"
 	"sr3/internal/id"
+	"sr3/internal/metrics"
 	"sr3/internal/simnet"
 )
 
@@ -42,6 +43,9 @@ type Config struct {
 	// MaxFanout caps the number of children per node per topic; joins
 	// beyond the cap are pushed down to an existing child. 0 = unlimited.
 	MaxFanout int
+	// Metrics enables per-kind inbound message counters and the tree
+	// repair counter in the given registry. Nil disables them.
+	Metrics *metrics.Registry
 }
 
 type topicState struct {
@@ -61,17 +65,40 @@ type Layer struct {
 
 	mu     sync.Mutex
 	topics map[id.ID]*topicState
+
+	repairs *metrics.Counter // nil when Config.Metrics is unset
 }
 
 // Attach creates a Scribe layer on a DHT node and registers its message
 // handlers.
 func Attach(n *dht.Node, cfg Config) *Layer {
 	l := &Layer{node: n, cfg: cfg, topics: make(map[id.ID]*topicState)}
-	n.HandleDirect(kindJoin, l.handleJoin)
-	n.HandleDirect(kindLeave, l.handleLeave)
-	n.HandleDirect(kindMcast, l.handleMcast)
-	n.HandleDelivered(kindPub, l.handlePub)
+	n.HandleDirect(kindJoin, l.counted(kindJoin, l.handleJoin))
+	n.HandleDirect(kindLeave, l.counted(kindLeave, l.handleLeave))
+	n.HandleDirect(kindMcast, l.counted(kindMcast, l.handleMcast))
+	n.HandleDelivered(kindPub, func(key id.ID, msg simnet.Message) (simnet.Message, error) {
+		if l.cfg.Metrics != nil {
+			l.cfg.Metrics.Counter("sr3_scribe_msg_" + kindPub + "_total").Inc()
+		}
+		return l.handlePub(key, msg)
+	})
+	if cfg.Metrics != nil {
+		l.repairs = cfg.Metrics.Counter("sr3_scribe_repairs_total")
+	}
 	return l
+}
+
+// counted wraps a direct handler with its inbound per-kind counter
+// (sr3_scribe_msg_<kind>_total; dots sanitize to underscores at scrape).
+func (l *Layer) counted(kind string, h dht.DirectFunc) dht.DirectFunc {
+	if l.cfg.Metrics == nil {
+		return h
+	}
+	c := l.cfg.Metrics.Counter("sr3_scribe_msg_" + kind + "_total")
+	return func(from id.ID, msg simnet.Message) (simnet.Message, error) {
+		c.Inc()
+		return h(from, msg)
+	}
 }
 
 // Node returns the underlying DHT node.
@@ -405,6 +432,9 @@ func (l *Layer) Repair() {
 		st.parent = id.Zero
 		l.mu.Unlock()
 		// Best effort: the node rejoins through a live route.
+		if l.repairs != nil {
+			l.repairs.Inc()
+		}
 		_ = l.joinUpward(b.key, b.name)
 	}
 }

@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"sort"
+	"time"
+
+	"sr3/internal/metrics"
+)
+
+// instruments are the runtime-wide steady-state metric handles, resolved
+// once at NewRuntime so the hot path never does a registry map lookup.
+// A nil *instruments (metrics disabled) costs one pointer check per
+// recording site and allocates nothing — the same discipline as the
+// nil-receiver Tracer in internal/obs.
+type instruments struct {
+	tuplesIn    *metrics.Counter
+	tuplesOut   *metrics.Counter
+	acks        *metrics.Counter
+	replays     *metrics.Counter
+	spoutTuples *metrics.Counter
+	emitBlocked *metrics.Counter
+	execErrors  *metrics.Counter
+	procNs      *metrics.LatencyHistogram
+}
+
+func newInstruments(reg *metrics.Registry) *instruments {
+	return &instruments{
+		tuplesIn:    reg.Counter("sr3_stream_tuples_in_total"),
+		tuplesOut:   reg.Counter("sr3_stream_tuples_out_total"),
+		acks:        reg.Counter("sr3_stream_acks_total"),
+		replays:     reg.Counter("sr3_stream_replays_total"),
+		spoutTuples: reg.Counter("sr3_stream_spout_tuples_total"),
+		emitBlocked: reg.Counter("sr3_stream_emit_blocked_ns_total"),
+		execErrors:  reg.Counter("sr3_stream_execute_errors_total"),
+		procNs:      reg.Histogram("sr3_stream_proc_ns"),
+	}
+}
+
+func (in *instruments) noteSpout() {
+	if in == nil {
+		return
+	}
+	in.spoutTuples.Inc()
+}
+
+// taskInstruments are one task's metric handles plus the runtime-wide
+// roll-ups, so each event is recorded at both granularities with no
+// lookup. Per-task metric names embed the task key (the registry has no
+// label support; promName maps the key's slashes to underscores), e.g.
+// sr3_stream_task_wordcount_counter_0_proc_ns.
+type taskInstruments struct {
+	rt          *instruments
+	tuplesIn    *metrics.Counter
+	tuplesOut   *metrics.Counter
+	acks        *metrics.Counter
+	replays     *metrics.Counter
+	procNs      *metrics.LatencyHistogram
+	depth       *metrics.Gauge
+	highWater   *metrics.Gauge
+	stateBytes  *metrics.Gauge
+	emitBlocked *metrics.Counter
+}
+
+func newTaskInstruments(rt *instruments, reg *metrics.Registry, key string) *taskInstruments {
+	p := "sr3_stream_task_" + key
+	return &taskInstruments{
+		rt:          rt,
+		tuplesIn:    reg.Counter(p + "_tuples_in_total"),
+		tuplesOut:   reg.Counter(p + "_tuples_out_total"),
+		acks:        reg.Counter(p + "_acks_total"),
+		replays:     reg.Counter(p + "_replays_total"),
+		procNs:      reg.Histogram(p + "_proc_ns"),
+		depth:       reg.Gauge(p + "_queue_depth"),
+		highWater:   reg.Gauge(p + "_queue_high_water"),
+		stateBytes:  reg.Gauge(p + "_state_bytes"),
+		emitBlocked: reg.Counter(p + "_emit_blocked_ns_total"),
+	}
+}
+
+// noteIn records one tuple landing on the input channel and samples its
+// depth as the backpressure signal (depth is the post-send occupancy, the
+// high-water gauge ratchets).
+func (ti *taskInstruments) noteIn(depth int) {
+	if ti == nil {
+		return
+	}
+	ti.tuplesIn.Inc()
+	ti.rt.tuplesIn.Inc()
+	d := int64(depth)
+	ti.depth.Set(d)
+	ti.highWater.SetMax(d)
+}
+
+// noteBlocked accounts time a sender spent blocked on this task's full
+// input channel — emit-side backpressure.
+func (ti *taskInstruments) noteBlocked(ns int64) {
+	if ti == nil {
+		return
+	}
+	ti.emitBlocked.Add(ns)
+	ti.rt.emitBlocked.Add(ns)
+}
+
+// noteEmit records one tuple emitted by this task's bolt.
+func (ti *taskInstruments) noteEmit() {
+	if ti == nil {
+		return
+	}
+	ti.tuplesOut.Inc()
+	ti.rt.tuplesOut.Inc()
+}
+
+// noteAck records a fully processed tuple and its processing latency.
+func (ti *taskInstruments) noteAck(start time.Time) {
+	if ti == nil {
+		return
+	}
+	ns := time.Since(start).Nanoseconds()
+	ti.acks.Inc()
+	ti.rt.acks.Inc()
+	ti.procNs.Record(ns)
+	ti.rt.procNs.Record(ns)
+}
+
+// noteExecError records a bolt Execute call that returned an error.
+func (ti *taskInstruments) noteExecError() {
+	if ti == nil {
+		return
+	}
+	ti.rt.execErrors.Inc()
+}
+
+// noteReplay records tuples re-executed from the input log on recovery.
+func (ti *taskInstruments) noteReplay(n int) {
+	if ti == nil || n == 0 {
+		return
+	}
+	ti.replays.Add(int64(n))
+	ti.rt.replays.Add(int64(n))
+}
+
+// noteState samples the size of the last saved snapshot.
+func (ti *taskInstruments) noteState(bytes int) {
+	if ti == nil {
+		return
+	}
+	ti.stateBytes.Set(int64(bytes))
+}
+
+// TaskDebug is one task's row in the /debug/sr3 introspection view.
+type TaskDebug struct {
+	Key        string `json:"key"`
+	Bolt       string `json:"bolt"`
+	Index      int    `json:"index"`
+	Stateful   bool   `json:"stateful"`
+	Handled    int64  `json:"handled"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+}
+
+// TopologyDebug is a live point-in-time view of a running topology.
+type TopologyDebug struct {
+	Name          string      `json:"name"`
+	Spouts        []string    `json:"spouts"`
+	Tasks         []TaskDebug `json:"tasks"`
+	Pending       int64       `json:"pending"`
+	ExecuteErrors int64       `json:"execute_errors"`
+}
+
+// DebugView snapshots the runtime for the /debug/sr3 endpoint. Safe to
+// call concurrently with processing: it reads only atomics and channel
+// occupancy.
+func (rt *Runtime) DebugView() TopologyDebug {
+	d := TopologyDebug{
+		Name:          rt.topo.name,
+		Pending:       rt.pending.Load(),
+		ExecuteErrors: rt.failures.Load(),
+	}
+	for id := range rt.topo.spouts {
+		d.Spouts = append(d.Spouts, id)
+	}
+	sort.Strings(d.Spouts)
+	for _, id := range rt.topo.sortedBolts() {
+		for _, t := range rt.tasks[id] {
+			d.Tasks = append(d.Tasks, TaskDebug{
+				Key:        t.key,
+				Bolt:       t.boltID,
+				Index:      t.index,
+				Stateful:   t.decl.stateful,
+				Handled:    t.handled.Load(),
+				QueueDepth: len(t.in),
+				QueueCap:   cap(t.in),
+			})
+		}
+	}
+	return d
+}

@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"sr3/internal/metrics"
+	"sr3/internal/obs"
+)
+
+// steadyTopo builds spout -> pass(shuffle) -> count(fields, stateful).
+func steadyTopo(t testing.TB, tuples []Tuple) *Topology {
+	topo := NewTopology("steady")
+	if err := topo.AddSpout("src", newSliceSpout(tuples)); err != nil {
+		t.Fatal(err)
+	}
+	pass := BoltFunc(func(tu Tuple, emit Emit) error {
+		emit(Tuple{Values: tu.Values, Ts: tu.Ts})
+		return nil
+	})
+	if err := topo.AddBolt("pass", pass, 2).Shuffle("src").Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddBolt("count", newCountBolt(), 1).Fields("pass", 0).Err(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestRuntimeInstruments: the steady-state counters, gauges and
+// histograms must account for every tuple across a full run including a
+// save, a kill and a replayed recovery.
+func TestRuntimeInstruments(t *testing.T) {
+	tuples := make([]Tuple, 40)
+	words := []string{"a", "b", "c", "d"}
+	for i := range tuples {
+		tuples[i] = Tuple{Values: []any{words[i%len(words)]}}
+	}
+	reg := metrics.NewRegistry()
+	fr := obs.NewFlightRecorder(64)
+	rt, err := NewRuntime(steadyTopo(t, tuples[:20]), Config{
+		Backend: NewMemoryBackend(),
+		Metrics: reg,
+		Flight:  fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	rt.spoutWG.Wait() // finite spout: all 20 tuples routed after this
+	rt.Drain()
+
+	if got := reg.Counter("sr3_stream_spout_tuples_total").Value(); got != 20 {
+		t.Fatalf("spout tuples = %d, want 20", got)
+	}
+	// Every spout tuple lands on pass, every pass emission on count.
+	if got := reg.Counter("sr3_stream_tuples_in_total").Value(); got != 40 {
+		t.Fatalf("tuples in = %d, want 40", got)
+	}
+	// pass emits 20 and countBolt emits a count tuple per input: 40.
+	if got := reg.Counter("sr3_stream_tuples_out_total").Value(); got != 40 {
+		t.Fatalf("tuples out = %d, want 40", got)
+	}
+	if got := reg.Counter("sr3_stream_acks_total").Value(); got != 40 {
+		t.Fatalf("acks = %d, want 40", got)
+	}
+	if got := reg.Histogram("sr3_stream_proc_ns").Count(); got != 40 {
+		t.Fatalf("proc histogram count = %d, want 40", got)
+	}
+	// Per-task families exist with the key baked into the name.
+	if got := reg.Counter("sr3_stream_task_steady/pass/0_tuples_in_total").Value() +
+		reg.Counter("sr3_stream_task_steady/pass/1_tuples_in_total").Value(); got != 20 {
+		t.Fatalf("per-task pass tuples in = %d, want 20", got)
+	}
+
+	// Save samples the state-size gauge on some count task.
+	if err := rt.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Gauge("sr3_stream_task_steady/count/0_state_bytes").Value()+
+		reg.Gauge("sr3_stream_task_steady/count/1_state_bytes").Value() <= 0 {
+		t.Fatal("state-size gauges not sampled on save")
+	}
+
+	// Kill one count task, feed it more tuples, recover: the replay
+	// counter must cover the logged tuples.
+	if err := rt.Kill("count", 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples[20:] {
+		tu.Stream = "src"
+		rt.route("src", tu)
+	}
+	rt.Drain()
+	if err := rt.RecoverTask("count", 0); err != nil {
+		t.Fatal(err)
+	}
+	replayed := reg.Counter("sr3_stream_task_steady/count/0_replays_total").Value()
+	if replayed <= 0 {
+		t.Fatalf("replays = %d, want > 0", replayed)
+	}
+	if got := reg.Counter("sr3_stream_replays_total").Value(); got != replayed {
+		t.Fatalf("runtime replay roll-up = %d, want %d", got, replayed)
+	}
+
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// High-water gauges ratchet and never exceed capacity.
+	hw := reg.Gauge("sr3_stream_task_steady/count/0_queue_high_water").Value()
+	if hw < 0 || hw > 256 {
+		t.Fatalf("high water = %d out of range", hw)
+	}
+
+	// Flight journal saw the lifecycle: start, kill, recover, stop.
+	kinds := map[string]bool{}
+	for _, ev := range fr.Events() {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []string{obs.FlightTopologyStart, obs.FlightTaskKill, obs.FlightTaskRecover, obs.FlightTopologyStop} {
+		if !kinds[k] {
+			t.Fatalf("flight journal missing %s: %+v", k, fr.Events())
+		}
+	}
+
+	// The exposition renders the per-task families with sanitized names.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sr3_stream_task_steady_count_0_replays_total") {
+		t.Fatalf("sanitized per-task family missing:\n%s", b.String())
+	}
+}
+
+// TestRuntimeDebugView: the /debug/sr3 snapshot reflects topology shape
+// and progress.
+func TestRuntimeDebugView(t *testing.T) {
+	tuples := []Tuple{{Values: []any{"x"}}, {Values: []any{"y"}}}
+	rt, err := NewRuntime(steadyTopo(t, tuples), Config{Backend: NewMemoryBackend()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	rt.spoutWG.Wait()
+	rt.Drain()
+	d := rt.DebugView()
+	if d.Name != "steady" || len(d.Spouts) != 1 || d.Spouts[0] != "src" {
+		t.Fatalf("debug view head = %+v", d)
+	}
+	if len(d.Tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3", len(d.Tasks))
+	}
+	var handled int64
+	stateful := 0
+	for _, task := range d.Tasks {
+		handled += task.Handled
+		if task.Stateful {
+			stateful++
+		}
+		if task.QueueCap != 256 {
+			t.Fatalf("queue cap = %d, want 256", task.QueueCap)
+		}
+	}
+	if handled != 4 || stateful != 1 {
+		t.Fatalf("handled=%d stateful=%d, want 4/1", handled, stateful)
+	}
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// noopSpout never produces: the benchmarks drive route() directly.
+type noopSpout struct{}
+
+func (noopSpout) Next() (Tuple, bool) { return Tuple{}, false }
+
+func benchRuntime(b *testing.B, reg *metrics.Registry) *Runtime {
+	topo := NewTopology("bench")
+	if err := topo.AddSpout("src", noopSpout{}); err != nil {
+		b.Fatal(err)
+	}
+	drop := BoltFunc(func(Tuple, Emit) error { return nil })
+	if err := topo.AddBolt("sink", drop, 1).Shuffle("src").Err(); err != nil {
+		b.Fatal(err)
+	}
+	rt, err := NewRuntime(topo, Config{Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Start()
+	return rt
+}
+
+// BenchmarkRuntimeDisabled measures the hot path with metrics off — the
+// acceptance bar is 0 allocs/op (the nil-instrument checks are free).
+func BenchmarkRuntimeDisabled(b *testing.B) {
+	rt := benchRuntime(b, nil)
+	tuple := Tuple{Stream: "src", Values: []any{"w"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.route("src", tuple)
+	}
+	rt.Drain()
+	b.StopTimer()
+	_ = rt.Wait()
+}
+
+// BenchmarkRuntimeInstrumented is the same path with live instruments;
+// the delta against Disabled is the per-tuple cost of observability.
+func BenchmarkRuntimeInstrumented(b *testing.B) {
+	rt := benchRuntime(b, metrics.NewRegistry())
+	tuple := Tuple{Stream: "src", Values: []any{"w"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.route("src", tuple)
+	}
+	rt.Drain()
+	b.StopTimer()
+	_ = rt.Wait()
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sr3/internal/metrics"
 	"sr3/internal/obs"
 	"sr3/internal/state"
 )
@@ -38,6 +39,14 @@ type Config struct {
 	ChannelDepth int
 	// Now supplies timestamps for state versions (injected for tests).
 	Now func() int64
+	// Metrics enables steady-state instruments (per-task tuple counters,
+	// processing-latency histograms, queue-depth/backpressure gauges) in
+	// the given registry. Nil disables them; the disabled hot path costs
+	// one nil check per site and allocates nothing.
+	Metrics *metrics.Registry
+	// Flight, when set, journals topology lifecycle and task kill/recover
+	// events into the always-on flight recorder.
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +102,7 @@ type task struct {
 	saveSeq  uint64
 	sinceSav int
 	handled  atomic.Int64
+	instr    *taskInstruments // nil when Config.Metrics is unset
 }
 
 // Runtime executes one topology.
@@ -109,6 +119,7 @@ type Runtime struct {
 	waited   bool
 	stopped  chan struct{} // closed once Wait has shut the executors down
 	failures atomic.Int64  // bolt Execute errors (reported, not fatal)
+	instr    *instruments  // nil when Config.Metrics is unset
 }
 
 // TaskKey names a task for backends and failure injection.
@@ -130,6 +141,9 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 		shuffle: make(map[string]*atomic.Int64),
 		stopped: make(chan struct{}),
 	}
+	if cfg.Metrics != nil {
+		rt.instr = newInstruments(cfg.Metrics)
+	}
 	for _, id := range topo.order {
 		decl, ok := topo.bolts[id]
 		if !ok {
@@ -144,6 +158,9 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 				decl:   decl,
 				in:     make(chan envelope, cfg.ChannelDepth),
 			}
+			if rt.instr != nil {
+				ts[i].instr = newTaskInstruments(rt.instr, cfg.Metrics, ts[i].key)
+			}
 		}
 		rt.tasks[id] = ts
 		for _, in := range decl.inputs {
@@ -156,12 +173,16 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 
 // Start launches executors and spout pumps.
 func (rt *Runtime) Start() {
+	n := 0
 	for _, ts := range rt.tasks {
 		for _, t := range ts {
 			rt.execWG.Add(1)
 			go rt.runTask(t)
+			n++
 		}
 	}
+	rt.cfg.Flight.Note(obs.FlightTopologyStart, "", rt.topo.name,
+		fmt.Sprintf("tasks=%d spouts=%d", n, len(rt.topo.spouts)), nil)
 	for id, s := range rt.topo.spouts {
 		rt.spoutWG.Add(1)
 		go func(id string, sp Spout) {
@@ -172,6 +193,7 @@ func (rt *Runtime) Start() {
 					return
 				}
 				tuple.Stream = id
+				rt.instr.noteSpout()
 				rt.route(id, tuple)
 			}
 		}(id, s.spout)
@@ -211,7 +233,20 @@ func (rt *Runtime) route(from string, tuple Tuple) {
 
 func (rt *Runtime) enqueue(t *task, tuple Tuple) {
 	rt.pending.Add(1)
-	t.in <- envelope{kind: ctlTuple, tuple: tuple}
+	if t.instr == nil {
+		t.in <- envelope{kind: ctlTuple, tuple: tuple}
+		return
+	}
+	// Instrumented path: a full channel means the sender is about to
+	// block — that wait is the backpressure signal, so time it.
+	select {
+	case t.in <- envelope{kind: ctlTuple, tuple: tuple}:
+	default:
+		start := time.Now()
+		t.in <- envelope{kind: ctlTuple, tuple: tuple}
+		t.instr.noteBlocked(time.Since(start).Nanoseconds())
+	}
+	t.instr.noteIn(len(t.in))
 }
 
 // runTask is the executor loop: a single goroutine owns the task's log,
@@ -221,6 +256,7 @@ func (rt *Runtime) runTask(t *task) {
 	defer rt.execWG.Done()
 	emit := func(out Tuple) {
 		out.Stream = t.boltID
+		t.instr.noteEmit()
 		rt.route(t.boltID, out)
 	}
 	for env := range t.in {
@@ -230,9 +266,15 @@ func (rt *Runtime) runTask(t *task) {
 				t.log = append(t.log, env.tuple)
 			}
 			if !t.dead {
+				var start time.Time
+				if t.instr != nil {
+					start = time.Now()
+				}
 				if err := t.decl.bolt.Execute(env.tuple, emit); err != nil {
 					rt.failures.Add(1)
+					t.instr.noteExecError()
 				}
+				t.instr.noteAck(start)
 				t.handled.Add(1)
 				t.sinceSav++
 				if rt.cfg.SaveEveryTuples > 0 && t.decl.stateful &&
@@ -247,6 +289,7 @@ func (rt *Runtime) runTask(t *task) {
 
 		case ctlKill:
 			t.dead = true
+			rt.cfg.Flight.Note(obs.FlightTaskKill, "", rt.topo.name, t.key, nil)
 			env.done <- nil
 
 		case ctlRecover:
@@ -291,6 +334,7 @@ func (rt *Runtime) saveTask(t *task) error {
 	if err := rt.cfg.Backend.Save(t.key, snap, v); err != nil {
 		return fmt.Errorf("save %s: %w", t.key, err)
 	}
+	t.instr.noteState(len(snap))
 	t.log = nil
 	t.sinceSav = 0
 	return nil
@@ -332,11 +376,15 @@ func (rt *Runtime) recoverTask(t *task, emit Emit, tr *obs.Tracer, parent obs.Sp
 	for _, tuple := range t.log {
 		if err := t.decl.bolt.Execute(tuple, emit); err != nil {
 			rt.failures.Add(1)
+			t.instr.noteExecError()
 		}
 		t.handled.Add(1)
 	}
+	t.instr.noteReplay(len(t.log))
 	sp.End()
 	t.dead = false
+	rt.cfg.Flight.Note(obs.FlightTaskRecover, "", rt.topo.name,
+		fmt.Sprintf("%s replayed=%d", t.key, len(t.log)), nil)
 	return nil
 }
 
@@ -497,6 +545,8 @@ func (rt *Runtime) Wait() error {
 	}
 	rt.execWG.Wait()
 	close(rt.stopped)
+	rt.cfg.Flight.Note(obs.FlightTopologyStop, "", rt.topo.name,
+		fmt.Sprintf("errors=%d", rt.failures.Load()), nil)
 	return nil
 }
 

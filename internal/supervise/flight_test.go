@@ -1,0 +1,117 @@
+package supervise
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"sr3/internal/leakcheck"
+	"sr3/internal/obs"
+	"sr3/internal/recovery"
+)
+
+func flightKinds(evs []obs.FlightEvent) map[string]int {
+	kinds := make(map[string]int)
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	return kinds
+}
+
+// TestSupervisorFlightDumpOnFailure: a verdict that cannot recover a
+// protected state (the app was never saved, so placement lookup fails)
+// must journal the verdict and the failure, then dump the whole flight
+// journal — as a PostMortem snapshot and as JSON lines on FlightDump.
+func TestSupervisorFlightDumpOnFailure(t *testing.T) {
+	defer leakcheck.Verify(t)()
+	c := buildCluster(t, 12, 1301)
+	fr := obs.NewFlightRecorder(256)
+	var dump bytes.Buffer
+	cfg := fastConfig()
+	cfg.DisableRepairLoop = true
+	cfg.Flight = fr
+	cfg.FlightDump = &dump
+	s := New(c, cfg)
+	s.Protect(StateSpec{App: "ghost", Mechanism: recovery.Star})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	s.InjectVerdict(c.Ring.IDs()[3])
+	waitFor(t, 3*time.Second, "flight dump", func() bool {
+		return len(s.PostMortem()) > 0
+	})
+
+	pm := s.PostMortem()
+	kinds := flightKinds(pm)
+	if kinds[obs.FlightVerdict] == 0 {
+		t.Fatalf("post-mortem missing verdict event: %v", kinds)
+	}
+	if kinds[obs.FlightRecoveryFail] == 0 {
+		t.Fatalf("post-mortem missing recovery failure: %v", kinds)
+	}
+	if kinds[obs.FlightDumpMark] == 0 {
+		t.Fatalf("post-mortem missing dump mark: %v", kinds)
+	}
+
+	// The JSONL stream decodes line by line into the same events.
+	sc := bufio.NewScanner(bytes.NewReader(dump.Bytes()))
+	lines := 0
+	for sc.Scan() {
+		var ev obs.FlightEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("flight dump line %d not JSON: %v", lines, err)
+		}
+		lines++
+	}
+	if lines < len(pm) {
+		t.Fatalf("flight dump has %d lines, post-mortem %d events", lines, len(pm))
+	}
+}
+
+// TestSupervisorFlightCleanRecovery: a verdict that recovers everything
+// journals recovery.ok and leaves no post-mortem behind.
+func TestSupervisorFlightCleanRecovery(t *testing.T) {
+	c := buildCluster(t, 16, 1302)
+	owner := c.Ring.IDs()[0]
+	mgr := c.Manager(owner)
+	if _, err := mgr.Save("app", randomSnapshot(24_000, 7), 8, 2, mgr.NextVersion(1)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := mgr.LookupPlacement("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fr := obs.NewFlightRecorder(256)
+	cfg := fastConfig()
+	cfg.DisableRepairLoop = true
+	cfg.Flight = fr
+	s := New(c, cfg)
+	s.Protect(StateSpec{App: "app", Mechanism: recovery.Star})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	c.Ring.Fail(p.Owner)
+	s.InjectVerdict(p.Owner)
+	waitFor(t, 5*time.Second, "clean recovery", func() bool {
+		evs := s.Events()
+		return len(evs) > 0 && evs[len(evs)-1].Err == nil
+	})
+
+	kinds := flightKinds(fr.Events())
+	if kinds[obs.FlightVerdict] == 0 || kinds[obs.FlightRecoveryOK] == 0 {
+		t.Fatalf("journal missing verdict/recovery.ok: %v", kinds)
+	}
+	if kinds[obs.FlightDumpMark] != 0 {
+		t.Fatalf("unexpected dump mark on clean recovery: %v", kinds)
+	}
+	if got := s.PostMortem(); got != nil {
+		t.Fatalf("PostMortem after clean recovery = %d events, want none", len(got))
+	}
+}

@@ -15,6 +15,7 @@ package supervise
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -75,6 +76,13 @@ type Config struct {
 	// one trace per recovery (internal/obs). It is also handed to the
 	// detectors (unless Detector.Tracer is set separately).
 	Tracer *obs.Tracer
+	// Flight, when non-nil, receives verdict / recovery events and is
+	// dumped whenever a verdict leaves specs unrecovered (the failure
+	// post-mortem). Nil disables flight journaling.
+	Flight *obs.FlightRecorder
+	// FlightDump, when non-nil, receives the flight journal as JSON
+	// lines at each failure dump (e.g. a log file or stderr).
+	FlightDump io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +127,7 @@ type Supervisor struct {
 	detectors map[id.ID]*detector.Detector
 	handled   map[id.ID]bool
 	events    []Event
+	lastDump  []obs.FlightEvent
 	started   bool
 
 	verdicts chan verdict
@@ -351,6 +360,9 @@ func (s *Supervisor) handleDeath(v verdict) {
 	rt := s.runtime
 	s.mu.Unlock()
 
+	s.cfg.Flight.Note(obs.FlightVerdict, v.node.Short(), "",
+		fmt.Sprintf("specs=%d", len(specs)), nil)
+
 	// Adopt the detector's pre-allocated trace: the root span opens at
 	// the start of the silence window, so its duration is the MTTR, with
 	// the detect window and the queue wait recorded retroactively as its
@@ -409,6 +421,7 @@ func (s *Supervisor) handleDeath(v verdict) {
 	root.SetInt("specs", int64(len(specs)))
 	if !allOK {
 		root.SetStr("err", "some specs failed; verdict retryable")
+		s.dumpFlight(v)
 	}
 	root.End()
 	if allOK {
@@ -561,7 +574,50 @@ type placement struct {
 func (p placement) Holders() []id.ID { return p.holders }
 
 func (s *Supervisor) record(ev Event) {
+	kind := obs.FlightRecoveryOK
+	var detail string
+	if ev.Mechanism != 0 {
+		detail = ev.Mechanism.String()
+	}
+	if ev.Replacement != id.Zero {
+		detail += " -> " + ev.Replacement.Short()
+	}
+	if ev.Err != nil {
+		kind = obs.FlightRecoveryFail
+	}
+	s.cfg.Flight.Note(kind, ev.Node.Short(), ev.App, detail, ev.Err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.events = append(s.events, ev)
+}
+
+// dumpFlight snapshots the flight journal after a verdict that left specs
+// unrecovered: the dump mark lands in the journal itself, the snapshot is
+// kept for PostMortem, and — when configured — the whole journal goes out
+// as JSON lines on cfg.FlightDump.
+func (s *Supervisor) dumpFlight(v verdict) {
+	f := s.cfg.Flight
+	if f == nil {
+		return
+	}
+	f.Note(obs.FlightDumpMark, v.node.Short(), "",
+		"verdict left specs unrecovered", nil)
+	snap := f.Events()
+	if s.cfg.FlightDump != nil {
+		_ = f.WriteJSON(s.cfg.FlightDump)
+	}
+	// Publish the snapshot last: PostMortem readers polling for it must
+	// not observe it before the streamed copy is complete.
+	s.mu.Lock()
+	s.lastDump = snap
+	s.mu.Unlock()
+}
+
+// PostMortem returns the flight-recorder snapshot taken at the most
+// recent failed verdict, oldest event first — nil when every verdict so
+// far recovered cleanly (or no flight recorder is configured).
+func (s *Supervisor) PostMortem() []obs.FlightEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]obs.FlightEvent(nil), s.lastDump...)
 }

@@ -1,0 +1,190 @@
+package sr3
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sr3/internal/leakcheck"
+)
+
+// TestObservabilityEndToEnd exercises the whole steady-state surface over
+// real HTTP: one /metrics scrape of an instrumented deployment must carry
+// runtime, ring and recovery-phase families side by side (each labeled by
+// node), /debug/sr3 must return the live topology and ring view, and
+// /debug/sr3/flight the event journal — with no goroutine leaking past
+// shutdown.
+func TestObservabilityEndToEnd(t *testing.T) {
+	defer leakcheck.Verify(t)()
+
+	// Recovery phases flow into their own registry via a metrics trace
+	// sink; EnableMetrics instruments the overlay; both merge into one
+	// cluster scrape.
+	recReg := NewMetricsRegistry()
+	f, err := New(Config{
+		Nodes:  24,
+		Seed:   91,
+		Now:    func() int64 { return 42 },
+		Tracer: NewTracer(NewMetricsTraceSink(recReg)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := f.EnableMetrics()
+	cr.Register("recovery", recReg)
+
+	// A protected plain state: fail its owner and recover it so the
+	// phase histograms have samples.
+	if err := f.Save("obs-state", randomState(30_000, 5)); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := f.OwnerOf("obs-state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.FailNode(owner)
+	f.MaintenanceRound()
+	f.MaintenanceRound()
+	if _, err := f.Recover("obs-state"); err != nil {
+		t.Fatal(err)
+	}
+
+	// An instrumented stream topology journaling into the framework's
+	// flight recorder.
+	in := make(chan Tuple, 64)
+	topo := NewTopology("obs")
+	if err := topo.AddSpout("src", SpoutFunc(func() (Tuple, bool) {
+		tp, ok := <-in
+		return tp, ok
+	})); err != nil {
+		t.Fatal(err)
+	}
+	store := NewMapStore()
+	if err := topo.AddBolt("count", &publicCounter{store: store}, 1).Fields("src", 0).Err(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(topo, RuntimeConfig{
+		Backend: f.Backend(0, 4, 2),
+		Metrics: cr.Node("runtime"),
+		Flight:  f.Flight(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	for i := 0; i < 20; i++ {
+		in <- Tuple{Values: []any{fmt.Sprintf("w%d", i%4)}, Ts: int64(i)}
+	}
+	waitUntil(t, 10*time.Second, "tuples processed", func() bool {
+		_, ok := store.Get("w3")
+		return ok && rt.Pending() == 0
+	})
+	if err := rt.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Supervision binds the runtime so /debug/sr3 lists the topology.
+	if err := f.StartSupervision(fastSupervision()); err != nil {
+		t.Fatal(err)
+	}
+	defer f.StopSupervision()
+	if err := f.SuperviseRuntime(rt); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := f.ServeObservability("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(body)
+	for _, want := range []string{
+		// Runtime family under its registry label.
+		`sr3_stream_tuples_in_total{node="runtime"}`,
+		// Ring families labeled per overlay node.
+		`sr3_dht_msg_dht_ping_total{node="`,
+		`sr3_dht_stored_bytes{node="`,
+		// Recovery phases from the trace sink.
+		`sr3_phase_recover_ns_count{node="recovery"}`,
+		// Exposition metadata rides along.
+		"# HELP sr3_dht_routes_total ",
+		"# TYPE sr3_stream_task_obs_count_0_proc_ns histogram",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Fatalf("/metrics missing %q in scrape:\n%.2000s", want, scrape)
+		}
+	}
+
+	resp, err = http.Get(base + "/debug/sr3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap DebugSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Nodes != 24 || snap.Live != 23 {
+		t.Fatalf("debug nodes/live = %d/%d, want 24/23", snap.Nodes, snap.Live)
+	}
+	if !snap.Supervised {
+		t.Fatal("debug view not marked supervised")
+	}
+	if len(snap.Topologies) != 1 || snap.Topologies[0].Name != "obs" {
+		t.Fatalf("debug topologies = %+v", snap.Topologies)
+	}
+	if got := snap.Topologies[0].Tasks; len(got) != 1 || !got[0].Stateful || got[0].Handled < 20 {
+		t.Fatalf("debug tasks = %+v", got)
+	}
+	foundApp := false
+	for _, a := range snap.Apps {
+		if a.Name == "obs-state" && a.Owner != "" {
+			foundApp = true
+		}
+	}
+	if !foundApp {
+		t.Fatalf("debug apps missing recovered obs-state: %+v", snap.Apps)
+	}
+
+	resp, err = http.Get(base + "/debug/sr3/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev FlightEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("flight line not JSON: %v", err)
+		}
+		kinds[ev.Kind] = true
+	}
+	resp.Body.Close()
+	if !kinds["topology.start"] {
+		t.Fatalf("flight journal missing topology.start: %v", kinds)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.StopSupervision()
+	close(in)
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"sr3/internal/dht"
 	"sr3/internal/id"
+	"sr3/internal/metrics"
 	"sr3/internal/obs"
 	"sr3/internal/recovery"
 	"sr3/internal/shard"
@@ -108,10 +109,13 @@ type Framework struct {
 	cfg     Config
 	ring    *dht.Ring
 	cluster *recovery.Cluster
+	flight  *obs.FlightRecorder // always-on bounded event journal
 
-	mu   sync.Mutex
-	apps map[string]*appConfig
-	sup  *supervise.Supervisor // non-nil while supervised mode is active
+	mu         sync.Mutex
+	apps       map[string]*appConfig
+	sup        *supervise.Supervisor // non-nil while supervised mode is active
+	clusterReg *metrics.ClusterRegistry
+	rts        []*stream.Runtime // runtimes bound via SuperviseRuntime (debug view)
 }
 
 // New builds the overlay and attaches SR3 managers to every node.
@@ -129,6 +133,7 @@ func New(cfg Config) (*Framework, error) {
 		cfg:     cfg,
 		ring:    ring,
 		cluster: cluster,
+		flight:  obs.NewFlightRecorder(obs.DefaultFlightCap),
 		apps:    make(map[string]*appConfig),
 	}, nil
 }

@@ -2,6 +2,7 @@ package sr3
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"sr3/internal/detector"
@@ -23,6 +24,11 @@ type SupervisionConfig struct {
 	// RepairInterval is the background replica-repair period
 	// (default 250ms).
 	RepairInterval time.Duration
+	// FlightDump, when non-nil, receives the flight-recorder journal as
+	// JSON lines whenever a verdict leaves protected states unrecovered
+	// (the failure post-mortem). The journal itself is always on; this
+	// only adds the streamed copy.
+	FlightDump io.Writer
 }
 
 // SelfHealEvent records one automatically handled node death.
@@ -48,6 +54,8 @@ func (f *Framework) StartSupervision(cfg SupervisionConfig) error {
 		},
 		RepairInterval: cfg.RepairInterval,
 		Tracer:         f.cfg.Tracer,
+		Flight:         f.flight,
+		FlightDump:     cfg.FlightDump,
 	})
 	f.sup = sup
 	for name, ac := range f.apps {
@@ -94,6 +102,19 @@ func (f *Framework) SelfHealEvents() []SelfHealEvent {
 	return sup.Events()
 }
 
+// PostMortem returns the flight-recorder snapshot the supervisor took at
+// its most recent failed verdict (nil when supervision never ran or every
+// verdict recovered cleanly).
+func (f *Framework) PostMortem() []FlightEvent {
+	f.mu.Lock()
+	sup := f.sup
+	f.mu.Unlock()
+	if sup == nil {
+		return nil
+	}
+	return sup.PostMortem()
+}
+
 // Supervisor exposes the running supervisor (advanced callers and the
 // bench harness); nil when supervision is not active.
 func (f *Framework) Supervisor() *supervise.Supervisor {
@@ -109,6 +130,7 @@ func (f *Framework) Supervisor() *supervise.Supervisor {
 func (f *Framework) SuperviseRuntime(rt *Runtime) error {
 	f.mu.Lock()
 	sup := f.sup
+	f.rts = append(f.rts, rt)
 	f.mu.Unlock()
 	if sup == nil {
 		return fmt.Errorf("sr3: supervision not running")
