@@ -65,6 +65,8 @@ func experiments() []experiment {
 		figExp("ablation-flowpenalty", "star flow-penalty contribution", bench.AblationFlowPenalty),
 		figExp("ablation-selection", "mechanism choice per environment (§3.7)", bench.AblationMechanismDefaults),
 		{id: "steady", desc: "steady-state instrumentation overhead and one-scrape cluster view", run: runSteady},
+		{id: "matrix", desc: "fault-recovery matrix: scenario x mechanism x load (writes " + matrixOut + ")", run: runMatrix},
+		{id: "matrix-tiny", desc: "CI smoke subset of the fault-recovery matrix (writes " + matrixTinyOut + ")", run: runMatrixTiny},
 		{id: "table1", desc: "recovery approach overview (Table 1)", run: func() (string, error) {
 			return bench.FormatTable1(), nil
 		}},
@@ -122,6 +124,42 @@ func runTrace() (string, error) {
 		return "", err
 	}
 	return report.Format() + "wrote " + traceOut + "\n", nil
+}
+
+// matrixOut is the committed fault-recovery matrix artifact;
+// matrixTinyOut is the CI smoke output, kept separate so a smoke run
+// never clobbers the committed numbers.
+const (
+	matrixOut     = "BENCH_matrix.json"
+	matrixTinyOut = "BENCH_matrix_tiny.json"
+)
+
+func runMatrix() (string, error)     { return runMatrixPreset("full", matrixOut) }
+func runMatrixTiny() (string, error) { return runMatrixPreset("tiny", matrixTinyOut) }
+
+func runMatrixPreset(preset, out string) (string, error) {
+	specs, err := bench.MatrixPreset(preset)
+	if err != nil {
+		return "", err
+	}
+	report := bench.MatrixSweep(specs)
+	blob, err := report.JSON()
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return "", err
+	}
+	failed := 0
+	for _, c := range report.Cells {
+		if c.Error != "" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return "", fmt.Errorf("%d of %d matrix cells failed:\n%s", failed, len(report.Cells), report.Format())
+	}
+	return report.Format() + "wrote " + out + "\n", nil
 }
 
 func runSummary() (string, error) {

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMatrixCrashUnderIngestExactlyOnce is the acceptance gate for the
+// ingest family: a crash while the spout keeps pushing must lose nothing
+// — the dedupe checker sees every sequence number exactly once and the
+// recovered operator state is exact.
+func TestMatrixCrashUnderIngestExactlyOnce(t *testing.T) {
+	for _, mech := range []string{MechSR3Star, MechCheckpoint} {
+		mech := mech
+		t.Run(mech, func(t *testing.T) {
+			cell, err := RunMatrixCell(MatrixCellSpec{
+				Scenario: ScenarioCrashIngest, Mechanism: mech, Load: "sustained-2k",
+			}, 7001)
+			if err != nil {
+				t.Fatalf("cell: %v", err)
+			}
+			if cell.Missing != 0 {
+				t.Fatalf("missing = %d, want 0 (dup=%d)", cell.Missing, cell.Duplicates)
+			}
+			if !cell.StateExact {
+				t.Fatal("recovered operator state not exact")
+			}
+			if !cell.ExactlyOnce {
+				t.Fatal("exactly-once verdict false")
+			}
+			if cell.RecoverMs <= 0 {
+				t.Fatalf("recover_ms = %v, want > 0", cell.RecoverMs)
+			}
+		})
+	}
+}
+
+// TestMatrixSlowNodeNoSpuriousKill is the gray-failure acceptance gate:
+// the slow-node cell must take the degraded path (demote + reroute) and
+// never kill the slow-but-alive holder.
+func TestMatrixSlowNodeNoSpuriousKill(t *testing.T) {
+	cell, err := RunMatrixCell(MatrixCellSpec{
+		Scenario: ScenarioSlowNode, Mechanism: MechSR3Star, Load: "burst",
+	}, 7101)
+	if err != nil {
+		t.Fatalf("cell: %v", err)
+	}
+	if cell.SpuriousKill {
+		t.Fatal("slow-but-alive holder was killed")
+	}
+	if !cell.DegradedPath {
+		t.Fatal("degraded path not taken (no gray.degraded for the holder)")
+	}
+	if !cell.ExactlyOnce {
+		t.Fatalf("exactly-once verdict false (missing=%d state_exact=%v)",
+			cell.Missing, cell.StateExact)
+	}
+	if cell.DetectMs <= 0 || cell.RecoverMs <= cell.DetectMs {
+		t.Fatalf("latencies inconsistent: detect=%vms recover=%vms", cell.DetectMs, cell.RecoverMs)
+	}
+}
+
+// TestMatrixPartitionDuringRecovery: the scheduled partition fires on the
+// first collect message and heals; failover retries must complete the
+// recovery anyway.
+func TestMatrixPartitionDuringRecovery(t *testing.T) {
+	cell, err := RunMatrixCell(MatrixCellSpec{
+		Scenario: ScenarioPartition, Mechanism: MechSR3Tree, Load: "burst",
+	}, 7201)
+	if err != nil {
+		t.Fatalf("cell: %v", err)
+	}
+	if !cell.ExactlyOnce {
+		t.Fatalf("exactly-once verdict false (missing=%d)", cell.Missing)
+	}
+}
+
+// TestMatrixTinyPreset runs the CI smoke subset end to end and validates
+// the produced report against the schema round-trip.
+func TestMatrixTinyPreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep in -short mode")
+	}
+	specs, err := MatrixPreset("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := MatrixSweep(specs)
+	for _, c := range report.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %s/%s: %s", c.Scenario, c.Mechanism, c.Error)
+		}
+		if !c.ExactlyOnce {
+			t.Fatalf("cell %s/%s not exactly-once (missing=%d)", c.Scenario, c.Mechanism, c.Missing)
+		}
+		if c.Scenario == ScenarioSlowNode && (c.SpuriousKill || !c.DegradedPath) {
+			t.Fatalf("cell %s/%s: spurious_kill=%v degraded_path=%v",
+				c.Scenario, c.Mechanism, c.SpuriousKill, c.DegradedPath)
+		}
+	}
+	blob, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ValidateMatrix(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Cells) != len(specs) {
+		t.Fatalf("round-trip cells = %d, want %d", len(parsed.Cells), len(specs))
+	}
+}
+
+// TestCommittedMatrixArtifact schema-validates the committed
+// BENCH_matrix.json so a stale or hand-edited artifact fails CI.
+func TestCommittedMatrixArtifact(t *testing.T) {
+	blob, err := os.ReadFile("../../BENCH_matrix.json")
+	if err != nil {
+		t.Fatalf("committed artifact: %v", err)
+	}
+	report, err := ValidateMatrix(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cells) < 12 {
+		t.Fatalf("committed matrix has %d cells, want >= 12", len(report.Cells))
+	}
+	scenarios := map[string]bool{}
+	for _, c := range report.Cells {
+		scenarios[c.Scenario] = true
+		if c.Error != "" {
+			t.Errorf("cell %s/%s/%s carries an error: %s", c.Scenario, c.Mechanism, c.Load, c.Error)
+			continue
+		}
+		if !c.ExactlyOnce {
+			t.Errorf("cell %s/%s/%s not exactly-once (missing=%d state_exact=%v)",
+				c.Scenario, c.Mechanism, c.Load, c.Missing, c.StateExact)
+		}
+		if c.Scenario == ScenarioSlowNode {
+			if c.SpuriousKill {
+				t.Errorf("cell %s/%s: slow node was spuriously killed", c.Scenario, c.Mechanism)
+			}
+			if !c.DegradedPath {
+				t.Errorf("cell %s/%s: degraded path not taken", c.Scenario, c.Mechanism)
+			}
+		}
+	}
+	for _, want := range []string{ScenarioCrash, ScenarioCrash2, ScenarioPartition,
+		ScenarioSlowNode, ScenarioFlakyLink, ScenarioCrashIngest} {
+		if !scenarios[want] {
+			t.Errorf("committed matrix missing scenario %q", want)
+		}
+	}
+}

@@ -68,6 +68,20 @@ type Config struct {
 	// an isolated node cannot spuriously declare its whole leaf set
 	// dead. Use 1 only in two-node deployments.
 	Quorum int
+	// DegradedRTT is the probe round trip above which a reply counts as
+	// slow; DegradedAfter consecutive slow replies move the peer to
+	// StateDegraded (default: Interval).
+	DegradedRTT time.Duration
+	// DegradedAfter is the consecutive-reply hysteresis for entering and
+	// leaving the degraded tier (default 2).
+	DegradedAfter int
+	// MinDeadSilence floors how long a peer must be silent before this
+	// detector declares it dead, regardless of φ and quorum (default
+	// 3×Interval). For peers with measured RTTs the effective floor is
+	// max(MinDeadSilence, 4×mean RTT) — see deadFloorLocked. This is the
+	// gray-failure guard: without it, the onset of a processing slowdown
+	// is indistinguishable from a crash and gets a spurious kill.
+	MinDeadSilence time.Duration
 	// Now injects the clock (default time.Now).
 	Now func() time.Time
 	// Tracer, when non-nil, pre-allocates a trace root for every death
@@ -92,6 +106,15 @@ func (c Config) withDefaults() Config {
 	if c.Quorum <= 0 {
 		c.Quorum = 2
 	}
+	if c.DegradedRTT <= 0 {
+		c.DegradedRTT = c.Interval
+	}
+	if c.DegradedAfter <= 0 {
+		c.DegradedAfter = 2
+	}
+	if c.MinDeadSilence <= 0 {
+		c.MinDeadSilence = 3 * c.Interval
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -100,11 +123,13 @@ func (c Config) withDefaults() Config {
 
 // Stats counts detector activity, for tests and the bench harness.
 type Stats struct {
-	ProbesSent   int64
-	Arrivals     int64
-	Suspicions   int64 // local φ-threshold crossings
-	Declarations int64 // peers declared dead by this detector
-	Suppressed   int64 // declarations withheld by the self-isolation guard
+	ProbesSent    int64
+	Arrivals      int64
+	Suspicions    int64 // local φ-threshold crossings
+	Declarations  int64 // peers declared dead by this detector
+	Suppressed    int64 // declarations withheld by the self-isolation guard
+	Degradations  int64 // peers classified slow-but-alive (gray.go)
+	FloorDeferred int64 // death verdicts withheld by the silence floor
 }
 
 // peerState tracks one probed peer.
@@ -120,7 +145,17 @@ type peerState struct {
 	// purge: the peer keeps being probed and is dropped only when it
 	// answers (live churn), never on silence (a death in progress).
 	outOfSet bool
+	// Gray-failure tier (gray.go): probe round-trip window and the
+	// slow/fast hysteresis that moves the peer in and out of
+	// StateDegraded.
+	rttWin     *arrivalWindow
+	degraded   bool
+	slowStreak int
+	fastStreak int
 }
+
+// rttWindow bounds the per-peer probe round-trip history.
+const rttWindow = 16
 
 // suspectMsg gossips one suspicion to the leaf set.
 type suspectMsg struct {
@@ -138,14 +173,15 @@ type Detector struct {
 	node *dht.Node
 	cfg  Config
 
-	mu         sync.Mutex
-	peers      map[id.ID]*peerState
-	suspecters map[id.ID]map[id.ID]bool // target -> distinct reporters
-	dead       map[id.ID]bool
-	onDead     []func(peer id.ID)
-	onDeadRep  []func(DeathReport)
-	stats      Stats
-	tickN      uint64
+	mu           sync.Mutex
+	peers        map[id.ID]*peerState
+	suspecters   map[id.ID]map[id.ID]bool // target -> distinct reporters
+	dead         map[id.ID]bool
+	onDead       []func(peer id.ID)
+	onDeadRep    []func(DeathReport)
+	onTransition []func(Transition)
+	stats        Stats
+	tickN        uint64
 
 	stop    chan struct{}
 	stopped bool
@@ -345,19 +381,23 @@ func (d *Detector) Tick() {
 	d.evaluate(now)
 }
 
-// probe sends one heartbeat and records the reply arrival.
+// probe sends one heartbeat and records the reply arrival, including
+// the round trip it took — the signal that separates slow from dead.
 func (d *Detector) probe(target id.ID) {
 	defer d.wg.Done()
+	start := d.cfg.Now()
 	_, err := d.node.Send(target, simnet.Message{Kind: kindProbe, Size: probeSize})
 	now := d.cfg.Now()
+	var trans []Transition
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	ps, ok := d.peers[target]
 	if !ok {
+		d.mu.Unlock()
 		return
 	}
 	ps.inflight = false
 	if err != nil {
+		d.mu.Unlock()
 		return // silence accrues into φ
 	}
 	d.stats.Arrivals++
@@ -366,14 +406,19 @@ func (d *Detector) probe(target id.ID) {
 		// churn (graceful departure / leaf-set reshuffle), stop tracking.
 		delete(d.peers, target)
 		delete(d.suspecters, target)
+		d.mu.Unlock()
 		return
 	}
+	from := d.stateLocked(target, ps)
+	rtt := now.Sub(start)
 	if d.dead[target] {
 		// Resurrection (chaos downtime, operator restart): clear the
 		// verdict and restart the arrival model — the downtime gap is
 		// not an inter-arrival sample.
 		delete(d.dead, target)
 		ps.win = newArrivalWindow(d.cfg.WindowSize)
+		ps.rttWin = nil
+		ps.degraded, ps.slowStreak, ps.fastStreak = false, 0, 0
 	} else {
 		ps.win.add(now.Sub(ps.last))
 	}
@@ -381,6 +426,31 @@ func (d *Detector) probe(target id.ID) {
 	ps.hinted = false
 	ps.suspect = false
 	delete(d.suspecters, target)
+	if ps.rttWin == nil {
+		ps.rttWin = newArrivalWindow(rttWindow)
+	}
+	ps.rttWin.add(rtt)
+	d.classifyRTTLocked(ps, rtt)
+	if to := d.stateLocked(target, ps); to != from {
+		var cause string
+		switch {
+		case from == StateDead:
+			cause = "probe answered: resurrection"
+		case to == StateDegraded:
+			cause = fmt.Sprintf("rtt %v above degraded threshold %v for %d probes",
+				rtt, d.cfg.DegradedRTT, ps.slowStreak)
+		case from == StateDegraded:
+			cause = fmt.Sprintf("rtt %v back at or under %v for %d probes",
+				rtt, d.cfg.DegradedRTT/2, ps.fastStreak)
+		default:
+			cause = "heartbeat arrived"
+		}
+		trans = append(trans, Transition{
+			Peer: target, From: from, To: to, At: now, Cause: cause, RTT: rtt,
+		})
+	}
+	d.mu.Unlock()
+	d.fire(trans)
 }
 
 // evaluate turns accrued silence into suspicions and verdicts.
@@ -394,6 +464,7 @@ func (d *Detector) evaluate(now time.Time) {
 	var gossip []suspectMsg
 	var verdicts []verdictFn
 	var leafGossip []id.ID
+	var trans []Transition
 
 	d.mu.Lock()
 	suspected := 0
@@ -413,8 +484,16 @@ func (d *Detector) evaluate(now time.Time) {
 		}
 		suspected++
 		if !ps.suspect {
+			from := d.stateLocked(peer, ps)
 			ps.suspect = true
 			d.stats.Suspicions++
+			if to := d.stateLocked(peer, ps); to != from {
+				trans = append(trans, Transition{
+					Peer: peer, From: from, To: to, At: now, Phi: phi,
+					Cause: fmt.Sprintf("phi %.1f crossed threshold %.1f after %v silence",
+						phi, threshold, now.Sub(ps.last).Round(time.Millisecond)),
+				})
+			}
 		}
 		d.addSuspicionLocked(peer, d.node.ID())
 		gossip = append(gossip, suspectMsg{Target: peer, Phi: phi})
@@ -431,6 +510,16 @@ func (d *Detector) evaluate(now time.Time) {
 				continue
 			}
 			if len(d.suspecters[peer]) >= d.cfg.Quorum {
+				// Silence floor: quorum agreement is not enough while the
+				// silence is still shorter than the peer's own round trips
+				// would explain — a degraded node's slow reply is in
+				// flight exactly then, and killing it would be spurious.
+				silence := now.Sub(ps.last)
+				if silence < d.deadFloorLocked(ps) {
+					d.stats.FloorDeferred++
+					continue
+				}
+				from := d.stateLocked(peer, ps)
 				d.dead[peer] = true
 				d.stats.Declarations++
 				hooks := make([]func(id.ID), len(d.onDead))
@@ -440,12 +529,19 @@ func (d *Detector) evaluate(now time.Time) {
 				verdicts = append(verdicts, verdictFn{
 					target: peer, silentSince: ps.last, hooks: hooks, hooksRep: hooksRep,
 				})
+				trans = append(trans, Transition{
+					Peer: peer, From: from, To: StateDead, At: now,
+					Phi: d.phiLocked(ps, now),
+					Cause: fmt.Sprintf("quorum of %d suspecters after %v silence",
+						len(d.suspecters[peer]), silence.Round(time.Millisecond)),
+				})
 			}
 		}
 	} else if suspected > 0 {
 		d.stats.Suppressed++
 	}
 	d.mu.Unlock()
+	d.fire(trans)
 
 	if len(gossip) > 0 || len(verdicts) > 0 {
 		leafGossip = d.node.LeafSet()
@@ -518,24 +614,32 @@ func (d *Detector) handleSuspect(from id.ID, msg simnet.Message) (simnet.Message
 	return simnet.Message{Kind: kindSuspect, Size: probeSize}, nil
 }
 
-func (d *Detector) handleObituary(_ id.ID, msg simnet.Message) (simnet.Message, error) {
+func (d *Detector) handleObituary(from id.ID, msg simnet.Message) (simnet.Message, error) {
 	req, ok := msg.Payload.(*obituaryMsg)
 	if !ok {
 		return simnet.Message{}, fmt.Errorf("detector: bad obituary payload %T", msg.Payload)
 	}
 	var hooks []func(id.ID)
 	var hooksRep []func(DeathReport)
+	var trans []Transition
 	var silentSince time.Time
 	d.mu.Lock()
 	if !d.dead[req.Target] && req.Target != d.node.ID() {
+		ps := d.peers[req.Target]
+		prev := d.stateLocked(req.Target, ps)
 		d.dead[req.Target] = true
 		hooks = append(hooks, d.onDead...)
 		hooksRep = append(hooksRep, d.onDeadRep...)
-		if ps, ok := d.peers[req.Target]; ok {
+		if ps != nil {
 			silentSince = ps.last
 		}
+		trans = append(trans, Transition{
+			Peer: req.Target, From: prev, To: StateDead, At: d.cfg.Now(),
+			Cause: fmt.Sprintf("obituary from %s", from.Short()),
+		})
 	}
 	d.mu.Unlock()
+	d.fire(trans)
 	if hooks != nil || hooksRep != nil {
 		d.node.ReportDead(req.Target)
 		for _, h := range hooks {

@@ -1,0 +1,223 @@
+package detector
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sr3/internal/dht"
+	"sr3/internal/id"
+	"sr3/internal/simnet"
+)
+
+// TestSlowPeerIsDegradedNotDead is the gray-failure core property: a
+// node whose service time inflates (but which still answers every
+// probe) must be classified StateDegraded — with transitions explaining
+// why — and must NOT be declared dead; clearing the slowdown returns it
+// to StateAlive; an actual crash afterwards still produces a dead
+// verdict.
+func TestSlowPeerIsDegradedNotDead(t *testing.T) {
+	ring, err := dht.BuildConverged(dht.Config{LeafSetSize: 8}, 17, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Interval:       10 * time.Millisecond,
+		Threshold:      3,
+		Quorum:         2,
+		DegradedRTT:    10 * time.Millisecond,
+		MinDeadSilence: 50 * time.Millisecond,
+	}
+	ds := buildDetectors(t, ring, cfg)
+
+	var mu sync.Mutex
+	var trans []Transition
+	for _, d := range ds {
+		d.OnTransition(func(tr Transition) {
+			mu.Lock()
+			trans = append(trans, tr)
+			mu.Unlock()
+		})
+	}
+
+	// Warm-up at full speed.
+	for i := 0; i < 5; i++ {
+		tickAll(ring, ds)
+		settle()
+		time.Sleep(cfg.Interval)
+	}
+
+	victim := ring.IDs()[4]
+	ch := simnet.NewChaos(31)
+	ch.Degrade(victim, simnet.Degradation{Slowdown: 25 * time.Millisecond})
+	ring.Net.SetChaos(ch)
+
+	// Run long enough that a silence-only detector would have killed the
+	// victim many times over (φ crosses within 2–3 ticks of onset).
+	sawDegraded := func() bool {
+		for nid, d := range ds {
+			if nid != victim && d.Degraded(victim) {
+				return true
+			}
+		}
+		return false
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !sawDegraded() {
+		tickAll(ring, ds)
+		settle()
+		time.Sleep(cfg.Interval)
+	}
+	if !sawDegraded() {
+		t.Fatal("no detector classified the slow victim as degraded")
+	}
+	// Keep running: the verdict tier must hold at degraded, never dead.
+	for i := 0; i < 30; i++ {
+		tickAll(ring, ds)
+		settle()
+		time.Sleep(cfg.Interval)
+	}
+	for nid, d := range ds {
+		if nid == victim {
+			continue
+		}
+		if d.Dead(victim) {
+			t.Fatalf("detector on %s spuriously killed the slow-but-alive victim", nid.Short())
+		}
+	}
+	var sawTransition bool
+	var floorDeferred int64
+	mu.Lock()
+	for _, tr := range trans {
+		if tr.Peer == victim && tr.To == StateDegraded {
+			sawTransition = true
+			if tr.Cause == "" {
+				t.Error("degraded transition has no cause note")
+			}
+			if tr.RTT < cfg.DegradedRTT {
+				t.Errorf("degraded transition rtt %v below threshold %v", tr.RTT, cfg.DegradedRTT)
+			}
+		}
+	}
+	mu.Unlock()
+	if !sawTransition {
+		t.Fatal("no StateDegraded transition was emitted")
+	}
+	for _, d := range ds {
+		floorDeferred += d.Snapshot().FloorDeferred
+	}
+	t.Logf("floor-deferred verdicts across cluster: %d", floorDeferred)
+
+	// Clearing the slowdown must return the victim to alive.
+	ch.ClearDegrade(victim)
+	stillDegraded := func() bool {
+		for nid, d := range ds {
+			if nid != victim && d.Degraded(victim) {
+				return true
+			}
+		}
+		return false
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && stillDegraded() {
+		tickAll(ring, ds)
+		settle()
+		time.Sleep(cfg.Interval)
+	}
+	if stillDegraded() {
+		t.Fatal("victim stayed degraded after the slowdown was cleared")
+	}
+
+	// A real crash must still be detected: the floor delays, not blocks.
+	ring.Fail(victim)
+	anyDead := func() bool {
+		for nid, d := range ds {
+			if nid != victim && d.Dead(victim) {
+				return true
+			}
+		}
+		return false
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !anyDead() {
+		tickAll(ring, ds)
+		settle()
+		time.Sleep(cfg.Interval)
+	}
+	if !anyDead() {
+		t.Fatal("crashed victim never declared dead (silence floor too sticky)")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var deadCause string
+	for _, tr := range trans {
+		if tr.Peer == victim && tr.To == StateDead {
+			deadCause = tr.Cause
+		}
+	}
+	if deadCause == "" {
+		t.Fatal("no StateDead transition was emitted for the crash")
+	}
+}
+
+// TestDeadFloorScalesWithRTT checks the adaptive part of the silence
+// floor directly: a peer with slow measured round trips earns a floor of
+// several of its own RTTs, a fast peer keeps the configured minimum.
+func TestDeadFloorScalesWithRTT(t *testing.T) {
+	ring, err := dht.BuildConverged(dht.Config{LeafSetSize: 4}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(ring.Node(ring.IDs()[0]), Config{Interval: 10 * time.Millisecond})
+
+	fast := &peerState{rttWin: newArrivalWindow(rttWindow)}
+	fast.rttWin.add(100 * time.Microsecond)
+	if got, want := d.deadFloorLocked(fast), 30*time.Millisecond; got != want {
+		t.Fatalf("fast-peer floor = %v, want MinDeadSilence %v", got, want)
+	}
+
+	slow := &peerState{rttWin: newArrivalWindow(rttWindow)}
+	slow.rttWin.add(20 * time.Millisecond)
+	slow.rttWin.add(20 * time.Millisecond)
+	if got, want := d.deadFloorLocked(slow), 80*time.Millisecond; got != want {
+		t.Fatalf("slow-peer floor = %v, want 4×RTT %v", got, want)
+	}
+
+	none := &peerState{}
+	if got, want := d.deadFloorLocked(none), 30*time.Millisecond; got != want {
+		t.Fatalf("no-sample floor = %v, want %v", got, want)
+	}
+}
+
+// TestStateOfPrecedence pins the verdict-tier ladder used by StateOf.
+func TestStateOfPrecedence(t *testing.T) {
+	ring, err := dht.BuildConverged(dht.Config{LeafSetSize: 4}, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(ring.Node(ring.IDs()[0]), Config{})
+	peer := id.HashKey("tier-peer")
+
+	if got := d.StateOf(peer); got != StateAlive {
+		t.Fatalf("untracked peer state = %v, want alive", got)
+	}
+	d.mu.Lock()
+	ps := &peerState{suspect: true}
+	d.peers[peer] = ps
+	d.mu.Unlock()
+	if got := d.StateOf(peer); got != StateSuspected {
+		t.Fatalf("suspect state = %v, want suspected", got)
+	}
+	d.mu.Lock()
+	ps.degraded = true
+	d.mu.Unlock()
+	if got := d.StateOf(peer); got != StateDegraded {
+		t.Fatalf("degraded+suspect state = %v, want degraded", got)
+	}
+	d.mu.Lock()
+	d.dead[peer] = true
+	d.mu.Unlock()
+	if got := d.StateOf(peer); got != StateDead {
+		t.Fatalf("dead state = %v, want dead", got)
+	}
+}

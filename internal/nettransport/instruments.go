@@ -16,6 +16,7 @@ type netInstruments struct {
 	dialRetries  *metrics.Counter
 	dialFailures *metrics.Counter
 	timeouts     *metrics.Counter
+	slowPeer     *metrics.Counter
 }
 
 // SetMetrics enables transport counters (calls, dial attempts/retries/
@@ -31,6 +32,7 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 		dialRetries:  reg.Counter("sr3_net_dial_retries_total"),
 		dialFailures: reg.Counter("sr3_net_dial_failures_total"),
 		timeouts:     reg.Counter("sr3_net_io_timeouts_total"),
+		slowPeer:     reg.Counter("sr3_net_slow_peer_timeouts_total"),
 	})
 }
 
@@ -48,11 +50,20 @@ func (ni *netInstruments) noteDial(attempts int, err error) {
 	}
 }
 
-// noteTimeout counts one exchange aborted by the I/O deadline.
-func (n *Network) noteTimeout() {
-	if ni := n.instr.Load(); ni != nil {
-		ni.timeouts.Inc()
+// noteTimeout counts one exchange aborted by the I/O deadline. slow
+// marks exchanges run under a tightened per-peer or per-call deadline —
+// those land in the slow-peer counter, separating "degraded peer missed
+// its shortened deadline" from "peer looks dead" in /metrics.
+func (n *Network) noteTimeout(slow bool) {
+	ni := n.instr.Load()
+	if ni == nil {
+		return
 	}
+	if slow {
+		ni.slowPeer.Inc()
+		return
+	}
+	ni.timeouts.Inc()
 }
 
 // instrPtr aliases the atomic holder so the Network struct declaration

@@ -102,3 +102,66 @@ func TestTransportTimeoutCounter(t *testing.T) {
 		t.Fatalf("timeouts = %d, want 1", got)
 	}
 }
+
+// TestSlowPeerTimeoutCounter: a timeout hit under a per-peer or
+// per-call deadline override lands in the slow-peer counter, not the
+// generic I/O timeout counter — the /metrics split between "degraded
+// peer missed its tightened deadline" and "peer looks dead".
+func TestSlowPeerTimeoutCounter(t *testing.T) {
+	n := New()
+	defer n.Close()
+	reg := metrics.NewRegistry()
+	n.SetMetrics(reg)
+
+	a, b := id.HashKey("sp-a"), id.HashKey("sp-b")
+	if err := n.Register(a, func(id.ID, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{Kind: "ok"}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stall := make(chan struct{})
+	defer close(stall)
+	if err := n.Register(b, func(id.ID, simnet.Message) (simnet.Message, error) {
+		<-stall
+		return simnet.Message{Kind: "ok"}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-peer override: Call picks it up and classifies the timeout.
+	n.SetPeerTimeout(b, 50*time.Millisecond)
+	if d, ok := n.PeerTimeout(b); !ok || d != 50*time.Millisecond {
+		t.Fatalf("PeerTimeout = %v,%v after SetPeerTimeout", d, ok)
+	}
+	if _, err := n.Call(a, b, simnet.Message{Kind: "ping"}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if got := reg.Counter("sr3_net_slow_peer_timeouts_total").Value(); got != 1 {
+		t.Fatalf("slow-peer timeouts = %d, want 1", got)
+	}
+	if got := reg.Counter("sr3_net_io_timeouts_total").Value(); got != 0 {
+		t.Fatalf("generic timeouts = %d, want 0", got)
+	}
+
+	// Per-call override works without any per-peer state.
+	n.SetPeerTimeout(b, 0)
+	if _, ok := n.PeerTimeout(b); ok {
+		t.Fatal("override survived SetPeerTimeout(0)")
+	}
+	if _, err := n.CallTimeout(a, b, simnet.Message{Kind: "ping"}, 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if got := reg.Counter("sr3_net_slow_peer_timeouts_total").Value(); got != 2 {
+		t.Fatalf("slow-peer timeouts = %d, want 2", got)
+	}
+
+	// With the override cleared, a plain Call that times out is generic
+	// again.
+	n.SetIOTimeout(50 * time.Millisecond)
+	if _, err := n.Call(a, b, simnet.Message{Kind: "ping"}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if got := reg.Counter("sr3_net_io_timeouts_total").Value(); got != 1 {
+		t.Fatalf("generic timeouts = %d, want 1", got)
+	}
+}

@@ -159,8 +159,12 @@ type Network struct {
 	addrs     map[id.ID]string
 	closed    bool
 	ioTimeout time.Duration
-	dial      DialRetryPolicy
-	tracer    *obs.Tracer
+	// peerTimeout holds per-peer deadline overrides (escalation policy:
+	// the supervisor tightens deadlines toward degraded peers so a slow
+	// node sheds load instead of pinning callers for the full timeout).
+	peerTimeout map[id.ID]time.Duration
+	dial        DialRetryPolicy
+	tracer      *obs.Tracer
 
 	// Data-plane accounting (see frame.go): raw-body bytes and chunk
 	// frames moved through this transport, and the destination-buffer pool.
@@ -213,9 +217,10 @@ var _ simnet.Transport = (*Network)(nil)
 // New returns an empty TCP transport.
 func New() *Network {
 	return &Network{
-		servers:   make(map[id.ID]*server),
-		addrs:     make(map[id.ID]string),
-		ioTimeout: DefaultIOTimeout,
+		servers:     make(map[id.ID]*server),
+		addrs:       make(map[id.ID]string),
+		peerTimeout: make(map[id.ID]time.Duration),
+		ioTimeout:   DefaultIOTimeout,
 	}
 }
 
@@ -225,6 +230,30 @@ func (n *Network) SetIOTimeout(d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.ioTimeout = d
+}
+
+// SetPeerTimeout installs a per-peer deadline override for exchanges
+// *to* nid, taking precedence over the global I/O timeout. d <= 0
+// removes the override. Timeouts hit under an override are counted as
+// slow-peer timeouts (sr3_net_slow_peer_timeouts_total), separating
+// "degraded peer missed its tightened deadline" from "peer is dead"
+// in /metrics.
+func (n *Network) SetPeerTimeout(nid id.ID, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.peerTimeout, nid)
+		return
+	}
+	n.peerTimeout[nid] = d
+}
+
+// PeerTimeout reports the per-peer deadline override for nid, if any.
+func (n *Network) PeerTimeout(nid id.ID) (time.Duration, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	d, ok := n.peerTimeout[nid]
+	return d, ok
 }
 
 // SetDialRetryPolicy overrides the dial retry policy for future Calls.
@@ -276,6 +305,17 @@ func (n *Network) timeout() time.Duration {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.ioTimeout
+}
+
+// timeoutFor resolves the effective deadline for an exchange to nid and
+// whether it came from a per-peer override (the slow-peer marker).
+func (n *Network) timeoutFor(nid id.ID) (time.Duration, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if d, ok := n.peerTimeout[nid]; ok {
+		return d, true
+	}
+	return n.ioTimeout, false
 }
 
 // isTimeout reports whether err is a network deadline expiry (gob wraps
@@ -392,8 +432,24 @@ func (n *Network) serveConn(nid id.ID, srv *server, conn net.Conn) {
 	reply.ReleaseRaw()
 }
 
-// Call dials the destination and performs one request/reply exchange.
+// Call dials the destination and performs one request/reply exchange
+// under the peer's effective deadline (per-peer override when set, the
+// global I/O timeout otherwise).
 func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, error) {
+	timeout, slow := n.timeoutFor(to)
+	return n.call(from, to, msg, timeout, slow)
+}
+
+// CallTimeout is Call with a per-call deadline override, taking
+// precedence over both the per-peer and global timeouts. Callers use it
+// to bound a single exchange to a peer they already suspect is slow; a
+// timeout under the override is therefore counted as a slow-peer
+// timeout.
+func (n *Network) CallTimeout(from, to id.ID, msg simnet.Message, d time.Duration) (simnet.Message, error) {
+	return n.call(from, to, msg, d, true)
+}
+
+func (n *Network) call(from, to id.ID, msg simnet.Message, timeout time.Duration, slow bool) (simnet.Message, error) {
 	ni := n.instr.Load()
 	if ni != nil {
 		ni.calls.Inc()
@@ -430,7 +486,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 	// Per-request deadline: a peer that accepts but stalls mid-exchange
 	// yields ErrTimeout instead of blocking the caller forever. Raw-body
 	// frames refresh it per chunk (frame.go).
-	fio := frameIO{conn: conn, r: bufio.NewReader(conn), timeout: n.timeout()}
+	fio := frameIO{conn: conn, r: bufio.NewReader(conn), timeout: timeout}
 	fio.refresh()
 
 	enc := gob.NewEncoder(conn)
@@ -438,7 +494,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 	if err := enc.Encode(&wireRequest{From: from, Kind: msg.Kind, Size: msg.Size, Body: msg.Payload,
 		RawLen: len(msg.Raw), TraceID: msg.TraceID, SpanID: msg.SpanID}); err != nil {
 		if isTimeout(err) {
-			n.noteTimeout()
+			n.noteTimeout(slow)
 			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 		}
 		return simnet.Message{}, fmt.Errorf("call to %s: encode: %w", to.Short(), err)
@@ -450,7 +506,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 		n.rawFrames.Add(frames)
 		if err != nil {
 			if isTimeout(err) {
-				n.noteTimeout()
+				n.noteTimeout(slow)
 				return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 			}
 			return simnet.Message{}, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)
@@ -462,7 +518,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 	var reply wireReply
 	if err := dec.Decode(&reply); err != nil {
 		if isTimeout(err) {
-			n.noteTimeout()
+			n.noteTimeout(slow)
 			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 		}
 		return simnet.Message{}, fmt.Errorf("call to %s: decode: %w", to.Short(), err)
@@ -482,7 +538,7 @@ func (n *Network) Call(from, to id.ID, msg simnet.Message) (simnet.Message, erro
 		if err != nil {
 			n.pool.put(buf)
 			if isTimeout(err) {
-				n.noteTimeout()
+				n.noteTimeout(slow)
 				return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 			}
 			return simnet.Message{}, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)

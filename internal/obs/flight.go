@@ -21,6 +21,15 @@ const (
 	FlightRecoveryOK    = "recovery.ok"
 	FlightRecoveryFail  = "recovery.fail"
 	FlightDumpMark      = "dump"
+	// Gray-failure tier transitions (supervise escalation policy): a
+	// peer suspected by φ, classified slow-but-alive, back to healthy,
+	// or escalated to a kill verdict after degrading too long. Detail
+	// carries the detector's cause note so PostMortem explains why a
+	// node was demoted rather than killed.
+	FlightSuspected    = "gray.suspected"
+	FlightDegraded     = "gray.degraded"
+	FlightDegradeClear = "gray.clear"
+	FlightEscalated    = "gray.escalated"
 )
 
 // FlightEvent is one journal entry. Fields are flat strings so a dump is

@@ -22,13 +22,24 @@ type Cluster struct {
 	Ring     *dht.Ring
 	managers map[id.ID]*Manager
 	tracer   *obs.Tracer
+
+	// degraded is the gray-failure set: nodes known slow-but-alive.
+	// Recovery planning routes around members instead of through them.
+	degradedMu sync.RWMutex
+	degraded   map[id.ID]bool
 }
 
 // NewCluster attaches SR3 managers to all ring nodes.
 func NewCluster(ring *dht.Ring) *Cluster {
-	c := &Cluster{Ring: ring, managers: make(map[id.ID]*Manager, ring.Size())}
+	c := &Cluster{
+		Ring:     ring,
+		managers: make(map[id.ID]*Manager, ring.Size()),
+		degraded: make(map[id.ID]bool),
+	}
 	for _, nid := range ring.IDs() {
-		c.managers[nid] = NewManager(ring.Node(nid))
+		m := NewManager(ring.Node(nid))
+		m.SetDegradedCheck(c.IsDegraded)
+		c.managers[nid] = m
 	}
 	return c
 }
@@ -50,6 +61,7 @@ func (c *Cluster) SetTracer(tr *obs.Tracer) {
 func (c *Cluster) AttachNode(n *dht.Node) *Manager {
 	m := NewManager(n)
 	m.SetTracer(c.tracer)
+	m.SetDegradedCheck(c.IsDegraded)
 	c.managers[n.ID()] = m
 	return m
 }
@@ -224,26 +236,47 @@ func (c *Cluster) RecoverMany(apps []string, mech Mechanism, opts Options) ([]Re
 	return results, nil
 }
 
-// pickReplacement returns the live node closest to the failed owner.
+// pickReplacement returns the live node closest to the failed owner,
+// skipping degraded candidates when a healthy one exists — rebuilding
+// state *onto* a slow node would bake the gray failure into the
+// recovered placement.
 func (c *Cluster) pickReplacement(owner id.ID) (id.ID, bool) {
 	if c.Ring.Net.Alive(owner) {
 		return owner, true // owner restarted: recover in place
 	}
-	return c.Ring.ClosestLive(owner)
+	nid, ok := c.Ring.ClosestLive(owner)
+	if !ok {
+		return nid, false
+	}
+	if c.IsDegraded(nid) {
+		for _, cand := range c.Ring.SortedLiveByDistance(owner) {
+			if !c.IsDegraded(cand) {
+				return cand, true
+			}
+		}
+	}
+	return nid, true
 }
 
 // liveStages picks, for every shard index, one live replica holder, then
 // groups indices by holder. Holders are ordered by ring distance from the
 // replacement, farthest first (so line chains end near the replacement,
-// as in Fig 4).
+// as in Fig 4). Degraded holders are chosen only when no healthy replica
+// of an index survives — the planning half of gray-failure rerouting.
 func (c *Cluster) liveStages(p shard.Placement, replacement id.ID) ([]stage, error) {
 	byHolder := make(map[id.ID][]int)
 	for i := 0; i < p.M; i++ {
 		var chosen id.ID
 		found := false
-		for _, h := range p.NodesForIndex(i) {
-			if c.Ring.Net.Alive(h) && c.managers[h] != nil &&
-				c.managers[h].hasIndex(p.App, i) {
+		for pass := 0; pass < 2 && !found; pass++ {
+			for _, h := range p.NodesForIndex(i) {
+				if !c.Ring.Net.Alive(h) || c.managers[h] == nil ||
+					!c.managers[h].hasIndex(p.App, i) {
+					continue
+				}
+				if pass == 0 && c.IsDegraded(h) {
+					continue // prefer a healthy replica this pass
+				}
 				chosen = h
 				found = true
 				break
@@ -359,7 +392,9 @@ func (m *Manager) fetchIndexRetryInto(a *assembler, app string, index int, p sha
 }
 
 func (m *Manager) fetchIndexRetry(a *assembler, app string, index int, p shard.Placement, opts Options, oc *outcomeRecorder, tc obs.SpanContext) (int, error) {
-	holders := p.NodesForIndex(index)
+	// Replica demotion: degraded holders move to the back of the try
+	// order, so a slow replica is consulted only after healthy ones fail.
+	holders := m.demoteDegraded(p.NodesForIndex(index))
 	inline := opts.SequentialFetch
 	if opts.Speculate && len(holders) > 1 {
 		type res struct {
@@ -767,6 +802,18 @@ func (m *Manager) collectTree(app string, stages []stage, fanout int, p shard.Pl
 	}
 	oc.attempt()
 	remote, _ := m.mergeLocal(a, app, stages)
+	// Subtree → direct fetch: degraded providers are excised from the
+	// forest so no healthy subtree is chained behind a slow interior
+	// node; their indices stay missing and fall to the star ladder below
+	// (which itself demotes degraded replicas to last resort). Skipped
+	// under DisableFailover, where the ladder is unavailable.
+	if !opts.DisableFailover {
+		healthy, slow := m.splitDegraded(remote)
+		if len(slow) > 0 {
+			remote = healthy
+			oc.degrade(Star)
+		}
+	}
 	roots := buildForest(remote, fanout)
 	if opts.SequentialFetch && len(roots) > 1 {
 		// Baseline mode: one subtree, walked as a single sequential unit.

@@ -40,6 +40,10 @@ type Manager struct {
 	// tracer parents handler-side collect spans on the inbound message's
 	// span context (atomic: handlers read it concurrently with SetTracer).
 	tracer atomic.Pointer[obs.Tracer]
+	// slowCheck reports whether a peer is marked degraded (slow-but-
+	// alive); recovery routing deprioritizes such holders. Installed by
+	// the owning Cluster; nil disables degraded routing.
+	slowCheck atomic.Pointer[func(id.ID) bool]
 
 	mu         sync.Mutex
 	shards     map[shard.Key]shard.Shard

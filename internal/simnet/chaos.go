@@ -34,6 +34,11 @@ type LinkFaults struct {
 	DelayProb float64
 	// Delay is the injected latency for delayed messages.
 	Delay time.Duration
+	// Jitter widens delayed deliveries by a deterministic
+	// pseudo-random extra in [0, Jitter), turning the fixed Delay into
+	// a jittered latency distribution (flaky-link model). Asymmetric
+	// links come from SetLink, which is per direction.
+	Jitter time.Duration
 	// KindPrefix restricts fault injection to messages whose Kind starts
 	// with this prefix ("" = all traffic). Chaos runs use this to target
 	// one protocol layer (e.g. "sr3." for recovery traffic) without
@@ -71,6 +76,11 @@ type ChaosStats struct {
 	Delayed    int
 	Crashes    int
 	Severed    int // calls blocked by a partition
+	// Gray-failure counters (gray.go).
+	Slowed          int // deliveries slowed by an active degradation
+	Stalled         int // deliveries that hit an intermittent stall
+	DegradesFired   int // degradation profiles activated
+	PartitionsFired int // scheduled partitions that fired
 }
 
 // Chaos is a deterministic fault-injection plan attached to a Network.
@@ -79,14 +89,18 @@ type ChaosStats struct {
 // goroutine interleaving across links: the n-th message on a given link
 // always receives the same verdict for a given seed.
 type Chaos struct {
-	mu      sync.Mutex
-	seed    uint64
-	faults  LinkFaults
-	perLink map[[2]id.ID]*LinkFaults
-	seq     map[[2]id.ID]uint64
-	groups  map[id.ID]int
-	crashes []*crashState
-	stats   ChaosStats
+	mu       sync.Mutex
+	seed     uint64
+	faults   LinkFaults
+	perLink  map[[2]id.ID]*LinkFaults
+	seq      map[[2]id.ID]uint64
+	graySeq  map[[2]id.ID]uint64
+	groups   map[id.ID]int
+	partGen  uint64
+	crashes  []*crashState
+	degrades []*degradeState
+	parts    []*partitionState
+	stats    ChaosStats
 }
 
 // NewChaos returns an empty fault plan with the given seed.
@@ -95,6 +109,7 @@ func NewChaos(seed int64) *Chaos {
 		seed:    uint64(seed),
 		perLink: make(map[[2]id.ID]*LinkFaults),
 		seq:     make(map[[2]id.ID]uint64),
+		graySeq: make(map[[2]id.ID]uint64),
 		groups:  make(map[id.ID]int),
 	}
 }
@@ -129,18 +144,14 @@ func (c *Chaos) Crash(s CrashSchedule) {
 func (c *Chaos) Partition(groups ...[]id.ID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.groups = make(map[id.ID]int)
-	for g, members := range groups {
-		for _, nid := range members {
-			c.groups[nid] = g
-		}
-	}
+	c.setGroupsLocked(groups)
 }
 
 // Heal removes the current partition.
 func (c *Chaos) Heal() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.partGen++
 	c.groups = make(map[id.ID]int)
 }
 
@@ -190,26 +201,31 @@ func (c *Chaos) decide(from, to id.ID, kind string) chaosAction {
 		}
 	}
 
+	// Partition schedules count every delivery that gets this far; a
+	// schedule firing here severs *later* calls (the trigger delivers).
+	c.partitionTickLocked(kind)
+
+	// Gray degradations: slow-but-alive service at the destination.
+	act := chaosAction{delay: c.grayDelayLocked(from, to, kind)}
+
 	// Probabilistic link faults from the deterministic per-link stream.
 	f := c.faults
 	if lf, ok := c.perLink[[2]id.ID{from, to}]; ok {
 		f = *lf
 	}
 	if !strings.HasPrefix(kind, f.KindPrefix) {
-		return chaosAction{}
+		return act
 	}
 	if f.DropProb <= 0 && f.DupProb <= 0 && f.DelayProb <= 0 {
-		return chaosAction{}
+		return act
 	}
 	key := [2]id.ID{from, to}
 	n := c.seq[key]
 	c.seq[key] = n + 1
 
-	var act chaosAction
 	if chaosUnit(c.seed, from, to, n, 0) < f.DropProb {
 		c.stats.Dropped++
-		act.block = ErrLinkDropped
-		return act
+		return chaosAction{block: ErrLinkDropped}
 	}
 	if chaosUnit(c.seed, from, to, n, 1) < f.DupProb {
 		c.stats.Duplicated++
@@ -217,7 +233,11 @@ func (c *Chaos) decide(from, to id.ID, kind string) chaosAction {
 	}
 	if chaosUnit(c.seed, from, to, n, 2) < f.DelayProb {
 		c.stats.Delayed++
-		act.delay = f.Delay
+		d := f.Delay
+		if f.Jitter > 0 {
+			d += time.Duration(chaosUnit(c.seed, from, to, n, 3) * float64(f.Jitter))
+		}
+		act.delay += d
 	}
 	return act
 }

@@ -1,0 +1,239 @@
+package simnet
+
+import (
+	"strings"
+	"time"
+
+	"sr3/internal/id"
+)
+
+// Gray failures: components that are degraded rather than dead. A
+// degraded node still answers every call, just slowly — scaled service
+// time, deterministic jitter, intermittent stalls — which is exactly the
+// failure mode a silence-based detector mistakes for a crash. Like all
+// chaos faults, every decision derives from the seed and per-link
+// message counters, so a run with the same seed and the same per-link
+// message order reproduces the same delay/stall schedule.
+
+// Degradation is a gray-failure service profile for one node.
+type Degradation struct {
+	// Slowdown is added to the service time of every matching inbound
+	// message; callers observe it as RTT inflation.
+	Slowdown time.Duration
+	// Jitter adds a deterministic pseudo-random extra delay in
+	// [0, Jitter) per message, drawn from the chaos seed.
+	Jitter time.Duration
+	// StallProb is the probability a matching message hits an
+	// intermittent stall (evaluated deterministically, like the
+	// LinkFaults probabilities).
+	StallProb float64
+	// StallFor is the stall duration.
+	StallFor time.Duration
+	// KindPrefix restricts the degradation to matching inbound message
+	// kinds ("" = all traffic to the node).
+	KindPrefix string
+}
+
+// DegradeSchedule arms a Degradation at a deterministic point in the
+// message flow, mirroring CrashSchedule: when the node receives its
+// AfterMessages-th message whose Kind starts with TriggerPrefix, the
+// profile activates (the triggering message is the first slowed one).
+type DegradeSchedule struct {
+	Node id.ID
+	// TriggerPrefix selects which inbound messages count toward
+	// activation ("" = all).
+	TriggerPrefix string
+	// AfterMessages is the 1-based count at which the profile activates;
+	// values <= 0 activate immediately.
+	AfterMessages int
+	// Duration bounds the degradation (0 = until ClearDegrade).
+	Duration time.Duration
+	// Profile is the service degradation applied while active.
+	Profile Degradation
+}
+
+type degradeState struct {
+	DegradeSchedule
+	seen   int
+	active bool
+	done   bool // expired (Duration) or cleared
+}
+
+// PartitionSchedule installs a partition at a deterministic point in the
+// message flow — the tool for faults that fire *during* an in-flight
+// recovery: trigger on the recovery protocol's kind prefix and the
+// partition lands mid-collection. The triggering message is still
+// delivered; the split applies from the next call on.
+type PartitionSchedule struct {
+	// TriggerPrefix selects which deliveries (on any link) count
+	// toward the trigger ("" = all).
+	TriggerPrefix string
+	// AfterMessages is the 1-based count of matching deliveries at
+	// which the partition fires.
+	AfterMessages int
+	// Groups are the isolated node groups, as in Partition.
+	Groups [][]id.ID
+	// HealAfter removes the partition that long after it fires
+	// (0 = it stays until Heal). A manual Partition or Heal in the
+	// meantime supersedes the scheduled heal.
+	HealAfter time.Duration
+}
+
+type partitionState struct {
+	PartitionSchedule
+	seen  int
+	fired bool
+}
+
+// Degrade activates a gray-failure profile on a node immediately. It
+// stays active until ClearDegrade.
+func (c *Chaos) Degrade(node id.ID, p Degradation) {
+	c.ScheduleDegrade(DegradeSchedule{Node: node, Profile: p})
+}
+
+// ScheduleDegrade arms a degradation schedule.
+func (c *Chaos) ScheduleDegrade(s DegradeSchedule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds := &degradeState{DegradeSchedule: s}
+	c.degrades = append(c.degrades, ds)
+	if s.AfterMessages <= 0 {
+		c.activateLocked(ds)
+	}
+}
+
+// ClearDegrade deactivates every degradation (active or armed) for the
+// node.
+func (c *Chaos) ClearDegrade(node id.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ds := range c.degrades {
+		if ds.Node == node {
+			ds.active = false
+			ds.done = true
+		}
+	}
+}
+
+// DegradedNow reports whether any degradation is currently active for
+// the node.
+func (c *Chaos) DegradedNow(node id.ID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ds := range c.degrades {
+		if ds.Node == node && ds.active {
+			return true
+		}
+	}
+	return false
+}
+
+// SchedulePartition arms a partition schedule.
+func (c *Chaos) SchedulePartition(s PartitionSchedule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.parts = append(c.parts, &partitionState{PartitionSchedule: s})
+}
+
+// activateLocked flips a degradation on and, when bounded, schedules its
+// expiry. Caller holds c.mu.
+func (c *Chaos) activateLocked(ds *degradeState) {
+	ds.active = true
+	c.stats.DegradesFired++
+	if ds.Duration > 0 {
+		time.AfterFunc(ds.Duration, func() {
+			c.mu.Lock()
+			ds.active = false
+			ds.done = true
+			c.mu.Unlock()
+		})
+	}
+}
+
+// grayDelayLocked evaluates active degradations for one inbound message
+// and returns the extra service delay. It also advances schedules whose
+// trigger this message matches. Caller holds c.mu.
+func (c *Chaos) grayDelayLocked(from, to id.ID, kind string) time.Duration {
+	var delay time.Duration
+	for _, ds := range c.degrades {
+		if ds.Node != to || ds.done {
+			continue
+		}
+		if !ds.active {
+			if !strings.HasPrefix(kind, ds.TriggerPrefix) {
+				continue
+			}
+			ds.seen++
+			if ds.seen < ds.AfterMessages {
+				continue
+			}
+			c.activateLocked(ds)
+		}
+		p := ds.Profile
+		if !strings.HasPrefix(kind, p.KindPrefix) {
+			continue
+		}
+		d := p.Slowdown
+		if p.Jitter > 0 || p.StallProb > 0 {
+			key := [2]id.ID{from, to}
+			n := c.graySeq[key]
+			c.graySeq[key] = n + 1
+			if p.Jitter > 0 {
+				d += time.Duration(chaosUnit(c.seed, from, to, n, 4) * float64(p.Jitter))
+			}
+			if p.StallProb > 0 && chaosUnit(c.seed, from, to, n, 5) < p.StallProb {
+				d += p.StallFor
+				c.stats.Stalled++
+			}
+		}
+		if d > 0 {
+			c.stats.Slowed++
+			delay += d
+		}
+	}
+	return delay
+}
+
+// partitionTickLocked counts one delivery against every armed partition
+// schedule and fires those that hit their trigger. Caller holds c.mu.
+func (c *Chaos) partitionTickLocked(kind string) {
+	for _, ps := range c.parts {
+		if ps.fired || !strings.HasPrefix(kind, ps.TriggerPrefix) {
+			continue
+		}
+		ps.seen++
+		if ps.seen < ps.AfterMessages {
+			continue
+		}
+		ps.fired = true
+		c.stats.PartitionsFired++
+		c.setGroupsLocked(ps.Groups)
+		if ps.HealAfter > 0 {
+			gen := c.partGen
+			time.AfterFunc(ps.HealAfter, func() { c.healGeneration(gen) })
+		}
+	}
+}
+
+// setGroupsLocked replaces the active partition. Caller holds c.mu.
+func (c *Chaos) setGroupsLocked(groups [][]id.ID) {
+	c.partGen++
+	c.groups = make(map[id.ID]int)
+	for g, members := range groups {
+		for _, nid := range members {
+			c.groups[nid] = g
+		}
+	}
+}
+
+// healGeneration heals the partition only if it is still the one
+// installed at generation gen — a later manual Partition or Heal wins.
+func (c *Chaos) healGeneration(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.partGen != gen {
+		return
+	}
+	c.partGen++
+	c.groups = make(map[id.ID]int)
+}

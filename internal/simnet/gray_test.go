@@ -1,0 +1,176 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sr3/internal/id"
+)
+
+// TestDegradeSlowsMatchingTraffic checks the core gray-failure contract:
+// an active degradation adds service delay to matching inbound messages
+// only, and ClearDegrade restores full speed.
+func TestDegradeSlowsMatchingTraffic(t *testing.T) {
+	a, b := id.HashKey("gray-a"), id.HashKey("gray-b")
+	ch := NewChaos(3)
+	ch.Degrade(b, Degradation{Slowdown: 5 * time.Millisecond, KindPrefix: "sr3."})
+
+	if act := ch.decide(a, b, "sr3.shard.fetchIndex"); act.delay != 5*time.Millisecond {
+		t.Fatalf("matching kind delay = %v, want 5ms", act.delay)
+	}
+	if act := ch.decide(a, b, "other.kind"); act.delay != 0 {
+		t.Fatalf("non-matching kind delayed by %v", act.delay)
+	}
+	if act := ch.decide(b, a, "sr3.shard.fetchIndex"); act.delay != 0 {
+		t.Fatalf("reverse direction delayed by %v (degradation is per destination)", act.delay)
+	}
+	if !ch.DegradedNow(b) {
+		t.Fatal("DegradedNow(b) = false while active")
+	}
+	ch.ClearDegrade(b)
+	if ch.DegradedNow(b) {
+		t.Fatal("DegradedNow(b) = true after ClearDegrade")
+	}
+	if act := ch.decide(a, b, "sr3.shard.fetchIndex"); act.delay != 0 {
+		t.Fatalf("cleared degradation still delayed by %v", act.delay)
+	}
+	st := ch.Stats()
+	if st.Slowed != 1 || st.DegradesFired != 1 {
+		t.Fatalf("stats = %+v, want Slowed=1 DegradesFired=1", st)
+	}
+}
+
+// TestDegradeScheduleActivatesAfterN verifies the CrashSchedule-style
+// deterministic trigger: messages before the threshold run at full
+// speed, the triggering message is the first slowed one.
+func TestDegradeScheduleActivatesAfterN(t *testing.T) {
+	a, b := id.HashKey("gray-a"), id.HashKey("gray-b")
+	ch := NewChaos(3)
+	ch.ScheduleDegrade(DegradeSchedule{
+		Node:          b,
+		TriggerPrefix: "sr3.",
+		AfterMessages: 3,
+		Profile:       Degradation{Slowdown: time.Millisecond},
+	})
+	for i := 0; i < 2; i++ {
+		if act := ch.decide(a, b, "sr3.x"); act.delay != 0 {
+			t.Fatalf("message %d slowed before trigger", i+1)
+		}
+	}
+	// Non-matching kinds do not advance the trigger.
+	if act := ch.decide(a, b, "hb.probe"); act.delay != 0 {
+		t.Fatal("non-matching kind slowed")
+	}
+	if act := ch.decide(a, b, "sr3.x"); act.delay != time.Millisecond {
+		t.Fatalf("triggering message delay = %v, want 1ms", act.delay)
+	}
+	// Once active, the profile applies to every matching message.
+	if act := ch.decide(a, b, "hb.probe"); act.delay != time.Millisecond {
+		t.Fatalf("post-activation message delay = %v, want 1ms (profile KindPrefix is empty)", act.delay)
+	}
+}
+
+// TestDegradeDurationExpires bounds a degradation with Duration and
+// checks it self-clears.
+func TestDegradeDurationExpires(t *testing.T) {
+	a, b := id.HashKey("gray-a"), id.HashKey("gray-b")
+	ch := NewChaos(3)
+	ch.ScheduleDegrade(DegradeSchedule{
+		Node:     b,
+		Duration: 20 * time.Millisecond,
+		Profile:  Degradation{Slowdown: time.Millisecond},
+	})
+	if act := ch.decide(a, b, "m"); act.delay != time.Millisecond {
+		t.Fatalf("active degradation delay = %v", act.delay)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ch.DegradedNow(b) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ch.DegradedNow(b) {
+		t.Fatal("degradation never expired")
+	}
+	if act := ch.decide(a, b, "m"); act.delay != 0 {
+		t.Fatalf("expired degradation still delays %v", act.delay)
+	}
+}
+
+// TestPartitionScheduleFiresMidFlow arms a partition on the 3rd matching
+// delivery and checks the before/after connectivity plus the scheduled
+// heal.
+func TestPartitionScheduleFiresMidFlow(t *testing.T) {
+	net, ids := chaosNet(t, 3)
+	ch := NewChaos(11)
+	ch.SchedulePartition(PartitionSchedule{
+		TriggerPrefix: "sr3.",
+		AfterMessages: 3,
+		Groups:        [][]id.ID{{ids[0]}, {ids[1], ids[2]}},
+		HealAfter:     30 * time.Millisecond,
+	})
+	net.SetChaos(ch)
+
+	for i := 0; i < 3; i++ {
+		if _, err := net.Call(ids[0], ids[1], Message{Kind: "sr3.collect", Size: 8}); err != nil {
+			t.Fatalf("pre-partition call %d failed: %v", i+1, err)
+		}
+	}
+	// The 3rd matching delivery fired the schedule: cross-group calls
+	// now sever, intra-group calls keep working.
+	if _, err := net.Call(ids[0], ids[1], Message{Kind: "sr3.collect", Size: 8}); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("cross-group call after trigger: err=%v, want ErrPartitioned", err)
+	}
+	if _, err := net.Call(ids[1], ids[2], Message{Kind: "sr3.collect", Size: 8}); err != nil {
+		t.Fatalf("intra-group call severed: %v", err)
+	}
+	if ch.Stats().PartitionsFired != 1 {
+		t.Fatalf("PartitionsFired = %d, want 1", ch.Stats().PartitionsFired)
+	}
+
+	// HealAfter removes the split.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := net.Call(ids[0], ids[1], Message{Kind: "sr3.collect", Size: 8}); err == nil {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("partition never healed")
+}
+
+// TestScheduledHealDoesNotClobberManualPartition: a manual Partition
+// installed after the schedule fired must survive the scheduled heal.
+func TestScheduledHealDoesNotClobberManualPartition(t *testing.T) {
+	a, b := id.HashKey("gray-a"), id.HashKey("gray-b")
+	ch := NewChaos(5)
+	ch.SchedulePartition(PartitionSchedule{
+		AfterMessages: 1,
+		Groups:        [][]id.ID{{a}, {b}},
+		HealAfter:     10 * time.Millisecond,
+	})
+	ch.decide(a, b, "m") // trigger
+	// Supersede with a manual partition before the scheduled heal lands.
+	ch.Partition([]id.ID{a}, []id.ID{b})
+	time.Sleep(50 * time.Millisecond)
+	if act := ch.decide(a, b, "m"); !errors.Is(act.block, ErrPartitioned) {
+		t.Fatalf("manual partition healed by stale schedule: block=%v", act.block)
+	}
+}
+
+// TestDegradeThroughNetworkInflatesRTT drives real Calls through a
+// degraded endpoint and checks the caller observes the slowdown.
+func TestDegradeThroughNetworkInflatesRTT(t *testing.T) {
+	net, ids := chaosNet(t, 2)
+	ch := NewChaos(9)
+	const slow = 10 * time.Millisecond
+	ch.Degrade(ids[1], Degradation{Slowdown: slow})
+	net.SetChaos(ch)
+
+	start := time.Now()
+	if _, err := net.Call(ids[0], ids[1], Message{Kind: "m", Size: 8}); err != nil {
+		t.Fatalf("degraded call failed: %v (degraded means slow, not dead)", err)
+	}
+	if rtt := time.Since(start); rtt < slow {
+		t.Fatalf("call RTT %v < injected slowdown %v", rtt, slow)
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"sr3/internal/id"
 )
 
 // TestPropertyWorkConservation: total bytes sent equals the sum of all
@@ -112,6 +115,61 @@ func TestPropertyMakespanMonotoneInBytes(t *testing.T) {
 			return false
 		}
 		return r2.Makespan >= r1.Makespan-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGrayScheduleDeterministic: for arbitrary seeds and message
+// counts, the same seed produces the exact same per-message delay/stall
+// schedule (degradation jitter, stalls, and flaky-link jitter included)
+// across two runs, while a different seed diverges somewhere.
+func TestPropertyGrayScheduleDeterministic(t *testing.T) {
+	src := id.HashKey("gray-prop-src")
+	dst := id.HashKey("gray-prop-dst")
+	schedule := func(seed int64, n int) ([]time.Duration, ChaosStats) {
+		c := NewChaos(seed)
+		c.Degrade(dst, Degradation{
+			Slowdown:  10 * time.Microsecond,
+			Jitter:    time.Millisecond,
+			StallProb: 0.25,
+			StallFor:  5 * time.Millisecond,
+		})
+		c.SetLinkFaults(LinkFaults{
+			DelayProb: 0.5,
+			Delay:     100 * time.Microsecond,
+			Jitter:    300 * time.Microsecond,
+		})
+		out := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, c.decide(src, dst, "m").delay)
+		}
+		return out, c.Stats()
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%48 + 16
+		d1, s1 := schedule(seed, n)
+		d2, s2 := schedule(seed, n)
+		if s1 != s2 {
+			t.Logf("seed %d: stats diverged: %+v vs %+v", seed, s1, s2)
+			return false
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Logf("seed %d: delay %d diverged: %v vs %v", seed, i, d1[i], d2[i])
+				return false
+			}
+		}
+		// A different seed must not reproduce the same jitter schedule.
+		d3, _ := schedule(seed+1, n)
+		for i := range d1 {
+			if d1[i] != d3[i] {
+				return true
+			}
+		}
+		t.Logf("seed %d and %d produced identical schedules", seed, seed+1)
+		return false
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

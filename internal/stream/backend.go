@@ -1,13 +1,17 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"sr3/internal/checkpoint"
+	"sr3/internal/dht"
+	"sr3/internal/fp4s"
 	"sr3/internal/id"
 	"sr3/internal/obs"
 	"sr3/internal/recovery"
+	"sr3/internal/replication"
 	"sr3/internal/state"
 )
 
@@ -129,6 +133,141 @@ func (b *CheckpointBackend) Recover(taskKey string) ([]byte, error) {
 	snap, _, err := b.store.Fetch(taskKey)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint backend: %w", err)
+	}
+	return snap, nil
+}
+
+// ReplicationBackend is the hot-standby baseline (paper §2.2,
+// Flux/Borealis style): every snapshot is applied to a primary/secondary
+// pair, and recovery is a failover to the standby — nearly instant, at
+// double the hardware. Each task gets its own pair, mirroring one
+// standby per stateful operator.
+type ReplicationBackend struct {
+	mu    sync.Mutex
+	pairs map[string]*replication.Pair
+}
+
+var _ StateBackend = (*ReplicationBackend)(nil)
+
+// NewReplicationBackend returns an empty replication baseline.
+func NewReplicationBackend() *ReplicationBackend {
+	return &ReplicationBackend{pairs: make(map[string]*replication.Pair)}
+}
+
+const replSnapshotKey = "snapshot"
+
+func (b *ReplicationBackend) pair(taskKey string) *replication.Pair {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.pairs[taskKey]
+	if !ok {
+		p = replication.NewPair()
+		b.pairs[taskKey] = p
+	}
+	return p
+}
+
+// Save applies the snapshot to both replicas of the task's pair.
+func (b *ReplicationBackend) Save(taskKey string, snapshot []byte, _ state.Version) error {
+	if err := b.pair(taskKey).Put(replSnapshotKey, snapshot); err != nil {
+		return fmt.Errorf("replication backend: %w", err)
+	}
+	return nil
+}
+
+// Recover simulates the primary's crash and fails over to the standby,
+// then re-establishes the pair so a later failure is survivable again.
+func (b *ReplicationBackend) Recover(taskKey string) ([]byte, error) {
+	p := b.pair(taskKey)
+	if err := p.FailPrimary(); err != nil && !errors.Is(err, replication.ErrPrimaryDown) {
+		return nil, fmt.Errorf("replication backend: %w", err)
+	}
+	snap, ok, err := p.Get(replSnapshotKey)
+	if err != nil {
+		return nil, fmt.Errorf("replication backend: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("replication backend: no snapshot for %q", taskKey)
+	}
+	if err := p.RestorePrimary(); err != nil {
+		return nil, fmt.Errorf("replication backend: %w", err)
+	}
+	return snap, nil
+}
+
+// FP4SBackend stores task state through the FP4S baseline (paper §2.3):
+// snapshots are RS-coded into n blocks scattered over the owner's leaf
+// set, and recovery star-fetches any k of them. It shares the DHT ring
+// with the SR3 cluster so matrix cells compare mechanisms on identical
+// topology and chaos.
+type FP4SBackend struct {
+	ring *dht.Ring
+	mech *fp4s.Mechanism
+
+	mu      sync.Mutex
+	mgrs    map[id.ID]*fp4s.Manager
+	holders map[string][]id.ID
+}
+
+var _ StateBackend = (*FP4SBackend)(nil)
+
+// NewFP4SBackend attaches an FP4S (k, n) agent to every ring node.
+func NewFP4SBackend(ring *dht.Ring, k, n int) (*FP4SBackend, error) {
+	mech, err := fp4s.New(k, n)
+	if err != nil {
+		return nil, fmt.Errorf("fp4s backend: %w", err)
+	}
+	fp4s.RegisterWire()
+	b := &FP4SBackend{
+		ring:    ring,
+		mech:    mech,
+		mgrs:    make(map[id.ID]*fp4s.Manager),
+		holders: make(map[string][]id.ID),
+	}
+	for _, nid := range ring.IDs() {
+		b.mgrs[nid] = fp4s.NewManager(ring.Node(nid), mech)
+	}
+	return b, nil
+}
+
+// Save fragments the snapshot on the task's owner and records the block
+// holders for recovery.
+func (b *FP4SBackend) Save(taskKey string, snapshot []byte, v state.Version) error {
+	owner, ok := b.ring.ClosestLive(hashTask(taskKey))
+	if !ok {
+		return fmt.Errorf("fp4s backend: no live node for %q", taskKey)
+	}
+	b.mu.Lock()
+	mgr := b.mgrs[owner]
+	b.mu.Unlock()
+	holders, err := mgr.Save(taskKey, snapshot, v)
+	if err != nil {
+		return fmt.Errorf("fp4s backend: %w", err)
+	}
+	b.mu.Lock()
+	b.holders[taskKey] = holders
+	b.mu.Unlock()
+	return nil
+}
+
+// Recover star-fetches any k blocks from a live agent and RS-decodes.
+func (b *FP4SBackend) Recover(taskKey string) ([]byte, error) {
+	b.mu.Lock()
+	holders, ok := b.holders[taskKey]
+	b.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fp4s backend: no blocks for %q", taskKey)
+	}
+	coord, live := b.ring.ClosestLive(hashTask(taskKey))
+	if !live {
+		return nil, fmt.Errorf("fp4s backend: no live node for %q", taskKey)
+	}
+	b.mu.Lock()
+	mgr := b.mgrs[coord]
+	b.mu.Unlock()
+	snap, err := mgr.Recover(taskKey, holders)
+	if err != nil {
+		return nil, fmt.Errorf("fp4s backend: %w", err)
 	}
 	return snap, nil
 }

@@ -1,0 +1,80 @@
+package stream
+
+import (
+	"testing"
+
+	"sr3/internal/dht"
+	"sr3/internal/state"
+)
+
+func TestReplicationBackendEndToEnd(t *testing.T) {
+	backend := NewReplicationBackend()
+	counts := runWordCountWithFailure(t, backend, nil)
+	for w, n := range counts {
+		if n != 40 {
+			t.Fatalf("count[%s] = %d, want 40", w, n)
+		}
+	}
+}
+
+// TestReplicationBackendRepeatedFailover: Recover fails the primary and
+// re-establishes the pair, so a second crash later is survivable too.
+func TestReplicationBackendRepeatedFailover(t *testing.T) {
+	backend := NewReplicationBackend()
+	if err := backend.Save("k", []byte("v1"), state.Version{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		snap, err := backend.Recover("k")
+		if err != nil {
+			t.Fatalf("failover %d: %v", i, err)
+		}
+		if string(snap) != "v1" {
+			t.Fatalf("failover %d: snapshot = %q", i, snap)
+		}
+	}
+}
+
+func TestFP4SBackendEndToEnd(t *testing.T) {
+	ring, err := dht.NewRing(dht.DefaultConfig(), 400, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := NewFP4SBackend(ring, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := runWordCountWithFailure(t, backend, nil)
+	for w, n := range counts {
+		if n != 40 {
+			t.Fatalf("count[%s] = %d, want 40", w, n)
+		}
+	}
+}
+
+func TestFP4SBackendSurvivesOwnerNodeFailure(t *testing.T) {
+	// The owner dies after Save: recovery coordinates from a replacement
+	// and decodes from any k of the n scattered blocks.
+	ring, err := dht.NewRing(dht.DefaultConfig(), 401, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := NewFP4SBackend(ring, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskKey := TaskKey("itest", "count", 0)
+	counts := runWordCountWithFailure(t, backend, func() {
+		owner, ok := ring.ClosestLive(hashTask(taskKey))
+		if !ok {
+			t.Fatal("no owner")
+		}
+		ring.Fail(owner)
+		ring.MaintenanceRound()
+	})
+	for w, n := range counts {
+		if n != 40 {
+			t.Fatalf("count[%s] = %d, want 40", w, n)
+		}
+	}
+}

@@ -83,6 +83,14 @@ type Config struct {
 	// FlightDump, when non-nil, receives the flight journal as JSON
 	// lines at each failure dump (e.g. a log file or stderr).
 	FlightDump io.Writer
+	// Escalation tunes gray-failure handling: how long a degraded peer
+	// may stay slow before it is killed, and how hard transport
+	// deadlines are tightened toward it (escalation.go). The zero value
+	// reroutes recovery traffic but never deadline-tunes or escalates.
+	Escalation EscalationPolicy
+	// Deadlines, when non-nil, receives per-peer transport deadline
+	// overrides for degraded peers (*nettransport.Network implements it).
+	Deadlines DeadlineTuner
 }
 
 func (c Config) withDefaults() Config {
@@ -126,9 +134,12 @@ type Supervisor struct {
 	specs     map[string]StateSpec
 	detectors map[id.ID]*detector.Detector
 	handled   map[id.ID]bool
-	events    []Event
-	lastDump  []obs.FlightEvent
-	started   bool
+	// gray tracks degraded peers for the escalation policy
+	// (escalation.go).
+	gray     map[id.ID]*grayState
+	events   []Event
+	lastDump []obs.FlightEvent
+	started  bool
 
 	verdicts chan verdict
 	stop     chan struct{}
@@ -154,6 +165,7 @@ func New(cluster *recovery.Cluster, cfg Config) *Supervisor {
 		specs:     make(map[string]StateSpec),
 		detectors: make(map[id.ID]*detector.Detector),
 		handled:   make(map[id.ID]bool),
+		gray:      make(map[id.ID]*grayState),
 		verdicts:  make(chan verdict, 1024),
 	}
 }
@@ -206,6 +218,10 @@ func (s *Supervisor) Start() error {
 			continue
 		}
 		d := detector.New(node, dcfg)
+		observer := nid
+		d.OnTransition(func(tr detector.Transition) {
+			s.handleTransition(observer, tr)
+		})
 		d.OnDeadReport(func(rep detector.DeathReport) {
 			select {
 			case s.verdicts <- verdict{
@@ -359,6 +375,10 @@ func (s *Supervisor) handleDeath(v verdict) {
 	}
 	rt := s.runtime
 	s.mu.Unlock()
+
+	// The dead node's detector can never recant a degraded report it
+	// made about someone else; drop it from every gray reporter set.
+	s.dropObserver(v.node)
 
 	s.cfg.Flight.Note(obs.FlightVerdict, v.node.Short(), "",
 		fmt.Sprintf("specs=%d", len(specs)), nil)
