@@ -67,6 +67,9 @@ func experiments() []experiment {
 		{id: "steady", desc: "steady-state instrumentation overhead and one-scrape cluster view", run: runSteady},
 		{id: "matrix", desc: "fault-recovery matrix: scenario x mechanism x load (writes " + matrixOut + ")", run: runMatrix},
 		{id: "matrix-tiny", desc: "CI smoke subset of the fault-recovery matrix (writes " + matrixTinyOut + ")", run: runMatrixTiny},
+		{id: "overload", desc: "overload sweep: load past capacity with crash + retry-storm pair (writes " + overloadOut + ")", run: runOverload},
+		{id: "overload-tiny", desc: "CI smoke subset of the overload sweep (writes " + overloadTinyOut + ")", run: runOverloadTiny},
+		{id: "matrix-report", desc: "render committed matrix/overload artifacts as markdown into " + experimentsDoc, run: runMatrixReport},
 		{id: "table1", desc: "recovery approach overview (Table 1)", run: func() (string, error) {
 			return bench.FormatTable1(), nil
 		}},
@@ -160,6 +163,80 @@ func runMatrixPreset(preset, out string) (string, error) {
 		return "", fmt.Errorf("%d of %d matrix cells failed:\n%s", failed, len(report.Cells), report.Format())
 	}
 	return report.Format() + "wrote " + out + "\n", nil
+}
+
+// overloadOut is the committed overload artifact; overloadTinyOut is the
+// CI smoke output, kept separate so a smoke run never clobbers the
+// committed numbers.
+const (
+	overloadOut     = "BENCH_overload.json"
+	overloadTinyOut = "BENCH_overload_tiny.json"
+)
+
+func runOverload() (string, error)     { return runOverloadPreset("full", overloadOut) }
+func runOverloadTiny() (string, error) { return runOverloadPreset("tiny", overloadTinyOut) }
+
+func runOverloadPreset(preset, out string) (string, error) {
+	specs, err := bench.OverloadPreset(preset)
+	if err != nil {
+		return "", err
+	}
+	report := bench.OverloadSweep(specs)
+	blob, err := report.JSON()
+	if err != nil {
+		return "", err
+	}
+	// The validator enforces the acceptance invariants (exact
+	// accounting, bounded queues, exactly-once over admitted tuples,
+	// retry cap) — a sweep that fails them is an error, not an artifact.
+	if _, err := bench.ValidateOverload(blob); err != nil {
+		return "", fmt.Errorf("%w\n%s", err, report.Format())
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return "", err
+	}
+	return report.Format() + "wrote " + out + "\n", nil
+}
+
+// experimentsDoc is where matrix-report splices its markdown tables,
+// between begin/end marker comments (appended on first run).
+const experimentsDoc = "EXPERIMENTS.md"
+
+func runMatrixReport() (string, error) {
+	docBytes, err := os.ReadFile(experimentsDoc)
+	if err != nil {
+		return "", err
+	}
+	doc := string(docBytes)
+	var did []string
+
+	if blob, err := os.ReadFile(matrixOut); err == nil {
+		report, err := bench.ValidateMatrix(blob)
+		if err != nil {
+			return "", err
+		}
+		doc = bench.SpliceMarked(doc,
+			"<!-- matrix-report:begin -->", "<!-- matrix-report:end -->",
+			fmt.Sprintf("\nRendered from the committed `%s` by `sr3bench -fig matrix-report`.\n\n%s\n", matrixOut, report.Markdown()))
+		did = append(did, matrixOut)
+	}
+	if blob, err := os.ReadFile(overloadOut); err == nil {
+		report, err := bench.ValidateOverload(blob)
+		if err != nil {
+			return "", err
+		}
+		doc = bench.SpliceMarked(doc,
+			"<!-- overload-report:begin -->", "<!-- overload-report:end -->",
+			fmt.Sprintf("\nRendered from the committed `%s` by `sr3bench -fig matrix-report`.\n\n%s\n", overloadOut, report.Markdown()))
+		did = append(did, overloadOut)
+	}
+	if len(did) == 0 {
+		return "", fmt.Errorf("matrix-report: neither %s nor %s found (run the matrix/overload experiments first)", matrixOut, overloadOut)
+	}
+	if err := os.WriteFile(experimentsDoc, []byte(doc), 0o644); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("rendered %s into %s\n", strings.Join(did, ", "), experimentsDoc), nil
 }
 
 func runSummary() (string, error) {

@@ -16,6 +16,9 @@ var helpCatalog = map[string]string{
 	"sr3_stream_proc_ns":               "Per-tuple bolt processing latency in nanoseconds.",
 	"sr3_stream_emit_blocked_ns_total": "Nanoseconds emitters spent blocked on full input channels (backpressure).",
 	"sr3_stream_execute_errors_total":  "Bolt Execute calls that returned an error.",
+	"sr3_stream_shed_total":            "Data tuples dropped by queue policy or degraded-mode admission control.",
+	"sr3_stream_degraded":              "1 while the runtime is in degraded-service mode (shedding ingest), else 0.",
+	"sr3_stream_emit_block_wait_ns":    "Per-push wait on a full bounded task queue in nanoseconds (backpressure histogram).",
 	// DHT overlay (internal/dht).
 	"sr3_dht_route_hops":              "Overlay hops per routed request, recorded at the origin node.",
 	"sr3_dht_routes_total":            "Routed requests originated by this node.",
@@ -31,6 +34,10 @@ var helpCatalog = map[string]string{
 	"sr3_net_dial_failures_total":     "Calls whose dial retry policy was exhausted.",
 	"sr3_net_io_timeouts_total":       "Request/reply exchanges aborted by the I/O deadline.",
 	"sr3_net_calls_total":             "Request/reply calls issued through the TCP transport.",
+	"sr3_net_breaker_fastfails_total": "Outbound calls rejected locally by an open circuit breaker (no dial attempted).",
+	"sr3_net_breaker_opens_total":     "Circuit-breaker open transitions (consecutive transport failures toward a peer).",
+	"sr3_net_retry_suppressed_total":  "Dial retries refused by the transport's retry budget (empty token bucket).",
+	"sr3_net_overload_rejected_total": "Inbound ingest-class requests rejected while this node was in degraded-service mode.",
 	"sr3_flight_events_total":         "Events recorded by the flight recorder.",
 	"sr3_flight_events_dropped_total": "Flight-recorder events overwritten by ring-buffer wraparound.",
 }
@@ -52,6 +59,8 @@ var helpRules = []helpRule{
 	{"sr3_stream_task_", "_queue_high_water", "Highest input-channel depth observed since start."},
 	{"sr3_stream_task_", "_state_bytes", "Size of this task's last saved state snapshot in bytes."},
 	{"sr3_stream_task_", "_emit_blocked_ns_total", "Nanoseconds senders spent blocked on this task's full input channel."},
+	{"sr3_stream_task_", "_shed_total", "Data tuples dropped at this task's queue by shed policy or degraded-mode admission."},
+	{"sr3_stream_task_", "_emit_block_wait_ns", "Per-push wait on this task's full bounded queue in nanoseconds."},
 	{"sr3_dht_msg_", "_total", "Inbound overlay messages of this kind handled by the node."},
 	{"sr3_scribe_msg_", "_total", "Inbound Scribe multicast messages of this kind handled by the layer."},
 	{"sr3_phase_", "_ns", "Recovery-pipeline phase latency in nanoseconds (one histogram per phase)."},

@@ -17,6 +17,13 @@ type netInstruments struct {
 	dialFailures *metrics.Counter
 	timeouts     *metrics.Counter
 	slowPeer     *metrics.Counter
+	// Overload-control counters: calls rejected by an open breaker,
+	// breaker open transitions, dial retries suppressed by the retry
+	// budget, and inbound ingest requests rejected in degraded mode.
+	breakerFastFails *metrics.Counter
+	breakerOpens     *metrics.Counter
+	retrySuppressed  *metrics.Counter
+	rejectedIngest   *metrics.Counter
 }
 
 // SetMetrics enables transport counters (calls, dial attempts/retries/
@@ -33,6 +40,11 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 		dialFailures: reg.Counter("sr3_net_dial_failures_total"),
 		timeouts:     reg.Counter("sr3_net_io_timeouts_total"),
 		slowPeer:     reg.Counter("sr3_net_slow_peer_timeouts_total"),
+
+		breakerFastFails: reg.Counter("sr3_net_breaker_fastfails_total"),
+		breakerOpens:     reg.Counter("sr3_net_breaker_opens_total"),
+		retrySuppressed:  reg.Counter("sr3_net_retry_suppressed_total"),
+		rejectedIngest:   reg.Counter("sr3_net_overload_rejected_total"),
 	})
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"sr3/internal/id"
 	"sr3/internal/obs"
+	"sr3/internal/overload"
 	"sr3/internal/simnet"
 )
 
@@ -84,13 +85,16 @@ func (p DialRetryPolicy) backoff(attempt int) time.Duration {
 
 // dialRetry runs the dial loop for one address under the policy.
 func dialRetry(addr string, p DialRetryPolicy) (net.Conn, error) {
-	conn, _, err := dialRetryN(addr, p)
+	conn, _, err := dialRetryN(addr, p, nil)
 	return conn, err
 }
 
 // dialRetryN is dialRetry reporting how many attempts were made, for the
-// transport's dial counters.
-func dialRetryN(addr string, p DialRetryPolicy) (net.Conn, int, error) {
+// transport's dial counters. A non-nil budget is charged one token per
+// retry (attempts after the first); an empty budget cuts the loop short
+// with ErrRetryBudgetExhausted so a storm of failing callers cannot
+// multiply its own dial volume.
+func dialRetryN(addr string, p DialRetryPolicy, budget *overload.Budget) (net.Conn, int, error) {
 	p = p.withDefaults()
 	var lastErr error
 	for attempt := 1; attempt <= p.Attempts; attempt++ {
@@ -100,6 +104,10 @@ func dialRetryN(addr string, p DialRetryPolicy) (net.Conn, int, error) {
 		}
 		lastErr = err
 		if attempt < p.Attempts {
+			if !budget.Allow() {
+				return nil, attempt, fmt.Errorf("%w: %w after %d attempts: %v",
+					ErrDialExhausted, ErrRetryBudgetExhausted, attempt, lastErr)
+			}
 			time.Sleep(p.backoff(attempt))
 		}
 	}
@@ -181,6 +189,11 @@ type Network struct {
 	// instr publishes the steady-state counter handles (instruments.go);
 	// nil until SetMetrics.
 	instr instrPtr
+
+	// ovl holds the overload-control state: the degraded-service inbound
+	// gate, per-peer circuit breakers, and the dial retry budget
+	// (overload.go).
+	ovl overloadState
 }
 
 // DataPlaneStats is a snapshot of the transport's raw-body accounting.
@@ -401,6 +414,18 @@ func (n *Network) serveConn(nid id.ID, srv *server, conn net.Conn) {
 		_ = enc.Encode(&wireReply{ErrMsg: ErrNodeDown.Error()})
 		return
 	}
+	// Degraded-service admission gate: while recovery holds the gate,
+	// ingest-class requests are rejected before the handler runs.
+	// Control traffic (heartbeats, routing) must pass or the node looks
+	// dead, and recovery traffic is the point of degrading. Sits after
+	// the raw-body drain — the stream cannot resync otherwise.
+	if n.ovl.degraded.Load() && ClassifyKind(req.Kind) == ClassIngest {
+		if ni := n.instr.Load(); ni != nil {
+			ni.rejectedIngest.Inc()
+		}
+		_ = enc.Encode(&wireReply{ErrMsg: ErrOverloaded.Error()})
+		return
+	}
 	// The request buffer is pooled (deferred put above): the handler
 	// contract is that Raw is not retained past return.
 	reply, err := srv.handler(req.From, simnet.Message{
@@ -475,12 +500,35 @@ func (n *Network) call(from, to id.ID, msg simnet.Message, timeout time.Duration
 		return simnet.Message{}, fmt.Errorf("call to %s: %w", to.Short(), ErrNodeDown)
 	}
 
-	conn, attempts, err := dialRetryN(addr, n.dialPolicy())
+	// Circuit breaker: an open breaker fails the call locally — no dial,
+	// no backoff sleeps — until the cooldown admits a half-open probe.
+	br := n.breakerFor(to)
+	if !br.Acquire() {
+		if ni != nil {
+			ni.breakerFastFails.Inc()
+		}
+		return simnet.Message{}, fmt.Errorf("call to %s: %w: %w", to.Short(), ErrNodeDown, ErrBreakerOpen)
+	}
+	out, transportFailure, err := n.exchange(from, to, addr, msg, timeout, slow)
+	n.noteOutcome(to, br, transportFailure)
+	return out, err
+}
+
+// exchange performs the dial and one request/reply round trip. The
+// middle return marks transport-level failures (unreachable or
+// unresponsive peer) for the caller's breaker accounting — a remote
+// application error is not one: the peer answered.
+func (n *Network) exchange(from, to id.ID, addr string, msg simnet.Message, timeout time.Duration, slow bool) (simnet.Message, bool, error) {
+	ni := n.instr.Load()
+	conn, attempts, err := dialRetryN(addr, n.dialPolicy(), n.retryBudget())
 	ni.noteDial(attempts, err)
 	if err != nil {
+		if errors.Is(err, ErrRetryBudgetExhausted) && ni != nil {
+			ni.retrySuppressed.Inc()
+		}
 		// Wrap ErrNodeDown too: routing layers treat an unreachable peer
 		// as dead, and retry exhaustion is exactly that signal.
-		return simnet.Message{}, fmt.Errorf("call to %s: %w: %w", to.Short(), ErrNodeDown, err)
+		return simnet.Message{}, true, fmt.Errorf("call to %s: %w: %w", to.Short(), ErrNodeDown, err)
 	}
 	defer func() { _ = conn.Close() }()
 	// Per-request deadline: a peer that accepts but stalls mid-exchange
@@ -495,9 +543,9 @@ func (n *Network) call(from, to id.ID, msg simnet.Message, timeout time.Duration
 		RawLen: len(msg.Raw), TraceID: msg.TraceID, SpanID: msg.SpanID}); err != nil {
 		if isTimeout(err) {
 			n.noteTimeout(slow)
-			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
+			return simnet.Message{}, true, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 		}
-		return simnet.Message{}, fmt.Errorf("call to %s: encode: %w", to.Short(), err)
+		return simnet.Message{}, true, fmt.Errorf("call to %s: encode: %w", to.Short(), err)
 	}
 	if len(msg.Raw) > 0 {
 		var stallNs int64
@@ -507,9 +555,9 @@ func (n *Network) call(from, to id.ID, msg simnet.Message, timeout time.Duration
 		if err != nil {
 			if isTimeout(err) {
 				n.noteTimeout(slow)
-				return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
+				return simnet.Message{}, true, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 			}
-			return simnet.Message{}, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)
+			return simnet.Message{}, true, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)
 		}
 		n.rawBytes.Add(int64(len(msg.Raw)))
 		n.rawMessages.Add(1)
@@ -519,18 +567,24 @@ func (n *Network) call(from, to id.ID, msg simnet.Message, timeout time.Duration
 	if err := dec.Decode(&reply); err != nil {
 		if isTimeout(err) {
 			n.noteTimeout(slow)
-			return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
+			return simnet.Message{}, true, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 		}
-		return simnet.Message{}, fmt.Errorf("call to %s: decode: %w", to.Short(), err)
+		return simnet.Message{}, true, fmt.Errorf("call to %s: decode: %w", to.Short(), err)
 	}
 	if reply.ErrMsg != "" {
-		return simnet.Message{}, fmt.Errorf("call to %s: remote: %s", to.Short(), reply.ErrMsg)
+		// The peer answered — a transport success for breaker purposes,
+		// whatever the application-level verdict. Overload rejections are
+		// re-wrapped so callers can back off on errors.Is(ErrOverloaded).
+		if reply.ErrMsg == ErrOverloaded.Error() {
+			return simnet.Message{}, false, fmt.Errorf("call to %s: %w", to.Short(), ErrOverloaded)
+		}
+		return simnet.Message{}, false, fmt.Errorf("call to %s: remote: %s", to.Short(), reply.ErrMsg)
 	}
 	out := simnet.Message{Kind: reply.Kind, Size: reply.Size, Payload: reply.Body,
 		TraceID: reply.TraceID, SpanID: reply.SpanID}
 	if reply.RawLen > 0 {
 		if reply.RawLen > maxRawLen {
-			return simnet.Message{}, fmt.Errorf("call to %s: raw body of %d bytes exceeds cap", to.Short(), reply.RawLen)
+			return simnet.Message{}, true, fmt.Errorf("call to %s: raw body of %d bytes exceeds cap", to.Short(), reply.RawLen)
 		}
 		buf := n.pool.get(reply.RawLen)
 		frames, err := fio.readRaw(buf)
@@ -539,16 +593,16 @@ func (n *Network) call(from, to id.ID, msg simnet.Message, timeout time.Duration
 			n.pool.put(buf)
 			if isTimeout(err) {
 				n.noteTimeout(slow)
-				return simnet.Message{}, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
+				return simnet.Message{}, true, fmt.Errorf("call to %s: %w: %v", to.Short(), ErrTimeout, err)
 			}
-			return simnet.Message{}, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)
+			return simnet.Message{}, true, fmt.Errorf("call to %s: raw body: %w", to.Short(), err)
 		}
 		n.rawBytes.Add(int64(reply.RawLen))
 		n.rawMessages.Add(1)
 		out.Raw = buf
 		out.SetFree(func() { n.pool.put(buf) })
 	}
-	return out, nil
+	return out, false, nil
 }
 
 // Alive reports whether nid is registered and its listener is serving.

@@ -30,6 +30,16 @@ const (
 	FlightDegraded     = "gray.degraded"
 	FlightDegradeClear = "gray.clear"
 	FlightEscalated    = "gray.escalated"
+	// Overload-control transitions: the stream runtime entering/leaving
+	// degraded-service shed mode (Detail carries the reason and, on
+	// stop, the exact offered/shed accounting), and a transport circuit
+	// breaker opening/closing toward a peer (retries suppressed). These
+	// are what lets PostMortem explain *why* tuples were shed or a peer
+	// stopped being retried.
+	FlightShedStart    = "overload.shed_start"
+	FlightShedStop     = "overload.shed_stop"
+	FlightBreakerOpen  = "overload.breaker_open"
+	FlightBreakerClose = "overload.breaker_close"
 )
 
 // FlightEvent is one journal entry. Fields are flat strings so a dump is

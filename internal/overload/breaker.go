@@ -1,0 +1,182 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerPolicy tunes a circuit breaker.
+type BreakerPolicy struct {
+	// Failures is how many consecutive transport-level failures open
+	// the breaker (default 5).
+	Failures int
+	// Cooldown is how long an open breaker rejects calls before
+	// letting one half-open probe through (default 500ms).
+	Cooldown time.Duration
+}
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Failures <= 0 {
+		p.Failures = 5
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 500 * time.Millisecond
+	}
+	return p
+}
+
+// BreakerState is a breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes all calls (healthy peer).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects all calls until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome
+	// closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is one peer's circuit breaker. Acquire gates a call; Success
+// and Failure report its outcome. The zero value is not usable;
+// construct with NewBreaker.
+type Breaker struct {
+	mu       sync.Mutex
+	pol      BreakerPolicy
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	now      func() time.Time
+
+	opens     int64
+	fastFails int64
+}
+
+// NewBreaker returns a closed breaker under the policy.
+func NewBreaker(pol BreakerPolicy) *Breaker {
+	return &Breaker{pol: pol.withDefaults(), now: time.Now}
+}
+
+// SetClock injects a deterministic clock (tests). Not safe to call
+// concurrently with Acquire.
+func (b *Breaker) SetClock(now func() time.Time) { b.now = now }
+
+// Acquire reports whether a call may proceed. Open breakers fast-fail
+// until the cooldown elapses, then admit exactly one half-open probe at
+// a time. A nil breaker admits everything.
+func (b *Breaker) Acquire() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.pol.Cooldown {
+			b.fastFails++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			b.fastFails++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Success reports a completed exchange; it closes the breaker and
+// resets the failure streak. Returns true when this call transitioned
+// the breaker out of open/half-open (the "breaker_close" event edge).
+func (b *Breaker) Success() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	closed := b.state != BreakerClosed
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	return closed
+}
+
+// Failure reports a transport-level failure. Returns true when this
+// failure opened the breaker (the "breaker_open" event edge) — either
+// the failure streak crossed the threshold or a half-open probe failed.
+func (b *Breaker) Failure() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.opens++
+		return true
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.pol.Failures {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.opens++
+			return true
+		}
+	}
+	return false
+}
+
+// State reports the breaker's position (open breakers past their
+// cooldown still report open until the next Acquire flips them).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStats is a point-in-time view of a breaker's accounting.
+type BreakerStats struct {
+	State BreakerState
+	// Opens counts closed→open (and failed-probe re-open) transitions.
+	Opens int64
+	// FastFails counts calls rejected without touching the network.
+	FastFails int64
+}
+
+// Stats snapshots the breaker. A nil breaker reports zeros.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{State: b.state, Opens: b.opens, FastFails: b.fastFails}
+}

@@ -429,6 +429,7 @@ func (m *Manager) fetchIndexRetry(a *assembler, app string, index int, p shard.P
 				if round > 0 || hi > 0 {
 					oc.failover(1, n)
 				}
+				opts.RetryBudget.Earn()
 				return n, nil
 			}
 			// A shard that arrived but failed validation counts like a
@@ -442,6 +443,13 @@ func (m *Manager) fetchIndexRetry(a *assembler, app string, index int, p shard.P
 				return 0, fmt.Errorf("shard index %d: %w", index, ErrShardLost)
 			}
 			return 0, fmt.Errorf("shard index %d: %w", index, ErrReplicasExhausted)
+		}
+		// Every extra pass must be funded by the retry budget; the first
+		// pass above was free. Suppression reads as exhaustion to the
+		// ladder, with ErrRetryBudget attached for the post-mortem.
+		if !opts.RetryBudget.Allow() {
+			return 0, fmt.Errorf("shard index %d after %d rounds: %w: %w",
+				index, round+1, ErrReplicasExhausted, ErrRetryBudget)
 		}
 		oc.attempt()
 		time.Sleep(backoff)
@@ -737,6 +745,9 @@ func (m *Manager) collectLine(app string, stages []stage, p shard.Placement, opt
 		next := replanStages(p, missing, dead)
 		if next == nil {
 			break // some index has no non-dead candidate left: try star below
+		}
+		if !opts.RetryBudget.Allow() {
+			break // budget suppressed the replan: leftovers go to the star ladder
 		}
 		time.Sleep(backoff)
 		backoff *= 2

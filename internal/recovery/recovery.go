@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sr3/internal/obs"
+	"sr3/internal/overload"
 )
 
 // Mechanism selects the recovery structure.
@@ -110,6 +111,16 @@ type Options struct {
 	// Both fields are comparable (a pointer and two uint64s), keeping
 	// Options usable as a == operand and map key.
 	TraceParent obs.SpanContext
+	// RetryBudget, when non-nil, gates every failover retry pass (star
+	// retry rounds, line replans) through a shared token-bucket budget:
+	// the first pass over the replicas is always free, but each extra
+	// pass must be funded, and successful fetches earn tokens back. A
+	// fleet-wide budget shared across concurrent recoveries caps the
+	// total retry amplification a mass failure can generate, so retry
+	// storms cannot pile onto already-struggling providers. Nil keeps
+	// the unbudgeted FailoverRetries behaviour. (A pointer, so Options
+	// stays ==-comparable.)
+	RetryBudget *overload.Budget
 }
 
 // Data-plane defaults, applied when the corresponding Options field is
@@ -155,6 +166,11 @@ var (
 	// shard push failed or a target departed before the placement was
 	// published. Nothing was published; the caller may retry.
 	ErrSaveAborted = errors.New("recovery: save aborted by leaf-set churn")
+	// ErrRetryBudget reports a failover retry pass suppressed by
+	// Options.RetryBudget: replicas remained untried, but the shared
+	// budget refused to fund another pass. It arrives wrapped with
+	// ErrReplicasExhausted so existing ladders treat it as exhaustion.
+	ErrRetryBudget = errors.New("recovery: failover retry budget exhausted")
 )
 
 // Outcome reports how a recovery weathered provider faults. It is

@@ -20,7 +20,10 @@ type instruments struct {
 	spoutTuples *metrics.Counter
 	emitBlocked *metrics.Counter
 	execErrors  *metrics.Counter
+	shed        *metrics.Counter
+	degraded    *metrics.Gauge
 	procNs      *metrics.LatencyHistogram
+	blockWaitNs *metrics.LatencyHistogram
 }
 
 func newInstruments(reg *metrics.Registry) *instruments {
@@ -32,7 +35,10 @@ func newInstruments(reg *metrics.Registry) *instruments {
 		spoutTuples: reg.Counter("sr3_stream_spout_tuples_total"),
 		emitBlocked: reg.Counter("sr3_stream_emit_blocked_ns_total"),
 		execErrors:  reg.Counter("sr3_stream_execute_errors_total"),
+		shed:        reg.Counter("sr3_stream_shed_total"),
+		degraded:    reg.Gauge("sr3_stream_degraded"),
 		procNs:      reg.Histogram("sr3_stream_proc_ns"),
+		blockWaitNs: reg.Histogram("sr3_stream_emit_block_wait_ns"),
 	}
 }
 
@@ -41,6 +47,19 @@ func (in *instruments) noteSpout() {
 		return
 	}
 	in.spoutTuples.Inc()
+}
+
+// noteDegraded tracks the degraded-service mode gauge (1 while shed
+// mode is held).
+func (in *instruments) noteDegraded(on bool) {
+	if in == nil {
+		return
+	}
+	if on {
+		in.degraded.Set(1)
+	} else {
+		in.degraded.Set(0)
+	}
 }
 
 // taskInstruments are one task's metric handles plus the runtime-wide
@@ -54,7 +73,9 @@ type taskInstruments struct {
 	tuplesOut   *metrics.Counter
 	acks        *metrics.Counter
 	replays     *metrics.Counter
+	shed        *metrics.Counter
 	procNs      *metrics.LatencyHistogram
+	blockWaitNs *metrics.LatencyHistogram
 	depth       *metrics.Gauge
 	highWater   *metrics.Gauge
 	stateBytes  *metrics.Gauge
@@ -69,7 +90,9 @@ func newTaskInstruments(rt *instruments, reg *metrics.Registry, key string) *tas
 		tuplesOut:   reg.Counter(p + "_tuples_out_total"),
 		acks:        reg.Counter(p + "_acks_total"),
 		replays:     reg.Counter(p + "_replays_total"),
+		shed:        reg.Counter(p + "_shed_total"),
 		procNs:      reg.Histogram(p + "_proc_ns"),
+		blockWaitNs: reg.Histogram(p + "_emit_block_wait_ns"),
 		depth:       reg.Gauge(p + "_queue_depth"),
 		highWater:   reg.Gauge(p + "_queue_high_water"),
 		stateBytes:  reg.Gauge(p + "_state_bytes"),
@@ -92,13 +115,27 @@ func (ti *taskInstruments) noteIn(depth int) {
 }
 
 // noteBlocked accounts time a sender spent blocked on this task's full
-// input channel — emit-side backpressure.
+// input queue — emit-side backpressure. The counter accumulates total
+// blocked nanoseconds; the histogram keeps the per-wait distribution so
+// quantiles of backpressure stalls are observable, not just their sum.
 func (ti *taskInstruments) noteBlocked(ns int64) {
 	if ti == nil {
 		return
 	}
 	ti.emitBlocked.Add(ns)
 	ti.rt.emitBlocked.Add(ns)
+	ti.blockWaitNs.Record(ns)
+	ti.rt.blockWaitNs.Record(ns)
+}
+
+// noteShed records one data tuple dropped by the queue policy or
+// degraded-mode admission.
+func (ti *taskInstruments) noteShed() {
+	if ti == nil {
+		return
+	}
+	ti.shed.Inc()
+	ti.rt.shed.Inc()
 }
 
 // noteEmit records one tuple emitted by this task's bolt.
@@ -156,6 +193,8 @@ type TaskDebug struct {
 	Handled    int64  `json:"handled"`
 	QueueDepth int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
+	Offered    int64  `json:"offered"`
+	Shed       int64  `json:"shed,omitempty"`
 }
 
 // TopologyDebug is a live point-in-time view of a running topology.
@@ -165,6 +204,8 @@ type TopologyDebug struct {
 	Tasks         []TaskDebug `json:"tasks"`
 	Pending       int64       `json:"pending"`
 	ExecuteErrors int64       `json:"execute_errors"`
+	Degraded      bool        `json:"degraded,omitempty"`
+	Shed          int64       `json:"shed,omitempty"`
 }
 
 // DebugView snapshots the runtime for the /debug/sr3 endpoint. Safe to
@@ -175,6 +216,8 @@ func (rt *Runtime) DebugView() TopologyDebug {
 		Name:          rt.topo.name,
 		Pending:       rt.pending.Load(),
 		ExecuteErrors: rt.failures.Load(),
+		Degraded:      rt.Degraded(),
+		Shed:          rt.shedAll.Load(),
 	}
 	for id := range rt.topo.spouts {
 		d.Spouts = append(d.Spouts, id)
@@ -188,8 +231,10 @@ func (rt *Runtime) DebugView() TopologyDebug {
 				Index:      t.index,
 				Stateful:   t.decl.stateful,
 				Handled:    t.handled.Load(),
-				QueueDepth: len(t.in),
-				QueueCap:   cap(t.in),
+				QueueDepth: t.in.depth(),
+				QueueCap:   t.in.capacity(),
+				Offered:    t.offered.Load(),
+				Shed:       t.shed.Load(),
 			})
 		}
 	}

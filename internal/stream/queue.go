@@ -1,0 +1,248 @@
+package stream
+
+import (
+	"sync"
+)
+
+// QueuePolicy selects what a bounded task queue does when a data tuple
+// arrives and the queue is full.
+type QueuePolicy int
+
+const (
+	// QueueBlock makes the sender wait for a free slot — credit-based
+	// backpressure: each queue slot is a credit, the producer stalls
+	// until the consumer returns one. The default, matching the
+	// pre-overload-control runtime.
+	QueueBlock QueuePolicy = iota
+	// QueueShedOldest drops the oldest queued ingest-class tuple to
+	// admit the new one (newest data wins; bounded staleness). Replay-
+	// class tuples are never shed — they are required for exactly-once
+	// recovery — so when only replay tuples are queued the incoming
+	// ingest tuple is shed instead.
+	QueueShedOldest
+	// QueueShedPriority sheds by traffic class: an incoming replay-
+	// class tuple evicts the oldest queued ingest-class tuple; an
+	// incoming ingest-class tuple is shed when the queue is full
+	// (queued work wins ties).
+	QueueShedPriority
+)
+
+func (p QueuePolicy) String() string {
+	switch p {
+	case QueueBlock:
+		return "block"
+	case QueueShedOldest:
+		return "shed-oldest"
+	case QueueShedPriority:
+		return "shed-priority"
+	default:
+		return "unknown"
+	}
+}
+
+// TrafficClass labels a tuple's provenance for admission decisions.
+// Replay traffic (input-log replay during recovery, and everything it
+// emits downstream) outranks new ingest: shedding it would break the
+// exactly-once recovery contract, while shedding fresh ingest under
+// overload is exactly what load shedding is for.
+type TrafficClass int8
+
+const (
+	// ClassIngest marks new spout tuples and their descendants.
+	ClassIngest TrafficClass = iota
+	// ClassReplay marks input-log replay tuples and their descendants.
+	ClassReplay
+)
+
+// pushOutcome reports what the queue did with one offered data tuple.
+type pushOutcome int
+
+const (
+	pushAdmitted   pushOutcome = iota // tuple queued, nothing displaced
+	pushShedSelf                      // incoming tuple dropped
+	pushShedOldest                    // incoming queued, one older ingest tuple dropped
+)
+
+// taskQueue is one task's input queue: an unbounded control lane plus a
+// bounded data ring. The executor always drains the control lane first
+// (weighted dequeue: kill/recover/save/flush/stop never sit behind a
+// backlog of data tuples), then the data ring. The data ring enforces
+// the configured capacity exactly — its length can never exceed cap —
+// and overflow is resolved by the queue policy.
+//
+// The pre-overload-control runtime used one Go channel for both lanes;
+// that made capacity a soft limit (control ops consumed data slots) and
+// made shed-oldest impossible without racing the consumer. A mutex+cond
+// ring gives exact accounting and class-aware eviction.
+type taskQueue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+
+	ctl  []envelope // control lane, FIFO, unbounded
+	data []envelope // data ring
+	head int
+	n    int
+
+	policy    QueuePolicy
+	watermark int // degraded-mode ingest admission bound (slots)
+
+	highWater int // largest data occupancy ever observed
+}
+
+func newTaskQueue(capacity int, policy QueuePolicy, watermark int) *taskQueue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if watermark <= 0 || watermark > capacity {
+		watermark = capacity
+	}
+	q := &taskQueue{
+		data:      make([]envelope, capacity),
+		policy:    policy,
+		watermark: watermark,
+	}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+func (q *taskQueue) capacity() int { return len(q.data) }
+
+// pushCtl appends a control envelope; it never blocks and never sheds.
+func (q *taskQueue) pushCtl(env envelope) {
+	q.mu.Lock()
+	q.ctl = append(q.ctl, env)
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+}
+
+// pushData offers one data tuple under the queue policy. degraded
+// applies the watermark admission bound to ingest-class tuples (the
+// runtime's degraded-service shed mode). The returned outcome is exact —
+// exactly one of admitted / shed-self / admitted-with-one-eviction — and
+// waited reports whether the caller had to block for a free slot (the
+// emit-block backpressure signal).
+func (q *taskQueue) pushData(env envelope, degraded bool) (outcome pushOutcome, waited bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	// Degraded-service mode: new ingest is admitted only below the
+	// watermark, leaving the headroom above it for replay and recovery
+	// traffic. Replay-class tuples are exempt.
+	if degraded && env.class == ClassIngest && q.n >= q.watermark {
+		return pushShedSelf, waited
+	}
+
+	for q.n >= len(q.data) {
+		switch q.policy {
+		case QueueBlock:
+			// Replay tuples always block too — the policy only differs
+			// for shed modes below.
+			waited = true
+			q.notFull.Wait()
+			continue
+		case QueueShedOldest:
+			if q.evictOldestIngestLocked() {
+				q.appendLocked(env)
+				return pushShedOldest, waited
+			}
+			// Queue full of replay tuples: shed incoming ingest, block
+			// incoming replay (replay is never dropped).
+			if env.class == ClassIngest {
+				return pushShedSelf, waited
+			}
+			waited = true
+			q.notFull.Wait()
+			continue
+		case QueueShedPriority:
+			if env.class == ClassReplay {
+				if q.evictOldestIngestLocked() {
+					q.appendLocked(env)
+					return pushShedOldest, waited
+				}
+				waited = true
+				q.notFull.Wait()
+				continue
+			}
+			return pushShedSelf, waited
+		default:
+			waited = true
+			q.notFull.Wait()
+			continue
+		}
+	}
+	q.appendLocked(env)
+	return pushAdmitted, waited
+}
+
+// appendLocked inserts at the tail; caller holds q.mu and has verified
+// a free slot.
+func (q *taskQueue) appendLocked(env envelope) {
+	q.data[(q.head+q.n)%len(q.data)] = env
+	q.n++
+	if q.n > q.highWater {
+		q.highWater = q.n
+	}
+	q.notEmpty.Signal()
+}
+
+// evictOldestIngestLocked removes the oldest ingest-class tuple from
+// the ring, reporting whether one existed. Caller holds q.mu.
+func (q *taskQueue) evictOldestIngestLocked() bool {
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) % len(q.data)
+		if q.data[idx].class != ClassIngest {
+			continue
+		}
+		// Shift the newer entries down one slot to close the gap,
+		// preserving order. O(n) but only on the overflow path.
+		for j := i; j < q.n-1; j++ {
+			from := (q.head + j + 1) % len(q.data)
+			to := (q.head + j) % len(q.data)
+			q.data[to] = q.data[from]
+		}
+		q.data[(q.head+q.n-1)%len(q.data)] = envelope{}
+		q.n--
+		return true
+	}
+	return false
+}
+
+// pop blocks until an envelope is available and returns it, control
+// lane first.
+func (q *taskQueue) pop() envelope {
+	q.mu.Lock()
+	for len(q.ctl) == 0 && q.n == 0 {
+		q.notEmpty.Wait()
+	}
+	if len(q.ctl) > 0 {
+		env := q.ctl[0]
+		q.ctl[0] = envelope{}
+		q.ctl = q.ctl[1:]
+		q.mu.Unlock()
+		return env
+	}
+	env := q.data[q.head]
+	q.data[q.head] = envelope{}
+	q.head = (q.head + 1) % len(q.data)
+	q.n--
+	q.mu.Unlock()
+	q.notFull.Signal()
+	return env
+}
+
+// depth reports the current data occupancy (control lane excluded —
+// capacity and shedding govern data tuples only).
+func (q *taskQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// high reports the largest data occupancy ever observed.
+func (q *taskQueue) high() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.highWater
+}

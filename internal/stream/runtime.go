@@ -33,10 +33,30 @@ type Config struct {
 	// SaveEveryTuples triggers an automatic state save after a stateful
 	// task processes that many tuples (0 disables; SaveAll still works).
 	SaveEveryTuples int
-	// ChannelDepth is the per-task input buffer. Streams need more than
-	// the usual one-slot channel: the buffer absorbs grouping skew and
-	// provides backpressure; 256 matches Storm's small executor queues.
+	// ChannelDepth is the per-task input queue capacity. Streams need
+	// more than the usual one-slot buffer: the queue absorbs grouping
+	// skew and provides backpressure; 256 matches Storm's small executor
+	// queues. The capacity is exact — a task's data queue never holds
+	// more than ChannelDepth tuples, and overflow is resolved by
+	// QueuePolicy.
 	ChannelDepth int
+	// QueuePolicy selects the full-queue behavior: QueueBlock (default,
+	// credit-based backpressure — the producer waits for a slot),
+	// QueueShedOldest, or QueueShedPriority. Shed policies never drop
+	// replay-class tuples; exactly-once for admitted tuples is preserved
+	// under every policy.
+	QueuePolicy QueuePolicy
+	// ShedWatermark is the degraded-mode admission bound as a fraction
+	// of ChannelDepth (default 0.75): while the runtime is in
+	// degraded-service mode (EnterDegraded), new ingest-class tuples are
+	// shed once a queue is filled past the watermark, reserving the
+	// headroom above it for replay and recovery traffic.
+	ShedWatermark float64
+	// IngestWindow caps the in-flight (routed but unprocessed) tuple
+	// count seen by spout pumps: a pump pauses when pending >= window —
+	// ingest admission control, the credit-based upstream half of
+	// backpressure. 0 disables the gate.
+	IngestWindow int
 	// Now supplies timestamps for state versions (injected for tests).
 	Now func() int64
 	// Metrics enables steady-state instruments (per-task tuple counters,
@@ -52,6 +72,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.ChannelDepth <= 0 {
 		c.ChannelDepth = 256
+	}
+	if c.ShedWatermark <= 0 || c.ShedWatermark > 1 {
+		c.ShedWatermark = 0.75
 	}
 	if c.Now == nil {
 		c.Now = func() int64 { return time.Now().UnixMilli() }
@@ -83,6 +106,7 @@ const (
 type envelope struct {
 	kind  ctlKind
 	tuple Tuple
+	class TrafficClass // ctlTuple only: ingest vs replay admission class
 	done  chan error
 	// tr/traceParent ride on ctlRecover envelopes so the backend recovery
 	// and the input-log replay land in the caller's trace.
@@ -96,12 +120,18 @@ type task struct {
 	boltID   string
 	index    int
 	decl     *boltDecl
-	in       chan envelope
+	in       *taskQueue
 	log      []Tuple // tuples since last save (executor goroutine only)
 	dead     bool
 	saveSeq  uint64
 	sinceSav int
 	handled  atomic.Int64
+	offered  atomic.Int64 // data tuples routed at this task
+	shed     atomic.Int64 // data tuples dropped by queue policy / degraded mode
+	// curClass is the class of the tuple the executor is currently
+	// processing (executor goroutine only): emissions inherit it, so the
+	// descendants of a replayed tuple stay replay-class downstream.
+	curClass TrafficClass
 	instr    *taskInstruments // nil when Config.Metrics is unset
 }
 
@@ -120,6 +150,18 @@ type Runtime struct {
 	stopped  chan struct{} // closed once Wait has shut the executors down
 	failures atomic.Int64  // bolt Execute errors (reported, not fatal)
 	instr    *instruments  // nil when Config.Metrics is unset
+
+	offeredAll atomic.Int64 // data tuples routed, all tasks
+	shedAll    atomic.Int64 // data tuples shed, all tasks
+
+	// Degraded-service mode (admission control during recovery): a
+	// refcount so overlapping recoveries nest, plus the offered/shed
+	// snapshot taken at entry so the exit flight event carries the exact
+	// accounting for the window.
+	degraded   atomic.Int32
+	degMu      sync.Mutex
+	degOffered int64
+	degShed    int64
 }
 
 // TaskKey names a task for backends and failure injection.
@@ -149,6 +191,7 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 		if !ok {
 			continue
 		}
+		watermark := int(float64(cfg.ChannelDepth) * cfg.ShedWatermark)
 		ts := make([]*task, decl.parallel)
 		for i := range ts {
 			ts[i] = &task{
@@ -156,7 +199,7 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 				boltID: id,
 				index:  i,
 				decl:   decl,
-				in:     make(chan envelope, cfg.ChannelDepth),
+				in:     newTaskQueue(cfg.ChannelDepth, cfg.QueuePolicy, watermark),
 			}
 			if rt.instr != nil {
 				ts[i].instr = newTaskInstruments(rt.instr, cfg.Metrics, ts[i].key)
@@ -187,14 +230,22 @@ func (rt *Runtime) Start() {
 		rt.spoutWG.Add(1)
 		go func(id string, sp Spout) {
 			defer rt.spoutWG.Done()
+			window := int64(rt.cfg.IngestWindow)
 			for {
 				tuple, ok := sp.Next()
 				if !ok {
 					return
 				}
+				// Ingest admission gate: hold new spout tuples while the
+				// in-flight count is at the window — upstream credit-based
+				// backpressure, so overload queues at the source instead
+				// of fanning out into the topology.
+				for window > 0 && rt.pending.Load() >= window {
+					time.Sleep(100 * time.Microsecond)
+				}
 				tuple.Stream = id
 				rt.instr.noteSpout()
-				rt.route(id, tuple)
+				rt.route(id, tuple, ClassIngest)
 			}
 		}(id, s.spout)
 	}
@@ -206,47 +257,69 @@ type subscription struct {
 	in   input
 }
 
-// route delivers a tuple from a component to all subscribing bolts.
-func (rt *Runtime) route(from string, tuple Tuple) {
+// route delivers a tuple from a component to all subscribing bolts,
+// tagging every delivery with the traffic class of its origin.
+func (rt *Runtime) route(from string, tuple Tuple, class TrafficClass) {
 	for _, sub := range rt.subs[from] {
 		ts := rt.tasks[sub.decl.id]
 		switch sub.in.grouping {
 		case ShuffleGrouping:
 			ctr := rt.shuffle[sub.decl.id+"|"+from]
 			idx := int(ctr.Add(1)-1) % len(ts)
-			rt.enqueue(ts[idx], tuple)
+			rt.enqueue(ts[idx], tuple, class)
 		case FieldsGrouping:
 			var key any
 			if sub.in.field < len(tuple.Values) {
 				key = tuple.Values[sub.in.field]
 			}
-			rt.enqueue(ts[hashField(key, len(ts))], tuple)
+			rt.enqueue(ts[hashField(key, len(ts))], tuple, class)
 		case GlobalGrouping:
-			rt.enqueue(ts[0], tuple)
+			rt.enqueue(ts[0], tuple, class)
 		case AllGrouping:
 			for _, t := range ts {
-				rt.enqueue(t, tuple)
+				rt.enqueue(t, tuple, class)
 			}
 		}
 	}
 }
 
-func (rt *Runtime) enqueue(t *task, tuple Tuple) {
+// enqueue offers one data tuple to a task's queue, keeping the
+// offered/shed accounting exact: every tuple counts as offered, and
+// every shed tuple (the incoming one or an evicted older one) counts as
+// shed exactly once, so admitted = offered − shed always holds.
+func (rt *Runtime) enqueue(t *task, tuple Tuple, class TrafficClass) {
 	rt.pending.Add(1)
+	t.offered.Add(1)
+	rt.offeredAll.Add(1)
+	degraded := rt.degraded.Load() > 0
+	env := envelope{kind: ctlTuple, tuple: tuple, class: class}
 	if t.instr == nil {
-		t.in <- envelope{kind: ctlTuple, tuple: tuple}
+		outcome, _ := t.in.pushData(env, degraded)
+		rt.noteShed(t, outcome)
 		return
 	}
-	// Instrumented path: a full channel means the sender is about to
-	// block — that wait is the backpressure signal, so time it.
-	select {
-	case t.in <- envelope{kind: ctlTuple, tuple: tuple}:
-	default:
-		start := time.Now()
-		t.in <- envelope{kind: ctlTuple, tuple: tuple}
+	// Instrumented path: time the push — if it had to wait for a slot,
+	// that wait is the backpressure signal.
+	start := time.Now()
+	outcome, waited := t.in.pushData(env, degraded)
+	if waited {
 		t.instr.noteBlocked(time.Since(start).Nanoseconds())
 	}
-	t.instr.noteIn(len(t.in))
+	rt.noteShed(t, outcome)
+	t.instr.noteIn(t.in.depth())
+}
+
+// noteShed settles the accounting for one pushData outcome: a shed
+// tuple (incoming or evicted) will never be processed, so it leaves the
+// pending count and joins the shed tally.
+func (rt *Runtime) noteShed(t *task, outcome pushOutcome) {
+	if outcome == pushAdmitted {
+		return
+	}
+	rt.pending.Add(-1)
+	t.shed.Add(1)
+	rt.shedAll.Add(1)
+	t.instr.noteShed()
 }
 
 // runTask is the executor loop: a single goroutine owns the task's log,
@@ -257,11 +330,15 @@ func (rt *Runtime) runTask(t *task) {
 	emit := func(out Tuple) {
 		out.Stream = t.boltID
 		t.instr.noteEmit()
-		rt.route(t.boltID, out)
+		// Emissions inherit the class of the tuple being processed, so
+		// replay descendants keep their shed immunity downstream.
+		rt.route(t.boltID, out, t.curClass)
 	}
-	for env := range t.in {
+	for {
+		env := t.in.pop()
 		switch env.kind {
 		case ctlTuple:
+			t.curClass = env.class
 			if t.decl.stateful {
 				t.log = append(t.log, env.tuple)
 			}
@@ -373,6 +450,9 @@ func (rt *Runtime) recoverTask(t *task, emit Emit, tr *obs.Tracer, parent obs.Sp
 		sp.SetStr("task", t.key)
 		sp.SetInt("tuples", int64(len(t.log)))
 	}
+	// Replayed tuples — and everything they emit downstream — are
+	// replay-class: shed policies and degraded mode may not drop them.
+	t.curClass = ClassReplay
 	for _, tuple := range t.log {
 		if err := t.decl.bolt.Execute(tuple, emit); err != nil {
 			rt.failures.Add(1)
@@ -380,6 +460,7 @@ func (rt *Runtime) recoverTask(t *task, emit Emit, tr *obs.Tracer, parent obs.Sp
 		}
 		t.handled.Add(1)
 	}
+	t.curClass = ClassIngest
 	t.instr.noteReplay(len(t.log))
 	sp.End()
 	t.dead = false
@@ -388,11 +469,14 @@ func (rt *Runtime) recoverTask(t *task, emit Emit, tr *obs.Tracer, parent obs.Sp
 	return nil
 }
 
-// control sends one control envelope to a task's executor. Both the send
-// and the reply race against runtime shutdown: a supervisor may issue a
-// kill/recover after Wait has already stopped the executor, and blocking
-// on a channel nobody reads would deadlock the caller. The stopped channel
-// turns that into ErrAlreadyWaited instead.
+// control sends one control envelope to a task's executor. Control
+// envelopes ride the queue's unbounded control lane — the executor
+// drains it before data, so a kill or recover never waits behind a
+// backlog of tuples (the weighted dequeue that keeps recovery responsive
+// under overload). The reply races against runtime shutdown: a
+// supervisor may issue a kill/recover after Wait has already stopped the
+// executor, and blocking on a reply nobody will send would deadlock the
+// caller. The stopped channel turns that into ErrAlreadyWaited instead.
 func (rt *Runtime) control(bolt string, index int, kind ctlKind) error {
 	return rt.controlEnv(bolt, index, envelope{kind: kind})
 }
@@ -402,13 +486,14 @@ func (rt *Runtime) controlEnv(bolt string, index int, env envelope) error {
 	if !ok || index < 0 || index >= len(ts) {
 		return fmt.Errorf("%s[%d]: %w", bolt, index, ErrUnknownTask)
 	}
-	done := make(chan error, 1)
-	env.done = done
 	select {
-	case ts[index].in <- env:
 	case <-rt.stopped:
 		return fmt.Errorf("%s[%d]: %w", bolt, index, ErrAlreadyWaited)
+	default:
 	}
+	done := make(chan error, 1)
+	env.done = done
+	ts[index].in.pushCtl(env)
 	select {
 	case err := <-done:
 		return err
@@ -529,7 +614,7 @@ func (rt *Runtime) Wait() error {
 	for _, id := range rt.topo.sortedBolts() {
 		for _, t := range rt.tasks[id] {
 			done := make(chan error, 1)
-			t.in <- envelope{kind: ctlFlush, done: done}
+			t.in.pushCtl(envelope{kind: ctlFlush, done: done})
 			if err := <-done; err != nil {
 				rt.failures.Add(1)
 			}
@@ -539,7 +624,7 @@ func (rt *Runtime) Wait() error {
 	for _, ts := range rt.tasks {
 		for _, t := range ts {
 			done := make(chan error, 1)
-			t.in <- envelope{kind: ctlStop, done: done}
+			t.in.pushCtl(envelope{kind: ctlStop, done: done})
 			<-done
 		}
 	}
@@ -604,3 +689,94 @@ func (rt *Runtime) Stats() []TaskStats {
 
 // Pending reports the tuples currently routed but not yet processed.
 func (rt *Runtime) Pending() int64 { return rt.pending.Load() }
+
+// EnterDegraded flips the runtime into degraded-service mode: new
+// ingest-class tuples are shed once a task queue fills past the
+// watermark, reserving the remaining capacity for replay and recovery
+// traffic. Calls nest (refcount) so overlapping recoveries each hold the
+// mode; the first entry journals an overload.shed_start flight event
+// carrying the reason.
+func (rt *Runtime) EnterDegraded(reason string) {
+	if rt.degraded.Add(1) != 1 {
+		return
+	}
+	rt.degMu.Lock()
+	rt.degOffered = rt.offeredAll.Load()
+	rt.degShed = rt.shedAll.Load()
+	rt.degMu.Unlock()
+	rt.instr.noteDegraded(true)
+	rt.cfg.Flight.Note(obs.FlightShedStart, "", rt.topo.name,
+		fmt.Sprintf("reason=%s policy=%s watermark=%.2f", reason, rt.cfg.QueuePolicy, rt.cfg.ShedWatermark), nil)
+}
+
+// ExitDegraded releases one EnterDegraded hold. The last exit drains
+// shed mode and journals an overload.shed_stop flight event with the
+// exact offered/shed/admitted accounting for the degraded window.
+func (rt *Runtime) ExitDegraded() {
+	if rt.degraded.Add(-1) != 0 {
+		return
+	}
+	rt.degMu.Lock()
+	offered := rt.offeredAll.Load() - rt.degOffered
+	shed := rt.shedAll.Load() - rt.degShed
+	rt.degMu.Unlock()
+	rt.instr.noteDegraded(false)
+	rt.cfg.Flight.Note(obs.FlightShedStop, "", rt.topo.name,
+		fmt.Sprintf("offered=%d shed=%d admitted=%d", offered, shed, offered-shed), nil)
+}
+
+// Degraded reports whether the runtime is in degraded-service mode.
+func (rt *Runtime) Degraded() bool { return rt.degraded.Load() > 0 }
+
+// TaskOverloadStats is one task's exact admission accounting.
+type TaskOverloadStats struct {
+	Key string
+	// Offered counts data tuples routed at this task.
+	Offered int64
+	// Shed counts tuples dropped (queue policy or degraded mode).
+	Shed int64
+	// Admitted = Offered − Shed; every admitted tuple is processed
+	// exactly once (modulo recovery replay, which re-executes from the
+	// input log by design).
+	Admitted int64
+	// QueueCap is the data queue's exact capacity bound.
+	QueueCap int
+	// QueueHighWater is the largest queue occupancy ever observed —
+	// never exceeds QueueCap.
+	QueueHighWater int
+}
+
+// OverloadStats is the runtime-wide admission accounting snapshot.
+type OverloadStats struct {
+	Offered  int64
+	Shed     int64
+	Admitted int64
+	Degraded bool
+	Tasks    []TaskOverloadStats
+}
+
+// Overload snapshots the exact offered/shed/admitted accounting, per
+// task and rolled up. The invariant offered = admitted + shed holds by
+// construction at every level.
+func (rt *Runtime) Overload() OverloadStats {
+	s := OverloadStats{
+		Offered:  rt.offeredAll.Load(),
+		Shed:     rt.shedAll.Load(),
+		Degraded: rt.Degraded(),
+	}
+	s.Admitted = s.Offered - s.Shed
+	for _, id := range rt.topo.sortedBolts() {
+		for _, t := range rt.tasks[id] {
+			off, sh := t.offered.Load(), t.shed.Load()
+			s.Tasks = append(s.Tasks, TaskOverloadStats{
+				Key:            t.key,
+				Offered:        off,
+				Shed:           sh,
+				Admitted:       off - sh,
+				QueueCap:       t.in.capacity(),
+				QueueHighWater: t.in.high(),
+			})
+		}
+	}
+	return s
+}

@@ -22,6 +22,7 @@ import (
 	"sr3/internal/detector"
 	"sr3/internal/id"
 	"sr3/internal/obs"
+	"sr3/internal/overload"
 	"sr3/internal/recovery"
 )
 
@@ -39,6 +40,26 @@ type TaskRuntime interface {
 // RecoverTaskByKey when the bound runtime does not.
 type TracedTaskRuntime interface {
 	RecoverTaskByKeyTraced(taskKey string, tr *obs.Tracer, parent obs.SpanContext) error
+}
+
+// DegradedRuntime is the optional overload-control slice of the runtime:
+// with Config.ShedDuringRecovery set, the supervisor holds the runtime in
+// degraded-service mode while it works a verdict, so ingest sheds at the
+// queue watermark instead of competing with replay for executor capacity.
+// Enter/Exit are refcounted by the implementation, so overlapping holds
+// nest. *stream.Runtime implements it; runtimes that do not are simply
+// never shed.
+type DegradedRuntime interface {
+	EnterDegraded(reason string)
+	ExitDegraded()
+}
+
+// IngestGate is the optional transport-side admission gate, matched
+// against Config.Deadlines (which *nettransport.Network implements along
+// with DeadlineTuner): while held, inbound ingest-class requests bounce
+// with ErrOverloaded and recovery/control traffic keeps flowing.
+type IngestGate interface {
+	SetDegradedService(on bool)
 }
 
 // StateSpec describes one protected application state.
@@ -91,6 +112,21 @@ type Config struct {
 	// Deadlines, when non-nil, receives per-peer transport deadline
 	// overrides for degraded peers (*nettransport.Network implements it).
 	Deadlines DeadlineTuner
+	// ShedDuringRecovery turns on degraded-service mode while a verdict
+	// is being worked: the bound runtime (when it implements
+	// DegradedRuntime) sheds ingest at the queue watermark, and the
+	// transport behind Deadlines (when it implements IngestGate) rejects
+	// inbound ingest-class calls, for exactly the window between verdict
+	// pickup and the last spec's recovery settling. Replay and
+	// shard-transfer traffic is never shed.
+	ShedDuringRecovery bool
+	// RetryBudget, when non-nil, gates recovery retry attempts: each
+	// withRetry pass after the first spends a token, and recovered specs
+	// earn tokens back. It is also handed down to cluster recoveries as
+	// Options.RetryBudget (unless the spec set its own), so one budget
+	// caps the whole control plane's retry amplification during a mass
+	// failure. Nil keeps unbudgeted retries.
+	RetryBudget *overload.Budget
 }
 
 func (c Config) withDefaults() Config {
@@ -383,6 +419,21 @@ func (s *Supervisor) handleDeath(v verdict) {
 	s.cfg.Flight.Note(obs.FlightVerdict, v.node.Short(), "",
 		fmt.Sprintf("specs=%d", len(specs)), nil)
 
+	// Degraded-service window: shed ingest for exactly as long as this
+	// verdict's recoveries are in flight, then drain. The runtime hold is
+	// refcounted; the transport gate is flat but safe because the verdict
+	// worker is single-goroutine.
+	if s.cfg.ShedDuringRecovery {
+		if dr, ok := rt.(DegradedRuntime); ok {
+			dr.EnterDegraded("verdict:" + v.node.Short())
+			defer dr.ExitDegraded()
+		}
+		if gate, ok := s.cfg.Deadlines.(IngestGate); ok {
+			gate.SetDegradedService(true)
+			defer gate.SetDegradedService(false)
+		}
+	}
+
 	// Adopt the detector's pre-allocated trace: the root span opens at
 	// the start of the silence window, so its duration is the MTTR, with
 	// the detect window and the queue wait recorded retroactively as its
@@ -478,8 +529,15 @@ const recoverAttempts = 4
 func (s *Supervisor) withRetry(f func() error) error {
 	var err error
 	for i := 0; i < recoverAttempts; i++ {
+		// Retries (passes after the first) are funded by the supervisor's
+		// retry budget; on an empty bucket the loop fails fast with the
+		// last real error rather than piling more load on the cluster.
+		if i > 0 && !s.cfg.RetryBudget.Allow() {
+			return fmt.Errorf("retry budget exhausted after %d attempts: %w", i, err)
+		}
 		s.cluster.Ring.MaintenanceRound()
 		if err = f(); err == nil {
+			s.cfg.RetryBudget.Earn()
 			return nil
 		}
 	}
@@ -541,6 +599,9 @@ func (s *Supervisor) recoverState(spec StateSpec, v verdict, rt TaskRuntime, par
 		opts.Tracer = tr
 	}
 	opts.TraceParent = parent
+	if opts.RetryBudget == nil {
+		opts.RetryBudget = s.cfg.RetryBudget
+	}
 	var res recovery.Result
 	err := s.withRetry(func() error {
 		var e error

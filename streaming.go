@@ -36,6 +36,26 @@ type (
 	StateStore = stream.StateStore
 	// Aggregator reduces a closed window.
 	Aggregator = stream.Aggregator
+	// QueuePolicy selects what a bounded task queue does when a data
+	// tuple arrives and the queue is full (RuntimeConfig.QueuePolicy).
+	QueuePolicy = stream.QueuePolicy
+	// OverloadStats is the runtime-wide offered/admitted/shed ledger.
+	OverloadStats = stream.OverloadStats
+	// TaskOverloadStats is one task's share of the overload ledger.
+	TaskOverloadStats = stream.TaskOverloadStats
+)
+
+// Queue-full policies for RuntimeConfig.QueuePolicy.
+const (
+	// QueueBlock stalls the producer until a slot frees (credit-based
+	// backpressure; the default).
+	QueueBlock = stream.QueueBlock
+	// QueueShedOldest drops the oldest queued ingest tuple to admit the
+	// new one; replay traffic is never shed.
+	QueueShedOldest = stream.QueueShedOldest
+	// QueueShedPriority sheds by traffic class: replay evicts queued
+	// ingest, fresh ingest is dropped when the queue is full.
+	QueueShedPriority = stream.QueueShedPriority
 )
 
 // State stores.

@@ -6,8 +6,15 @@ import (
 	"time"
 
 	"sr3/internal/detector"
+	"sr3/internal/overload"
 	"sr3/internal/supervise"
 )
+
+// RetryBudgetPolicy tunes a token-bucket retry budget: successful
+// recoveries earn Ratio tokens, a time floor of MinPerSec tokens/second
+// keeps a trickle of probes alive, and Burst caps the banked allowance.
+// Zero fields take the package defaults (0.1 / 2 / 10).
+type RetryBudgetPolicy = overload.BudgetPolicy
 
 // SupervisionConfig tunes the framework's self-healing mode: φ-accrual
 // failure detection on every node, automatic recovery of dead owners'
@@ -29,6 +36,16 @@ type SupervisionConfig struct {
 	// (the failure post-mortem). The journal itself is always on; this
 	// only adds the streamed copy.
 	FlightDump io.Writer
+	// ShedDuringRecovery holds every supervised runtime in
+	// degraded-service mode (new ingest shed at the queue watermark,
+	// replay traffic untouched) for exactly the window in which the
+	// supervisor is working a death verdict.
+	ShedDuringRecovery bool
+	// RetryBudget, when non-nil, caps retry amplification during mass
+	// failures: supervisor recovery re-attempts and failover retry
+	// rounds spend from one shared token bucket and fail fast when it
+	// is empty. Nil keeps retries unbudgeted.
+	RetryBudget *RetryBudgetPolicy
 }
 
 // SelfHealEvent records one automatically handled node death.
@@ -46,16 +63,22 @@ func (f *Framework) StartSupervision(cfg SupervisionConfig) error {
 		f.mu.Unlock()
 		return fmt.Errorf("sr3: supervision already running")
 	}
+	var budget *overload.Budget
+	if cfg.RetryBudget != nil {
+		budget = overload.NewBudget(*cfg.RetryBudget)
+	}
 	sup := supervise.New(f.cluster, supervise.Config{
 		Detector: detector.Config{
 			Interval:  cfg.Heartbeat,
 			Threshold: cfg.PhiThreshold,
 			Quorum:    cfg.Quorum,
 		},
-		RepairInterval: cfg.RepairInterval,
-		Tracer:         f.cfg.Tracer,
-		Flight:         f.flight,
-		FlightDump:     cfg.FlightDump,
+		RepairInterval:     cfg.RepairInterval,
+		Tracer:             f.cfg.Tracer,
+		Flight:             f.flight,
+		FlightDump:         cfg.FlightDump,
+		ShedDuringRecovery: cfg.ShedDuringRecovery,
+		RetryBudget:        budget,
 	})
 	f.sup = sup
 	for name, ac := range f.apps {
