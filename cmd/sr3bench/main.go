@@ -69,7 +69,9 @@ func experiments() []experiment {
 		{id: "matrix-tiny", desc: "CI smoke subset of the fault-recovery matrix (writes " + matrixTinyOut + ")", run: runMatrixTiny},
 		{id: "overload", desc: "overload sweep: load past capacity with crash + retry-storm pair (writes " + overloadOut + ")", run: runOverload},
 		{id: "overload-tiny", desc: "CI smoke subset of the overload sweep (writes " + overloadTinyOut + ")", run: runOverloadTiny},
-		{id: "matrix-report", desc: "render committed matrix/overload artifacts as markdown into " + experimentsDoc, run: runMatrixReport},
+		{id: "throughput", desc: "steady-state tuple plane: gob per-tuple vs batched wire + runtime cells (writes " + throughputOut + ")", run: runThroughput},
+		{id: "throughput-tiny", desc: "CI smoke subset of the throughput sweep (writes " + throughputTinyOut + ")", run: runThroughputTiny},
+		{id: "matrix-report", desc: "render committed matrix/overload/throughput artifacts as markdown into " + experimentsDoc, run: runMatrixReport},
 		{id: "table1", desc: "recovery approach overview (Table 1)", run: func() (string, error) {
 			return bench.FormatTable1(), nil
 		}},
@@ -198,6 +200,39 @@ func runOverloadPreset(preset, out string) (string, error) {
 	return report.Format() + "wrote " + out + "\n", nil
 }
 
+// throughputOut is the committed throughput artifact; throughputTinyOut
+// is the CI smoke output, kept separate so a smoke run never clobbers
+// the committed numbers.
+const (
+	throughputOut     = "BENCH_throughput.json"
+	throughputTinyOut = "BENCH_throughput_tiny.json"
+)
+
+func runThroughput() (string, error)     { return runThroughputPreset("full", throughputOut) }
+func runThroughputTiny() (string, error) { return runThroughputPreset("tiny", throughputTinyOut) }
+
+func runThroughputPreset(preset, out string) (string, error) {
+	specs, err := bench.ThroughputPreset(preset)
+	if err != nil {
+		return "", err
+	}
+	report := bench.ThroughputSweep(specs)
+	blob, err := report.JSON()
+	if err != nil {
+		return "", err
+	}
+	// The validator enforces the acceptance gate (gob baseline present,
+	// batched wire speedup over the floor, runtime invariants intact) —
+	// a sweep that fails it is an error, not an artifact.
+	if _, err := bench.ValidateThroughput(blob); err != nil {
+		return "", fmt.Errorf("%w\n%s", err, report.Format())
+	}
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return "", err
+	}
+	return report.Format() + "wrote " + out + "\n", nil
+}
+
 // experimentsDoc is where matrix-report splices its markdown tables,
 // between begin/end marker comments (appended on first run).
 const experimentsDoc = "EXPERIMENTS.md"
@@ -230,8 +265,18 @@ func runMatrixReport() (string, error) {
 			fmt.Sprintf("\nRendered from the committed `%s` by `sr3bench -fig matrix-report`.\n\n%s\n", overloadOut, report.Markdown()))
 		did = append(did, overloadOut)
 	}
+	if blob, err := os.ReadFile(throughputOut); err == nil {
+		report, err := bench.ValidateThroughput(blob)
+		if err != nil {
+			return "", err
+		}
+		doc = bench.SpliceMarked(doc,
+			"<!-- throughput-report:begin -->", "<!-- throughput-report:end -->",
+			fmt.Sprintf("\nRendered from the committed `%s` by `sr3bench -fig matrix-report`.\n\n%s\n", throughputOut, report.Markdown()))
+		did = append(did, throughputOut)
+	}
 	if len(did) == 0 {
-		return "", fmt.Errorf("matrix-report: neither %s nor %s found (run the matrix/overload experiments first)", matrixOut, overloadOut)
+		return "", fmt.Errorf("matrix-report: none of %s, %s, %s found (run the matrix/overload/throughput experiments first)", matrixOut, overloadOut, throughputOut)
 	}
 	if err := os.WriteFile(experimentsDoc, []byte(doc), 0o644); err != nil {
 		return "", err

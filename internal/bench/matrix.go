@@ -213,6 +213,11 @@ const (
 	matrixShards    = 6
 	matrixReplicas  = 2
 	matrixRing      = 24
+	// Batched-plane knobs shared by the matrix and overload sweeps: small
+	// frames so barrier-heavy cells never wait long for a size flush, a
+	// sub-millisecond linger so measured lag stays honest.
+	matrixBatchSize   = 16
+	matrixBatchLinger = 500 * time.Microsecond
 )
 
 // seqSpout streams sequence-numbered tuples pushed by the cell driver.
@@ -344,6 +349,11 @@ func RunMatrixCell(spec MatrixCellSpec, seed int64) (MatrixCell, error) {
 	rt, err := stream.NewRuntime(topo, stream.Config{
 		Backend:         env.backend,
 		SaveEveryTuples: matrixSaveEvery,
+		// The batched tuple plane runs in every cell: the exactly-once and
+		// replay audits below are the proof that batching changes only the
+		// rate, never the semantics.
+		BatchSize:   matrixBatchSize,
+		BatchLinger: matrixBatchLinger,
 	})
 	if err != nil {
 		return env.cell, err

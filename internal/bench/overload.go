@@ -251,8 +251,17 @@ func runOverloadStream(spec OverloadCellSpec, seed int64) (OverloadCell, error) 
 	rt, err := stream.NewRuntime(topo, stream.Config{
 		Backend:         backend,
 		SaveEveryTuples: matrixSaveEvery,
-		ChannelDepth:    overloadQueueCap,
-		QueuePolicy:     stream.QueueShedOldest,
+		// The queue bound is counted in envelopes, and with batching each
+		// envelope carries up to matrixBatchSize tuples — so the depth is
+		// scaled down to keep the queue's tuple capacity comparable to the
+		// pre-batching sweep. Without this the 2x/4x cells stop shedding
+		// and the overload scenario loses its teeth.
+		ChannelDepth: overloadQueueCap / matrixBatchSize,
+		QueuePolicy:  stream.QueueShedOldest,
+		// Batched plane on: the exact per-tuple ledger and exactly-once
+		// checks below now audit whole frames crossing the shedding queues.
+		BatchSize:   matrixBatchSize,
+		BatchLinger: matrixBatchLinger,
 	})
 	if err != nil {
 		return cell, err

@@ -1,0 +1,547 @@
+// Throughput benchmark: the steady-state tuple plane measured in
+// tuples/sec, on two axes. The wire axis streams tuples over a
+// persistent loopback TCP connection — per-tuple gob frames (the
+// pre-batching inter-task codec) against EncodeTupleBatch frames on the
+// chunked, credit-windowed BatchConn data plane — and is where the
+// headline batching speedup is gated. The runtime axis runs the full
+// in-process topology (spout → keyed count on a sharded store) with the
+// batched plane off and on, asserting that the accounting and
+// exactly-once invariants survive the faster path.
+package bench
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"sr3/internal/nettransport"
+	"sr3/internal/state"
+	"sr3/internal/stream"
+)
+
+// ThroughputSchema versions the committed BENCH_throughput.json.
+const ThroughputSchema = "sr3.bench.throughput/v1"
+
+// Throughput cell kinds and codecs.
+const (
+	// ThroughputWire streams encoded tuples over loopback TCP.
+	ThroughputWire = "wire"
+	// ThroughputRuntime pumps the in-process topology end to end.
+	ThroughputRuntime = "runtime"
+
+	// CodecNameGob is the per-tuple gob baseline.
+	CodecNameGob = "gob"
+	// CodecNameBatch is the length-prefixed binary batch codec.
+	CodecNameBatch = "batch"
+)
+
+// ThroughputSpeedupFloor is the acceptance gate: batched wire cells at
+// batch >= ThroughputSpeedupBatch must beat the gob per-tuple baseline
+// by at least this factor in tuples/sec.
+const (
+	ThroughputSpeedupFloor = 3.0
+	ThroughputSpeedupBatch = 64
+)
+
+// ThroughputCellSpec names one cell to run.
+type ThroughputCellSpec struct {
+	Kind string `json:"kind"`
+	// Codec selects the wire encoding (wire cells only).
+	Codec string `json:"codec,omitempty"`
+	// Batch is the tuples-per-frame (1 = per-tuple delivery).
+	Batch int `json:"batch"`
+	// Tuples is how many tuples the cell moves.
+	Tuples int `json:"tuples"`
+}
+
+// ThroughputCell is one measured cell.
+type ThroughputCell struct {
+	Kind         string  `json:"kind"`
+	Codec        string  `json:"codec,omitempty"`
+	Batch        int     `json:"batch"`
+	Tuples       int64   `json:"tuples"`
+	Seconds      float64 `json:"seconds"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// BytesPerTuple is the on-wire footprint (wire cells only).
+	BytesPerTuple float64 `json:"bytes_per_tuple,omitempty"`
+
+	// Runtime-cell invariants: exact offered = admitted + shed ledger and
+	// exactly-once execution over admitted tuples, checked with the
+	// batched plane on.
+	AccountingExact bool `json:"accounting_exact,omitempty"`
+	ExactlyOnce     bool `json:"exactly_once,omitempty"`
+
+	Notes string `json:"notes,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// ThroughputReport is the committed artifact.
+type ThroughputReport struct {
+	Schema string           `json:"schema"`
+	Cells  []ThroughputCell `json:"cells"`
+}
+
+// JSON renders the report for the committed artifact.
+func (r *ThroughputReport) JSON() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// ThroughputPreset returns the cell list for a named preset: "tiny" is
+// the CI smoke subset, "full" the committed sweep.
+func ThroughputPreset(preset string) ([]ThroughputCellSpec, error) {
+	switch preset {
+	case "tiny":
+		return []ThroughputCellSpec{
+			{Kind: ThroughputWire, Codec: CodecNameGob, Batch: 1, Tuples: 4_000},
+			{Kind: ThroughputWire, Codec: CodecNameBatch, Batch: 64, Tuples: 20_000},
+			{Kind: ThroughputRuntime, Batch: 64, Tuples: 10_000},
+		}, nil
+	case "full":
+		return []ThroughputCellSpec{
+			{Kind: ThroughputWire, Codec: CodecNameGob, Batch: 1, Tuples: 30_000},
+			{Kind: ThroughputWire, Codec: CodecNameBatch, Batch: 64, Tuples: 200_000},
+			{Kind: ThroughputWire, Codec: CodecNameBatch, Batch: 256, Tuples: 200_000},
+			{Kind: ThroughputRuntime, Batch: 1, Tuples: 60_000},
+			{Kind: ThroughputRuntime, Batch: 64, Tuples: 60_000},
+		}, nil
+	default:
+		return nil, fmt.Errorf("throughput: unknown preset %q (tiny, full)", preset)
+	}
+}
+
+// ThroughputSweep runs every cell sequentially on a fresh environment.
+// A cell failure lands in its Error field rather than aborting the
+// sweep.
+func ThroughputSweep(specs []ThroughputCellSpec) *ThroughputReport {
+	report := &ThroughputReport{Schema: ThroughputSchema}
+	for _, spec := range specs {
+		cell, err := RunThroughputCell(spec)
+		if err != nil {
+			cell.Error = err.Error()
+		}
+		report.Cells = append(report.Cells, cell)
+	}
+	return report
+}
+
+// RunThroughputCell measures one cell.
+func RunThroughputCell(spec ThroughputCellSpec) (ThroughputCell, error) {
+	switch spec.Kind {
+	case ThroughputWire:
+		return runWireCell(spec)
+	case ThroughputRuntime:
+		return runRuntimeCell(spec)
+	default:
+		return ThroughputCell{Kind: spec.Kind}, fmt.Errorf("throughput: unknown cell kind %q", spec.Kind)
+	}
+}
+
+// throughputTuple builds the representative tuple the cells move: the
+// matrix workload's shape, a keyed word plus a sequence number.
+func throughputTuple(seq int) stream.Tuple {
+	return stream.Tuple{
+		Stream: "seq",
+		Values: []any{fmt.Sprintf("k%d", seq%matrixKeys), int64(seq)},
+		Ts:     int64(seq),
+	}
+}
+
+// loopbackPair opens both ends of a fresh loopback TCP connection.
+func loopbackPair() (client, server net.Conn, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, aerr := ln.Accept()
+		ch <- res{c, aerr}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	r := <-ch
+	if r.err != nil {
+		client.Close()
+		return nil, nil, r.err
+	}
+	return client, r.c, nil
+}
+
+// runWireCell streams spec.Tuples over loopback TCP and times arrival.
+// The gob baseline reproduces the pre-batching inter-task path: one gob
+// frame per tuple through a persistent encoder. The batch path encodes
+// spec.Batch tuples per EncodeTupleBatch frame into a reused buffer and
+// ships it over the credit-windowed BatchConn.
+func runWireCell(spec ThroughputCellSpec) (ThroughputCell, error) {
+	cell := ThroughputCell{Kind: spec.Kind, Codec: spec.Codec, Batch: spec.Batch, Tuples: int64(spec.Tuples)}
+	if spec.Tuples <= 0 {
+		return cell, fmt.Errorf("throughput: wire cell needs tuples > 0")
+	}
+	tuples := make([]stream.Tuple, spec.Tuples)
+	for i := range tuples {
+		tuples[i] = throughputTuple(i)
+	}
+	cw, sw, err := loopbackPair()
+	if err != nil {
+		return cell, err
+	}
+	defer cw.Close()
+	defer sw.Close()
+
+	type result struct {
+		n     int64
+		bytes int64
+		err   error
+	}
+	done := make(chan result, 1)
+	var start time.Time
+
+	switch spec.Codec {
+	case CodecNameGob:
+		if spec.Batch != 1 {
+			return cell, fmt.Errorf("throughput: gob baseline is per-tuple (batch=1), got %d", spec.Batch)
+		}
+		go func() {
+			dec := gob.NewDecoder(sw)
+			var got result
+			for got.n < int64(len(tuples)) {
+				var t stream.Tuple
+				if err := dec.Decode(&t); err != nil {
+					got.err = err
+					break
+				}
+				got.n++
+			}
+			done <- got
+		}()
+		cm := &countingConn{Conn: cw}
+		enc := gob.NewEncoder(cm)
+		start = time.Now()
+		for i := range tuples {
+			if err := enc.Encode(&tuples[i]); err != nil {
+				return cell, fmt.Errorf("throughput: gob encode: %w", err)
+			}
+		}
+		res := <-done
+		cell.Seconds = time.Since(start).Seconds()
+		if res.err != nil {
+			return cell, fmt.Errorf("throughput: gob receiver: %w", res.err)
+		}
+		cell.BytesPerTuple = float64(cm.n) / float64(len(tuples))
+		cell.Notes = "per-tuple gob frames, persistent encoder"
+
+	case CodecNameBatch:
+		if spec.Batch < 2 {
+			return cell, fmt.Errorf("throughput: batch cell needs batch >= 2, got %d", spec.Batch)
+		}
+		bs := nettransport.NewBatchConn(sw, 10*time.Second)
+		go func() {
+			var got result
+			for got.n < int64(len(tuples)) {
+				body, free, err := bs.ReadBatch()
+				if err != nil {
+					got.err = err
+					break
+				}
+				decoded, _, err := stream.DecodeTupleBatch(body)
+				free()
+				if err != nil {
+					got.err = err
+					break
+				}
+				got.n += int64(len(decoded))
+			}
+			done <- got
+		}()
+		bc := nettransport.NewBatchConn(cw, 10*time.Second)
+		var frame []byte
+		sent := int64(0)
+		start = time.Now()
+		for off := 0; off < len(tuples); off += spec.Batch {
+			end := off + spec.Batch
+			if end > len(tuples) {
+				end = len(tuples)
+			}
+			frame, err = stream.EncodeTupleBatch(frame[:0], tuples[off:end], stream.ClassIngest)
+			if err != nil {
+				return cell, fmt.Errorf("throughput: batch encode: %w", err)
+			}
+			if err := bc.WriteBatch(frame); err != nil {
+				return cell, fmt.Errorf("throughput: batch write: %w", err)
+			}
+			sent += int64(len(frame))
+		}
+		res := <-done
+		cell.Seconds = time.Since(start).Seconds()
+		if res.err != nil {
+			return cell, fmt.Errorf("throughput: batch receiver: %w", res.err)
+		}
+		cell.BytesPerTuple = float64(sent) / float64(len(tuples))
+		cell.Notes = fmt.Sprintf("%d-tuple frames over credit-windowed BatchConn", spec.Batch)
+
+	default:
+		return cell, fmt.Errorf("throughput: unknown codec %q", spec.Codec)
+	}
+	if cell.Seconds > 0 {
+		cell.TuplesPerSec = float64(cell.Tuples) / cell.Seconds
+	}
+	return cell, nil
+}
+
+// countingConn counts bytes written, for the on-wire footprint column.
+type countingConn struct {
+	net.Conn
+	n int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// shardedCountBolt is seqCountBolt over the sharded keyed store — the
+// state shape the batched plane's concurrency is meant to feed.
+type shardedCountBolt struct{ store *state.ShardedMapStore }
+
+func (c *shardedCountBolt) Execute(t stream.Tuple, emit stream.Emit) error {
+	key := t.StringAt(0)
+	n := int64(0)
+	if v, ok := c.store.Get(key); ok {
+		parsed, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return err
+		}
+		n = parsed
+	}
+	n++
+	c.store.Put(key, []byte(strconv.FormatInt(n, 10)))
+	return nil
+}
+
+func (c *shardedCountBolt) Store() stream.StateStore { return c.store }
+
+// runRuntimeCell pumps spec.Tuples through spout → keyed count (two
+// tasks, sharded store) with the batched plane configured per spec, and
+// checks the ledger and exactly-once invariants on the way out.
+func runRuntimeCell(spec ThroughputCellSpec) (ThroughputCell, error) {
+	cell := ThroughputCell{Kind: spec.Kind, Batch: spec.Batch, Tuples: int64(spec.Tuples)}
+	if spec.Tuples <= 0 {
+		return cell, fmt.Errorf("throughput: runtime cell needs tuples > 0")
+	}
+	tuples := make([]stream.Tuple, spec.Tuples)
+	for i := range tuples {
+		tuples[i] = throughputTuple(i)
+	}
+	spout := &preloadedSpout{tuples: tuples}
+	counter := &shardedCountBolt{store: state.NewShardedMapStore(0)}
+	topo := stream.NewTopology("tp")
+	if err := topo.AddSpout("seq", spout); err != nil {
+		return cell, err
+	}
+	if err := topo.AddBolt("count", counter, 2).Fields("seq", 0).Err(); err != nil {
+		return cell, err
+	}
+	cfg := stream.Config{Backend: stream.NewMemoryBackend()}
+	if spec.Batch > 1 {
+		cfg.BatchSize = spec.Batch
+		cfg.BatchLinger = time.Millisecond
+		cell.Notes = fmt.Sprintf("batched plane, %d-tuple frames, sharded store", spec.Batch)
+	} else {
+		cell.Notes = "per-tuple plane, sharded store"
+	}
+	rt, err := stream.NewRuntime(topo, cfg)
+	if err != nil {
+		return cell, err
+	}
+	start := time.Now()
+	rt.Start()
+	if err := rt.Wait(); err != nil {
+		return cell, err
+	}
+	cell.Seconds = time.Since(start).Seconds()
+	if cell.Seconds > 0 {
+		cell.TuplesPerSec = float64(cell.Tuples) / cell.Seconds
+	}
+
+	ov := rt.Overload()
+	cell.AccountingExact = ov.Offered == int64(spec.Tuples) && ov.Offered == ov.Admitted+ov.Shed && ov.Shed == 0
+	var total int64
+	for _, k := range counter.store.Keys() {
+		v, _ := counter.store.Get(k)
+		n, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return cell, err
+		}
+		total += n
+	}
+	cell.ExactlyOnce = total == ov.Admitted && total == int64(spec.Tuples)
+	return cell, nil
+}
+
+// preloadedSpout replays a fixed slice once.
+type preloadedSpout struct {
+	tuples []stream.Tuple
+	i      int
+}
+
+func (s *preloadedSpout) Next() (stream.Tuple, bool) {
+	if s.i >= len(s.tuples) {
+		return stream.Tuple{}, false
+	}
+	t := s.tuples[s.i]
+	s.i++
+	return t, true
+}
+
+// ValidateThroughput parses and schema-checks a committed artifact,
+// enforcing the acceptance gate: a gob per-tuple wire baseline, a
+// batched wire cell at batch >= ThroughputSpeedupBatch beating it by
+// ThroughputSpeedupFloor in tuples/sec, and a batched runtime cell
+// whose accounting and exactly-once invariants held.
+func ValidateThroughput(blob []byte) (*ThroughputReport, error) {
+	var r ThroughputReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("throughput artifact: %w", err)
+	}
+	if r.Schema != ThroughputSchema {
+		return nil, fmt.Errorf("throughput artifact: schema %q, want %q", r.Schema, ThroughputSchema)
+	}
+	if len(r.Cells) == 0 {
+		return nil, fmt.Errorf("throughput artifact: no cells")
+	}
+	var baseline, batched *ThroughputCell
+	var runtimeBatched *ThroughputCell
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Error != "" {
+			return nil, fmt.Errorf("throughput artifact: cell %s/%s/b%d failed: %s", c.Kind, c.Codec, c.Batch, c.Error)
+		}
+		if c.TuplesPerSec <= 0 {
+			return nil, fmt.Errorf("throughput artifact: cell %s/%s/b%d has no rate", c.Kind, c.Codec, c.Batch)
+		}
+		switch c.Kind {
+		case ThroughputWire:
+			switch {
+			case c.Codec == CodecNameGob && c.Batch == 1:
+				baseline = c
+			case c.Codec == CodecNameBatch && c.Batch >= ThroughputSpeedupBatch:
+				if batched == nil || c.TuplesPerSec > batched.TuplesPerSec {
+					batched = c
+				}
+			}
+		case ThroughputRuntime:
+			if !c.AccountingExact {
+				return nil, fmt.Errorf("throughput artifact: runtime cell b%d accounting not exact", c.Batch)
+			}
+			if !c.ExactlyOnce {
+				return nil, fmt.Errorf("throughput artifact: runtime cell b%d not exactly-once", c.Batch)
+			}
+			if c.Batch > 1 {
+				runtimeBatched = c
+			}
+		default:
+			return nil, fmt.Errorf("throughput artifact: unknown cell kind %q", c.Kind)
+		}
+	}
+	if baseline == nil {
+		return nil, fmt.Errorf("throughput artifact: gob per-tuple wire baseline missing")
+	}
+	if batched == nil {
+		return nil, fmt.Errorf("throughput artifact: batched wire cell at batch >= %d missing", ThroughputSpeedupBatch)
+	}
+	if speedup := batched.TuplesPerSec / baseline.TuplesPerSec; speedup < ThroughputSpeedupFloor {
+		return nil, fmt.Errorf("throughput artifact: wire speedup %.2fx below the %.1fx floor (batched %.0f/s vs gob %.0f/s)",
+			speedup, ThroughputSpeedupFloor, batched.TuplesPerSec, baseline.TuplesPerSec)
+	}
+	if runtimeBatched == nil {
+		return nil, fmt.Errorf("throughput artifact: batched runtime cell missing")
+	}
+	return &r, nil
+}
+
+// Format renders the report as an aligned table.
+func (r *ThroughputReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "throughput sweep (%d cells)\n", len(r.Cells))
+	fmt.Fprintf(&b, "%-8s %-6s %6s %9s %9s %12s %8s %6s %6s %s\n",
+		"kind", "codec", "batch", "tuples", "seconds", "tuples/s", "B/tuple", "exact", "once", "note")
+	var gobRate float64
+	for _, c := range r.Cells {
+		if c.Kind == ThroughputWire && c.Codec == CodecNameGob && c.Error == "" {
+			gobRate = c.TuplesPerSec
+		}
+	}
+	for _, c := range r.Cells {
+		note := c.Notes
+		if c.Error != "" {
+			note = "ERR " + c.Error
+		} else if gobRate > 0 && c.Kind == ThroughputWire && c.Codec == CodecNameBatch {
+			note = fmt.Sprintf("%.1fx gob; %s", c.TuplesPerSec/gobRate, note)
+		}
+		exact, once := "-", "-"
+		if c.Kind == ThroughputRuntime {
+			exact, once = fmt.Sprint(c.AccountingExact), fmt.Sprint(c.ExactlyOnce)
+		}
+		fmt.Fprintf(&b, "%-8s %-6s %6d %9d %9.3f %12.0f %8.1f %6s %6s %s\n",
+			c.Kind, c.Codec, c.Batch, c.Tuples, c.Seconds, c.TuplesPerSec, c.BytesPerTuple, exact, once, note)
+	}
+	b.WriteString("(wire = loopback TCP; the gate is batched-vs-gob tuples/s at batch >= 64; runtime = in-process topology with ledger + exactly-once checks)\n")
+	return b.String()
+}
+
+// Markdown renders the sweep as a GitHub-flavored table.
+func (r *ThroughputReport) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| kind | codec | batch | tuples | tuples/sec | bytes/tuple | speedup | accounting | exactly-once | notes |\n")
+	b.WriteString("|---|---|---:|---:|---:|---:|---:|:---:|:---:|---|\n")
+	var gobRate float64
+	for _, c := range r.Cells {
+		if c.Kind == ThroughputWire && c.Codec == CodecNameGob && c.Error == "" {
+			gobRate = c.TuplesPerSec
+		}
+	}
+	for _, c := range r.Cells {
+		note := c.Notes
+		if c.Error != "" {
+			note = "ERR " + c.Error
+		}
+		speedup := "—"
+		if gobRate > 0 && c.Kind == ThroughputWire && c.Codec == CodecNameBatch {
+			speedup = fmt.Sprintf("%.1f×", c.TuplesPerSec/gobRate)
+		}
+		exact, once := "—", "—"
+		if c.Kind == ThroughputRuntime {
+			exact, once = "✗", "✗"
+			if c.AccountingExact {
+				exact = "✓"
+			}
+			if c.ExactlyOnce {
+				once = "✓"
+			}
+		}
+		bpt := "—"
+		if c.BytesPerTuple > 0 {
+			bpt = fmt.Sprintf("%.1f", c.BytesPerTuple)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %.0f | %s | %s | %s | %s | %s |\n",
+			c.Kind, c.Codec, c.Batch, c.Tuples, c.TuplesPerSec, bpt, speedup, exact, once, note)
+	}
+	b.WriteString("\n*wire = loopback TCP, persistent connection; speedup is batched tuples/sec over the per-tuple gob baseline; runtime cells check the exact ledger and exactly-once execution with the batched plane on.*\n")
+	return b.String()
+}

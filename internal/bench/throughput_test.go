@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestThroughputTinySweep runs the CI smoke preset for real: every cell
+// must produce a rate, and the whole report must clear the validator —
+// including the >= 3x wire speedup gate, which holds with margin even
+// at smoke sizes (the gob baseline is an order of magnitude off the
+// batched plane).
+func TestThroughputTinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moves ~34k tuples over loopback TCP")
+	}
+	specs, err := ThroughputPreset("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := ThroughputSweep(specs)
+	for _, c := range report.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %s/%s/b%d: %s", c.Kind, c.Codec, c.Batch, c.Error)
+		}
+	}
+	blob, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateThroughput(blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommittedThroughputArtifact schema-validates the committed
+// BENCH_throughput.json — the validator embeds the acceptance gate
+// (gob baseline present, batched wire cell >= 3x over it, runtime
+// invariants intact), so a stale or hand-edited artifact fails CI.
+func TestCommittedThroughputArtifact(t *testing.T) {
+	blob, err := os.ReadFile("../../BENCH_throughput.json")
+	if err != nil {
+		t.Fatalf("committed artifact: %v", err)
+	}
+	report, err := ValidateThroughput(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Cells) < 5 {
+		t.Fatalf("committed throughput artifact has %d cells, want >= 5", len(report.Cells))
+	}
+	// Both runtime flavors must be present so the trajectory shows the
+	// per-tuple baseline next to the batched plane.
+	var perTuple, batched bool
+	for _, c := range report.Cells {
+		if c.Kind == ThroughputRuntime {
+			if c.Batch <= 1 {
+				perTuple = true
+			} else {
+				batched = true
+			}
+		}
+	}
+	if !perTuple || !batched {
+		t.Fatalf("committed artifact missing a runtime cell flavor (per-tuple=%v batched=%v)", perTuple, batched)
+	}
+}
+
+// TestValidateThroughputGates pins the validator's rejection paths: the
+// speedup floor, the missing-baseline case, and broken runtime
+// invariants must all fail loudly.
+func TestValidateThroughputGates(t *testing.T) {
+	mk := func(mut func(*ThroughputReport)) []byte {
+		r := &ThroughputReport{Schema: ThroughputSchema, Cells: []ThroughputCell{
+			{Kind: ThroughputWire, Codec: CodecNameGob, Batch: 1, Tuples: 100, Seconds: 1, TuplesPerSec: 1000},
+			{Kind: ThroughputWire, Codec: CodecNameBatch, Batch: 64, Tuples: 100, Seconds: 1, TuplesPerSec: 10000},
+			{Kind: ThroughputRuntime, Batch: 64, Tuples: 100, Seconds: 1, TuplesPerSec: 5000,
+				AccountingExact: true, ExactlyOnce: true},
+		}}
+		if mut != nil {
+			mut(r)
+		}
+		blob, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	if _, err := ValidateThroughput(mk(nil)); err != nil {
+		t.Fatalf("well-formed report rejected: %v", err)
+	}
+	cases := map[string]func(*ThroughputReport){
+		"speedup below floor": func(r *ThroughputReport) { r.Cells[1].TuplesPerSec = 2500 },
+		"baseline missing":    func(r *ThroughputReport) { r.Cells[0].Codec = CodecNameBatch },
+		"batched wire cell missing": func(r *ThroughputReport) {
+			r.Cells[1].Batch = 8
+		},
+		"accounting broken": func(r *ThroughputReport) { r.Cells[2].AccountingExact = false },
+		"not exactly-once":  func(r *ThroughputReport) { r.Cells[2].ExactlyOnce = false },
+		"runtime batched missing": func(r *ThroughputReport) {
+			r.Cells[2].Batch = 1
+		},
+		"cell error": func(r *ThroughputReport) { r.Cells[1].Error = "boom" },
+		"bad schema": func(r *ThroughputReport) { r.Schema = "nope" },
+	}
+	for name, mut := range cases {
+		if _, err := ValidateThroughput(mk(mut)); err == nil {
+			t.Errorf("%s: validator accepted a broken artifact", name)
+		}
+	}
+}
+
+// TestThroughputMarkdownRenders sanity-checks the markdown renderer
+// used by the matrix-report experiment.
+func TestThroughputMarkdownRenders(t *testing.T) {
+	r := &ThroughputReport{Schema: ThroughputSchema, Cells: []ThroughputCell{
+		{Kind: ThroughputWire, Codec: CodecNameGob, Batch: 1, Tuples: 100, TuplesPerSec: 1000, BytesPerTuple: 40},
+		{Kind: ThroughputWire, Codec: CodecNameBatch, Batch: 64, Tuples: 100, TuplesPerSec: 9000, BytesPerTuple: 16},
+		{Kind: ThroughputRuntime, Batch: 64, Tuples: 100, TuplesPerSec: 5000, AccountingExact: true, ExactlyOnce: true},
+	}}
+	md := r.Markdown()
+	if !strings.Contains(md, "9.0×") {
+		t.Fatalf("markdown missing speedup column:\n%s", md)
+	}
+	if !strings.Contains(md, "| runtime |  | 64 | 100 | 5000 | — | — | ✓ | ✓ |") {
+		t.Fatalf("markdown runtime row malformed:\n%s", md)
+	}
+}

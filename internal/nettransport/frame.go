@@ -155,6 +155,71 @@ func (d frameIO) writeRaw(raw []byte) (int64, error) {
 	return frames, nil
 }
 
+// writeRawVec streams a multi-segment body exactly as writeRaw would
+// stream the concatenation: same chunk grid over the total length, same
+// deterministic credit schedule, so the receiver's readRaw is oblivious
+// to the segmentation. Each chunk that spans a segment boundary goes to
+// the kernel as one net.Buffers (writev) call — segments are never
+// copied into a staging buffer. total must equal the summed segment
+// lengths. Returns frames written.
+func (d frameIO) writeRawVec(segs [][]byte, total int) (int64, error) {
+	if len(segs) == 1 {
+		return d.writeRaw(segs[0])
+	}
+	frames := int64(0)
+	inFlight := int64(0)
+	var credit [1]byte
+	var vec net.Buffers
+	si, so := 0, 0 // cursor: segment index, offset within it
+	for off := 0; off < total; {
+		if inFlight >= windowFrames {
+			d.refresh()
+			waitStart := time.Now()
+			if _, err := io.ReadFull(d.r, credit[:]); err != nil {
+				return frames, fmt.Errorf("raw credit: %w", err)
+			}
+			if d.stallNs != nil {
+				*d.stallNs += time.Since(waitStart).Nanoseconds()
+			}
+			inFlight -= creditEvery
+		}
+		chunk := DefaultChunkSize
+		if total-off < chunk {
+			chunk = total - off
+		}
+		vec = vec[:0]
+		for need := chunk; need > 0; {
+			if si >= len(segs) {
+				return frames, fmt.Errorf("raw vec: segments end %d bytes short of total %d", need, total)
+			}
+			avail := len(segs[si]) - so
+			if avail == 0 {
+				si++
+				so = 0
+				continue
+			}
+			take := avail
+			if take > need {
+				take = need
+			}
+			vec = append(vec, segs[si][so:so+take])
+			so += take
+			need -= take
+		}
+		d.refresh()
+		// WriteTo consumes its receiver, so hand it a copy of the header;
+		// vec's elements are rebuilt from scratch next chunk anyway.
+		w := vec
+		if _, err := w.WriteTo(d.conn); err != nil {
+			return frames, fmt.Errorf("raw frame: %w", err)
+		}
+		off += chunk
+		frames++
+		inFlight++
+	}
+	return frames, nil
+}
+
 // readRaw receives a raw body into dst (len(dst) is the announced total),
 // granting exactly grantCount(frames) credits at consumption milestones.
 // Returns frames read.

@@ -1,0 +1,218 @@
+package state
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ShardedMapStore is MapStore split across power-of-two lock shards so
+// parallel operator instances (and the batched tuple plane, which keeps
+// several executors hot at once) do not serialize on a single mutex.
+// The snapshot wire format is byte-identical to MapStore's — entries
+// sorted by key across all shards — so snapshots taken from either
+// store restore into the other and byte-compare in recovery tests.
+type ShardedMapStore struct {
+	shards []mapShard
+	mask   uint32
+}
+
+type mapShard struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+	size int
+}
+
+var _ Store = (*ShardedMapStore)(nil)
+
+// DefaultShards is the shard count NewShardedMapStore uses; 16 covers
+// the per-task parallelism the runtime actually deploys without
+// inflating empty-store footprint.
+const DefaultShards = 16
+
+// NewShardedMapStore returns an empty store with n lock shards; n is
+// rounded up to a power of two, and n < 1 means DefaultShards.
+func NewShardedMapStore(n int) *ShardedMapStore {
+	if n < 1 {
+		n = DefaultShards
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &ShardedMapStore{shards: make([]mapShard, pow), mask: uint32(pow - 1)}
+	for i := range s.shards {
+		s.shards[i].data = make(map[string][]byte)
+	}
+	return s
+}
+
+// shardFor picks the shard by FNV-1a over the key — inlined so hot-path
+// lookups stay allocation-free (hash/fnv's Hash32 would heap-escape).
+func (s *ShardedMapStore) shardFor(key string) *mapShard {
+	return &s.shards[s.hashIndex(key)]
+}
+
+func (s *ShardedMapStore) hashIndex(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h & s.mask
+}
+
+// Put inserts or replaces a key.
+func (s *ShardedMapStore) Put(key string, value []byte) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.data[key]; ok {
+		sh.size -= len(key) + len(old)
+	}
+	sh.data[key] = append([]byte(nil), value...)
+	sh.size += len(key) + len(value)
+}
+
+// Get returns the value for key.
+func (s *ShardedMapStore) Get(key string) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Delete removes a key.
+func (s *ShardedMapStore) Delete(key string) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.data[key]; ok {
+		sh.size -= len(key) + len(old)
+		delete(sh.data, key)
+	}
+}
+
+// Len returns the number of keys across all shards.
+func (s *ShardedMapStore) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].data)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Keys returns all keys across all shards, sorted.
+func (s *ShardedMapStore) Keys() []string {
+	out := make([]string, 0, s.Len())
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		for k := range s.shards[i].data {
+			out = append(out, k)
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SizeBytes approximates the serialized size, mirroring MapStore's
+// estimate so size-based shard planning treats both stores alike.
+func (s *ShardedMapStore) SizeBytes() int {
+	size, n := 0, 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		size += s.shards[i].size
+		n += len(s.shards[i].data)
+		s.shards[i].mu.RUnlock()
+	}
+	return size + 8*n + 8
+}
+
+// Snapshot serializes entries sorted by key across all shards —
+// byte-identical to MapStore.Snapshot for the same logical contents.
+// Shard locks are held in index order for a consistent cut.
+func (s *ShardedMapStore) Snapshot() ([]byte, error) {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.RUnlock()
+		}
+	}()
+	size, n := 0, 0
+	for i := range s.shards {
+		size += s.shards[i].size
+		n += len(s.shards[i].data)
+	}
+	keys := make([]string, 0, n)
+	for i := range s.shards {
+		for k := range s.shards[i].data {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 0, size+16*len(keys)+8)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = appendBytes(buf, []byte(k))
+		buf = appendBytes(buf, s.shardFor(k).data[k])
+	}
+	return buf, nil
+}
+
+// Restore replaces contents from a snapshot (MapStore format).
+func (s *ShardedMapStore) Restore(data []byte) error {
+	n, rest, err := readUint64(data)
+	if err != nil {
+		return err
+	}
+	fresh := make([]mapShard, len(s.shards))
+	for i := range fresh {
+		fresh[i].data = make(map[string][]byte)
+	}
+	for i := uint64(0); i < n; i++ {
+		var k, v []byte
+		k, rest, err = readBytes(rest)
+		if err != nil {
+			return err
+		}
+		v, rest, err = readBytes(rest)
+		if err != nil {
+			return err
+		}
+		sh := &fresh[s.hashIndex(string(k))]
+		key := string(k)
+		if old, ok := sh.data[key]; ok {
+			sh.size -= len(key) + len(old)
+		}
+		sh.data[key] = v
+		sh.size += len(key) + len(v)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("sharded map restore: %d trailing bytes: %w", len(rest), ErrCorrupt)
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	for i := range s.shards {
+		s.shards[i].data = fresh[i].data
+		s.shards[i].size = fresh[i].size
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+	return nil
+}

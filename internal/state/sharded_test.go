@@ -1,0 +1,175 @@
+package state
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShardedSnapshotParity: identical logical contents produce
+// byte-identical snapshots from MapStore and ShardedMapStore, and each
+// restores from the other's snapshot — recovery code never needs to
+// know which flavor wrote the checkpoint.
+func TestShardedSnapshotParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	flat := NewMapStore()
+	sharded := NewShardedMapStore(8)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%d", rng.Intn(300))
+		v := make([]byte, rng.Intn(64))
+		rng.Read(v)
+		flat.Put(k, v)
+		sharded.Put(k, v)
+	}
+	// A few deletes so the size bookkeeping is exercised too.
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%d", rng.Intn(300))
+		flat.Delete(k)
+		sharded.Delete(k)
+	}
+	snapFlat, err := flat.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapSharded, err := sharded.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapFlat, snapSharded) {
+		t.Fatalf("snapshot formats diverge: flat %d bytes, sharded %d bytes", len(snapFlat), len(snapSharded))
+	}
+	if flat.SizeBytes() != sharded.SizeBytes() {
+		t.Fatalf("SizeBytes: flat %d, sharded %d", flat.SizeBytes(), sharded.SizeBytes())
+	}
+
+	// Cross-restore both directions.
+	flat2 := NewMapStore()
+	if err := flat2.Restore(snapSharded); err != nil {
+		t.Fatalf("flat restore from sharded snapshot: %v", err)
+	}
+	sharded2 := NewShardedMapStore(32) // different shard count on purpose
+	if err := sharded2.Restore(snapFlat); err != nil {
+		t.Fatalf("sharded restore from flat snapshot: %v", err)
+	}
+	re1, _ := flat2.Snapshot()
+	re2, _ := sharded2.Snapshot()
+	if !bytes.Equal(re1, snapFlat) || !bytes.Equal(re2, snapFlat) {
+		t.Fatal("cross-restore did not reproduce the snapshot")
+	}
+	if sharded2.Len() != flat.Len() {
+		t.Fatalf("Len after restore: %d, want %d", sharded2.Len(), flat.Len())
+	}
+}
+
+// TestShardedRestoreRejectsCorruption mirrors the MapStore strictness:
+// truncations and trailing garbage must fail, not half-apply.
+func TestShardedRestoreRejectsCorruption(t *testing.T) {
+	s := NewShardedMapStore(4)
+	s.Put("a", []byte("1"))
+	snap, _ := s.Snapshot()
+	fresh := NewShardedMapStore(4)
+	if err := fresh.Restore(snap[:len(snap)-1]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if err := fresh.Restore(append(append([]byte(nil), snap...), 0xAB)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestShardedConcurrentAccess is the -race workout: writers, readers,
+// deleters and snapshotters over overlapping keys.
+func TestShardedConcurrentAccess(t *testing.T) {
+	s := NewShardedMapStore(0) // default shard count path
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("k%d", i%37)
+				s.Put(k, []byte{byte(w), byte(i)})
+				if i%5 == 0 {
+					s.Get(k)
+				}
+				if i%11 == 0 {
+					s.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := s.Snapshot(); err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+			s.Len()
+			s.Keys()
+		}
+	}()
+	wg.Wait()
+	// Post-race sanity: a snapshot still round-trips.
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewShardedMapStore(4)
+	if err := back.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("restored Len %d, want %d", back.Len(), s.Len())
+	}
+}
+
+// TestShardedRoundsToPowerOfTwo pins the mask arithmetic.
+func TestShardedRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		s := NewShardedMapStore(tc.in)
+		if len(s.shards) != tc.want {
+			t.Errorf("NewShardedMapStore(%d): %d shards, want %d", tc.in, len(s.shards), tc.want)
+		}
+	}
+}
+
+// BenchmarkStorePutGetParallel contrasts the single-mutex MapStore with
+// the sharded store under parallel mixed load — the contention the
+// batched plane's concurrent executors create.
+func BenchmarkStorePutGetParallel(b *testing.B) {
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	val := []byte("0123456789abcdef")
+	for _, tc := range []struct {
+		name  string
+		store interface {
+			Put(string, []byte)
+			Get(string) ([]byte, bool)
+		}
+	}{
+		{"flat", NewMapStore()},
+		{"sharded", NewShardedMapStore(16)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					k := keys[i%len(keys)]
+					if i%4 == 0 {
+						tc.store.Put(k, val)
+					} else {
+						tc.store.Get(k)
+					}
+					i++
+				}
+			})
+		})
+	}
+}

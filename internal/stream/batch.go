@@ -1,0 +1,206 @@
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// The batched tuple plane: producers (spout pumps and bolt executors)
+// coalesce emitted tuples into per-destination pooled frames instead of
+// offering them to the task queue one at a time. A full frame costs one
+// queue push (one mutex acquisition, one ring slot) for BatchSize
+// tuples, which is where the per-tuple overhead of the two-lane queue
+// goes under high rates.
+//
+// Flush triggers — a buffered tuple can only be waiting on one of:
+//   - size: the buffer reaches Config.BatchSize (flushed inline by add);
+//   - class change: a batch carries exactly ONE traffic class, so an
+//     ingest tuple arriving on a buffer holding replay tuples (or vice
+//     versa) flushes the old batch first — shed policies keep their
+//     per-class decisions without inspecting batch interiors;
+//   - idle: an executor flushes all its buffers the moment its own input
+//     queue is empty, before parking in pop (tryPop-miss), so a quiet
+//     pipeline never strands tuples behind a timer;
+//   - linger: a runtime-wide background flusher sweeps every batcher at
+//     Config.BatchLinger intervals, bounding the buffering delay for
+//     producers that block outside the runtime (a spout stuck in Next
+//     holds no locks the flusher needs);
+//   - barrier: checkpoint/flush/recover control operations flush the
+//     executor's buffers before replying, so a save barrier never
+//     overtakes the tuples emitted before it.
+//
+// Invariants preserved from the per-tuple plane: every tuple counts
+// pending from the moment it enters a buffer (Drain cannot return while
+// one is buffered), offered/shed are settled per *tuple* at queue
+// admission (a shed batch debits the ledger once per tuple it carried),
+// and replay-class batches are never shed — the envelope carries the
+// batch's single class, so the queue policies apply unchanged.
+
+// tupleBatch is one pooled frame of same-class tuples bound for a
+// single task. Batches recycle through Runtime.batchPool; the executor
+// returns a frame after processing it, so steady-state emission
+// allocates nothing.
+type tupleBatch struct {
+	tuples []Tuple
+	class  TrafficClass
+}
+
+// tupleCount reports how many data tuples an envelope carries — the
+// unit of the offered/shed ledger.
+func (e envelope) tupleCount() int {
+	if e.kind == ctlBatch && e.batch != nil {
+		return len(e.batch.tuples)
+	}
+	return 1
+}
+
+func (rt *Runtime) getBatch(class TrafficClass) *tupleBatch {
+	b := rt.batchPool.Get().(*tupleBatch)
+	b.class = class
+	return b
+}
+
+func (rt *Runtime) putBatch(b *tupleBatch) {
+	// Drop the tuple payload references before pooling so a recycled
+	// frame does not pin Values slices from a previous batch.
+	for i := range b.tuples {
+		b.tuples[i] = Tuple{}
+	}
+	b.tuples = b.tuples[:0]
+	rt.batchPool.Put(b)
+}
+
+// outBuf is one destination task's open frame inside a batcher.
+type outBuf struct {
+	b     *tupleBatch
+	dirty bool // slot is on the batcher's dirty list
+}
+
+// batcher is one producer's set of open output frames, indexed by the
+// destination task's dense slot. Every producer goroutine (spout pump,
+// bolt executor) owns one; the mutex exists solely so the background
+// linger flusher can sweep a batcher whose owner is blocked elsewhere.
+type batcher struct {
+	rt    *Runtime
+	mu    sync.Mutex
+	bufs  []outBuf
+	dirty []int // slots with buffered tuples since the last sweep
+}
+
+// newBatcher registers a producer-side batcher, or nil when batching is
+// disabled (BatchSize <= 1) — the nil batcher selects the per-tuple
+// enqueue path everywhere, byte-for-byte the pre-batching runtime.
+func (rt *Runtime) newBatcher() *batcher {
+	if rt.cfg.BatchSize <= 1 {
+		return nil
+	}
+	b := &batcher{
+		rt:    rt,
+		bufs:  make([]outBuf, len(rt.slots)),
+		dirty: make([]int, 0, len(rt.slots)),
+	}
+	rt.batchMu.Lock()
+	rt.batchers = append(rt.batchers, b)
+	rt.batchMu.Unlock()
+	return b
+}
+
+// add buffers one tuple for task t, flushing on class change and on
+// reaching BatchSize. The caller has already counted the tuple pending.
+func (b *batcher) add(t *task, tuple Tuple, class TrafficClass) {
+	b.mu.Lock()
+	ob := &b.bufs[t.slot]
+	if ob.b != nil && ob.b.class != class {
+		b.flushSlotLocked(t.slot)
+	}
+	if ob.b == nil {
+		ob.b = b.rt.getBatch(class)
+	}
+	if !ob.dirty {
+		ob.dirty = true
+		b.dirty = append(b.dirty, t.slot)
+	}
+	ob.b.tuples = append(ob.b.tuples, tuple)
+	if len(ob.b.tuples) >= b.rt.cfg.BatchSize {
+		b.flushSlotLocked(t.slot)
+	}
+	b.mu.Unlock()
+}
+
+// flushSlotLocked hands one open frame to its task queue; caller holds
+// b.mu. The push may block under QueueBlock backpressure — holding b.mu
+// through it is safe because only this producer and the flusher touch
+// this batcher, and the consumer side never takes batcher locks.
+func (b *batcher) flushSlotLocked(slot int) {
+	ob := &b.bufs[slot]
+	tb := ob.b
+	if tb == nil {
+		return
+	}
+	ob.b = nil
+	b.rt.pushBatch(b.rt.slots[slot], tb)
+}
+
+// flushAll pushes every open frame. Nil-receiver-safe so call sites need
+// no batching-enabled checks (the instrument-handle discipline).
+func (b *batcher) flushAll() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	for _, slot := range b.dirty {
+		b.flushSlotLocked(slot)
+		b.bufs[slot].dirty = false
+	}
+	b.dirty = b.dirty[:0]
+	b.mu.Unlock()
+}
+
+// runFlusher is the runtime-wide linger sweep: every BatchLinger it
+// flushes all batchers' open frames, bounding how long a partial batch
+// can sit while its producer is blocked (e.g. a spout waiting in Next).
+// Started by Start when batching is on; stopped by Wait after the
+// executors exit.
+func (rt *Runtime) runFlusher() {
+	defer rt.flushWG.Done()
+	tick := time.NewTicker(rt.cfg.BatchLinger)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.flushStop:
+			return
+		case <-tick.C:
+			rt.batchMu.Lock()
+			bs := rt.batchers
+			rt.batchMu.Unlock()
+			for _, b := range bs {
+				b.flushAll()
+			}
+		}
+	}
+}
+
+// pushBatch offers a whole frame to a task queue, settling the ledger
+// in tuples: every carried tuple becomes offered, and a shed (the frame
+// itself under shed-self, or an evicted older envelope) debits shed by
+// its own tuple count. Admitted frames are recycled by the executor;
+// shed frames are recycled here.
+func (rt *Runtime) pushBatch(t *task, tb *tupleBatch) {
+	n := int64(len(tb.tuples))
+	t.offered.Add(n)
+	rt.offeredAll.Add(n)
+	degraded := rt.degraded.Load() > 0
+	env := envelope{kind: ctlBatch, batch: tb, class: tb.class}
+	if t.instr == nil {
+		outcome, evicted, _ := t.in.pushData(env, degraded)
+		rt.settlePush(t, outcome, env, evicted)
+		return
+	}
+	start := time.Now()
+	outcome, evicted, waited := t.in.pushData(env, degraded)
+	if waited {
+		t.instr.noteBlocked(time.Since(start).Nanoseconds())
+	}
+	rt.settlePush(t, outcome, env, evicted)
+	t.instr.noteInN(int(n), t.in.depth())
+}

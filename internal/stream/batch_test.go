@@ -1,0 +1,267 @@
+package stream
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"sr3/internal/leakcheck"
+	"sr3/internal/metrics"
+)
+
+func batchEnv(class TrafficClass, seqs ...int) envelope {
+	tb := &tupleBatch{class: class}
+	for _, s := range seqs {
+		tb.tuples = append(tb.tuples, Tuple{Values: []any{s}})
+	}
+	return envelope{kind: ctlBatch, batch: tb, class: class}
+}
+
+// TestQueueShedAccountingCountsTuples is the satellite fix's unit test:
+// when a whole batch envelope is shed — itself, or as the evicted
+// oldest — the queue reports the envelope so the caller can debit the
+// ledger per TUPLE it carried, not once per batch.
+func TestQueueShedAccountingCountsTuples(t *testing.T) {
+	q := newTaskQueue(2, QueueShedOldest, 0)
+	if out, _, _ := q.pushData(batchEnv(ClassIngest, 0, 1, 2), false); out != pushAdmitted {
+		t.Fatalf("first push: %v", out)
+	}
+	if out, _, _ := q.pushData(batchEnv(ClassIngest, 3), false); out != pushAdmitted {
+		t.Fatalf("second push: %v", out)
+	}
+	// Full queue: shed-oldest evicts the 3-tuple batch; the victim must
+	// come back so all 3 tuples hit the shed ledger.
+	out, evicted, _ := q.pushData(batchEnv(ClassIngest, 4, 5), false)
+	if out != pushShedOldest {
+		t.Fatalf("third push: %v, want shed-oldest", out)
+	}
+	if got := evicted.tupleCount(); got != 3 {
+		t.Fatalf("evicted tuple count = %d, want 3 (batch of 3, not 1 envelope)", got)
+	}
+	// Replay-full queue: the incoming ingest batch is shed whole, and
+	// its own tuple count is the debit.
+	qr := newTaskQueue(1, QueueShedOldest, 0)
+	qr.pushData(batchEnv(ClassReplay, 0), false)
+	out, _, _ = qr.pushData(batchEnv(ClassIngest, 1, 2, 3, 4), false)
+	if out != pushShedSelf {
+		t.Fatalf("ingest into replay-full queue: %v, want shed-self", out)
+	}
+	if got := batchEnv(ClassIngest, 1, 2, 3, 4).tupleCount(); got != 4 {
+		t.Fatalf("self tuple count = %d, want 4", got)
+	}
+	// Single-tuple envelopes still count as 1.
+	if got := dataEnv(0, ClassIngest).tupleCount(); got != 1 {
+		t.Fatalf("per-tuple envelope count = %d, want 1", got)
+	}
+}
+
+// TestBatchedLedgerCountsTuplesNotBatches drives a batched runtime into
+// shedding and cross-checks the runtime ledger against ground truth:
+// offered must equal the tuples pumped (so offered is per tuple, not
+// per frame), offered = admitted + shed exactly, and the stateful
+// bolt's record must equal admitted exactly (shed frames never reach
+// Execute; admitted frames execute once per tuple).
+func TestBatchedLedgerCountsTuplesNotBatches(t *testing.T) {
+	defer leakcheck.Verify(t)()
+	const n = 4000
+	reg := metrics.NewRegistry()
+	bolt := newTotalBolt(10 * time.Microsecond)
+	tuples := make([]Tuple, n)
+	for i := range tuples {
+		tuples[i] = Tuple{Values: []any{i}}
+	}
+	topo := NewTopology("bl")
+	if err := topo.AddSpout("src", newSliceSpout(tuples)); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddBolt("count", bolt, 1).Global("src").Err(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(topo, Config{
+		Backend:      NewMemoryBackend(),
+		ChannelDepth: 8,
+		QueuePolicy:  QueueShedOldest,
+		BatchSize:    16,
+		BatchLinger:  200 * time.Microsecond,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	ov := rt.Overload()
+	if ov.Offered != n {
+		t.Fatalf("offered = %d, want %d (must count tuples, not frames)", ov.Offered, n)
+	}
+	if ov.Offered != ov.Admitted+ov.Shed {
+		t.Fatalf("ledger broken: %d != %d + %d", ov.Offered, ov.Admitted, ov.Shed)
+	}
+	if ov.Shed == 0 {
+		t.Fatal("slow bolt behind an 8-deep queue at full pump rate shed nothing — scenario lost its teeth")
+	}
+	if got := bolt.total(); got != ov.Admitted {
+		t.Fatalf("executed = %d, admitted = %d (exactly-once over admitted broken)", got, ov.Admitted)
+	}
+	for _, ts := range ov.Tasks {
+		if ts.QueueHighWater > ts.QueueCap {
+			t.Fatalf("%s: high water %d > cap %d", ts.Key, ts.QueueHighWater, ts.QueueCap)
+		}
+	}
+	// The metrics mirror agrees with the atomics ledger.
+	if got := reg.Counter("sr3_stream_shed_total").Value(); got != ov.Shed {
+		t.Fatalf("sr3_stream_shed_total = %d, want %d", got, ov.Shed)
+	}
+	if got := reg.Counter("sr3_stream_tuples_in_total").Value(); got != n {
+		t.Fatalf("sr3_stream_tuples_in_total = %d, want %d", got, n)
+	}
+}
+
+// TestBatchedMatchesPerTupleSemantics runs the identical wordcount on a
+// per-tuple and a batched runtime (blocking policy — no shedding) and
+// requires identical final state: batching must be invisible to
+// results.
+func TestBatchedMatchesPerTupleSemantics(t *testing.T) {
+	defer leakcheck.Verify(t)()
+	words := []string{"a", "b", "c", "d", "e"}
+	tuples := make([]Tuple, 1000)
+	for i := range tuples {
+		tuples[i] = Tuple{Values: []any{words[i%len(words)]}, Ts: int64(i)}
+	}
+	run := func(batch int) map[string]int64 {
+		topo := NewTopology("eq")
+		if err := topo.AddSpout("src", newSliceSpout(tuples)); err != nil {
+			t.Fatal(err)
+		}
+		counter := newCountBolt()
+		if err := topo.AddBolt("count", counter, 2).Fields("src", 0).Err(); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := NewRuntime(topo, Config{
+			Backend:     NewMemoryBackend(),
+			BatchSize:   batch,
+			BatchLinger: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Start()
+		if err := rt.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int64)
+		for _, k := range counter.store.Keys() {
+			v, _ := counter.store.Get(k)
+			n, err := strconv.ParseInt(string(v), 10, 64)
+			if err != nil {
+				t.Fatalf("count %q: %v", k, err)
+			}
+			counts[k] = n
+		}
+		return counts
+	}
+	perTuple, batched := run(0), run(64)
+	if len(perTuple) != len(words) {
+		t.Fatalf("per-tuple counts = %v", perTuple)
+	}
+	for w, c := range perTuple {
+		if batched[w] != c {
+			t.Fatalf("word %q: batched=%d per-tuple=%d", w, batched[w], c)
+		}
+	}
+}
+
+// TestBatchLingerFlushesPartialFrames: tuples fewer than BatchSize must
+// still flow — the background linger flusher sweeps partial frames
+// while the spout sits blocked in Next, so Drain terminates without the
+// stream ending.
+func TestBatchLingerFlushesPartialFrames(t *testing.T) {
+	defer leakcheck.Verify(t)()
+	sp := newChanSpout()
+	s := &sink{}
+	topo := NewTopology("lg")
+	if err := topo.AddSpout("src", sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddBolt("sink", s, 1).Global("src").Err(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(topo, Config{BatchSize: 64, BatchLinger: 500 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	sp.push(Tuple{Values: []any{1}}, Tuple{Values: []any{2}}, Tuple{Values: []any{3}})
+	// 3 tuples against BatchSize 64: only the linger flush can deliver.
+	settle(rt)
+	if got := len(s.tuples()); got != 3 {
+		t.Fatalf("delivered = %d, want 3 (partial frame stuck?)", got)
+	}
+	sp.close()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchBatchedRuntime is benchRuntime with the batched plane on; the
+// long linger keeps the background flusher out of the measurement (the
+// size trigger does all flushing at benchmark rates).
+func benchBatchedRuntime(b *testing.B) (*Runtime, *batcher) {
+	topo := NewTopology("bench")
+	if err := topo.AddSpout("src", noopSpout{}); err != nil {
+		b.Fatal(err)
+	}
+	drop := BoltFunc(func(Tuple, Emit) error { return nil })
+	if err := topo.AddBolt("sink", drop, 1).Shuffle("src").Err(); err != nil {
+		b.Fatal(err)
+	}
+	rt, err := NewRuntime(topo, Config{BatchSize: 64, BatchLinger: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Start()
+	return rt, rt.newBatcher()
+}
+
+// BenchmarkBatchedEmit measures the batched steady-state emit path —
+// the acceptance bar is 0 allocs/op: frames recycle through the pool,
+// buffers stay at capacity, and no per-tuple garbage is created. The
+// warmup loop fills the frame pool to its steady-state population
+// before the timer starts.
+func BenchmarkBatchedEmit(b *testing.B) {
+	rt, ob := benchBatchedRuntime(b)
+	tuple := Tuple{Stream: "src", Values: []any{"w"}}
+	for i := 0; i < 20000; i++ {
+		rt.route("src", tuple, ClassIngest, ob)
+	}
+	ob.flushAll()
+	rt.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.route("src", tuple, ClassIngest, ob)
+	}
+	ob.flushAll()
+	rt.Drain()
+	b.StopTimer()
+	_ = rt.Wait()
+}
+
+// TestBatchedEmitZeroAlloc is the allocation regression guard wired
+// into `go test`: CI fails if the batched emit path regresses from 0
+// allocs/op (the BenchmarkRuntimeDisabled discipline, applied to the
+// batch plane).
+func TestBatchedEmitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	if testing.Short() {
+		t.Skip("allocation guard runs the benchmark harness")
+	}
+	res := testing.Benchmark(BenchmarkBatchedEmit)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("BenchmarkBatchedEmit = %d allocs/op, want 0", a)
+	}
+}

@@ -128,14 +128,28 @@ func (ti *taskInstruments) noteBlocked(ns int64) {
 	ti.rt.blockWaitNs.Record(ns)
 }
 
-// noteShed records one data tuple dropped by the queue policy or
-// degraded-mode admission.
-func (ti *taskInstruments) noteShed() {
+// noteShedN records n data tuples dropped by the queue policy or
+// degraded-mode admission — n > 1 when a whole batch frame is shed (the
+// ledger counts tuples, never frames).
+func (ti *taskInstruments) noteShedN(n int) {
+	if ti == nil || n == 0 {
+		return
+	}
+	ti.shed.Add(int64(n))
+	ti.rt.shed.Add(int64(n))
+}
+
+// noteInN records n tuples landing on the input queue in one frame and
+// samples its depth, the batched counterpart of noteIn.
+func (ti *taskInstruments) noteInN(n, depth int) {
 	if ti == nil {
 		return
 	}
-	ti.shed.Inc()
-	ti.rt.shed.Inc()
+	ti.tuplesIn.Add(int64(n))
+	ti.rt.tuplesIn.Add(int64(n))
+	d := int64(depth)
+	ti.depth.Set(d)
+	ti.highWater.SetMax(d)
 }
 
 // noteEmit records one tuple emitted by this task's bolt.

@@ -89,7 +89,7 @@ func TestRuntimeInstruments(t *testing.T) {
 	}
 	for _, tu := range tuples[20:] {
 		tu.Stream = "src"
-		rt.route("src", tu, ClassIngest)
+		rt.route("src", tu, ClassIngest, nil)
 	}
 	rt.Drain()
 	if err := rt.RecoverTask("count", 0); err != nil {
@@ -201,7 +201,7 @@ func BenchmarkRuntimeDisabled(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rt.route("src", tuple, ClassIngest)
+		rt.route("src", tuple, ClassIngest, nil)
 	}
 	rt.Drain()
 	b.StopTimer()
@@ -216,7 +216,7 @@ func BenchmarkRuntimeInstrumented(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rt.route("src", tuple, ClassIngest)
+		rt.route("src", tuple, ClassIngest, nil)
 	}
 	rt.Drain()
 	b.StopTimer()

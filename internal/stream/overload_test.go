@@ -21,7 +21,7 @@ func TestTaskQueueShedOldestKeepsNewest(t *testing.T) {
 	q := newTaskQueue(4, QueueShedOldest, 0)
 	sheds := 0
 	for i := 0; i < 6; i++ {
-		out, _ := q.pushData(dataEnv(i, ClassIngest), false)
+		out, _, _ := q.pushData(dataEnv(i, ClassIngest), false)
 		if out == pushShedOldest {
 			sheds++
 		}
@@ -45,11 +45,11 @@ func TestTaskQueueShedPriorityDropsIncomingIngest(t *testing.T) {
 	q := newTaskQueue(2, QueueShedPriority, 0)
 	q.pushData(dataEnv(0, ClassIngest), false)
 	q.pushData(dataEnv(1, ClassIngest), false)
-	if out, _ := q.pushData(dataEnv(2, ClassIngest), false); out != pushShedSelf {
+	if out, _, _ := q.pushData(dataEnv(2, ClassIngest), false); out != pushShedSelf {
 		t.Fatalf("full queue: incoming ingest outcome = %v, want shed-self", out)
 	}
 	// Incoming replay evicts the oldest queued ingest tuple instead.
-	if out, _ := q.pushData(dataEnv(3, ClassReplay), false); out != pushShedOldest {
+	if out, _, _ := q.pushData(dataEnv(3, ClassReplay), false); out != pushShedOldest {
 		t.Fatal("incoming replay did not displace queued ingest")
 	}
 	if got := q.pop().tuple.Values[0].(int); got != 1 {
@@ -65,7 +65,7 @@ func TestTaskQueueReplayNeverShed(t *testing.T) {
 	q.pushData(dataEnv(0, ClassReplay), false)
 	q.pushData(dataEnv(1, ClassReplay), false)
 	// Full of replay: incoming ingest is the one shed.
-	if out, _ := q.pushData(dataEnv(2, ClassIngest), false); out != pushShedSelf {
+	if out, _, _ := q.pushData(dataEnv(2, ClassIngest), false); out != pushShedSelf {
 		t.Fatal("ingest push into replay-full queue was not shed")
 	}
 	// Incoming replay blocks until the consumer frees a slot.
@@ -103,18 +103,18 @@ func TestTaskQueueControlLaneFirst(t *testing.T) {
 func TestTaskQueueDegradedWatermark(t *testing.T) {
 	q := newTaskQueue(8, QueueBlock, 4)
 	for i := 0; i < 4; i++ {
-		if out, _ := q.pushData(dataEnv(i, ClassIngest), true); out != pushAdmitted {
+		if out, _, _ := q.pushData(dataEnv(i, ClassIngest), true); out != pushAdmitted {
 			t.Fatalf("push %d below watermark not admitted", i)
 		}
 	}
 	// At the watermark: degraded mode sheds new ingest even though the
 	// queue has headroom...
-	if out, _ := q.pushData(dataEnv(4, ClassIngest), true); out != pushShedSelf {
+	if out, _, _ := q.pushData(dataEnv(4, ClassIngest), true); out != pushShedSelf {
 		t.Fatal("degraded ingest above watermark not shed")
 	}
 	// ...but replay traffic uses the reserved headroom freely.
 	for i := 0; i < 4; i++ {
-		if out, _ := q.pushData(dataEnv(10+i, ClassReplay), true); out != pushAdmitted {
+		if out, _, _ := q.pushData(dataEnv(10+i, ClassReplay), true); out != pushAdmitted {
 			t.Fatalf("degraded replay push %d not admitted above watermark", i)
 		}
 	}

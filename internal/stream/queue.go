@@ -117,13 +117,16 @@ func (q *taskQueue) pushCtl(env envelope) {
 	q.notEmpty.Signal()
 }
 
-// pushData offers one data tuple under the queue policy. degraded
-// applies the watermark admission bound to ingest-class tuples (the
-// runtime's degraded-service shed mode). The returned outcome is exact —
-// exactly one of admitted / shed-self / admitted-with-one-eviction — and
-// waited reports whether the caller had to block for a free slot (the
-// emit-block backpressure signal).
-func (q *taskQueue) pushData(env envelope, degraded bool) (outcome pushOutcome, waited bool) {
+// pushData offers one data envelope (a single tuple or a whole batch)
+// under the queue policy. degraded applies the watermark admission bound
+// to ingest-class envelopes (the runtime's degraded-service shed mode).
+// The returned outcome is exact — exactly one of admitted / shed-self /
+// admitted-with-one-eviction — and on shed-oldest the evicted envelope
+// is returned so the caller can settle the ledger in *tuples* (a batch
+// envelope carries many) and recycle its batch. waited reports whether
+// the caller had to block for a free slot (the emit-block backpressure
+// signal).
+func (q *taskQueue) pushData(env envelope, degraded bool) (outcome pushOutcome, evicted envelope, waited bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 
@@ -131,7 +134,7 @@ func (q *taskQueue) pushData(env envelope, degraded bool) (outcome pushOutcome, 
 	// watermark, leaving the headroom above it for replay and recovery
 	// traffic. Replay-class tuples are exempt.
 	if degraded && env.class == ClassIngest && q.n >= q.watermark {
-		return pushShedSelf, waited
+		return pushShedSelf, evicted, waited
 	}
 
 	for q.n >= len(q.data) {
@@ -143,29 +146,29 @@ func (q *taskQueue) pushData(env envelope, degraded bool) (outcome pushOutcome, 
 			q.notFull.Wait()
 			continue
 		case QueueShedOldest:
-			if q.evictOldestIngestLocked() {
+			if victim, ok := q.evictOldestIngestLocked(); ok {
 				q.appendLocked(env)
-				return pushShedOldest, waited
+				return pushShedOldest, victim, waited
 			}
 			// Queue full of replay tuples: shed incoming ingest, block
 			// incoming replay (replay is never dropped).
 			if env.class == ClassIngest {
-				return pushShedSelf, waited
+				return pushShedSelf, evicted, waited
 			}
 			waited = true
 			q.notFull.Wait()
 			continue
 		case QueueShedPriority:
 			if env.class == ClassReplay {
-				if q.evictOldestIngestLocked() {
+				if victim, ok := q.evictOldestIngestLocked(); ok {
 					q.appendLocked(env)
-					return pushShedOldest, waited
+					return pushShedOldest, victim, waited
 				}
 				waited = true
 				q.notFull.Wait()
 				continue
 			}
-			return pushShedSelf, waited
+			return pushShedSelf, evicted, waited
 		default:
 			waited = true
 			q.notFull.Wait()
@@ -173,7 +176,7 @@ func (q *taskQueue) pushData(env envelope, degraded bool) (outcome pushOutcome, 
 		}
 	}
 	q.appendLocked(env)
-	return pushAdmitted, waited
+	return pushAdmitted, evicted, waited
 }
 
 // appendLocked inserts at the tail; caller holds q.mu and has verified
@@ -187,14 +190,18 @@ func (q *taskQueue) appendLocked(env envelope) {
 	q.notEmpty.Signal()
 }
 
-// evictOldestIngestLocked removes the oldest ingest-class tuple from
-// the ring, reporting whether one existed. Caller holds q.mu.
-func (q *taskQueue) evictOldestIngestLocked() bool {
+// evictOldestIngestLocked removes and returns the oldest ingest-class
+// envelope from the ring, reporting whether one existed. The envelope —
+// not just a bool — comes back so the caller can count the tuples it
+// carried (a shed batch must debit the ledger once per tuple, not once
+// per envelope). Caller holds q.mu.
+func (q *taskQueue) evictOldestIngestLocked() (envelope, bool) {
 	for i := 0; i < q.n; i++ {
 		idx := (q.head + i) % len(q.data)
 		if q.data[idx].class != ClassIngest {
 			continue
 		}
+		victim := q.data[idx]
 		// Shift the newer entries down one slot to close the gap,
 		// preserving order. O(n) but only on the overflow path.
 		for j := i; j < q.n-1; j++ {
@@ -204,9 +211,9 @@ func (q *taskQueue) evictOldestIngestLocked() bool {
 		}
 		q.data[(q.head+q.n-1)%len(q.data)] = envelope{}
 		q.n--
-		return true
+		return victim, true
 	}
-	return false
+	return envelope{}, false
 }
 
 // pop blocks until an envelope is available and returns it, control
@@ -216,6 +223,26 @@ func (q *taskQueue) pop() envelope {
 	for len(q.ctl) == 0 && q.n == 0 {
 		q.notEmpty.Wait()
 	}
+	return q.popLocked()
+}
+
+// tryPop returns the next envelope without blocking; ok is false when
+// both lanes are empty. The executor uses it to detect idleness: a
+// failed tryPop is the moment to flush its partial output batches
+// before parking in pop, so buffered tuples never wait on an idle
+// pipeline.
+func (q *taskQueue) tryPop() (envelope, bool) {
+	q.mu.Lock()
+	if len(q.ctl) == 0 && q.n == 0 {
+		q.mu.Unlock()
+		return envelope{}, false
+	}
+	return q.popLocked(), true
+}
+
+// popLocked dequeues control-lane-first; caller holds q.mu (released
+// here) and has verified an envelope exists.
+func (q *taskQueue) popLocked() envelope {
 	if len(q.ctl) > 0 {
 		env := q.ctl[0]
 		q.ctl[0] = envelope{}

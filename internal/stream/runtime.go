@@ -57,6 +57,25 @@ type Config struct {
 	// ingest admission control, the credit-based upstream half of
 	// backpressure. 0 disables the gate.
 	IngestWindow int
+	// BatchSize enables the batched tuple plane: producers coalesce up
+	// to this many same-class tuples per destination task into one
+	// pooled frame before offering it to the task queue, amortizing the
+	// per-tuple queue cost. <= 1 (the default) keeps per-tuple delivery.
+	// Every overload invariant survives batching: a batch carries one
+	// traffic class, replay batches are never shed, and the offered/
+	// shed ledger is settled per tuple.
+	BatchSize int
+	// BatchLinger bounds how long a partial batch may buffer before the
+	// background flusher pushes it (default 1ms when batching is on) —
+	// the latency cost ceiling of batching under low rates.
+	BatchLinger time.Duration
+	// Codec selects the tuple encoding for frames that cross a process
+	// boundary (the sr3bench throughput wire harness and any remote
+	// shuffle built on nettransport.BatchConn): CodecGob is the
+	// per-tuple gob baseline and universal fallback, CodecBatch the
+	// compact length-prefixed binary batch codec. In-process queues
+	// pass tuples by reference and never encode.
+	Codec Codec
 	// Now supplies timestamps for state versions (injected for tests).
 	Now func() int64
 	// Metrics enables steady-state instruments (per-task tuple counters,
@@ -79,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = func() int64 { return time.Now().UnixMilli() }
 	}
+	if c.BatchSize > 1 && c.BatchLinger <= 0 {
+		c.BatchLinger = time.Millisecond
+	}
 	return c
 }
 
@@ -96,6 +118,7 @@ type ctlKind int
 
 const (
 	ctlTuple ctlKind = iota + 1
+	ctlBatch
 	ctlSave
 	ctlKill
 	ctlRecover
@@ -106,7 +129,8 @@ const (
 type envelope struct {
 	kind  ctlKind
 	tuple Tuple
-	class TrafficClass // ctlTuple only: ingest vs replay admission class
+	batch *tupleBatch  // ctlBatch only: a pooled frame of same-class tuples
+	class TrafficClass // ctlTuple/ctlBatch: ingest vs replay admission class
 	done  chan error
 	// tr/traceParent ride on ctlRecover envelopes so the backend recovery
 	// and the input-log replay land in the caller's trace.
@@ -119,6 +143,7 @@ type task struct {
 	key      string
 	boltID   string
 	index    int
+	slot     int // dense runtime-wide index, addressing batcher buffers
 	decl     *boltDecl
 	in       *taskQueue
 	log      []Tuple // tuples since last save (executor goroutine only)
@@ -141,6 +166,7 @@ type Runtime struct {
 	cfg  Config
 
 	tasks    map[string][]*task // boltID -> tasks
+	slots    []*task            // all tasks by dense slot (batcher addressing)
 	subs     map[string][]subscription
 	shuffle  map[string]*atomic.Int64 // per (bolt|input) round-robin
 	pending  atomic.Int64
@@ -162,6 +188,15 @@ type Runtime struct {
 	degMu      sync.Mutex
 	degOffered int64
 	degShed    int64
+
+	// Batched tuple plane (Config.BatchSize > 1): the frame pool, the
+	// registry of producer batchers the linger flusher sweeps, and the
+	// flusher's lifecycle handles.
+	batchPool sync.Pool
+	batchMu   sync.Mutex
+	batchers  []*batcher
+	flushStop chan struct{}
+	flushWG   sync.WaitGroup
 }
 
 // TaskKey names a task for backends and failure injection.
@@ -186,6 +221,10 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 	if cfg.Metrics != nil {
 		rt.instr = newInstruments(cfg.Metrics)
 	}
+	batchCap := cfg.BatchSize
+	rt.batchPool.New = func() any {
+		return &tupleBatch{tuples: make([]Tuple, 0, batchCap)}
+	}
 	for _, id := range topo.order {
 		decl, ok := topo.bolts[id]
 		if !ok {
@@ -198,9 +237,11 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 				key:    TaskKey(topo.name, id, i),
 				boltID: id,
 				index:  i,
+				slot:   len(rt.slots),
 				decl:   decl,
 				in:     newTaskQueue(cfg.ChannelDepth, cfg.QueuePolicy, watermark),
 			}
+			rt.slots = append(rt.slots, ts[i])
 			if rt.instr != nil {
 				ts[i].instr = newTaskInstruments(rt.instr, cfg.Metrics, ts[i].key)
 			}
@@ -214,8 +255,14 @@ func NewRuntime(topo *Topology, cfg Config) (*Runtime, error) {
 	return rt, nil
 }
 
-// Start launches executors and spout pumps.
+// Start launches executors and spout pumps (plus the batch linger
+// flusher when the batched tuple plane is enabled).
 func (rt *Runtime) Start() {
+	if rt.cfg.BatchSize > 1 {
+		rt.flushStop = make(chan struct{})
+		rt.flushWG.Add(1)
+		go rt.runFlusher()
+	}
 	n := 0
 	for _, ts := range rt.tasks {
 		for _, t := range ts {
@@ -230,22 +277,27 @@ func (rt *Runtime) Start() {
 		rt.spoutWG.Add(1)
 		go func(id string, sp Spout) {
 			defer rt.spoutWG.Done()
+			ob := rt.newBatcher() // nil when batching is off
 			window := int64(rt.cfg.IngestWindow)
 			for {
 				tuple, ok := sp.Next()
 				if !ok {
+					ob.flushAll()
 					return
 				}
 				// Ingest admission gate: hold new spout tuples while the
 				// in-flight count is at the window — upstream credit-based
 				// backpressure, so overload queues at the source instead
-				// of fanning out into the topology.
+				// of fanning out into the topology. Buffered batches count
+				// against the window, so flush them while gated or the
+				// gate would wait on tuples only we can release.
 				for window > 0 && rt.pending.Load() >= window {
+					ob.flushAll()
 					time.Sleep(100 * time.Microsecond)
 				}
 				tuple.Stream = id
 				rt.instr.noteSpout()
-				rt.route(id, tuple, ClassIngest)
+				rt.route(id, tuple, ClassIngest, ob)
 			}
 		}(id, s.spout)
 	}
@@ -258,29 +310,46 @@ type subscription struct {
 }
 
 // route delivers a tuple from a component to all subscribing bolts,
-// tagging every delivery with the traffic class of its origin.
-func (rt *Runtime) route(from string, tuple Tuple, class TrafficClass) {
+// tagging every delivery with the traffic class of its origin. ob is
+// the producer's batcher (nil selects the per-tuple enqueue path);
+// grouping decisions stay per-tuple — batching happens after the
+// destination task is chosen, so Fields/Shuffle/Global semantics are
+// untouched.
+func (rt *Runtime) route(from string, tuple Tuple, class TrafficClass, ob *batcher) {
 	for _, sub := range rt.subs[from] {
 		ts := rt.tasks[sub.decl.id]
 		switch sub.in.grouping {
 		case ShuffleGrouping:
 			ctr := rt.shuffle[sub.decl.id+"|"+from]
 			idx := int(ctr.Add(1)-1) % len(ts)
-			rt.enqueue(ts[idx], tuple, class)
+			rt.deliver(ts[idx], tuple, class, ob)
 		case FieldsGrouping:
 			var key any
 			if sub.in.field < len(tuple.Values) {
 				key = tuple.Values[sub.in.field]
 			}
-			rt.enqueue(ts[hashField(key, len(ts))], tuple, class)
+			rt.deliver(ts[hashField(key, len(ts))], tuple, class, ob)
 		case GlobalGrouping:
-			rt.enqueue(ts[0], tuple, class)
+			rt.deliver(ts[0], tuple, class, ob)
 		case AllGrouping:
 			for _, t := range ts {
-				rt.enqueue(t, tuple, class)
+				rt.deliver(t, tuple, class, ob)
 			}
 		}
 	}
+}
+
+// deliver hands one tuple to a task: buffered into the producer's
+// batcher when batching is on, queued directly otherwise. Either way
+// the tuple counts pending immediately, so Drain covers buffered
+// tuples.
+func (rt *Runtime) deliver(t *task, tuple Tuple, class TrafficClass, ob *batcher) {
+	if ob == nil {
+		rt.enqueue(t, tuple, class)
+		return
+	}
+	rt.pending.Add(1)
+	ob.add(t, tuple, class)
 }
 
 // enqueue offers one data tuple to a task's queue, keeping the
@@ -294,32 +363,50 @@ func (rt *Runtime) enqueue(t *task, tuple Tuple, class TrafficClass) {
 	degraded := rt.degraded.Load() > 0
 	env := envelope{kind: ctlTuple, tuple: tuple, class: class}
 	if t.instr == nil {
-		outcome, _ := t.in.pushData(env, degraded)
-		rt.noteShed(t, outcome)
+		outcome, evicted, _ := t.in.pushData(env, degraded)
+		rt.settlePush(t, outcome, env, evicted)
 		return
 	}
 	// Instrumented path: time the push — if it had to wait for a slot,
 	// that wait is the backpressure signal.
 	start := time.Now()
-	outcome, waited := t.in.pushData(env, degraded)
+	outcome, evicted, waited := t.in.pushData(env, degraded)
 	if waited {
 		t.instr.noteBlocked(time.Since(start).Nanoseconds())
 	}
-	rt.noteShed(t, outcome)
+	rt.settlePush(t, outcome, env, evicted)
 	t.instr.noteIn(t.in.depth())
 }
 
-// noteShed settles the accounting for one pushData outcome: a shed
-// tuple (incoming or evicted) will never be processed, so it leaves the
-// pending count and joins the shed tally.
-func (rt *Runtime) noteShed(t *task, outcome pushOutcome) {
-	if outcome == pushAdmitted {
+// settlePush settles the ledger for one pushData outcome in tuples:
+// under shed-self the offered envelope's own tuples are debited, under
+// shed-oldest the evicted envelope's. Shed batch frames are recycled
+// here — their tuples will never reach an executor.
+func (rt *Runtime) settlePush(t *task, outcome pushOutcome, env, evicted envelope) {
+	switch outcome {
+	case pushShedSelf:
+		rt.noteShed(t, env.tupleCount())
+		if env.batch != nil {
+			rt.putBatch(env.batch)
+		}
+	case pushShedOldest:
+		rt.noteShed(t, evicted.tupleCount())
+		if evicted.batch != nil {
+			rt.putBatch(evicted.batch)
+		}
+	}
+}
+
+// noteShed debits n shed tuples: they will never be processed, so they
+// leave the pending count and join the shed tally.
+func (rt *Runtime) noteShed(t *task, n int) {
+	if n == 0 {
 		return
 	}
-	rt.pending.Add(-1)
-	t.shed.Add(1)
-	rt.shedAll.Add(1)
-	t.instr.noteShed()
+	rt.pending.Add(int64(-n))
+	t.shed.Add(int64(n))
+	rt.shedAll.Add(int64(n))
+	t.instr.noteShedN(n)
 }
 
 // runTask is the executor loop: a single goroutine owns the task's log,
@@ -327,39 +414,38 @@ func (rt *Runtime) noteShed(t *task, outcome pushOutcome) {
 // tuple processing.
 func (rt *Runtime) runTask(t *task) {
 	defer rt.execWG.Done()
+	ob := rt.newBatcher() // this executor's output batcher; nil when off
 	emit := func(out Tuple) {
 		out.Stream = t.boltID
 		t.instr.noteEmit()
 		// Emissions inherit the class of the tuple being processed, so
 		// replay descendants keep their shed immunity downstream.
-		rt.route(t.boltID, out, t.curClass)
+		rt.route(t.boltID, out, t.curClass, ob)
 	}
 	for {
-		env := t.in.pop()
+		env, ok := t.in.tryPop()
+		if !ok {
+			// Idle: nothing to process, so nothing new will fill our
+			// partial output batches — push them downstream before
+			// parking, then block for the next envelope.
+			ob.flushAll()
+			env = t.in.pop()
+		}
 		switch env.kind {
 		case ctlTuple:
-			t.curClass = env.class
-			if t.decl.stateful {
-				t.log = append(t.log, env.tuple)
-			}
-			if !t.dead {
-				var start time.Time
-				if t.instr != nil {
-					start = time.Now()
-				}
-				if err := t.decl.bolt.Execute(env.tuple, emit); err != nil {
-					rt.failures.Add(1)
-					t.instr.noteExecError()
-				}
-				t.instr.noteAck(start)
-				t.handled.Add(1)
-				t.sinceSav++
-				if rt.cfg.SaveEveryTuples > 0 && t.decl.stateful &&
-					t.sinceSav >= rt.cfg.SaveEveryTuples {
-					_ = rt.saveTask(t) // periodic save failure is not fatal
-				}
-			}
+			rt.execTuple(t, env.tuple, env.class, emit)
 			rt.pending.Add(-1)
+
+		case ctlBatch:
+			// One admitted frame: every carried tuple runs through the
+			// identical per-tuple path (log, execute, periodic save), so
+			// recovery replay and exactly-once semantics cannot tell
+			// batched delivery from per-tuple delivery.
+			for _, tuple := range env.batch.tuples {
+				rt.execTuple(t, tuple, env.batch.class, emit)
+				rt.pending.Add(-1)
+			}
+			rt.putBatch(env.batch)
 
 		case ctlSave:
 			env.done <- rt.saveTask(t)
@@ -370,19 +456,51 @@ func (rt *Runtime) runTask(t *task) {
 			env.done <- nil
 
 		case ctlRecover:
-			env.done <- rt.recoverTask(t, emit, env.tr, env.traceParent)
+			err := rt.recoverTask(t, emit, env.tr, env.traceParent)
+			// Barrier flush: replayed emissions must be visible before
+			// the recovery reply, not parked until the next idle sweep.
+			ob.flushAll()
+			env.done <- err
 
 		case ctlFlush:
 			var err error
 			if f, ok := t.decl.bolt.(Flusher); ok && !t.dead {
 				err = f.Flush(emit)
 			}
+			ob.flushAll()
 			env.done <- err
 
 		case ctlStop:
 			env.done <- nil
 			return
 		}
+	}
+}
+
+// execTuple is the per-tuple executor body, shared by the per-tuple and
+// batched delivery paths: input-log append, execute, periodic save.
+func (rt *Runtime) execTuple(t *task, tuple Tuple, class TrafficClass, emit Emit) {
+	t.curClass = class
+	if t.decl.stateful {
+		t.log = append(t.log, tuple)
+	}
+	if t.dead {
+		return
+	}
+	var start time.Time
+	if t.instr != nil {
+		start = time.Now()
+	}
+	if err := t.decl.bolt.Execute(tuple, emit); err != nil {
+		rt.failures.Add(1)
+		t.instr.noteExecError()
+	}
+	t.instr.noteAck(start)
+	t.handled.Add(1)
+	t.sinceSav++
+	if rt.cfg.SaveEveryTuples > 0 && t.decl.stateful &&
+		t.sinceSav >= rt.cfg.SaveEveryTuples {
+		_ = rt.saveTask(t) // periodic save failure is not fatal
 	}
 }
 
@@ -629,6 +747,10 @@ func (rt *Runtime) Wait() error {
 		}
 	}
 	rt.execWG.Wait()
+	if rt.flushStop != nil {
+		close(rt.flushStop)
+		rt.flushWG.Wait()
+	}
 	close(rt.stopped)
 	rt.cfg.Flight.Note(obs.FlightTopologyStop, "", rt.topo.name,
 		fmt.Sprintf("errors=%d", rt.failures.Load()), nil)

@@ -43,6 +43,12 @@ type (
 	OverloadStats = stream.OverloadStats
 	// TaskOverloadStats is one task's share of the overload ledger.
 	TaskOverloadStats = stream.TaskOverloadStats
+	// Codec selects the inter-task tuple encoding
+	// (RuntimeConfig.Codec): per-tuple gob, or length-prefixed binary
+	// batch frames.
+	Codec = stream.Codec
+	// TrafficClass labels a tuple batch's lane: fresh ingest or replay.
+	TrafficClass = stream.TrafficClass
 )
 
 // Queue-full policies for RuntimeConfig.QueuePolicy.
@@ -58,10 +64,44 @@ const (
 	QueueShedPriority = stream.QueueShedPriority
 )
 
+// Tuple codecs for RuntimeConfig.Codec.
+const (
+	// CodecGob is the per-tuple gob encoding (the compatibility
+	// fallback).
+	CodecGob = stream.CodecGob
+	// CodecBatch is the compact length-prefixed binary batch codec used
+	// by the batched tuple plane at process boundaries.
+	CodecBatch = stream.CodecBatch
+)
+
+// Traffic classes carried by tuple batches.
+const (
+	// ClassIngest marks fresh source tuples (sheddable under pressure).
+	ClassIngest = stream.ClassIngest
+	// ClassReplay marks recovery replay tuples (never shed).
+	ClassReplay = stream.ClassReplay
+)
+
+// EncodeTupleBatch appends the batch frame for tuples to dst — the
+// compact binary wire format the batched tuple plane uses across
+// process boundaries (see DESIGN.md §13).
+func EncodeTupleBatch(dst []byte, tuples []Tuple, class TrafficClass) ([]byte, error) {
+	return stream.EncodeTupleBatch(dst, tuples, class)
+}
+
+// DecodeTupleBatch parses a batch frame produced by EncodeTupleBatch,
+// rejecting corrupt or truncated frames.
+func DecodeTupleBatch(data []byte) ([]Tuple, TrafficClass, error) {
+	return stream.DecodeTupleBatch(data)
+}
+
 // State stores.
 type (
 	// MapStore is the in-memory hashtable state.
 	MapStore = state.MapStore
+	// ShardedMapStore is MapStore split across lock shards for
+	// contended keyed state; snapshots interoperate with MapStore.
+	ShardedMapStore = state.ShardedMapStore
 	// BloomFilter is the probabilistic membership state.
 	BloomFilter = state.BloomFilter
 	// GraphStore is the weighted co-occurrence graph state.
@@ -78,6 +118,10 @@ func NewRuntime(t *Topology, cfg RuntimeConfig) (*Runtime, error) {
 
 // NewMapStore returns an empty hashtable state store.
 func NewMapStore() *MapStore { return state.NewMapStore() }
+
+// NewShardedMapStore returns an empty sharded hashtable store with n
+// lock shards (rounded up to a power of two; n < 1 uses the default).
+func NewShardedMapStore(n int) *ShardedMapStore { return state.NewShardedMapStore(n) }
 
 // NewBloomFilter sizes a Bloom filter for the expected items and
 // false-positive rate.
