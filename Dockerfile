@@ -1,0 +1,15 @@
+# sr3node daemon image. Build once, run one container per cluster
+# member (see docker-compose.yml for a three-node wiring).
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -o /out/sr3node ./cmd/sr3node
+
+FROM alpine:3.19
+COPY --from=build /out/sr3node /usr/local/bin/sr3node
+# Topology specs are mounted (or COPYed by a derived image) here.
+WORKDIR /etc/sr3
+# Cluster listener and metrics/debug HTTP.
+EXPOSE 7100 9100
+ENTRYPOINT ["sr3node"]

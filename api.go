@@ -14,7 +14,10 @@ import (
 
 // This file implements the SR3 user API of paper Table 2, adapted to Go
 // conventions (errors instead of booleans, byte slices instead of Java
-// strings).
+// strings). The Framework runs the whole substrate in one process; for
+// the multi-process deployment of the same Save/Recover/Protect
+// contract — real daemons, TCP scatter, star fetch across processes —
+// see StartNode and cmd/sr3node (node.go).
 
 // StateSplit partitions a state into numberOfShards shards and creates
 // numberOfReplicas replicas of each — Table 2 StateSplit. The returned

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sr3/internal/id"
+	"sr3/internal/shard"
+	"sr3/internal/state"
+	"sr3/internal/stream"
+)
+
+// shardStore holds scattered shards this node keeps on behalf of peers
+// — the node's slice of everyone else's protected state. Per app it
+// retains the newest version it has seen plus the one it superseded:
+// a saver that dies mid-scatter leaves the newest version incomplete
+// cluster-wide, and recovery must still find every fragment of the last
+// fully scattered one. Older or duplicate pushes are dropped (stores
+// are idempotent, which is what lets the repair loop blindly
+// re-scatter).
+type shardStore struct {
+	mu    sync.Mutex
+	byApp map[string]*appShards
+}
+
+type appShards struct {
+	version state.Version
+	shards  map[shard.Key]shard.Shard
+	// prev* retain the superseded version's fragments until the next
+	// supersession — the fallback set for a partially scattered save.
+	prevVersion state.Version
+	prev        map[shard.Key]shard.Shard
+}
+
+func newShardStore() *shardStore {
+	return &shardStore{byApp: map[string]*appShards{}}
+}
+
+func (s *shardStore) store(shards []shard.Shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range shards {
+		app := s.byApp[sh.App]
+		if app == nil {
+			app = &appShards{version: sh.Version, shards: map[shard.Key]shard.Shard{}}
+			s.byApp[sh.App] = app
+		}
+		switch {
+		case sh.Version == app.version:
+			app.shards[sh.Key()] = sh
+		case sh.Version.Newer(app.version):
+			app.prevVersion, app.prev = app.version, app.shards
+			app.version = sh.Version
+			app.shards = map[shard.Key]shard.Shard{sh.Key(): sh}
+		case app.prev != nil && sh.Version == app.prevVersion:
+			app.prev[sh.Key()] = sh
+		}
+	}
+}
+
+func (s *shardStore) fetch(app string) []shard.Shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.byApp[app]
+	if a == nil {
+		return nil
+	}
+	out := make([]shard.Shard, 0, len(a.shards)+len(a.prev))
+	for _, sh := range a.shards {
+		out = append(out, sh)
+	}
+	for _, sh := range a.prev {
+		out = append(out, sh)
+	}
+	return out
+}
+
+// counts reports how many shards are held per app (debug surface).
+func (s *shardStore) counts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.byApp))
+	for app, a := range s.byApp {
+		out[app] = len(a.shards) + len(a.prev)
+	}
+	return out
+}
+
+// scatterBackend is the multi-process stream.StateBackend: Save splits a
+// snapshot into spec.Shards fragments × spec.Replicas copies and pushes
+// them to live peers (SR3's scatter, with the cluster view standing in
+// for the DHT leaf set); Recover star-fetches from every live member and
+// reassembles the newest complete version (the paper's star mechanism —
+// all holders stream their fragments to the recovering node in
+// parallel). The last snapshot of every local task is retained so the
+// repair loop can re-scatter after membership changes.
+type scatterBackend struct {
+	node *Node
+
+	mu   sync.Mutex
+	last map[string]savedSnap // taskKey -> latest local snapshot
+}
+
+type savedSnap struct {
+	data    []byte
+	version state.Version
+}
+
+var _ stream.StateBackend = (*scatterBackend)(nil)
+
+func newScatterBackend(n *Node) *scatterBackend {
+	return &scatterBackend{node: n, last: map[string]savedSnap{}}
+}
+
+// Save scatters one snapshot. Peer pushes are best-effort per target —
+// a dead peer loses its fragment until repair — but at least one
+// replica of every shard index must land somewhere or the save fails.
+func (b *scatterBackend) Save(taskKey string, snapshot []byte, v state.Version) error {
+	b.mu.Lock()
+	prev := b.last[taskKey]
+	if v.Newer(prev.version) {
+		b.last[taskKey] = savedSnap{data: append([]byte(nil), snapshot...), version: v}
+	}
+	b.mu.Unlock()
+	return b.scatter(taskKey, snapshot, v)
+}
+
+func (b *scatterBackend) scatter(taskKey string, snapshot []byte, v state.Version) error {
+	spec := b.node.spec
+	base, err := shard.Split(taskKey, id.HashKey(taskKey), snapshot, spec.Shards, v)
+	if err != nil {
+		return err
+	}
+	all, err := shard.Replicate(base, spec.Replicas)
+	if err != nil {
+		return err
+	}
+	targets := b.node.scatterTargets()
+	if len(targets) == 0 {
+		return fmt.Errorf("scatter %s: no live members", taskKey)
+	}
+	// Round-robin over (index, replica) keeps the replicas of one index
+	// on distinct nodes whenever the cluster is large enough — the same
+	// policy as shard.Place, against live members instead of DHT IDs.
+	byTarget := map[string][]shard.Shard{}
+	for _, sh := range all {
+		t := targets[(sh.Index*spec.Replicas+sh.Replica)%len(targets)]
+		byTarget[t.Name] = append(byTarget[t.Name], sh)
+	}
+	stored := map[int]bool{}
+	var firstErr error
+	for name, shards := range byTarget {
+		t := targets[0]
+		for _, cand := range targets {
+			if cand.Name == name {
+				t = cand
+			}
+		}
+		if err := b.node.pushShards(t, taskKey, shards); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, sh := range shards {
+			stored[sh.Index] = true
+		}
+	}
+	if len(stored) < len(base) {
+		return fmt.Errorf("scatter %s: only %d/%d shard indices stored: %v",
+			taskKey, len(stored), len(base), firstErr)
+	}
+	return nil
+}
+
+// Recover star-fetches taskKey's shards from every live member and
+// reassembles the newest version with a complete fragment set. A task
+// that has never saved has no shards anywhere; it recovers to the empty
+// state (its input log replays on top).
+func (b *scatterBackend) Recover(taskKey string) ([]byte, error) {
+	var all []shard.Shard
+	for _, m := range b.node.liveMembersView() {
+		shards, err := b.node.fetchShards(m, taskKey)
+		if err != nil {
+			b.node.logf("recover %s: fetch from %s: %v", taskKey, m.Name, err)
+			continue
+		}
+		all = append(all, shards...)
+	}
+	if len(all) == 0 {
+		return emptySnapshot()
+	}
+	byVersion := map[state.Version][]shard.Shard{}
+	for _, sh := range all {
+		byVersion[sh.Version] = append(byVersion[sh.Version], sh)
+	}
+	versions := make([]state.Version, 0, len(byVersion))
+	for v := range byVersion {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i].Newer(versions[j]) })
+	var lastErr error
+	for _, v := range versions {
+		data, err := shard.Reassemble(byVersion[v])
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("recover %s: no complete version among %d: %w", taskKey, len(versions), lastErr)
+}
+
+// emptySnapshot is the canonical snapshot of a state with no entries.
+func emptySnapshot() ([]byte, error) {
+	return state.NewMapStore().Snapshot()
+}
+
+// repairTick re-scatters the latest snapshot of every locally protected
+// task against the current membership. Idempotent by the shardStore
+// version rule, so running it after every epoch change and on a timer
+// costs only the pushes; it is what re-populates a crashed-and-rejoined
+// holder and restores full replication after an adoption.
+func (b *scatterBackend) repairTick() {
+	b.mu.Lock()
+	keys := make([]string, 0, len(b.last))
+	for k := range b.last {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snaps := make([]savedSnap, 0, len(keys))
+	for _, k := range keys {
+		snaps = append(snaps, b.last[k])
+	}
+	b.mu.Unlock()
+	for i, key := range keys {
+		if err := b.scatter(key, snaps[i].data, snaps[i].version); err != nil {
+			b.node.logf("repair %s: %v", key, err)
+		}
+	}
+}
+
+// forget drops retained snapshots for tasks this node no longer hosts.
+func (b *scatterBackend) forget(taskKeys []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, k := range taskKeys {
+		delete(b.last, k)
+	}
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"sr3/internal/id"
+	"sr3/internal/shard"
+	"sr3/internal/state"
+)
+
+func splitFor(t *testing.T, taskKey string, snapshot []byte, n int, v state.Version) []shard.Shard {
+	t.Helper()
+	base, err := shard.Split(taskKey, id.HashKey(taskKey), snapshot, n, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// TestShardStoreRetainsSupersededVersion pins the mid-scatter crash
+// fallback: a saver that dies after pushing only part of a new version
+// leaves that version incomplete cluster-wide, so holders must keep the
+// superseded fragments until the *next* supersession — otherwise no
+// complete version exists anywhere and the state is unrecoverable.
+func TestShardStoreRetainsSupersededVersion(t *testing.T) {
+	const task = "app/count/0"
+	v1 := state.Version{Timestamp: 1, Seq: 1}
+	v2 := state.Version{Timestamp: 2, Seq: 2}
+	snap1 := bytes.Repeat([]byte("one "), 64)
+	snap2 := bytes.Repeat([]byte("two "), 64)
+
+	s := newShardStore()
+	s.store(splitFor(t, task, snap1, 4, v1)) // v1 fully scattered
+
+	// v2 interrupted after 2 of 4 fragments.
+	s.store(splitFor(t, task, snap2, 4, v2)[:2])
+
+	held := s.fetch(task)
+	if got := s.counts()[task]; got != 6 {
+		t.Fatalf("counts = %d, want 6 (4 retained v1 + 2 partial v2)", got)
+	}
+	byVersion := map[state.Version][]shard.Shard{}
+	for _, sh := range held {
+		byVersion[sh.Version] = append(byVersion[sh.Version], sh)
+	}
+	if _, err := shard.Reassemble(byVersion[v2]); err == nil {
+		t.Fatal("partial v2 reassembled — test premise broken")
+	}
+	data, err := shard.Reassemble(byVersion[v1])
+	if err != nil {
+		t.Fatalf("superseded complete version lost: %v", err)
+	}
+	if !bytes.Equal(data, snap1) {
+		t.Fatalf("fallback reassembly = %q, want v1 snapshot", data)
+	}
+
+	// A later complete version drops v1 and makes v2's remnants the
+	// fallback tier — retention is exactly two versions deep.
+	v3 := state.Version{Timestamp: 3, Seq: 3}
+	s.store(splitFor(t, task, snap2, 4, v3))
+	for _, sh := range s.fetch(task) {
+		if sh.Version == v1 {
+			t.Fatalf("v1 fragment still held after two supersessions")
+		}
+	}
+
+	// Duplicate and stale pushes are dropped (repair idempotence).
+	s.store(splitFor(t, task, snap1, 4, v1))
+	if got := s.counts()[task]; got != 6 {
+		t.Fatalf("stale re-push changed held set: counts = %d", got)
+	}
+}

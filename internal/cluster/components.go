@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sr3/internal/state"
+	"sr3/internal/stream"
+)
+
+// Component registry: the kinds a topology spec can instantiate. A
+// daemon can only run code compiled into it, so specs reference these
+// registered kinds instead of shipping logic. The built-in set covers
+// the keyed word-count pipeline the e2e harness and the compose
+// quickstart run; embedders add kinds via RegisterSpout/RegisterBolt
+// before starting a node.
+type kindSpec struct {
+	spout       bool
+	stateful    bool
+	maxParallel int // 0 = unlimited
+	buildSpout  func(c Component, stop <-chan struct{}) (stream.Spout, error)
+	buildBolt   func(c Component) (stream.Bolt, error)
+}
+
+var componentKinds = map[string]kindSpec{}
+
+// RegisterSpout adds a spout kind to the registry (call before Start).
+func RegisterSpout(kind string, build func(c Component, stop <-chan struct{}) (stream.Spout, error)) {
+	componentKinds[kind] = kindSpec{spout: true, maxParallel: 1, buildSpout: build}
+}
+
+// RegisterBolt adds a bolt kind to the registry (call before Start).
+func RegisterBolt(kind string, stateful bool, maxParallel int, build func(c Component) (stream.Bolt, error)) {
+	componentKinds[kind] = kindSpec{stateful: stateful, maxParallel: maxParallel, buildBolt: build}
+}
+
+func init() {
+	RegisterSpout("spout.seq", newSeqSpout)
+	RegisterBolt("bolt.counter", true, 0, newCounterBolt)
+	RegisterBolt("bolt.sink", true, 1, newSinkBolt)
+	RegisterBolt("bolt.identity", false, 0, newIdentityBolt)
+}
+
+// seqSpout deterministically emits count tuples (key, seq) with seq
+// 1..count and key cycling over keys distinct values. Because the
+// sequence is a pure function of the seq number, a spout restarted on
+// another node after its host died regenerates the identical stream —
+// source replay is the recovery story for spout-rooted state, and the
+// downstream per-key watermark dedupe makes the overlap exactly-once.
+//
+// Params: count (default 10000; the spout then exhausts), keys
+// (default 16), interval_us (optional pacing between tuples).
+type seqSpout struct {
+	seq      int64
+	count    int64
+	keys     int64
+	interval time.Duration
+	stop     <-chan struct{}
+}
+
+func newSeqSpout(c Component, stop <-chan struct{}) (stream.Spout, error) {
+	s := &seqSpout{
+		count:    c.Params["count"],
+		keys:     c.Params["keys"],
+		interval: time.Duration(c.Params["interval_us"]) * time.Microsecond,
+		stop:     stop,
+	}
+	if s.count <= 0 {
+		s.count = 10000
+	}
+	if s.keys <= 0 {
+		s.keys = 16
+	}
+	return s, nil
+}
+
+// SeqKey is the key the seq spout assigns to sequence number seq (1-based).
+func SeqKey(seq, keys int64) string {
+	return fmt.Sprintf("k%04d", (seq-1)%keys)
+}
+
+func (s *seqSpout) Next() (stream.Tuple, bool) {
+	select {
+	case <-s.stop:
+		return stream.Tuple{}, false
+	default:
+	}
+	if s.seq >= s.count {
+		return stream.Tuple{}, false
+	}
+	s.seq++
+	if s.interval > 0 {
+		time.Sleep(s.interval)
+	}
+	return stream.Tuple{Values: []any{SeqKey(s.seq, s.keys), s.seq}, Ts: s.seq}, true
+}
+
+// counterBolt counts tuples per key with per-key watermark dedupe: the
+// monotone source sequence in Values[seq_field] is remembered per
+// (stream, key) in the same protected store as the counts, so replayed
+// or regenerated tuples the state already covers are skipped — the
+// exactly-once contract across kill -9, relay replay, and source
+// regeneration. Emits (key, count) downstream after each accepted
+// tuple.
+//
+// Params: key_field (default 0), seq_field (default 1; -1 disables
+// dedupe).
+type counterBolt struct {
+	store    *state.MapStore
+	keyField int
+	seqField int
+}
+
+func newCounterBolt(c Component) (stream.Bolt, error) {
+	kf, sf := int64(0), int64(1)
+	if v, ok := c.Params["key_field"]; ok {
+		kf = v
+	}
+	if v, ok := c.Params["seq_field"]; ok {
+		sf = v
+	}
+	return &counterBolt{store: state.NewMapStore(), keyField: int(kf), seqField: int(sf)}, nil
+}
+
+func (b *counterBolt) Store() stream.StateStore { return b.store }
+
+func (b *counterBolt) Execute(t stream.Tuple, emit stream.Emit) error {
+	key := t.StringAt(b.keyField)
+	if key == "" {
+		return fmt.Errorf("counter: tuple %v has no key at field %d", t, b.keyField)
+	}
+	if b.seqField >= 0 {
+		seq := t.IntAt(b.seqField)
+		wmKey := "\x00wm|" + t.Stream + "|" + key
+		if seq > 0 {
+			if seq <= storeInt(b.store, wmKey) {
+				return nil // already covered by the restored state
+			}
+			b.store.Put(wmKey, []byte(strconv.FormatInt(seq, 10)))
+		}
+	}
+	cnt := storeInt(b.store, "c|"+key) + 1
+	b.store.Put("c|"+key, []byte(strconv.FormatInt(cnt, 10)))
+	emit(stream.Tuple{Values: []any{key, cnt}, Ts: t.Ts})
+	return nil
+}
+
+// sinkBolt collects (key, value) pairs into a protected store, keeping
+// the max value per key and the set of distinct pairs. Re-emissions
+// after an upstream recovery re-derive the same pairs, so the pair set
+// is a loss-and-duplicate detector: output is exactly-once iff for
+// every key the pair count equals the max (values 1..max each seen).
+type sinkBolt struct {
+	store *state.MapStore
+}
+
+func newSinkBolt(Component) (stream.Bolt, error) {
+	return &sinkBolt{store: state.NewMapStore()}, nil
+}
+
+func (b *sinkBolt) Store() stream.StateStore { return b.store }
+
+func (b *sinkBolt) Execute(t stream.Tuple, emit stream.Emit) error {
+	key := t.StringAt(0)
+	val := t.IntAt(1)
+	if key == "" {
+		return fmt.Errorf("sink: tuple %v has no key", t)
+	}
+	pair := "p|" + key + "|" + strconv.FormatInt(val, 10)
+	if _, seen := b.store.Get(pair); !seen {
+		b.store.Put(pair, []byte{1})
+	}
+	if val > storeInt(b.store, "m|"+key) {
+		b.store.Put("m|"+key, []byte(strconv.FormatInt(val, 10)))
+	}
+	return nil
+}
+
+func newIdentityBolt(Component) (stream.Bolt, error) {
+	return stream.BoltFunc(func(t stream.Tuple, emit stream.Emit) error {
+		emit(t)
+		return nil
+	}), nil
+}
+
+func storeInt(st *state.MapStore, key string) int64 {
+	raw, ok := st.Get(key)
+	if !ok {
+		return 0
+	}
+	n, _ := strconv.ParseInt(string(raw), 10, 64)
+	return n
+}
+
+// SinkSummary is the e2e-visible digest of a sink store (debug endpoint).
+type SinkSummary struct {
+	// MaxByKey is the highest value seen per key.
+	MaxByKey map[string]int64 `json:"max_by_key"`
+	// Pairs counts distinct (key, value) pairs.
+	Pairs int `json:"pairs"`
+	// ExactlyOnce reports whether every key's pair count equals its max
+	// (all of 1..max seen, nothing beyond).
+	ExactlyOnce bool `json:"exactly_once"`
+}
+
+// summarizeSink digests a sink (or counter) store for the debug surface.
+func summarizeSink(st *state.MapStore) SinkSummary {
+	s := SinkSummary{MaxByKey: map[string]int64{}, ExactlyOnce: true}
+	pairsByKey := map[string]int{}
+	for _, k := range st.Keys() {
+		switch {
+		case strings.HasPrefix(k, "m|"):
+			s.MaxByKey[k[2:]] = storeInt(st, k)
+		case strings.HasPrefix(k, "p|"):
+			rest := k[2:]
+			if i := strings.LastIndex(rest, "|"); i > 0 {
+				pairsByKey[rest[:i]]++
+			}
+			s.Pairs++
+		}
+	}
+	keys := make([]string, 0, len(s.MaxByKey))
+	for k := range s.MaxByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if int64(pairsByKey[k]) != s.MaxByKey[k] {
+			s.ExactlyOnce = false
+		}
+	}
+	return s
+}
+
+// CounterSummary digests a counter store: counts per key.
+type CounterSummary struct {
+	Counts map[string]int64 `json:"counts"`
+	Total  int64            `json:"total"`
+}
+
+func summarizeCounter(st *state.MapStore) CounterSummary {
+	s := CounterSummary{Counts: map[string]int64{}}
+	for _, k := range st.Keys() {
+		if strings.HasPrefix(k, "c|") {
+			n := storeInt(st, k)
+			s.Counts[k[2:]] = n
+			s.Total += n
+		}
+	}
+	return s
+}

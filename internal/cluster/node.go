@@ -1,0 +1,898 @@
+// Package cluster turns the in-process SR3 stream runtime into a real
+// multi-process system: sr3node daemons join a seed over TCP, host the
+// stream components a declarative topology spec assigns them, bridge
+// cross-process edges with batch-codec tuple streams, scatter operator
+// state to peer processes on every save, and recover it with a star
+// fetch when the control plane moves a dead node's components to a
+// survivor. The package also ships the local playground launcher the
+// process-level e2e harness and the CI cluster-smoke job drive.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sr3/internal/metrics"
+	"sr3/internal/nettransport"
+	"sr3/internal/obs"
+	"sr3/internal/shard"
+	"sr3/internal/stream"
+)
+
+// Node is one sr3node daemon: a cluster member hosting zero or more
+// cells (partial stream runtimes) plus this process's slice of its
+// peers' scattered state. The seed node additionally embeds the control
+// plane.
+type Node struct {
+	cfg    NodeConfig
+	logger *log.Logger
+
+	spec        *Spec
+	incarnation int64
+	advertise   string
+
+	clusterReg *metrics.ClusterRegistry
+	reg        *metrics.Registry
+	flight     *obs.FlightRecorder
+
+	shards  *shardStore
+	backend *scatterBackend
+
+	ln      net.Listener
+	httpSrv *obs.MetricsServer
+	control *controlPlane // non-nil on the seed
+
+	mu       sync.Mutex
+	view     View // non-seed: last pulled view; seed reads the control plane
+	cells    []*cell
+	conns    map[net.Conn]bool
+	stopping bool
+
+	servWG sync.WaitGroup
+	hbStop chan struct{}
+	hbDone chan struct{}
+	rpStop chan struct{}
+	rpDone chan struct{}
+
+	joined atomic.Bool // spec/view are set; adopt and flow RPCs are safe
+}
+
+// cell is one partial stream.Runtime: the subgraph of the topology this
+// node hosts, with external inputs declared as sources fed by ingress
+// tuple streams and external outputs bridged by egress relays.
+type cell struct {
+	comps     []string
+	set       map[string]bool
+	bolts     map[string]stream.Bolt
+	relays    []*relay
+	rt        *stream.Runtime
+	gate      chan struct{} // closed once recovery is done: spouts may pump
+	spoutStop chan struct{}
+	ready     atomic.Bool
+	stopOnce  sync.Once
+}
+
+// gatedSpout holds its inner spout idle until the cell's recovery
+// completes, so locally sourced tuples cannot reach a task whose state
+// is not yet restored.
+type gatedSpout struct {
+	inner  stream.Spout
+	gate   <-chan struct{}
+	stop   <-chan struct{}
+	opened bool
+}
+
+func (g *gatedSpout) Next() (stream.Tuple, bool) {
+	if !g.opened {
+		select {
+		case <-g.gate:
+			g.opened = true
+		case <-g.stop:
+			return stream.Tuple{}, false
+		}
+	}
+	return g.inner.Next()
+}
+
+// StartNode validates cfg, binds the cluster listener, joins (or, for
+// the seed, forms) the cluster, builds and recovers the cells assigned
+// to this node, and starts the heartbeat, repair, and HTTP surfaces.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:         cfg,
+		logger:      log.New(cfg.LogWriter, "["+cfg.Name+"] ", log.Ltime|log.Lmicroseconds),
+		incarnation: time.Now().UnixNano(),
+		clusterReg:  metrics.NewClusterRegistry(),
+		flight:      obs.NewFlightRecorder(4096),
+		shards:      newShardStore(),
+		conns:       map[net.Conn]bool{},
+		hbStop:      make(chan struct{}),
+		hbDone:      make(chan struct{}),
+		rpStop:      make(chan struct{}),
+		rpDone:      make(chan struct{}),
+	}
+	n.reg = n.clusterReg.Node(cfg.Name)
+	n.backend = newScatterBackend(n)
+
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Listen, err)
+	}
+	n.ln = ln
+	n.advertise = cfg.Advertise
+	if n.advertise == "" {
+		n.advertise = ln.Addr().String()
+	}
+	n.servWG.Add(1)
+	go n.serve()
+
+	if err := n.bootstrap(); err != nil {
+		n.shutdownTransport()
+		return nil, err
+	}
+	n.joined.Store(true)
+
+	// Build and recover this node's initial cell from the *current*
+	// assignment (which is the spec assignment on a fresh cluster, and
+	// whatever the control plane says on a crash-and-rejoin).
+	if comps := n.assignedComponents(); len(comps) > 0 {
+		c, err := n.buildCell(comps)
+		if err != nil {
+			n.shutdownTransport()
+			return nil, err
+		}
+		n.mu.Lock()
+		n.cells = append(n.cells, c)
+		n.mu.Unlock()
+		if err := n.startCell(c); err != nil {
+			n.shutdownTransport()
+			return nil, err
+		}
+	}
+
+	if n.control == nil {
+		go n.heartbeatLoop()
+	} else {
+		close(n.hbDone)
+	}
+	go n.repairLoop()
+
+	if cfg.HTTPListen != "" {
+		srv, err := obs.Serve(cfg.HTTPListen, obs.ServeConfig{
+			Metrics: n.clusterReg,
+			Debug:   func() any { return n.Debug() },
+			Flight:  n.flight,
+		})
+		if err != nil {
+			n.logf("http: %v", err)
+		} else {
+			n.httpSrv = srv
+		}
+	}
+	n.logf("up: cluster=%s http=%s seed=%v", n.advertise, n.HTTPAddr(), n.control != nil)
+	return n, nil
+}
+
+// bootstrap forms the cluster (seed) or joins it (everyone else).
+func (n *Node) bootstrap() error {
+	if n.cfg.Seed == "" {
+		spec, err := n.cfg.LoadSpec()
+		if err != nil {
+			return err
+		}
+		n.spec = spec
+		n.control = newControlPlane(n, spec)
+		if _, err := n.control.handleJoin(&joinReq{
+			Name: n.cfg.Name, Addr: n.advertise, HTTP: n.cfg.HTTPListen,
+			Incarnation: n.incarnation,
+		}); err != nil {
+			return err
+		}
+		n.control.start()
+		return nil
+	}
+	deadline := time.Now().Add(n.cfg.JoinTimeout)
+	req := &rpcEnvelope{Kind: "join", Join: &joinReq{
+		Name: n.cfg.Name, Addr: n.advertise, HTTP: n.cfg.HTTPListen,
+		Incarnation: n.incarnation,
+	}}
+	for {
+		resp, err := rpcCall(n.cfg.Seed, req, rpcTimeout)
+		if err == nil {
+			spec := resp.JoinR.Spec
+			n.spec = &spec
+			n.mu.Lock()
+			n.view = resp.JoinR.View
+			n.mu.Unlock()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: join %s: %w", n.cfg.Seed, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Name returns the node's cluster identity.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Addr returns the advertised cluster address.
+func (n *Node) Addr() string { return n.advertise }
+
+// HTTPAddr returns the bound metrics/debug address ("" when disabled).
+func (n *Node) HTTPAddr() string {
+	if n.httpSrv == nil {
+		return ""
+	}
+	return n.httpSrv.Addr()
+}
+
+// IsSeed reports whether this node embeds the control plane.
+func (n *Node) IsSeed() bool { return n.control != nil }
+
+func (n *Node) logf(format string, args ...any) {
+	n.logger.Printf(format, args...)
+}
+
+// currentView returns the freshest view this node can see.
+func (n *Node) currentView() View {
+	if n.control != nil {
+		return n.control.snapshotView()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.clone()
+}
+
+// View exposes the current membership/assignment snapshot.
+func (n *Node) View() View { return n.currentView() }
+
+func (n *Node) assignedComponents() []string {
+	v := n.currentView()
+	var out []string
+	for _, c := range n.spec.Components {
+		if v.Assign[c.ID] == n.cfg.Name {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// ownerOf resolves the live owner of a component; empty strings while
+// the component is orphaned (its relay retries until reassignment).
+func (n *Node) ownerOf(comp string) (name, addr string) {
+	v := n.currentView()
+	owner := v.Assign[comp]
+	m := v.member(owner)
+	if m == nil || !m.Alive {
+		return "", ""
+	}
+	if m.Name == n.cfg.Name {
+		return m.Name, n.advertise
+	}
+	return m.Name, m.Addr
+}
+
+func (n *Node) liveMembersView() []Member {
+	v := n.currentView()
+	ms := v.liveMembers()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return ms
+}
+
+// scatterTargets lists the nodes shard replicas may land on.
+func (n *Node) scatterTargets() []Member {
+	return n.liveMembersView()
+}
+
+// pushShards delivers shards to one holder (local fast path for self).
+func (n *Node) pushShards(m Member, app string, shards []shard.Shard) error {
+	if m.Name == n.cfg.Name {
+		n.shards.store(shards)
+		return nil
+	}
+	_, err := rpcCall(m.Addr, &rpcEnvelope{Kind: "store", Store: &storeShardsReq{
+		From: n.cfg.Name, App: app, Shards: shards,
+	}}, rpcTimeout)
+	return err
+}
+
+// fetchShards pulls one app's held shards from a member.
+func (n *Node) fetchShards(m Member, app string) ([]shard.Shard, error) {
+	if m.Name == n.cfg.Name {
+		return n.shards.fetch(app), nil
+	}
+	resp, err := rpcCall(m.Addr, &rpcEnvelope{Kind: "fetch", Fetch: &fetchShardsReq{App: app}}, rpcTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.FetchR == nil {
+		return nil, nil
+	}
+	return resp.FetchR.Shards, nil
+}
+
+// buildCell materializes the partial runtime for one component set:
+// local components are declared as-is, remote upstream components
+// become external sources (fed by ingress streams), and every edge to a
+// remote subscriber gets an egress relay.
+func (n *Node) buildCell(compIDs []string) (*cell, error) {
+	c := &cell{
+		set:       map[string]bool{},
+		bolts:     map[string]stream.Bolt{},
+		gate:      make(chan struct{}),
+		spoutStop: make(chan struct{}),
+	}
+	for _, id := range compIDs {
+		c.set[id] = true
+	}
+	topo := stream.NewTopology(n.spec.Name)
+	sources := map[string]bool{}
+	for i := range n.spec.Components {
+		comp := &n.spec.Components[i]
+		if !c.set[comp.ID] {
+			continue
+		}
+		c.comps = append(c.comps, comp.ID)
+		kind := componentKinds[comp.Kind]
+		if kind.spout {
+			sp, err := kind.buildSpout(*comp, c.spoutStop)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: build %s: %w", comp.ID, err)
+			}
+			if err := topo.AddSpout(comp.ID, &gatedSpout{inner: sp, gate: c.gate, stop: c.spoutStop}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		bolt, err := kind.buildBolt(*comp)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: build %s: %w", comp.ID, err)
+		}
+		c.bolts[comp.ID] = bolt
+		bb := topo.AddBolt(comp.ID, bolt, comp.Parallel)
+		for _, in := range comp.Inputs {
+			if !c.set[in.From] && !sources[in.From] {
+				if err := topo.AddSource(in.From); err != nil {
+					return nil, err
+				}
+				sources[in.From] = true
+			}
+			g, err := groupingOf(in)
+			if err != nil {
+				return nil, err
+			}
+			switch g {
+			case stream.ShuffleGrouping:
+				bb = bb.Shuffle(in.From)
+			case stream.FieldsGrouping:
+				bb = bb.Fields(in.From, in.Field)
+			case stream.GlobalGrouping:
+				bb = bb.Global(in.From)
+			case stream.AllGrouping:
+				bb = bb.All(in.From)
+			}
+		}
+		if err := bb.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for _, compID := range c.comps {
+		for _, subID := range n.spec.Subscribers(compID) {
+			if c.set[subID] {
+				continue
+			}
+			r := newRelay(n, compID, subID)
+			c.relays = append(c.relays, r)
+			if err := topo.AddBolt(r.boltID(), r, 1).Global(compID).Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rt, err := stream.NewRuntime(topo, stream.Config{
+		Backend:         n.backend,
+		SaveEveryTuples: n.spec.SaveEvery,
+		ChannelDepth:    n.spec.ChannelDepth,
+		Codec:           stream.CodecBatch,
+		Metrics:         n.reg,
+		Flight:          n.flight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.rt = rt
+	return c, nil
+}
+
+// startCell starts the cell's executors, restores every stateful task
+// from the scattered shards (kill marks the empty-state task dead so
+// arriving tuples are logged, recover star-fetches + restores + replays
+// the log), wires the egress senders, and finally opens the spout gate.
+func (n *Node) startCell(c *cell) error {
+	c.rt.Start()
+	for _, compID := range c.comps {
+		bolt, ok := c.bolts[compID]
+		if !ok {
+			continue // spout
+		}
+		if _, stateful := bolt.(stream.StatefulBolt); !stateful {
+			continue
+		}
+		comp := n.spec.Component(compID)
+		for i := 0; i < comp.Parallel; i++ {
+			if err := c.rt.Kill(compID, i); err != nil {
+				return fmt.Errorf("cluster: kill %s[%d]: %w", compID, i, err)
+			}
+			if err := c.rt.RecoverTask(compID, i); err != nil {
+				return fmt.Errorf("cluster: recover %s[%d]: %w", compID, i, err)
+			}
+		}
+	}
+	for _, r := range c.relays {
+		go r.run()
+	}
+	c.ready.Store(true)
+	close(c.gate)
+	n.logf("cell up: %v", c.comps)
+	return nil
+}
+
+// stopCell tears one cell down: relays first (so blocked executors
+// unblock and senders exit), then the spouts, then the runtime.
+func (c *cell) stop() {
+	c.stopOnce.Do(func() {
+		c.ready.Store(false)
+		for _, r := range c.relays {
+			r.close()
+		}
+		close(c.spoutStop)
+		_ = c.rt.Wait()
+	})
+}
+
+// cellFor finds the ready cell hosting a component.
+func (n *Node) cellFor(comp string) *cell {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range n.cells {
+		if c.set[comp] && c.ready.Load() {
+			return c
+		}
+	}
+	return nil
+}
+
+// handleAdopt hosts a dead node's components: build a cell, recover
+// their state, and only then ACK — the control plane flips routing to
+// us after the ACK, so no ingress targets the cell mid-recovery.
+func (n *Node) handleAdopt(req *adoptReq) (*adoptResp, error) {
+	if !n.joined.Load() {
+		return nil, fmt.Errorf("node %s not ready", n.cfg.Name)
+	}
+	for _, comp := range req.Components {
+		if n.cellFor(comp) != nil {
+			return nil, fmt.Errorf("component %s already hosted here", comp)
+		}
+	}
+	n.logf("adopting %v", req.Components)
+	c, err := n.buildCell(req.Components)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.cells = append(n.cells, c)
+	n.mu.Unlock()
+	if err := n.startCell(c); err != nil {
+		return nil, err
+	}
+	return &adoptResp{}, nil
+}
+
+// serve accepts cluster connections: 'C' control RPCs, 'T' tuple
+// streams.
+func (n *Node) serve() {
+	defer n.servWG.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.stopping {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.conns[conn] = true
+		n.mu.Unlock()
+		n.servWG.Add(1)
+		go n.handleConn(conn)
+	}
+}
+
+func (n *Node) handleConn(conn net.Conn) {
+	defer n.servWG.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+	}()
+	var magic [1]byte
+	_ = conn.SetReadDeadline(time.Now().Add(rpcTimeout))
+	if _, err := io.ReadFull(conn, magic[:]); err != nil {
+		return
+	}
+	switch magic[0] {
+	case magicRPC:
+		n.handleRPC(conn)
+	case magicFlow:
+		_ = conn.SetReadDeadline(time.Time{})
+		n.handleFlow(conn)
+	}
+}
+
+// handleRPC serves one control round trip.
+func (n *Node) handleRPC(conn net.Conn) {
+	// Adoptions recover state before replying, so the conn deadline must
+	// outlive the slowest handler, not just a network round trip.
+	_ = conn.SetDeadline(time.Now().Add(adoptTimeout + rpcTimeout))
+	var req rpcEnvelope
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	resp := n.dispatch(&req)
+	_ = gob.NewEncoder(conn).Encode(resp)
+}
+
+func (n *Node) dispatch(req *rpcEnvelope) *rpcEnvelope {
+	resp := &rpcEnvelope{Kind: req.Kind}
+	fail := func(err error) *rpcEnvelope {
+		resp.Err = err.Error()
+		return resp
+	}
+	seedOnly := func() error {
+		if n.control == nil {
+			return ErrNotSeed
+		}
+		return nil
+	}
+	switch req.Kind {
+	case "join":
+		if err := seedOnly(); err != nil || req.Join == nil {
+			return fail(ErrNotSeed)
+		}
+		r, err := n.control.handleJoin(req.Join)
+		if err != nil {
+			return fail(err)
+		}
+		resp.JoinR = r
+	case "heartbeat":
+		if err := seedOnly(); err != nil || req.Heartbeat == nil {
+			return fail(ErrNotSeed)
+		}
+		r, err := n.control.handleHeartbeat(req.Heartbeat)
+		if err != nil {
+			return fail(err)
+		}
+		resp.HeartbtR = r
+	case "view":
+		if err := seedOnly(); err != nil {
+			return fail(ErrNotSeed)
+		}
+		v := n.control.snapshotView()
+		resp.ViewR = &viewResp{View: v}
+	case "leave":
+		if err := seedOnly(); err != nil || req.Leave == nil {
+			return fail(ErrNotSeed)
+		}
+		r, err := n.control.handleLeave(req.Leave)
+		if err != nil {
+			return fail(err)
+		}
+		resp.LeaveR = r
+	case "adopt":
+		if req.Adopt == nil {
+			return fail(ErrUnknownRPC)
+		}
+		r, err := n.handleAdopt(req.Adopt)
+		if err != nil {
+			return fail(err)
+		}
+		resp.AdoptR = r
+	case "store":
+		if req.Store == nil {
+			return fail(ErrUnknownRPC)
+		}
+		n.shards.store(req.Store.Shards)
+		resp.StoreR = &storeShardsResp{}
+	case "fetch":
+		if req.Fetch == nil {
+			return fail(ErrUnknownRPC)
+		}
+		resp.FetchR = &fetchShardsResp{Shards: n.shards.fetch(req.Fetch.App)}
+	default:
+		return fail(ErrUnknownRPC)
+	}
+	return resp
+}
+
+// handleFlow serves one ingress tuple stream: hello, then batch frames
+// injected into the hosting cell under the edge's grouping. Decoded
+// tuples own their memory, so the pooled frame buffer is recycled right
+// after decode.
+func (n *Node) handleFlow(conn net.Conn) {
+	hello, err := readFlowHello(conn)
+	if err != nil {
+		return
+	}
+	bc := nettransport.NewBatchConn(conn, 30*time.Second)
+	for {
+		body, free, err := bc.ReadBatch()
+		if err != nil {
+			return
+		}
+		tuples, class, err := stream.DecodeTupleBatch(body)
+		free()
+		if err != nil {
+			n.logf("flow %s->%s: corrupt batch: %v", hello.FromComp, hello.DestComp, err)
+			return
+		}
+		c := n.cellFor(hello.DestComp)
+		if c == nil {
+			return // not (or no longer) hosting: sender re-resolves
+		}
+		for _, t := range tuples {
+			if err := c.rt.InjectTo(hello.FromComp, hello.DestComp, t, class); err != nil {
+				n.logf("flow %s->%s: %v", hello.FromComp, hello.DestComp, err)
+				return
+			}
+		}
+	}
+}
+
+// heartbeatLoop keeps the seed convinced we are alive and pulls a fresh
+// view whenever the advertised epoch moves. A rejection means the seed
+// declared us dead — rejoin under a new incarnation and drop any cells
+// whose components have been moved elsewhere.
+func (n *Node) heartbeatLoop() {
+	defer close(n.hbDone)
+	tick := time.NewTicker(n.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.hbStop:
+			return
+		case <-tick.C:
+		}
+		req := &rpcEnvelope{Kind: "heartbeat", Heartbeat: &heartbeatReq{
+			Name: n.cfg.Name, Incarnation: n.incarnation, Epoch: n.viewEpoch(),
+		}}
+		resp, err := rpcCall(n.cfg.Seed, req, rpcTimeout)
+		if err != nil {
+			if isRejoinError(err) {
+				n.rejoin()
+			}
+			continue // seed unreachable: keep beating
+		}
+		if resp.HeartbtR != nil && resp.HeartbtR.Epoch > n.viewEpoch() {
+			n.pullView()
+		}
+	}
+}
+
+func isRejoinError(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "rejoin") || strings.Contains(s, "not current")
+}
+
+func (n *Node) viewEpoch() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.Epoch
+}
+
+func (n *Node) pullView() {
+	resp, err := rpcCall(n.cfg.Seed, &rpcEnvelope{Kind: "view", ViewReq: &viewReq{}}, rpcTimeout)
+	if err != nil || resp.ViewR == nil {
+		return
+	}
+	n.mu.Lock()
+	if resp.ViewR.View.Epoch > n.view.Epoch {
+		n.view = resp.ViewR.View
+	}
+	n.mu.Unlock()
+}
+
+// rejoin re-enters the cluster after being declared dead. Components
+// that were adopted elsewhere while we were "dead" are torn down here:
+// hosting them further would double-run spouts and double-count state.
+func (n *Node) rejoin() {
+	n.incarnation = time.Now().UnixNano()
+	resp, err := rpcCall(n.cfg.Seed, &rpcEnvelope{Kind: "join", Join: &joinReq{
+		Name: n.cfg.Name, Addr: n.advertise, HTTP: n.cfg.HTTPListen,
+		Incarnation: n.incarnation,
+	}}, rpcTimeout)
+	if err != nil || resp.JoinR == nil {
+		n.logf("rejoin failed: %v", err)
+		return
+	}
+	n.mu.Lock()
+	n.view = resp.JoinR.View
+	assign := n.view.Assign
+	var stale []*cell
+	var keep []*cell
+	for _, c := range n.cells {
+		mine := false
+		for _, comp := range c.comps {
+			if assign[comp] == n.cfg.Name {
+				mine = true
+			}
+		}
+		if mine {
+			keep = append(keep, c)
+		} else {
+			stale = append(stale, c)
+		}
+	}
+	n.cells = keep
+	n.mu.Unlock()
+	for _, c := range stale {
+		n.logf("rejoin: dropping relocated cell %v", c.comps)
+		c.stop()
+	}
+	// Orphaned snapshots must not be re-scattered by our repair loop —
+	// the adopter owns those tasks now.
+	var orphaned []string
+	for _, c := range stale {
+		for _, comp := range c.comps {
+			decl := n.spec.Component(comp)
+			for i := 0; i < decl.Parallel; i++ {
+				orphaned = append(orphaned, stream.TaskKey(n.spec.Name, comp, i))
+			}
+		}
+	}
+	n.backend.forget(orphaned)
+	n.logf("rejoined (incarnation %d, epoch %d)", n.incarnation, n.viewEpoch())
+}
+
+// repairLoop periodically re-scatters every locally protected snapshot
+// so replication converges back after deaths, adoptions, and rejoins.
+func (n *Node) repairLoop() {
+	defer close(n.rpDone)
+	tick := time.NewTicker(n.cfg.RepairInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.rpStop:
+			return
+		case <-tick.C:
+			n.backend.repairTick()
+		}
+	}
+}
+
+// shutdownTransport closes the listener and every open connection and
+// waits for the serve goroutines.
+func (n *Node) shutdownTransport() {
+	n.mu.Lock()
+	n.stopping = true
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	_ = n.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	n.servWG.Wait()
+}
+
+// Stop shuts the node down cleanly: leave the cluster, stop the
+// background loops, quiesce ingress, then drain and stop every cell.
+// Safe to call once; the daemon calls it on SIGTERM/SIGINT.
+func (n *Node) Stop() {
+	n.logf("stopping")
+	if n.control == nil {
+		// The heartbeat loop stops before the leave RPC: a heartbeat
+		// racing the leave would see "declared dead" and rejoin.
+		close(n.hbStop)
+		<-n.hbDone
+		_, _ = rpcCall(n.cfg.Seed, &rpcEnvelope{Kind: "leave", Leave: &leaveReq{
+			Name: n.cfg.Name, Incarnation: n.incarnation,
+		}}, rpcTimeout)
+	}
+	close(n.rpStop)
+	<-n.rpDone
+	if n.control != nil {
+		n.control.close()
+	}
+	n.mu.Lock()
+	cells := append([]*cell(nil), n.cells...)
+	n.mu.Unlock()
+	// Relays and spouts stop first so executors cannot block on a full
+	// egress window; ingress conns die with the transport next, after
+	// which the runtimes drain whatever was already admitted.
+	for _, c := range cells {
+		c.ready.Store(false)
+		for _, r := range c.relays {
+			r.close()
+		}
+	}
+	n.shutdownTransport()
+	for _, c := range cells {
+		c.stop()
+	}
+	if n.httpSrv != nil {
+		_ = n.httpSrv.Close()
+	}
+	n.logf("stopped")
+}
+
+// NodeDebug is the /debug/sr3 introspection snapshot of one daemon.
+type NodeDebug struct {
+	Node        string            `json:"node"`
+	Incarnation int64             `json:"incarnation"`
+	Seed        bool              `json:"seed"`
+	Epoch       int64             `json:"epoch"`
+	Members     []Member          `json:"members"`
+	Assign      map[string]string `json:"assign"`
+	Cells       []CellDebug       `json:"cells"`
+	ShardsHeld  map[string]int    `json:"shards_held"`
+}
+
+// CellDebug describes one hosted cell.
+type CellDebug struct {
+	Components []string                  `json:"components"`
+	Tasks      []stream.TaskStats        `json:"tasks"`
+	Counters   map[string]CounterSummary `json:"counters,omitempty"`
+	Sinks      map[string]SinkSummary    `json:"sinks,omitempty"`
+}
+
+// Debug builds the live introspection snapshot served on /debug/sr3.
+func (n *Node) Debug() NodeDebug {
+	v := n.currentView()
+	d := NodeDebug{
+		Node:        n.cfg.Name,
+		Incarnation: n.incarnation,
+		Seed:        n.control != nil,
+		Epoch:       v.Epoch,
+		Members:     v.Members,
+		Assign:      v.Assign,
+		ShardsHeld:  n.shards.counts(),
+	}
+	n.mu.Lock()
+	cells := append([]*cell(nil), n.cells...)
+	n.mu.Unlock()
+	for _, c := range cells {
+		cd := CellDebug{Components: c.comps, Tasks: c.rt.Stats()}
+		for id, b := range c.bolts {
+			switch bt := b.(type) {
+			case *counterBolt:
+				if cd.Counters == nil {
+					cd.Counters = map[string]CounterSummary{}
+				}
+				cd.Counters[id] = summarizeCounter(bt.store)
+			case *sinkBolt:
+				if cd.Sinks == nil {
+					cd.Sinks = map[string]SinkSummary{}
+				}
+				cd.Sinks[id] = summarizeSink(bt.store)
+			}
+		}
+		d.Cells = append(d.Cells, cd)
+	}
+	return d
+}

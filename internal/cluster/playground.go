@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Playground launches a local multi-process cluster: N sr3node
+// processes on loopback, the first one the seed, each with its own log
+// file. It is the substrate of the process-level e2e harness and the CI
+// cluster-smoke job, and doubles as a dev tool ("run a real cluster on
+// my laptop" — the same wiring docker-compose.yml expresses with
+// containers).
+type Playground struct {
+	cfg PlaygroundConfig
+
+	mu    sync.Mutex
+	procs map[string]*NodeProc
+	names []string
+}
+
+// PlaygroundConfig configures a playground cluster.
+type PlaygroundConfig struct {
+	// Bin is the sr3node binary path (built by the test harness or CI).
+	Bin string
+	// Nodes is the process count; names are node1..nodeN and node1 is
+	// the seed.
+	Nodes int
+	// TopoFile is the topology spec the seed loads. Its components
+	// should pin nodes to names node1..nodeN.
+	TopoFile string
+	// Dir holds per-node log files (a temp dir when empty).
+	Dir string
+	// Heartbeat / DeadAfter / Repair override the daemon timing knobs
+	// (zero keeps each daemon's default).
+	Heartbeat time.Duration
+	DeadAfter time.Duration
+	Repair    time.Duration
+}
+
+// NodeProc is one playground-managed sr3node process.
+type NodeProc struct {
+	Name    string
+	Addr    string // cluster address
+	HTTP    string // metrics/debug address
+	LogPath string
+
+	pg  *Playground
+	cmd *exec.Cmd
+	log *os.File
+}
+
+// NewPlayground validates the config and reserves loopback ports for
+// every node, so identities (name, addr, http) are stable across
+// restarts of individual processes.
+func NewPlayground(cfg PlaygroundConfig) (*Playground, error) {
+	if cfg.Bin == "" {
+		return nil, fmt.Errorf("playground: no sr3node binary")
+	}
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("playground: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.TopoFile == "" {
+		return nil, fmt.Errorf("playground: no topology file")
+	}
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "sr3-playground-")
+		if err != nil {
+			return nil, err
+		}
+		cfg.Dir = dir
+	}
+	pg := &Playground{cfg: cfg, procs: map[string]*NodeProc{}}
+	for i := 1; i <= cfg.Nodes; i++ {
+		name := fmt.Sprintf("node%d", i)
+		addr, err := reservePort()
+		if err != nil {
+			return nil, err
+		}
+		httpAddr, err := reservePort()
+		if err != nil {
+			return nil, err
+		}
+		pg.procs[name] = &NodeProc{
+			Name: name, Addr: addr, HTTP: httpAddr,
+			LogPath: filepath.Join(cfg.Dir, name+".log"),
+			pg:      pg,
+		}
+		pg.names = append(pg.names, name)
+	}
+	return pg, nil
+}
+
+// reservePort binds :0 on loopback, records the port, and releases it.
+// The window between release and the daemon's bind is racy in theory;
+// loopback ephemeral ports make collisions vanishingly rare in
+// practice, and a failed node start surfaces immediately via the ready
+// probe.
+func reservePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr, nil
+}
+
+// Seed returns the seed process.
+func (pg *Playground) Seed() *NodeProc { return pg.Proc(pg.names[0]) }
+
+// Proc returns a node by name (nil when unknown).
+func (pg *Playground) Proc(name string) *NodeProc {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return pg.procs[name]
+}
+
+// Names lists the node names in launch order.
+func (pg *Playground) Names() []string { return append([]string(nil), pg.names...) }
+
+// Start launches every node (seed first) and waits until all members
+// are alive in the seed's view and every node's HTTP surface answers.
+func (pg *Playground) Start(timeout time.Duration) error {
+	for _, name := range pg.names {
+		if err := pg.launch(name); err != nil {
+			pg.StopAll()
+			return err
+		}
+	}
+	if err := pg.WaitMembers(pg.cfg.Nodes, timeout); err != nil {
+		pg.StopAll()
+		return err
+	}
+	return nil
+}
+
+func (pg *Playground) launch(name string) error {
+	pg.mu.Lock()
+	p := pg.procs[name]
+	pg.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("playground: unknown node %s", name)
+	}
+	logf, err := os.OpenFile(p.LogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	args := []string{
+		"-name", p.Name,
+		"-listen", p.Addr,
+		"-http", p.HTTP,
+	}
+	if p.Name == pg.names[0] {
+		args = append(args, "-topo", pg.cfg.TopoFile)
+	} else {
+		args = append(args, "-seed", pg.Seed().Addr)
+	}
+	if pg.cfg.Heartbeat > 0 {
+		args = append(args, "-heartbeat", pg.cfg.Heartbeat.String())
+	}
+	if pg.cfg.DeadAfter > 0 {
+		args = append(args, "-dead-after", pg.cfg.DeadAfter.String())
+	}
+	if pg.cfg.Repair > 0 {
+		args = append(args, "-repair", pg.cfg.Repair.String())
+	}
+	cmd := exec.Command(pg.cfg.Bin, args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		_ = logf.Close()
+		return fmt.Errorf("playground: start %s: %w", name, err)
+	}
+	p.cmd = cmd
+	p.log = logf
+	return nil
+}
+
+// Restart relaunches a (killed or stopped) node under the same
+// identity and addresses — the crash-and-rejoin scenario.
+func (pg *Playground) Restart(name string) error {
+	p := pg.Proc(name)
+	if p == nil {
+		return fmt.Errorf("playground: unknown node %s", name)
+	}
+	p.reap()
+	return pg.launch(name)
+}
+
+// Kill delivers SIGKILL — the kill -9 crash the recovery e2e exercises.
+func (pg *Playground) Kill(name string) error {
+	return pg.signal(name, syscall.SIGKILL)
+}
+
+// Terminate delivers SIGTERM for a graceful daemon shutdown.
+func (pg *Playground) Terminate(name string) error {
+	return pg.signal(name, syscall.SIGTERM)
+}
+
+func (pg *Playground) signal(name string, sig syscall.Signal) error {
+	p := pg.Proc(name)
+	if p == nil || p.cmd == nil || p.cmd.Process == nil {
+		return fmt.Errorf("playground: %s is not running", name)
+	}
+	return p.cmd.Process.Signal(sig)
+}
+
+// WaitExit blocks until a signalled node's process exits.
+func (pg *Playground) WaitExit(name string, timeout time.Duration) error {
+	p := pg.Proc(name)
+	if p == nil || p.cmd == nil {
+		return fmt.Errorf("playground: %s is not running", name)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case <-done:
+		p.closeLog()
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("playground: %s did not exit within %v", name, timeout)
+	}
+}
+
+// reap collects a dead child (idempotent; ignores errors — the child
+// may have been SIGKILLed or never started).
+func (p *NodeProc) reap() {
+	if p.cmd != nil && p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+		_ = p.cmd.Wait()
+	}
+	p.closeLog()
+	p.cmd = nil
+}
+
+func (p *NodeProc) closeLog() {
+	if p.log != nil {
+		_ = p.log.Close()
+		p.log = nil
+	}
+}
+
+// StopAll terminates every process: SIGTERM first, SIGKILL whatever
+// remains after a short grace window.
+func (pg *Playground) StopAll() {
+	pg.mu.Lock()
+	procs := make([]*NodeProc, 0, len(pg.procs))
+	for _, p := range pg.procs {
+		procs = append(procs, p)
+	}
+	pg.mu.Unlock()
+	for _, p := range procs {
+		if p.cmd != nil && p.cmd.Process != nil {
+			_ = p.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, p := range procs {
+		if p.cmd == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(p *NodeProc) { _, _ = p.cmd.Process.Wait(); close(done) }(p)
+		select {
+		case <-done:
+		case <-time.After(time.Until(deadline)):
+			_ = p.cmd.Process.Kill()
+		}
+		p.closeLog()
+		p.cmd = nil
+	}
+}
+
+// Debug fetches a node's /debug/sr3 snapshot.
+func (pg *Playground) Debug(name string) (NodeDebug, error) {
+	var d NodeDebug
+	p := pg.Proc(name)
+	if p == nil {
+		return d, fmt.Errorf("playground: unknown node %s", name)
+	}
+	body, err := httpGet("http://" + p.HTTP + "/debug/sr3")
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(body, &d); err != nil {
+		return d, fmt.Errorf("playground: debug %s: %w", name, err)
+	}
+	return d, nil
+}
+
+// Metrics fetches a node's Prometheus text exposition.
+func (pg *Playground) Metrics(name string) (string, error) {
+	p := pg.Proc(name)
+	if p == nil {
+		return "", fmt.Errorf("playground: unknown node %s", name)
+	}
+	body, err := httpGet("http://" + p.HTTP + "/metrics")
+	return string(body), err
+}
+
+// WaitMembers polls the seed's view until want members are alive.
+func (pg *Playground) WaitMembers(want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		d, err := pg.Debug(pg.names[0])
+		if err == nil {
+			alive := 0
+			for _, m := range d.Members {
+				if m.Alive {
+					alive++
+				}
+			}
+			if alive >= want {
+				return nil
+			}
+			last = fmt.Errorf("%d/%d members alive", alive, want)
+		} else {
+			last = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("playground: members not ready: %v", last)
+}
+
+// TailLog returns the last n bytes of a node's log (diagnostics on
+// test failure).
+func (pg *Playground) TailLog(name string, n int64) string {
+	p := pg.Proc(name)
+	if p == nil {
+		return ""
+	}
+	data, err := os.ReadFile(p.LogPath)
+	if err != nil {
+		return ""
+	}
+	if int64(len(data)) > n {
+		data = data[int64(len(data))-n:]
+	}
+	return string(data)
+}
+
+func httpGet(url string) ([]byte, error) {
+	client := &http.Client{Timeout: 3 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

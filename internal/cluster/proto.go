@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"sr3/internal/shard"
+)
+
+// Wire protocol. Every sr3node serves one TCP listener; the first byte
+// of a connection selects the plane:
+//
+//	'C' — control RPC: one gob request envelope, one gob reply, close.
+//	      Join/heartbeat/view/adopt/leave plus the shard store/fetch
+//	      data-plane RPCs ride here.
+//	'T' — tuple stream: a gob flowHello naming the edge, then an
+//	      endless sequence of batch-codec frames (stream.EncodeTupleBatch)
+//	      carried length-delimited by nettransport.BatchConn — the PR 8
+//	      batch plane on a real inter-node link.
+const (
+	magicRPC  = 'C'
+	magicFlow = 'T'
+)
+
+// rpcTimeout bounds one control RPC round trip.
+const rpcTimeout = 5 * time.Second
+
+// Protocol errors.
+var (
+	ErrRPC        = errors.New("cluster: rpc failed")
+	ErrNotSeed    = errors.New("cluster: this node does not run the control plane")
+	ErrUnknownRPC = errors.New("cluster: unknown rpc kind")
+)
+
+// Member is one cluster node as the control plane sees it.
+type Member struct {
+	Name        string
+	Addr        string // cluster (RPC + flow) address
+	HTTP        string // metrics/debug address ("" when disabled)
+	Alive       bool
+	Incarnation int64 // bumped on every (re)join under the same name
+}
+
+// View is the control plane's replicated routing state: membership plus
+// the current component->node assignment, versioned by Epoch. Nodes
+// refresh it when a heartbeat reply advertises a newer epoch.
+type View struct {
+	Epoch   int64
+	Members []Member
+	Assign  map[string]string
+}
+
+// member returns the view's record for name (nil when absent).
+func (v *View) member(name string) *Member {
+	for i := range v.Members {
+		if v.Members[i].Name == name {
+			return &v.Members[i]
+		}
+	}
+	return nil
+}
+
+// liveMembers returns the names of all live members, sorted by name.
+func (v *View) liveMembers() []Member {
+	var out []Member
+	for _, m := range v.Members {
+		if m.Alive {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// rpcEnvelope is the single request/reply frame: Kind selects the
+// operation, exactly one request pointer is set; the reply reuses the
+// same envelope with the matching *Resp pointer (or Err).
+type rpcEnvelope struct {
+	Kind string
+	Err  string
+
+	Join      *joinReq
+	JoinR     *joinResp
+	Heartbeat *heartbeatReq
+	HeartbtR  *heartbeatResp
+	ViewReq   *viewReq
+	ViewR     *viewResp
+	Adopt     *adoptReq
+	AdoptR    *adoptResp
+	Leave     *leaveReq
+	LeaveR    *leaveResp
+	Store     *storeShardsReq
+	StoreR    *storeShardsResp
+	Fetch     *fetchShardsReq
+	FetchR    *fetchShardsResp
+}
+
+type joinReq struct {
+	Name        string
+	Addr        string
+	HTTP        string
+	Incarnation int64
+}
+
+type joinResp struct {
+	View View
+	Spec Spec
+}
+
+type heartbeatReq struct {
+	Name        string
+	Incarnation int64
+	Epoch       int64 // view epoch the sender has applied
+}
+
+type heartbeatResp struct {
+	Epoch int64
+}
+
+type viewReq struct{}
+
+type viewResp struct {
+	View View
+}
+
+// adoptReq tells a node to host additional components (a dead node's
+// set). The node builds a new cell for them, marks stateful tasks dead,
+// and recovers their state from scattered shards; the control plane
+// flips routing (epoch bump) only after the adopt reply.
+type adoptReq struct {
+	Components []string
+	Epoch      int64
+}
+
+type adoptResp struct{}
+
+type leaveReq struct {
+	Name        string
+	Incarnation int64
+}
+
+type leaveResp struct{}
+
+type storeShardsReq struct {
+	From   string
+	App    string
+	Shards []shard.Shard
+}
+
+type storeShardsResp struct{}
+
+type fetchShardsReq struct {
+	App string
+}
+
+type fetchShardsResp struct {
+	Shards []shard.Shard
+}
+
+// flowHello opens a tuple stream: it names the edge (producer component
+// -> consumer component) so the receiver injects into the right cell,
+// and the producer's node for the logs.
+type flowHello struct {
+	FromNode string
+	FromComp string
+	DestComp string
+}
+
+// rpcCall dials addr, sends one envelope and decodes the reply.
+func rpcCall(addr string, req *rpcEnvelope, timeout time.Duration) (*rpcEnvelope, error) {
+	if timeout <= 0 {
+		timeout = rpcTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrRPC, addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte{magicRPC}); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrRPC, addr, err)
+	}
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return nil, fmt.Errorf("%w: encode to %s: %v", ErrRPC, addr, err)
+	}
+	var resp rpcEnvelope
+	if err := gob.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("%w: decode from %s: %v", ErrRPC, addr, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%w: %s: remote: %s", ErrRPC, addr, resp.Err)
+	}
+	return &resp, nil
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlite is a minimal YAML-subset parser — just enough for topology
+// specs and compose-style config files, with zero dependencies. The
+// subset: nested mappings by two-or-more-space indentation, block
+// lists ("- item" / "- key: value" inline-map openers), scalars
+// (quoted or bare strings, integers, floats, booleans, null), and
+// full-line or trailing "#" comments. Tabs in indentation, flow
+// syntax ({a: b}, [x]), anchors, and multi-document streams are
+// rejected with positioned errors rather than misparsed.
+
+// ErrYAML is the base class of every parse error.
+var ErrYAML = errors.New("yamlite: parse error")
+
+type yamlLine struct {
+	indent int
+	text   string // content with indentation and comments stripped
+	num    int    // 1-based source line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+func (p *yamlParser) errf(num int, format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrYAML, num, fmt.Sprintf(format, args...))
+}
+
+// parseYAML parses a document whose root is a mapping.
+func parseYAML(data []byte) (map[string]any, error) {
+	p := &yamlParser{}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(trimmed, "\t") || strings.Contains(line[:len(line)-len(trimmed)], "\t") {
+			return nil, p.errf(i+1, "tab in indentation")
+		}
+		text := stripComment(trimmed)
+		if text == "" {
+			continue
+		}
+		p.lines = append(p.lines, yamlLine{indent: len(line) - len(trimmed), text: text, num: i + 1})
+	}
+	if len(p.lines) == 0 {
+		return map[string]any{}, nil
+	}
+	if p.lines[0].indent != 0 {
+		return nil, p.errf(p.lines[0].num, "document must start at column 0")
+	}
+	v, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, p.errf(p.lines[p.pos].num, "unexpected content (indentation mismatch?)")
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, p.errf(1, "document root must be a mapping")
+	}
+	return m, nil
+}
+
+// stripComment removes a trailing comment: "#" at the start or preceded
+// by whitespace, outside quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if inSingle || inDouble {
+				continue
+			}
+			if i == 0 || s[i-1] == ' ' {
+				return strings.TrimRight(s[:i], " ")
+			}
+		}
+	}
+	return strings.TrimRight(s, " ")
+}
+
+// parseBlock parses the run of lines at exactly this indent as a
+// mapping or a list, determined by the first line.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, p.errf(0, "unexpected end of document")
+	}
+	if isListItem(p.lines[p.pos].text) {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func isListItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *yamlParser) parseMap(indent int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, p.errf(ln.num, "unexpected indent %d (block is at %d)", ln.indent, indent)
+		}
+		if isListItem(ln.text) {
+			return nil, p.errf(ln.num, "list item inside a mapping block")
+		}
+		key, rest, err := splitKey(ln.text)
+		if err != nil {
+			return nil, p.errf(ln.num, "%v", err)
+		}
+		if _, dup := out[key]; dup {
+			return nil, p.errf(ln.num, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest != "" {
+			out[key] = parseScalar(rest)
+			continue
+		}
+		// Empty value: an indented child block, or null when the next
+		// line does not nest.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			child, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = child
+		} else {
+			out[key] = nil
+		}
+	}
+	return out, nil
+}
+
+func (p *yamlParser) parseList(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, p.errf(ln.num, "unexpected indent %d (list is at %d)", ln.indent, indent)
+		}
+		if !isListItem(ln.text) {
+			break
+		}
+		content := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		if content == "" {
+			// "-" alone: item is the nested block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			child, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, child)
+			continue
+		}
+		if k, _, err := splitKey(content); err == nil && k != "" {
+			// "- key: value" opens an inline mapping: re-enter the map
+			// parser with this line's content shifted to the item column
+			// so the item's remaining keys (next lines, same column)
+			// join it.
+			itemIndent := ln.indent + len(ln.text) - len(content)
+			p.lines[p.pos] = yamlLine{indent: itemIndent, text: content, num: ln.num}
+			child, err := p.parseMap(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, child)
+			continue
+		}
+		p.pos++
+		out = append(out, parseScalar(content))
+	}
+	return out, nil
+}
+
+// splitKey splits "key: value" / "key:"; the key must be a plain or
+// quoted scalar followed by ":" then space or end of line.
+func splitKey(s string) (key, rest string, err error) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("expected \"key: value\", got %q", s)
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", fmt.Errorf("missing space after %q", s[:i+1])
+	}
+	key = strings.TrimSpace(s[:i])
+	if key == "" {
+		return "", "", fmt.Errorf("empty key in %q", s)
+	}
+	if strings.HasPrefix(key, "{") || strings.HasPrefix(key, "[") {
+		return "", "", fmt.Errorf("flow syntax is not supported: %q", s)
+	}
+	key = unquote(key)
+	return key, strings.TrimSpace(s[i+1:]), nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// parseScalar types a bare scalar: bool, null, int, float, else string.
+func parseScalar(s string) any {
+	if len(s) >= 2 && ((s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'')) {
+		return s[1 : len(s)-1]
+	}
+	switch s {
+	case "true", "True":
+		return true
+	case "false", "False":
+		return false
+	case "null", "~", "Null":
+		return nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

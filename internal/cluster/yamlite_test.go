@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLScalarsAndNesting(t *testing.T) {
+	doc := `
+# topology header
+topology: wordcount
+save_every: 250
+ratio: 1.5
+enabled: true
+disabled: false
+nothing: null
+quoted: "hash # inside"
+single: 'sq value'
+nested:
+  a: 1
+  b: two
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	want := map[string]any{
+		"topology":   "wordcount",
+		"save_every": int64(250),
+		"ratio":      1.5,
+		"enabled":    true,
+		"disabled":   false,
+		"nothing":    nil,
+		"quoted":     "hash # inside",
+		"single":     "sq value",
+		"nested":     map[string]any{"a": int64(1), "b": "two"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseYAML mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLLists(t *testing.T) {
+	doc := `
+plain:
+  - one
+  - 2
+  - true
+maps:
+  - id: a
+    kind: spout.seq
+  - id: b
+    kind: bolt.sink
+    inputs:
+      - from: a
+        grouping: global
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	plain, ok := got["plain"].([]any)
+	if !ok || len(plain) != 3 {
+		t.Fatalf("plain list = %#v", got["plain"])
+	}
+	if plain[0] != "one" || plain[1] != int64(2) || plain[2] != true {
+		t.Fatalf("plain items = %#v", plain)
+	}
+	maps, ok := got["maps"].([]any)
+	if !ok || len(maps) != 2 {
+		t.Fatalf("maps list = %#v", got["maps"])
+	}
+	b, ok := maps[1].(map[string]any)
+	if !ok || b["id"] != "b" || b["kind"] != "bolt.sink" {
+		t.Fatalf("second item = %#v", maps[1])
+	}
+	inputs, ok := b["inputs"].([]any)
+	if !ok || len(inputs) != 1 {
+		t.Fatalf("inputs = %#v", b["inputs"])
+	}
+	in, _ := inputs[0].(map[string]any)
+	if in["from"] != "a" || in["grouping"] != "global" {
+		t.Fatalf("input = %#v", inputs[0])
+	}
+}
+
+func TestParseYAMLEmptyDocument(t *testing.T) {
+	for _, doc := range []string{"", "\n\n", "# only comments\n  # indented comment\n"} {
+		got, err := parseYAML([]byte(doc))
+		if err != nil {
+			t.Fatalf("parseYAML(%q): %v", doc, err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("parseYAML(%q) = %#v, want empty map", doc, got)
+		}
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantSub string
+	}{
+		{"tab indent", "a: 1\n\tb: 2\n", "tab in indentation"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"missing colon", "just a string line\n", "key: value"},
+		{"missing space after colon", "a:1\n", "missing space"},
+		{"flow map", "{a: 1}\n", "flow syntax"},
+		{"root list", "- a\n- b\n", "root must be a mapping"},
+		{"list in map block", "a: 1\n- b\n", "list item inside a mapping"},
+		{"bad indent jump", "a:\n    b: 1\n  c: 2\n", "unexpected"},
+		{"indented start", "  a: 1\n", "column 0"},
+		{"empty key", ": 1\n", "empty key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("parseYAML(%q) succeeded, want error containing %q", tc.doc, tc.wantSub)
+			}
+			if !errors.Is(err, ErrYAML) {
+				t.Fatalf("error %v is not ErrYAML", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseYAMLErrorsCarryLineNumbers(t *testing.T) {
+	_, err := parseYAML([]byte("a: 1\nb: 2\nb: 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line 3 in error, got %v", err)
+	}
+}
+
+func TestStripComment(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a: 1 # trailing", "a: 1"},
+		{"# full line", ""},
+		{`q: "a # b"`, `q: "a # b"`},
+		{"q: 'a # b'", "q: 'a # b'"},
+		{"url: http://x#frag", "url: http://x#frag"}, // '#' not preceded by space
+		{"a: 1   ", "a: 1"},
+	}
+	for _, tc := range cases {
+		if got := stripComment(tc.in); got != tc.want {
+			t.Errorf("stripComment(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -309,6 +309,49 @@ type subscription struct {
 	in   input
 }
 
+// ErrUnknownStream reports an Inject for a component this runtime never
+// declared (spout, source, or bolt).
+var ErrUnknownStream = errors.New("stream: unknown source component")
+
+// Inject delivers one externally produced tuple as if component from had
+// emitted it locally, under the given admission class — the ingress path
+// of a multi-process deployment: a peer node's relay pushes batch frames
+// across the wire and the receiving daemon injects each tuple here, so
+// local grouping subscriptions (fields/shuffle/global/all) route it to
+// the right task. Replay-class injections keep their shed immunity.
+// Blocks for queue backpressure exactly like a local emission.
+func (rt *Runtime) Inject(from string, tuple Tuple, class TrafficClass) error {
+	if !rt.topo.has(from) {
+		return fmt.Errorf("inject from %q: %w", from, ErrUnknownStream)
+	}
+	tuple.Stream = from
+	rt.route(from, tuple, class, nil)
+	return nil
+}
+
+// InjectTo is Inject restricted to a single subscribing bolt: the tuple
+// routes only through toBolt's subscription to from, under that edge's
+// grouping. Relays are per-edge — a node hosting two subscribers of the
+// same upstream component runs one ingress per edge — so the unfiltered
+// Inject would double-deliver to whichever subscriber the other relay
+// also feeds.
+func (rt *Runtime) InjectTo(from, toBolt string, tuple Tuple, class TrafficClass) error {
+	if !rt.topo.has(from) {
+		return fmt.Errorf("inject from %q: %w", from, ErrUnknownStream)
+	}
+	if _, ok := rt.tasks[toBolt]; !ok {
+		return fmt.Errorf("inject to %q: %w", toBolt, ErrUnknownTask)
+	}
+	tuple.Stream = from
+	for _, sub := range rt.subs[from] {
+		if sub.decl.id != toBolt {
+			continue
+		}
+		rt.routeSub(sub, from, tuple, class, nil)
+	}
+	return nil
+}
+
 // route delivers a tuple from a component to all subscribing bolts,
 // tagging every delivery with the traffic class of its origin. ob is
 // the producer's batcher (nil selects the per-tuple enqueue path);
@@ -317,24 +360,30 @@ type subscription struct {
 // untouched.
 func (rt *Runtime) route(from string, tuple Tuple, class TrafficClass, ob *batcher) {
 	for _, sub := range rt.subs[from] {
-		ts := rt.tasks[sub.decl.id]
-		switch sub.in.grouping {
-		case ShuffleGrouping:
-			ctr := rt.shuffle[sub.decl.id+"|"+from]
-			idx := int(ctr.Add(1)-1) % len(ts)
-			rt.deliver(ts[idx], tuple, class, ob)
-		case FieldsGrouping:
-			var key any
-			if sub.in.field < len(tuple.Values) {
-				key = tuple.Values[sub.in.field]
-			}
-			rt.deliver(ts[hashField(key, len(ts))], tuple, class, ob)
-		case GlobalGrouping:
-			rt.deliver(ts[0], tuple, class, ob)
-		case AllGrouping:
-			for _, t := range ts {
-				rt.deliver(t, tuple, class, ob)
-			}
+		rt.routeSub(sub, from, tuple, class, ob)
+	}
+}
+
+// routeSub applies one subscription's grouping to pick the destination
+// task(s) and delivers.
+func (rt *Runtime) routeSub(sub subscription, from string, tuple Tuple, class TrafficClass, ob *batcher) {
+	ts := rt.tasks[sub.decl.id]
+	switch sub.in.grouping {
+	case ShuffleGrouping:
+		ctr := rt.shuffle[sub.decl.id+"|"+from]
+		idx := int(ctr.Add(1)-1) % len(ts)
+		rt.deliver(ts[idx], tuple, class, ob)
+	case FieldsGrouping:
+		var key any
+		if sub.in.field < len(tuple.Values) {
+			key = tuple.Values[sub.in.field]
+		}
+		rt.deliver(ts[hashField(key, len(ts))], tuple, class, ob)
+	case GlobalGrouping:
+		rt.deliver(ts[0], tuple, class, ob)
+	case AllGrouping:
+		for _, t := range ts {
+			rt.deliver(t, tuple, class, ob)
 		}
 	}
 }
@@ -491,7 +540,13 @@ func (rt *Runtime) execTuple(t *task, tuple Tuple, class TrafficClass, emit Emit
 	if t.instr != nil {
 		start = time.Now()
 	}
-	if err := t.decl.bolt.Execute(tuple, emit); err != nil {
+	var err error
+	if cb, ok := t.decl.bolt.(ClassedBolt); ok {
+		err = cb.ExecuteClassed(tuple, class, emit)
+	} else {
+		err = t.decl.bolt.Execute(tuple, emit)
+	}
+	if err != nil {
 		rt.failures.Add(1)
 		t.instr.noteExecError()
 	}

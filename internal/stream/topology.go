@@ -52,18 +52,20 @@ type boltDecl struct {
 
 // Topology is a DAG of spouts and bolts under construction.
 type Topology struct {
-	name   string
-	order  []string
-	spouts map[string]*spoutDecl
-	bolts  map[string]*boltDecl
+	name    string
+	order   []string
+	spouts  map[string]*spoutDecl
+	bolts   map[string]*boltDecl
+	sources map[string]bool
 }
 
 // NewTopology starts building a topology.
 func NewTopology(name string) *Topology {
 	return &Topology{
-		name:   name,
-		spouts: make(map[string]*spoutDecl),
-		bolts:  make(map[string]*boltDecl),
+		name:    name,
+		spouts:  make(map[string]*spoutDecl),
+		bolts:   make(map[string]*boltDecl),
+		sources: make(map[string]bool),
 	}
 }
 
@@ -76,6 +78,20 @@ func (t *Topology) AddSpout(id string, s Spout) error {
 		return fmt.Errorf("spout %q: %w", id, ErrDuplicateID)
 	}
 	t.spouts[id] = &spoutDecl{id: id, spout: s}
+	t.order = append(t.order, id)
+	return nil
+}
+
+// AddSource declares an external source: a component whose tuples are
+// produced outside this runtime (on another node of a multi-process
+// cluster) and delivered via Runtime.Inject. Bolts subscribe to it like
+// any local component, but the runtime spawns no pump for it — the
+// process hosting the real spout pushes its output across the wire.
+func (t *Topology) AddSource(id string) error {
+	if t.has(id) {
+		return fmt.Errorf("source %q: %w", id, ErrDuplicateID)
+	}
+	t.sources[id] = true
 	t.order = append(t.order, id)
 	return nil
 }
@@ -145,13 +161,17 @@ func (t *Topology) has(id string) bool {
 	if _, ok := t.spouts[id]; ok {
 		return true
 	}
+	if t.sources[id] {
+		return true
+	}
 	_, ok := t.bolts[id]
 	return ok
 }
 
-// validate checks structure: at least one spout, no cycles.
+// validate checks structure: at least one spout or external source, no
+// cycles.
 func (t *Topology) validate() error {
-	if len(t.spouts) == 0 {
+	if len(t.spouts) == 0 && len(t.sources) == 0 {
 		return ErrEmptyTopology
 	}
 	const (

@@ -107,6 +107,16 @@ type StateStore interface {
 	SizeBytes() int
 }
 
+// ClassedBolt is a bolt that also wants the traffic class of the tuple
+// it is executing. Egress relays of a multi-process cluster implement it
+// so a replayed tuple stays replay-class on the next hop's wire frame.
+// The runtime calls ExecuteClassed instead of Execute when a bolt
+// implements this interface.
+type ClassedBolt interface {
+	Bolt
+	ExecuteClassed(t Tuple, class TrafficClass, emit Emit) error
+}
+
 // BoltFunc adapts a function to the Bolt interface.
 type BoltFunc func(t Tuple, emit Emit) error
 

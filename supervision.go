@@ -18,7 +18,10 @@ type RetryBudgetPolicy = overload.BudgetPolicy
 
 // SupervisionConfig tunes the framework's self-healing mode: φ-accrual
 // failure detection on every node, automatic recovery of dead owners'
-// states, and background replica repair.
+// states, and background replica repair. This is the in-process
+// control plane; its process-level counterpart — heartbeat liveness,
+// component adoption, and shard repair across sr3node daemons — is the
+// cluster control plane embedded in a seed node (StartNode, node.go).
 type SupervisionConfig struct {
 	// Heartbeat is the φ-accrual probe interval (default 50ms).
 	Heartbeat time.Duration
