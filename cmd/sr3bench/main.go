@@ -71,7 +71,7 @@ func experiments() []experiment {
 		{id: "overload-tiny", desc: "CI smoke subset of the overload sweep (writes " + overloadTinyOut + ")", run: runOverloadTiny},
 		{id: "throughput", desc: "steady-state tuple plane: gob per-tuple vs batched wire + runtime cells (writes " + throughputOut + ")", run: runThroughput},
 		{id: "throughput-tiny", desc: "CI smoke subset of the throughput sweep (writes " + throughputTinyOut + ")", run: runThroughputTiny},
-		{id: "matrix-report", desc: "render committed matrix/overload/throughput artifacts as markdown into " + experimentsDoc, run: runMatrixReport},
+		{id: "matrix-report", desc: "render committed matrix/overload/throughput artifacts as markdown into " + experimentsDoc + " (-plot adds SVG figures)", run: runMatrixReport},
 		{id: "table1", desc: "recovery approach overview (Table 1)", run: func() (string, error) {
 			return bench.FormatTable1(), nil
 		}},
@@ -237,6 +237,18 @@ func runThroughputPreset(preset, out string) (string, error) {
 // between begin/end marker comments (appended on first run).
 const experimentsDoc = "EXPERIMENTS.md"
 
+// matrixPlotOut / overloadPlotOut are the committed SVG figures
+// matrix-report renders when -plot is set.
+const (
+	matrixPlotOut   = "BENCH_matrix.svg"
+	overloadPlotOut = "BENCH_overload.svg"
+)
+
+// plotSVG is set by the -plot flag: matrix-report also renders the
+// committed artifacts as SVG figures and references them in
+// EXPERIMENTS.md.
+var plotSVG bool
+
 func runMatrixReport() (string, error) {
 	docBytes, err := os.ReadFile(experimentsDoc)
 	if err != nil {
@@ -250,9 +262,21 @@ func runMatrixReport() (string, error) {
 		if err != nil {
 			return "", err
 		}
+		figure := ""
+		if plotSVG {
+			svg, err := bench.PlotMatrixRecovery(report)
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(matrixPlotOut, svg, 0o644); err != nil {
+				return "", err
+			}
+			figure = fmt.Sprintf("![Recovery time by mechanism × scenario](%s)\n\n", matrixPlotOut)
+			did = append(did, matrixPlotOut)
+		}
 		doc = bench.SpliceMarked(doc,
 			"<!-- matrix-report:begin -->", "<!-- matrix-report:end -->",
-			fmt.Sprintf("\nRendered from the committed `%s` by `sr3bench -fig matrix-report`.\n\n%s\n", matrixOut, report.Markdown()))
+			fmt.Sprintf("\nRendered from the committed `%s` by `sr3bench -fig matrix-report`.\n\n%s%s\n", matrixOut, figure, report.Markdown()))
 		did = append(did, matrixOut)
 	}
 	if blob, err := os.ReadFile(overloadOut); err == nil {
@@ -260,9 +284,21 @@ func runMatrixReport() (string, error) {
 		if err != nil {
 			return "", err
 		}
+		figure := ""
+		if plotSVG {
+			svg, err := bench.PlotOverloadCurves(report)
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(overloadPlotOut, svg, 0o644); err != nil {
+				return "", err
+			}
+			figure = fmt.Sprintf("![Overload admitted vs shed fraction](%s)\n\n", overloadPlotOut)
+			did = append(did, overloadPlotOut)
+		}
 		doc = bench.SpliceMarked(doc,
 			"<!-- overload-report:begin -->", "<!-- overload-report:end -->",
-			fmt.Sprintf("\nRendered from the committed `%s` by `sr3bench -fig matrix-report`.\n\n%s\n", overloadOut, report.Markdown()))
+			fmt.Sprintf("\nRendered from the committed `%s` by `sr3bench -fig matrix-report`.\n\n%s%s\n", overloadOut, figure, report.Markdown()))
 		did = append(did, overloadOut)
 	}
 	if blob, err := os.ReadFile(throughputOut); err == nil {
@@ -320,6 +356,7 @@ func main() {
 	listFlag := flag.Bool("list", false, "list experiments")
 	metricsFlag := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. :9090) for the run")
 	holdFlag := flag.Duration("hold", 0, "keep the -metrics server up this long after the experiments finish (for scraping)")
+	flag.BoolVar(&plotSVG, "plot", false, "with -fig matrix-report, also render the committed artifacts as SVG figures ("+matrixPlotOut+", "+overloadPlotOut+") referenced from "+experimentsDoc)
 	flag.Parse()
 	var srv *obs.MetricsServer
 	if *metricsFlag != "" {

@@ -1,0 +1,292 @@
+// Hand-rolled SVG rendering of committed benchmark artifacts: the
+// recovery-time bar chart (mechanism × scenario) from BENCH_matrix.json
+// and the overload shed/admit curves from BENCH_overload.json, both
+// referenced from EXPERIMENTS.md via `sr3bench -fig matrix-report
+// -plot`. Stdlib only, and deterministic: the same artifact always
+// renders byte-identical SVG, so CI can regenerate and diff.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+const (
+	plotW       = 960
+	plotH       = 440
+	plotMarginL = 72
+	plotMarginR = 24
+	plotMarginT = 56
+	plotMarginB = 118
+)
+
+// plotPalette colors mechanisms (bar chart) and scenarios (curves) in
+// first-appearance order.
+var plotPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+	"#59a14f", "#edc948", "#b07aa1", "#9c755f",
+}
+
+var xmlEscaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;",
+)
+
+// svgDoc accumulates one SVG document.
+type svgDoc struct{ b strings.Builder }
+
+func newSVG(w, h int) *svgDoc {
+	s := &svgDoc{}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", w, h, w, h)
+	fmt.Fprintf(&s.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return s
+}
+
+func (s *svgDoc) rect(x, y, w, h float64, fill, title string) {
+	if title != "" {
+		fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s</title></rect>`+"\n",
+			x, y, w, h, fill, xmlEscaper.Replace(title))
+		return
+	}
+	fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n", x, y, w, h, fill)
+}
+
+func (s *svgDoc) line(x1, y1, x2, y2 float64, stroke string) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", x1, y1, x2, y2, stroke)
+}
+
+func (s *svgDoc) polyline(pts []float64, stroke, dash string) {
+	var p strings.Builder
+	for i := 0; i+1 < len(pts); i += 2 {
+		if i > 0 {
+			p.WriteByte(' ')
+		}
+		fmt.Fprintf(&p, "%.1f,%.1f", pts[i], pts[i+1])
+	}
+	extra := ""
+	if dash != "" {
+		extra = ` stroke-dasharray="` + dash + `"`
+	}
+	fmt.Fprintf(&s.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n", p.String(), stroke, extra)
+}
+
+func (s *svgDoc) circle(x, y, r float64, fill, title string) {
+	if title != "" {
+		fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"><title>%s</title></circle>`+"\n",
+			x, y, r, fill, xmlEscaper.Replace(title))
+		return
+	}
+	fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+// text anchors at (x,y); extra is raw attribute text (e.g. a transform).
+func (s *svgDoc) text(x, y float64, anchor, extra, txt string) {
+	if anchor != "" {
+		anchor = ` text-anchor="` + anchor + `"`
+	}
+	if extra != "" {
+		extra = " " + extra
+	}
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f"%s%s>%s</text>`+"\n", x, y, anchor, extra, xmlEscaper.Replace(txt))
+}
+
+func (s *svgDoc) bytes() []byte {
+	s.b.WriteString("</svg>\n")
+	return []byte(s.b.String())
+}
+
+// niceStep picks a 1/2/5×10^k tick step yielding roughly `target` ticks
+// up to max.
+func niceStep(max float64, target int) float64 {
+	if max <= 0 {
+		return 1
+	}
+	raw := max / float64(target)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if raw <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func fmtTick(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// yAxis draws the horizontal grid, tick labels, and axis caption, and
+// returns the y-pixel mapping for data values in [0, max].
+func yAxis(s *svgDoc, max float64, unit string) func(float64) float64 {
+	x0, x1 := float64(plotMarginL), float64(plotW-plotMarginR)
+	y0, y1 := float64(plotH-plotMarginB), float64(plotMarginT)
+	toY := func(v float64) float64 { return y0 - (v/max)*(y0-y1) }
+	step := niceStep(max, 5)
+	for v := 0.0; v <= max+step/2; v += step {
+		y := toY(v)
+		s.line(x0, y, x1, y, "#dddddd")
+		s.text(x0-6, y+4, "end", "", fmtTick(v))
+	}
+	s.text(16, (y0+y1)/2, "middle", `transform="rotate(-90 16 `+fmt.Sprintf("%.1f", (y0+y1)/2)+`)"`, unit)
+	s.line(x0, y0, x1, y0, "#333333")
+	return toY
+}
+
+// PlotMatrixRecovery renders the fault-recovery matrix as a grouped bar
+// chart: one group per scenario/load, one bar per mechanism, bar height
+// = recovery latency. Failed cells are skipped.
+func PlotMatrixRecovery(r *MatrixReport) ([]byte, error) {
+	type bar struct {
+		mechIdx   int
+		recoverMs float64
+		cell      MatrixCell
+	}
+	var groupOrder []string
+	groups := map[string][]bar{}
+	var mechOrder []string
+	mechIdx := map[string]int{}
+	maxMs := 0.0
+	for _, c := range r.Cells {
+		if c.Error != "" {
+			continue
+		}
+		label := c.Scenario
+		if c.Load != "burst" {
+			label += " " + c.Load
+		}
+		if _, ok := groups[label]; !ok {
+			groupOrder = append(groupOrder, label)
+		}
+		if _, ok := mechIdx[c.Mechanism]; !ok {
+			mechIdx[c.Mechanism] = len(mechOrder)
+			mechOrder = append(mechOrder, c.Mechanism)
+		}
+		groups[label] = append(groups[label], bar{mechIdx[c.Mechanism], c.RecoverMs, c})
+		if c.RecoverMs > maxMs {
+			maxMs = c.RecoverMs
+		}
+	}
+	if len(groupOrder) == 0 {
+		return nil, fmt.Errorf("plot: matrix report has no successful cells")
+	}
+	if maxMs <= 0 {
+		maxMs = 1
+	}
+
+	s := newSVG(plotW, plotH)
+	s.text(plotW/2, 20, "middle", `font-size="15" font-weight="bold"`,
+		fmt.Sprintf("Recovery time by mechanism × scenario (%d cells)", len(r.Cells)))
+	for i, m := range mechOrder {
+		lx := float64(plotMarginL + i*130)
+		s.rect(lx, 30, 10, 10, plotPalette[i%len(plotPalette)], "")
+		s.text(lx+14, 39, "", "", m)
+	}
+	toY := yAxis(s, maxMs, "recover (ms)")
+
+	x0 := float64(plotMarginL)
+	span := float64(plotW-plotMarginR) - x0
+	gw := span / float64(len(groupOrder))
+	bw := gw * 0.8 / float64(len(mechOrder))
+	base := float64(plotH - plotMarginB)
+	for gi, label := range groupOrder {
+		gx := x0 + float64(gi)*gw
+		for _, b := range groups[label] {
+			bx := gx + gw*0.1 + float64(b.mechIdx)*bw
+			by := toY(b.recoverMs)
+			h := base - by
+			if h < 1 {
+				h = 1
+				by = base - 1
+			}
+			title := fmt.Sprintf("%s / %s / %s: recover %.1f ms, detect %.1f ms, lag p99 %.1f ms, exactly-once %v",
+				b.cell.Scenario, b.cell.Mechanism, b.cell.Load, b.recoverMs, b.cell.DetectMs, b.cell.LagP99Ms, b.cell.ExactlyOnce)
+			s.rect(bx, by, bw-1, h, plotPalette[b.mechIdx%len(plotPalette)], title)
+		}
+		lx, ly := gx+gw/2, base+14
+		s.text(lx, ly, "end", fmt.Sprintf(`transform="rotate(-28 %.1f %.1f)"`, lx, ly), label)
+	}
+	return s.bytes(), nil
+}
+
+// PlotOverloadCurves renders the overload sweep's admission behavior:
+// admitted and shed fractions vs the offered-load multiple, one curve
+// pair per scenario (admitted solid, shed dashed). Retry-storm cells
+// carry no load axis and are skipped.
+func PlotOverloadCurves(r *OverloadReport) ([]byte, error) {
+	type pt struct {
+		mult     float64
+		admitted float64
+		shed     float64
+		cell     OverloadCell
+	}
+	var scnOrder []string
+	series := map[string][]pt{}
+	maxMult := 0.0
+	for _, c := range r.Cells {
+		if c.Error != "" || c.Scenario == OverloadRetryStorm || c.Offered <= 0 {
+			continue
+		}
+		mult, err := parseLoadMultiple(c.Load)
+		if err != nil {
+			continue
+		}
+		if _, ok := series[c.Scenario]; !ok {
+			scnOrder = append(scnOrder, c.Scenario)
+		}
+		series[c.Scenario] = append(series[c.Scenario], pt{
+			mult:     mult,
+			admitted: float64(c.Admitted) / float64(c.Offered),
+			shed:     c.ShedFraction,
+			cell:     c,
+		})
+		if mult > maxMult {
+			maxMult = mult
+		}
+	}
+	if len(scnOrder) == 0 {
+		return nil, fmt.Errorf("plot: overload report has no load-sweep cells")
+	}
+
+	s := newSVG(plotW, plotH)
+	s.text(plotW/2, 20, "middle", `font-size="15" font-weight="bold"`,
+		"Overload admission: admitted vs shed fraction by offered-load multiple")
+	for i, scn := range scnOrder {
+		lx := float64(plotMarginL + i*220)
+		color := plotPalette[i%len(plotPalette)]
+		s.line(lx, 35, lx+22, 35, color)
+		s.text(lx+26, 39, "", "", scn+" admitted")
+		fmt.Fprintf(&s.b, `<line x1="%.1f" y1="45" x2="%.1f" y2="45" stroke="%s" stroke-dasharray="5,3"/>`+"\n", lx, lx+22, color)
+		s.text(lx+26, 49, "", "", scn+" shed")
+	}
+	toY := yAxis(s, 1.0, "fraction of offered")
+
+	x0, x1 := float64(plotMarginL), float64(plotW-plotMarginR)
+	base := float64(plotH - plotMarginB)
+	toX := func(m float64) float64 { return x0 + (m/maxMult)*(x1-x0-40) + 20 }
+	xstep := niceStep(maxMult, 6)
+	for m := 0.0; m <= maxMult+xstep/2; m += xstep {
+		s.text(toX(m), base+16, "middle", "", fmtTick(m)+"x")
+	}
+	s.text((x0+x1)/2, base+40, "middle", "", "offered load (multiple of measured capacity)")
+
+	for i, scn := range scnOrder {
+		pts := series[scn]
+		color := plotPalette[i%len(plotPalette)]
+		var admit, shed []float64
+		for _, p := range pts {
+			admit = append(admit, toX(p.mult), toY(p.admitted))
+			shed = append(shed, toX(p.mult), toY(p.shed))
+		}
+		s.polyline(admit, color, "")
+		s.polyline(shed, color, "5,3")
+		for _, p := range pts {
+			title := fmt.Sprintf("%s %s: offered %d, admitted %d (%.1f%%), shed %d (%.1f%%), queue hi %d/%d",
+				p.cell.Scenario, p.cell.Load, p.cell.Offered, p.cell.Admitted, 100*p.admitted,
+				p.cell.Shed, 100*p.shed, p.cell.QueueHighWater, p.cell.QueueCap)
+			s.circle(toX(p.mult), toY(p.admitted), 3.5, color, title)
+			s.circle(toX(p.mult), toY(p.shed), 3.5, color, title)
+		}
+	}
+	return s.bytes(), nil
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/xml"
+	"os"
+	"strings"
+	"testing"
+)
+
+// assertWellFormedSVG decodes the whole document with encoding/xml — a
+// mismatched tag or bad escaping fails the walk.
+func assertWellFormedSVG(t *testing.T, blob []byte) {
+	t.Helper()
+	if !bytes.HasPrefix(blob, []byte("<svg ")) {
+		t.Fatalf("not an svg document: %.40q", blob)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(blob))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("svg not well-formed: %v", err)
+		}
+	}
+}
+
+func testMatrixReport() *MatrixReport {
+	return &MatrixReport{
+		Schema: MatrixSchema,
+		Cells: []MatrixCell{
+			{Scenario: ScenarioCrash, Mechanism: MechSR3Star, Load: "burst", Tuples: 1200, RecoverMs: 4.2, DetectMs: 0, LagP99Ms: 9, ExactlyOnce: true},
+			{Scenario: ScenarioCrash, Mechanism: MechSR3Tree, Load: "burst", Tuples: 1200, RecoverMs: 6.8, ExactlyOnce: true},
+			{Scenario: ScenarioSlowNode, Mechanism: MechSR3Star, Load: "burst", Tuples: 1200, RecoverMs: 140, DetectMs: 80, ExactlyOnce: true},
+			{Scenario: ScenarioCrashIngest, Mechanism: MechSR3Star, Load: "sustained-2k", Tuples: 3000, RecoverMs: 5.5, ExactlyOnce: true},
+			{Scenario: ScenarioCrash, Mechanism: MechFP4S, Load: "burst", Error: "boom"}, // skipped
+		},
+	}
+}
+
+func testOverloadReport() *OverloadReport {
+	return &OverloadReport{
+		Schema: OverloadSchema,
+		Cells: []OverloadCell{
+			{Scenario: OverloadSteady, Load: "0.5x", Offered: 1000, Admitted: 1000, Shed: 0},
+			{Scenario: OverloadSteady, Load: "2x", Offered: 4000, Admitted: 2100, Shed: 1900, ShedFraction: 0.475},
+			{Scenario: OverloadCrash, Load: "2x", Offered: 4000, Admitted: 2000, Shed: 2000, ShedFraction: 0.5, RecoverMs: 7},
+			{Scenario: OverloadRetryStorm, Budgeted: true, RetryRounds: 2}, // no load axis, skipped
+		},
+	}
+}
+
+func TestPlotMatrixRecovery(t *testing.T) {
+	blob, err := PlotMatrixRecovery(testMatrixReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, blob)
+	svg := string(blob)
+	for _, want := range []string{MechSR3Star, MechSR3Tree, ScenarioSlowNode, "sustained-2k", "recover (ms)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("matrix svg missing %q", want)
+		}
+	}
+	// The failed FP4S cell must be skipped — no bar, no legend entry.
+	if strings.Contains(svg, MechFP4S) {
+		t.Error("matrix svg includes mechanism whose only cell failed")
+	}
+	again, err := PlotMatrixRecovery(testMatrixReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Error("matrix svg render is not deterministic")
+	}
+}
+
+func TestPlotMatrixRecoveryEmpty(t *testing.T) {
+	r := &MatrixReport{Schema: MatrixSchema, Cells: []MatrixCell{{Scenario: "x", Mechanism: "y", Load: "z", Error: "all failed"}}}
+	if _, err := PlotMatrixRecovery(r); err == nil {
+		t.Fatal("expected error for report with no successful cells")
+	}
+}
+
+func TestPlotOverloadCurves(t *testing.T) {
+	blob, err := PlotOverloadCurves(testOverloadReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, blob)
+	svg := string(blob)
+	for _, want := range []string{"steady admitted", "steady shed", "crash admitted", "fraction of offered", "polyline"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("overload svg missing %q", want)
+		}
+	}
+	// Two scenarios × (admit + shed) = 4 polylines.
+	if n := strings.Count(svg, "<polyline"); n != 4 {
+		t.Errorf("overload svg has %d polylines, want 4", n)
+	}
+	again, err := PlotOverloadCurves(testOverloadReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Error("overload svg render is not deterministic")
+	}
+}
+
+func TestPlotOverloadCurvesEmpty(t *testing.T) {
+	r := &OverloadReport{Schema: OverloadSchema, Cells: []OverloadCell{{Scenario: OverloadRetryStorm, Budgeted: true}}}
+	if _, err := PlotOverloadCurves(r); err == nil {
+		t.Fatal("expected error for report with no load-sweep cells")
+	}
+}
+
+// TestPlotCommittedArtifacts renders the real committed artifacts, so a
+// schema drift that breaks the figures fails here before CI's
+// matrix-report -plot run does.
+func TestPlotCommittedArtifacts(t *testing.T) {
+	if blob, err := os.ReadFile("../../BENCH_matrix.json"); err == nil {
+		r, err := ValidateMatrix(blob)
+		if err != nil {
+			t.Fatalf("committed matrix artifact invalid: %v", err)
+		}
+		svg, err := PlotMatrixRecovery(r)
+		if err != nil {
+			t.Fatalf("plot committed matrix: %v", err)
+		}
+		assertWellFormedSVG(t, svg)
+	}
+	if blob, err := os.ReadFile("../../BENCH_overload.json"); err == nil {
+		r, err := ValidateOverload(blob)
+		if err != nil {
+			t.Fatalf("committed overload artifact invalid: %v", err)
+		}
+		svg, err := PlotOverloadCurves(r)
+		if err != nil {
+			t.Fatalf("plot committed overload: %v", err)
+		}
+		assertWellFormedSVG(t, svg)
+	}
+}

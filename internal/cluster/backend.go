@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sr3/internal/id"
+	"sr3/internal/obs"
 	"sr3/internal/shard"
 	"sr3/internal/state"
 	"sr3/internal/stream"
@@ -107,7 +109,10 @@ type savedSnap struct {
 	version state.Version
 }
 
-var _ stream.StateBackend = (*scatterBackend)(nil)
+var (
+	_ stream.StateBackend  = (*scatterBackend)(nil)
+	_ stream.TracedBackend = (*scatterBackend)(nil)
+)
 
 func newScatterBackend(n *Node) *scatterBackend {
 	return &scatterBackend{node: n, last: map[string]savedSnap{}}
@@ -179,9 +184,26 @@ func (b *scatterBackend) scatter(taskKey string, snapshot []byte, v state.Versio
 // that has never saved has no shards anywhere; it recovers to the empty
 // state (its input log replays on top).
 func (b *scatterBackend) Recover(taskKey string) ([]byte, error) {
+	return b.RecoverTraced(taskKey, nil, obs.SpanContext{})
+}
+
+// RecoverTraced is Recover with the star fetch instrumented: one
+// retroactive fetch span per peer (the per-holder leg of the star) and a
+// merge span around version selection + reassembly, all parented on the
+// adoption's recovery span. A nil tracer or invalid parent records
+// nothing — Recover delegates here with both zeroed.
+func (b *scatterBackend) RecoverTraced(taskKey string, tr *obs.Tracer, parent obs.SpanContext) ([]byte, error) {
 	var all []shard.Shard
 	for _, m := range b.node.liveMembersView() {
+		start := time.Now()
 		shards, err := b.node.fetchShards(m, taskKey)
+		if parent.Valid() {
+			attrs := []obs.Attr{obs.Str("peer", m.Name), obs.Int("shards", int64(len(shards)))}
+			if err != nil {
+				attrs = append(attrs, obs.Str("err", err.Error()))
+			}
+			tr.RecordSpan(parent, obs.PhaseFetch, start, time.Now(), attrs...)
+		}
 		if err != nil {
 			b.node.logf("recover %s: fetch from %s: %v", taskKey, m.Name, err)
 			continue
@@ -191,6 +213,7 @@ func (b *scatterBackend) Recover(taskKey string) ([]byte, error) {
 	if len(all) == 0 {
 		return emptySnapshot()
 	}
+	mergeStart := time.Now()
 	byVersion := map[state.Version][]shard.Shard{}
 	for _, sh := range all {
 		byVersion[sh.Version] = append(byVersion[sh.Version], sh)
@@ -204,6 +227,10 @@ func (b *scatterBackend) Recover(taskKey string) ([]byte, error) {
 	for _, v := range versions {
 		data, err := shard.Reassemble(byVersion[v])
 		if err == nil {
+			if parent.Valid() {
+				tr.RecordSpan(parent, obs.PhaseMerge, mergeStart, time.Now(),
+					obs.Int("shards", int64(len(all))), obs.Int("versions", int64(len(versions))))
+			}
 			return data, nil
 		}
 		lastErr = err

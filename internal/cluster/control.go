@@ -3,8 +3,11 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"sr3/internal/obs"
 )
 
 // controlPlane is the seed-embedded membership and assignment authority
@@ -25,6 +28,13 @@ type controlPlane struct {
 	// adopting marks components currently being moved, so a slow adopt
 	// is not re-issued every tick.
 	adopting map[string]bool
+	// recov tracks one open recovery trace per dead node: the root span
+	// (opened at the last heartbeat, so its duration is the cluster MTTR)
+	// stays open across adoption attempts until every orphaned component
+	// is re-homed or the node rejoins. The per-node adoptions parent on
+	// ctx, and the context rides the adopt RPC so the adopter's recovery
+	// spans land in the same trace.
+	recov map[string]*recoveryTrace
 	// started stamps control-plane bring-up: components assigned to a
 	// node that has never joined are not orphans until the node has had
 	// DeadAfter to show up, so a slow joiner at cluster start keeps its
@@ -40,6 +50,7 @@ func newControlPlane(n *Node, spec *Spec) *controlPlane {
 		spec:     spec,
 		lastSeen: map[string]time.Time{},
 		adopting: map[string]bool{},
+		recov:    map[string]*recoveryTrace{},
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -53,6 +64,67 @@ func newControlPlane(n *Node, spec *Spec) *controlPlane {
 func (cp *controlPlane) start() {
 	cp.started = time.Now()
 	go cp.monitor()
+}
+
+// recoveryTrace is one node-death recovery in flight: the seed-side
+// anchor of the cluster-wide distributed trace.
+type recoveryTrace struct {
+	ctx     obs.SpanContext
+	root    *obs.Span
+	started time.Time // when the verdict fired (not the silence start)
+}
+
+// slowRecoveryAfter is the wall-clock budget after which a completed
+// recovery still triggers an automatic cluster post-mortem — slow is a
+// failure mode worth a timeline even when the outcome is healthy.
+const slowRecoveryAfter = 10 * time.Second
+
+// noteDeathLocked opens the recovery trace for a node the control plane
+// just gave up on: a self-heal root starting at the node's last sign of
+// life (so root duration = detection + repair = MTTR) with a detect
+// child covering the silence window, plus a verdict flight note.
+func (cp *controlPlane) noteDeathLocked(name string, lastSeen, now time.Time) *recoveryTrace {
+	if rt := cp.recov[name]; rt != nil {
+		return rt
+	}
+	tr := cp.node.tracer
+	ctx := tr.NewRootContext()
+	root := tr.StartRootAt(ctx, obs.PhaseSelfHeal, lastSeen)
+	root.SetStr("dead", name)
+	root.SetStr("seed", cp.node.cfg.Name)
+	tr.RecordSpan(ctx, obs.PhaseDetect, lastSeen, now, obs.Str("dead", name))
+	rt := &recoveryTrace{ctx: ctx, root: root, started: now}
+	cp.recov[name] = rt
+	cp.node.flight.Note(obs.FlightVerdict, name, "",
+		fmt.Sprintf("declared dead after %v silence", now.Sub(lastSeen).Round(time.Millisecond)), nil)
+	return rt
+}
+
+// finishRecoveryLocked closes a dead node's recovery trace once nothing
+// of it remains orphaned or mid-adoption. Ending the root stamps the
+// MTTR; a recovery that beat the verdict but blew the slow budget still
+// gets an automatic post-mortem.
+func (cp *controlPlane) finishRecoveryLocked(deadNode, adopter, outcome string) {
+	rt := cp.recov[deadNode]
+	if rt == nil {
+		return
+	}
+	for comp, owner := range cp.view.Assign {
+		if owner == deadNode && (cp.adopting[comp] || outcome != "rejoined") {
+			return // still being (or waiting to be) re-homed
+		}
+	}
+	elapsed := time.Since(rt.started)
+	rt.root.SetStr("adopter", adopter)
+	rt.root.SetStr("outcome", outcome)
+	rt.root.End()
+	delete(cp.recov, deadNode)
+	cp.node.flight.Note(obs.FlightRecoveryOK, deadNode, "",
+		fmt.Sprintf("%s (adopter=%s) in %v", outcome, adopter, elapsed.Round(time.Millisecond)), nil)
+	if elapsed > slowRecoveryAfter && cp.node.hub != nil {
+		reason := fmt.Sprintf("slow recovery of %s: %v > %v", deadNode, elapsed.Round(time.Millisecond), slowRecoveryAfter)
+		go cp.node.hub.postMortem(reason)
+	}
 }
 
 func (cp *controlPlane) close() {
@@ -99,6 +171,9 @@ func (cp *controlPlane) handleJoin(req *joinReq) (*joinResp, error) {
 	}
 	cp.lastSeen[req.Name] = time.Now()
 	cp.view.Epoch++
+	// A rejoin resolves an open recovery unless an adoption is already
+	// moving its components — then the adoption completes the trace.
+	cp.finishRecoveryLocked(req.Name, req.Name, "rejoined")
 	cp.node.logf("control: %s joined (incarnation %d) epoch=%d", req.Name, req.Incarnation, cp.view.Epoch)
 	return &joinResp{View: cp.view.clone(), Spec: *cp.spec}, nil
 }
@@ -165,6 +240,7 @@ func (cp *controlPlane) sweep() {
 			m.Alive = false
 			changed = true
 			cp.node.logf("control: %s declared dead (silent %v)", m.Name, now.Sub(cp.lastSeen[m.Name]).Round(time.Millisecond))
+			cp.noteDeathLocked(m.Name, cp.lastSeen[m.Name], now)
 		}
 	}
 	if changed {
@@ -188,12 +264,14 @@ func (cp *controlPlane) sweep() {
 		}
 	}
 	type adoption struct {
-		target Member
-		comps  []string
-		epoch  int64
+		target   Member
+		comps    []string
+		epoch    int64
+		deadNode string
+		trace    obs.SpanContext
 	}
 	var plans []adoption
-	for _, comps := range orphansBy {
+	for nodeName, comps := range orphansBy {
 		sort.Strings(comps)
 		target, ok := cp.pickAdopterLocked()
 		if !ok {
@@ -202,12 +280,24 @@ func (cp *controlPlane) sweep() {
 		for _, c := range comps {
 			cp.adopting[c] = true
 		}
-		plans = append(plans, adoption{target: target, comps: comps, epoch: cp.view.Epoch})
+		// Nodes that left gracefully or never joined were not declared
+		// dead above; open their recovery trace here so every adoption
+		// runs traced. Their silence basis is the last heartbeat if any,
+		// else control-plane bring-up.
+		basis := cp.lastSeen[nodeName]
+		if basis.IsZero() {
+			basis = cp.started
+		}
+		rt := cp.noteDeathLocked(nodeName, basis, now)
+		plans = append(plans, adoption{
+			target: target, comps: comps, epoch: cp.view.Epoch,
+			deadNode: nodeName, trace: rt.ctx,
+		})
 	}
 	cp.mu.Unlock()
 
 	for _, plan := range plans {
-		go cp.runAdoption(plan.target, plan.comps, plan.epoch)
+		go cp.runAdoption(plan.target, plan.comps, plan.epoch, plan.deadNode, plan.trace)
 	}
 }
 
@@ -238,16 +328,23 @@ func (cp *controlPlane) pickAdopterLocked() (Member, bool) {
 // runAdoption tells target to host comps; on ACK the assignment flips
 // and the epoch bumps, so relays re-resolve routes only once the
 // adopter has the components recovered and running. On failure the
-// components go back in the orphan pool for the next sweep.
-func (cp *controlPlane) runAdoption(target Member, comps []string, epoch int64) {
+// components go back in the orphan pool for the next sweep and the seed
+// auto-collects a cluster post-mortem. The adopt span parents on the
+// dead node's recovery trace and its context rides the RPC, so the
+// adopter's recovery work lands in the same trace.
+func (cp *controlPlane) runAdoption(target Member, comps []string, epoch int64, deadNode string, trace obs.SpanContext) {
 	cp.node.logf("control: adopting %v onto %s", comps, target.Name)
-	req := &adoptReq{Components: comps, Epoch: epoch}
+	adoptSp := cp.node.tracer.StartSpan(trace, obs.PhaseAdopt)
+	adoptSp.SetStr("target", target.Name)
+	adoptSp.SetStr("components", strings.Join(comps, ","))
+	req := &adoptReq{Components: comps, Epoch: epoch, Trace: adoptSp.Ctx()}
 	var err error
 	if target.Name == cp.node.cfg.Name {
 		_, err = cp.node.handleAdopt(req) // local fast path: the seed adopts
 	} else {
 		_, err = rpcCall(target.Addr, &rpcEnvelope{Kind: "adopt", Adopt: req}, adoptTimeout)
 	}
+	adoptSp.EndErr(err)
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	for _, c := range comps {
@@ -255,6 +352,12 @@ func (cp *controlPlane) runAdoption(target Member, comps []string, epoch int64) 
 	}
 	if err != nil {
 		cp.node.logf("control: adoption of %v by %s failed: %v", comps, target.Name, err)
+		cp.node.flight.Note(obs.FlightRecoveryFail, deadNode, "",
+			fmt.Sprintf("adoption of %v by %s failed", comps, target.Name), err)
+		if cp.node.hub != nil {
+			reason := fmt.Sprintf("adoption of %v by %s failed: %v", comps, target.Name, err)
+			go cp.node.hub.postMortem(reason) // off-lock: it RPCs every member
+		}
 		return
 	}
 	for _, c := range comps {
@@ -262,6 +365,7 @@ func (cp *controlPlane) runAdoption(target Member, comps []string, epoch int64) 
 	}
 	cp.view.Epoch++
 	cp.node.logf("control: %v now on %s epoch=%d", comps, target.Name, cp.view.Epoch)
+	cp.finishRecoveryLocked(deadNode, target.Name, "adopted")
 }
 
 // adoptTimeout bounds one adoption RPC: the adopter recovers scattered

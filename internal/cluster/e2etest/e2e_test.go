@@ -7,6 +7,7 @@
 package e2etest
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -385,5 +386,203 @@ func TestClusterSmoke(t *testing.T) {
 		if !strings.Contains(body, "sr3_stream_tuples_in_total") {
 			t.Fatalf("metrics from %s lack stream counters:\n%.500s", name, body)
 		}
+	}
+}
+
+// traceSpan mirrors the /debug/sr3/trace JSONL schema.
+type traceSpan struct {
+	Trace  uint64 `json:"trace"`
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent"`
+	Phase  string `json:"phase"`
+	Attrs  []struct {
+		Key string `json:"k"`
+		Str string `json:"s"`
+		Int int64  `json:"i"`
+	} `json:"attrs"`
+}
+
+// fetchTrace pulls the seed's stitched trace dump and decodes it.
+func fetchTrace(pg *cluster.Playground) ([]traceSpan, error) {
+	body, err := pg.HTTPGet("node1", "/debug/sr3/trace")
+	if err != nil {
+		return nil, err
+	}
+	var spans []traceSpan
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var s traceSpan
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			return nil, fmt.Errorf("bad trace line %q: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
+}
+
+// TestClusterObsSmoke is the CI cluster-obs-smoke job body: a real
+// three-process cluster, every node ready on /healthz, kill -9 the
+// counter owner, then assert the tentpole invariants over process
+// boundaries — the kill yields ONE connected trace rooted at the seed's
+// self-heal verdict with spans observed on at least two distinct
+// processes, the federated /metrics/cluster scrape carries families
+// from every survivor and none from the dead node, and the distributed
+// post-mortem endpoint produces a merged cluster timeline.
+func TestClusterObsSmoke(t *testing.T) {
+	const total = 4000
+	topo := writeTopo(t, "node3", total, 200, 50)
+	pg := newPlayground(t, 3, topo)
+	defer dumpLogs(t, pg)
+
+	// Readiness: every node answers /healthz (Start already waited on
+	// this — the explicit probe pins the endpoint's contract).
+	for _, name := range pg.Names() {
+		if body, err := pg.HTTPGet(name, "/healthz"); err != nil {
+			t.Fatalf("healthz %s: %v", name, err)
+		} else if strings.TrimSpace(string(body)) != "ok" {
+			t.Fatalf("healthz %s = %q, want ok", name, body)
+		}
+	}
+
+	if err := pg.Kill("node3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.WaitExit("node3", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitCondition(t, 10*time.Second, "counter adoption", func() bool {
+		d, err := pg.Debug("node1")
+		if err != nil {
+			return false
+		}
+		return d.Assign["count"] != "" && d.Assign["count"] != "node3"
+	})
+	waitSink(t, pg, "node1", total, 60*time.Second)
+
+	// ONE connected trace across >= 2 processes, rooted at the verdict.
+	var spans []traceSpan
+	waitCondition(t, 15*time.Second, "stitched cross-process trace", func() bool {
+		var err error
+		spans, err = fetchTrace(pg)
+		if err != nil {
+			return false
+		}
+		var root uint64
+		for _, s := range spans {
+			if s.Phase == "selfheal" {
+				root = s.Trace
+			}
+		}
+		if root == 0 {
+			return false
+		}
+		nodes := map[string]bool{}
+		for _, s := range spans {
+			if s.Trace != root {
+				continue
+			}
+			for _, a := range s.Attrs {
+				if a.Key == "node" {
+					nodes[a.Str] = true
+				}
+			}
+		}
+		return len(nodes) >= 2
+	})
+	var root uint64
+	byID := map[uint64]traceSpan{}
+	for _, s := range spans {
+		if s.Phase == "selfheal" {
+			root = s.Trace
+		}
+	}
+	phases := map[string]bool{}
+	for _, s := range spans {
+		if s.Trace != root {
+			continue
+		}
+		byID[s.Span] = s
+		phases[s.Phase] = true
+	}
+	for _, want := range []string{"selfheal", "detect", "adopt", "recover", "fetch"} {
+		if !phases[want] {
+			t.Fatalf("recovery trace missing phase %s; have %v", want, phases)
+		}
+	}
+	for id, s := range byID {
+		cur, hops := s, 0
+		for cur.Parent != 0 && hops < 64 {
+			p, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %d (%s) has dangling parent %d", id, s.Phase, cur.Parent)
+			}
+			cur, hops = p, hops+1
+		}
+		if cur.Span != root {
+			t.Fatalf("span %d (%s) not connected to the selfheal root", id, s.Phase)
+		}
+	}
+
+	// Federated scrape: families from every survivor, none from node3.
+	scrape, err := pg.HTTPGet("node1", "/metrics/cluster")
+	if err != nil {
+		t.Fatalf("cluster scrape: %v", err)
+	}
+	for _, name := range []string{"node1", "node2"} {
+		for _, family := range []string{"sr3_node_up", "sr3_stream_tuples_in_total"} {
+			if !strings.Contains(string(scrape), family+`{node="`+name+`"`) {
+				t.Fatalf("federated scrape lacks %s for %s:\n%.1000s", family, name, scrape)
+			}
+		}
+	}
+	if strings.Contains(string(scrape), `node="node3"`) {
+		t.Fatal("dead node's series leaked into the federated scrape")
+	}
+
+	// The cluster topology view covers both survivors.
+	var cd cluster.ClusterDebug
+	body, err := pg.HTTPGet("node1", "/debug/sr3/cluster")
+	if err != nil {
+		t.Fatalf("cluster debug: %v", err)
+	}
+	if err := json.Unmarshal(body, &cd); err != nil {
+		t.Fatalf("cluster debug decode: %v", err)
+	}
+	if cd.Seed != "node1" || cd.Nodes["node2"].Node != "node2" {
+		t.Fatalf("cluster debug incomplete: %+v", cd)
+	}
+
+	// The distributed post-mortem merges journals from all survivors.
+	pm, err := pg.HTTPGet("node1", "/debug/sr3/postmortem")
+	if err != nil {
+		t.Fatalf("post-mortem: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(pm)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("post-mortem has %d lines, want header + entries", len(lines))
+	}
+	var hdr struct {
+		Type  string `json:"type"`
+		Nodes int    `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Type != "postmortem" {
+		t.Fatalf("bad post-mortem header %q: %v", lines[0], err)
+	}
+	if hdr.Nodes < 2 {
+		t.Fatalf("post-mortem merged %d journals, want >= 2", hdr.Nodes)
+	}
+	pmNodes := map[string]bool{}
+	for _, line := range lines[1:] {
+		var e struct {
+			Node string `json:"node"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err == nil && e.Node != "" {
+			pmNodes[e.Node] = true
+		}
+	}
+	if !pmNodes["node1"] || !pmNodes["node2"] {
+		t.Fatalf("post-mortem timeline covers %v, want node1 and node2", pmNodes)
 	}
 }

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+
+	"sr3/internal/obs"
+	"sr3/internal/stream"
+)
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		tc   obs.SpanContext
+	}{
+		{"untraced", obs.SpanContext{}},
+		{"traced", obs.SpanContext{Trace: 0xDEADBEEF12345678, Span: 0x42}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			frame := appendFrameHeader(nil, 1234, 999, c.tc)
+			frame = append(frame, "payload"...)
+			sendNs, oldestNs, tc, body, err := parseFrameHeader(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sendNs != 1234 || oldestNs != 999 {
+				t.Fatalf("timestamps = %d/%d, want 1234/999", sendNs, oldestNs)
+			}
+			if tc != c.tc {
+				t.Fatalf("trace context = %+v, want %+v", tc, c.tc)
+			}
+			if string(body) != "payload" {
+				t.Fatalf("body = %q", body)
+			}
+		})
+	}
+}
+
+func TestFrameHeaderRejectsCorruption(t *testing.T) {
+	good := appendFrameHeader(nil, 1, 1, obs.SpanContext{})
+	short := good[:frameHeaderLen-1]
+	if _, _, _, _, err := parseFrameHeader(short); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'X'
+	if _, _, _, _, err := parseFrameHeader(badMagic); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	badVersion := append([]byte(nil), good...)
+	badVersion[2] = 99
+	if _, _, _, _, err := parseFrameHeader(badVersion); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+// BenchmarkFlowFrameEncode measures the relay's frame-encode path —
+// header plus batch-codec body into the connection's reused buffer. The
+// acceptance bar is 0 allocs/op once the buffer reaches steady-state
+// capacity: adding the observability header (tracing enabled or not)
+// must not put allocations back on the batched emit path.
+func BenchmarkFlowFrameEncode(b *testing.B) {
+	c := &flowConn{}
+	tuples := make([]stream.Tuple, 16)
+	for i := range tuples {
+		tuples[i] = stream.Tuple{Stream: "words", Values: []any{"benchmark", int64(i)}}
+	}
+	// Warm the reused buffer to steady-state capacity.
+	for i := 0; i < 64; i++ {
+		if _, err := c.encodeFrame(tuples, stream.ClassIngest, 1, 1, obs.SpanContext{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.encodeFrame(tuples, stream.ClassIngest, int64(i), int64(i), obs.SpanContext{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFlowFrameEncodeZeroAlloc is the allocation regression guard wired
+// into `go test`: the tentpole's acceptance bar says trace propagation
+// adds zero allocations to the batched emit path when tracing is
+// disabled.
+func TestFlowFrameEncodeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	if testing.Short() {
+		t.Skip("allocation guard runs the benchmark harness")
+	}
+	res := testing.Benchmark(BenchmarkFlowFrameEncode)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("BenchmarkFlowFrameEncode = %d allocs/op, want 0", a)
+	}
+}

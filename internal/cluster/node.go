@@ -10,10 +10,12 @@ package cluster
 
 import (
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -36,12 +38,18 @@ type Node struct {
 	logger *log.Logger
 
 	spec        *Spec
-	incarnation int64
+	incarnation atomic.Int64 // atomic: rejoin bumps it while RPCs read it
 	advertise   string
 
 	clusterReg *metrics.ClusterRegistry
 	reg        *metrics.Registry
 	flight     *obs.FlightRecorder
+	// tracer records this node's recovery phases into spans (sinked to
+	// the local registry's per-phase histograms and the spans collector);
+	// its ID base is derived from the node name, so spans minted here
+	// never collide with another process's when the seed stitches traces.
+	tracer *obs.Tracer
+	spans  *obs.Collector
 
 	shards  *shardStore
 	backend *scatterBackend
@@ -49,6 +57,8 @@ type Node struct {
 	ln      net.Listener
 	httpSrv *obs.MetricsServer
 	control *controlPlane // non-nil on the seed
+	fed     *federator    // non-nil on the seed: metrics federation
+	hub     *obsHub       // non-nil on the seed: trace stitch + post-mortem
 
 	mu       sync.Mutex
 	view     View // non-seed: last pulled view; seed reads the control plane
@@ -110,19 +120,27 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:         cfg,
-		logger:      log.New(cfg.LogWriter, "["+cfg.Name+"] ", log.Ltime|log.Lmicroseconds),
-		incarnation: time.Now().UnixNano(),
-		clusterReg:  metrics.NewClusterRegistry(),
-		flight:      obs.NewFlightRecorder(4096),
-		shards:      newShardStore(),
-		conns:       map[net.Conn]bool{},
-		hbStop:      make(chan struct{}),
-		hbDone:      make(chan struct{}),
-		rpStop:      make(chan struct{}),
-		rpDone:      make(chan struct{}),
+		cfg:        cfg,
+		logger:     log.New(cfg.LogWriter, "["+cfg.Name+"] ", log.Ltime|log.Lmicroseconds),
+		clusterReg: metrics.NewClusterRegistry(),
+		flight:     obs.NewFlightRecorder(4096),
+		shards:     newShardStore(),
+		conns:      map[net.Conn]bool{},
+		hbStop:     make(chan struct{}),
+		hbDone:     make(chan struct{}),
+		rpStop:     make(chan struct{}),
+		rpDone:     make(chan struct{}),
 	}
+	n.incarnation.Store(time.Now().UnixNano())
 	n.reg = n.clusterReg.Node(cfg.Name)
+	// Baseline liveness families: even a node hosting nothing (fresh
+	// rejoin whose components were adopted elsewhere) federates these, so
+	// every live member is visible in /metrics/cluster.
+	n.reg.Gauge("sr3_node_up").Set(1)
+	n.reg.Gauge("sr3_node_incarnation").Set(n.incarnation.Load())
+	n.spans = obs.NewCollector()
+	n.tracer = obs.New(obs.MultiSink{obs.NewMetricsSink(n.reg, ""), n.spans},
+		obs.WithIDBase(obs.IDBase(cfg.Name)))
 	n.backend = newScatterBackend(n)
 
 	ln, err := net.Listen("tcp", cfg.Listen)
@@ -141,6 +159,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		n.shutdownTransport()
 		return nil, err
 	}
+	if n.fed != nil {
+		n.fed.start()
+	}
 	n.joined.Store(true)
 
 	// Build and recover this node's initial cell from the *current*
@@ -155,7 +176,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		n.mu.Lock()
 		n.cells = append(n.cells, c)
 		n.mu.Unlock()
-		if err := n.startCell(c); err != nil {
+		if err := n.startCell(c, obs.SpanContext{}); err != nil {
 			n.shutdownTransport()
 			return nil, err
 		}
@@ -173,6 +194,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			Metrics: n.clusterReg,
 			Debug:   func() any { return n.Debug() },
 			Flight:  n.flight,
+			Health:  n.Health,
+			Extra:   n.httpExtras(),
 		})
 		if err != nil {
 			n.logf("http: %v", err)
@@ -193,9 +216,13 @@ func (n *Node) bootstrap() error {
 		}
 		n.spec = spec
 		n.control = newControlPlane(n, spec)
+		// The federation and trace-stitch surfaces must exist before the
+		// monitor loop runs: a sweep may trigger a post-mortem.
+		n.fed = newFederator(n)
+		n.hub = newObsHub(n)
 		if _, err := n.control.handleJoin(&joinReq{
 			Name: n.cfg.Name, Addr: n.advertise, HTTP: n.cfg.HTTPListen,
-			Incarnation: n.incarnation,
+			Incarnation: n.incarnation.Load(),
 		}); err != nil {
 			return err
 		}
@@ -205,7 +232,7 @@ func (n *Node) bootstrap() error {
 	deadline := time.Now().Add(n.cfg.JoinTimeout)
 	req := &rpcEnvelope{Kind: "join", Join: &joinReq{
 		Name: n.cfg.Name, Addr: n.advertise, HTTP: n.cfg.HTTPListen,
-		Incarnation: n.incarnation,
+		Incarnation: n.incarnation.Load(),
 	}}
 	for {
 		resp, err := rpcCall(n.cfg.Seed, req, rpcTimeout)
@@ -240,6 +267,58 @@ func (n *Node) HTTPAddr() string {
 
 // IsSeed reports whether this node embeds the control plane.
 func (n *Node) IsSeed() bool { return n.control != nil }
+
+// Health is the /healthz readiness probe: ready means joined and every
+// component the current view assigns here is hosted by a running cell.
+// During an adoption the adopter reports unready until recovery
+// completes, which is exactly when an orchestrator should hold traffic.
+func (n *Node) Health() error {
+	if !n.joined.Load() {
+		return fmt.Errorf("not joined")
+	}
+	for _, comp := range n.assignedComponents() {
+		if n.cellFor(comp) == nil {
+			return fmt.Errorf("component %s assigned but not running", comp)
+		}
+	}
+	return nil
+}
+
+// httpExtras mounts the seed-only cluster observability surfaces; nil
+// on non-seed nodes.
+func (n *Node) httpExtras() map[string]http.HandlerFunc {
+	if n.control == nil {
+		return nil
+	}
+	return map[string]http.HandlerFunc{
+		"/metrics/cluster": func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := n.fed.scrape(w); err != nil {
+				n.logf("cluster scrape: %v", err)
+			}
+		},
+		"/debug/sr3/cluster": func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(n.fed.clusterDebug())
+		},
+		"/debug/sr3/trace": func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if err := n.hub.writeTraces(w); err != nil {
+				n.logf("trace dump: %v", err)
+			}
+		},
+		"/debug/sr3/postmortem": func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if r.URL.Query().Get("last") != "" {
+				if pm := n.hub.lastPostMortem(); pm != nil {
+					_, _ = w.Write(pm)
+					return
+				}
+			}
+			_, _ = w.Write(n.hub.postMortem("on-demand"))
+		},
+	}
+}
 
 func (n *Node) logf(format string, args ...any) {
 	n.logger.Printf(format, args...)
@@ -419,7 +498,11 @@ func (n *Node) buildCell(compIDs []string) (*cell, error) {
 // from the scattered shards (kill marks the empty-state task dead so
 // arriving tuples are logged, recover star-fetches + restores + replays
 // the log), wires the egress senders, and finally opens the spout gate.
-func (n *Node) startCell(c *cell) error {
+// A valid trace context (an adoption driven by the seed's self-heal
+// trace) threads the recovery through the traced paths, so fetch, merge,
+// and replay surface as child spans of the cluster-wide recovery, and
+// arms the egress relays to stamp replayed output with the context.
+func (n *Node) startCell(c *cell, trace obs.SpanContext) error {
 	c.rt.Start()
 	for _, compID := range c.comps {
 		bolt, ok := c.bolts[compID]
@@ -434,12 +517,19 @@ func (n *Node) startCell(c *cell) error {
 			if err := c.rt.Kill(compID, i); err != nil {
 				return fmt.Errorf("cluster: kill %s[%d]: %w", compID, i, err)
 			}
-			if err := c.rt.RecoverTask(compID, i); err != nil {
+			var err error
+			if trace.Valid() {
+				err = c.rt.RecoverTaskByKeyTraced(stream.TaskKey(n.spec.Name, compID, i), n.tracer, trace)
+			} else {
+				err = c.rt.RecoverTask(compID, i)
+			}
+			if err != nil {
 				return fmt.Errorf("cluster: recover %s[%d]: %w", compID, i, err)
 			}
 		}
 	}
 	for _, r := range c.relays {
+		r.setTrace(trace)
 		go r.run()
 	}
 	c.ready.Store(true)
@@ -486,16 +576,30 @@ func (n *Node) handleAdopt(req *adoptReq) (*adoptResp, error) {
 		}
 	}
 	n.logf("adopting %v", req.Components)
+	// A traced adoption opens a local recover span parented on the seed's
+	// self-heal trace: this node's fetch/merge/replay children hang off
+	// it, and the span lands in the local collector for the seed's stitch.
+	trace := obs.SpanContext{}
+	var sp *obs.Span
+	if req.Trace.Valid() {
+		sp = n.tracer.StartSpan(req.Trace, obs.PhaseRecover)
+		sp.SetStr("components", strings.Join(req.Components, ","))
+		sp.SetStr("node", n.cfg.Name)
+		trace = sp.Ctx()
+	}
 	c, err := n.buildCell(req.Components)
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
 	n.mu.Lock()
 	n.cells = append(n.cells, c)
 	n.mu.Unlock()
-	if err := n.startCell(c); err != nil {
+	if err := n.startCell(c, trace); err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
+	sp.End()
 	return &adoptResp{}, nil
 }
 
@@ -622,32 +726,83 @@ func (n *Node) dispatch(req *rpcEnvelope) *rpcEnvelope {
 			return fail(ErrUnknownRPC)
 		}
 		resp.FetchR = &fetchShardsResp{Shards: n.shards.fetch(req.Fetch.App)}
+	case "metricspull":
+		if req.MPull == nil {
+			return fail(ErrUnknownRPC)
+		}
+		resp.MPullR = &metricsPullResp{
+			Node:        n.cfg.Name,
+			Incarnation: n.incarnation.Load(),
+			Registry:    n.reg.Snapshot(),
+			Debug:       n.Debug(),
+		}
+	case "obsdump":
+		if req.ODump == nil {
+			return fail(ErrUnknownRPC)
+		}
+		dump := n.localObsDump()
+		resp.ODumpR = &dump
 	default:
 		return fail(ErrUnknownRPC)
 	}
 	return resp
 }
 
-// handleFlow serves one ingress tuple stream: hello, then batch frames
-// injected into the hosting cell under the edge's grouping. Decoded
-// tuples own their memory, so the pooled frame buffer is recycled right
-// after decode.
+// handleFlow serves one ingress tuple stream: hello, then framed batches
+// (36-byte flow header + batch-codec body) injected into the hosting
+// cell under the edge's grouping. Decoded tuples own their memory, so
+// the pooled frame buffer is recycled right after decode. Each frame's
+// origin timestamps feed the edge's per-hop wire-latency and event-time
+// lag histograms; the first traced frame on a connection records one
+// retroactive flow span parented on the sender's recovery context,
+// stitching this process into the recovery's distributed trace.
 func (n *Node) handleFlow(conn net.Conn) {
 	hello, err := readFlowHello(conn)
 	if err != nil {
 		return
 	}
+	edge := hello.FromComp + "__" + hello.DestComp
+	hopHist := n.reg.Histogram("sr3_cluster_edge_hop_ns_" + edge)
+	lagHist := n.reg.Histogram("sr3_cluster_edge_lag_ns_" + edge)
+	frames := n.reg.Counter("sr3_cluster_edge_" + edge + "_frames_total")
+	tuplesC := n.reg.Counter("sr3_cluster_edge_" + edge + "_tuples_total")
+	flowSpanDone := false
 	bc := nettransport.NewBatchConn(conn, 30*time.Second)
 	for {
 		body, free, err := bc.ReadBatch()
 		if err != nil {
 			return
 		}
-		tuples, class, err := stream.DecodeTupleBatch(body)
+		sendNs, oldestNs, tc, payload, err := parseFrameHeader(body)
+		if err != nil {
+			free()
+			n.logf("flow %s->%s: %v", hello.FromComp, hello.DestComp, err)
+			return
+		}
+		tuples, class, err := stream.DecodeTupleBatch(payload)
 		free()
 		if err != nil {
 			n.logf("flow %s->%s: corrupt batch: %v", hello.FromComp, hello.DestComp, err)
 			return
+		}
+		now := time.Now().UnixNano()
+		if d := now - sendNs; d >= 0 {
+			hopHist.Record(d)
+		}
+		if d := now - oldestNs; oldestNs > 0 && d >= 0 {
+			lagHist.Record(d)
+		}
+		frames.Inc()
+		tuplesC.Add(int64(len(tuples)))
+		if tc.Valid() && !flowSpanDone {
+			// Retroactive: the frame carries the sender's recovery context,
+			// so the span covers origin-send to ingress-inject and parents
+			// under the recovery — the third process joins the trace here.
+			flowSpanDone = true
+			n.tracer.RecordSpan(tc, obs.PhaseFlow,
+				time.Unix(0, sendNs), time.Unix(0, now),
+				obs.Str("edge", hello.FromComp+"->"+hello.DestComp),
+				obs.Str("from", hello.FromNode))
 		}
 		c := n.cellFor(hello.DestComp)
 		if c == nil {
@@ -677,7 +832,7 @@ func (n *Node) heartbeatLoop() {
 		case <-tick.C:
 		}
 		req := &rpcEnvelope{Kind: "heartbeat", Heartbeat: &heartbeatReq{
-			Name: n.cfg.Name, Incarnation: n.incarnation, Epoch: n.viewEpoch(),
+			Name: n.cfg.Name, Incarnation: n.incarnation.Load(), Epoch: n.viewEpoch(),
 		}}
 		resp, err := rpcCall(n.cfg.Seed, req, rpcTimeout)
 		if err != nil {
@@ -719,10 +874,11 @@ func (n *Node) pullView() {
 // that were adopted elsewhere while we were "dead" are torn down here:
 // hosting them further would double-run spouts and double-count state.
 func (n *Node) rejoin() {
-	n.incarnation = time.Now().UnixNano()
+	n.incarnation.Store(time.Now().UnixNano())
+	n.reg.Gauge("sr3_node_incarnation").Set(n.incarnation.Load())
 	resp, err := rpcCall(n.cfg.Seed, &rpcEnvelope{Kind: "join", Join: &joinReq{
 		Name: n.cfg.Name, Addr: n.advertise, HTTP: n.cfg.HTTPListen,
-		Incarnation: n.incarnation,
+		Incarnation: n.incarnation.Load(),
 	}}, rpcTimeout)
 	if err != nil || resp.JoinR == nil {
 		n.logf("rejoin failed: %v", err)
@@ -764,7 +920,7 @@ func (n *Node) rejoin() {
 		}
 	}
 	n.backend.forget(orphaned)
-	n.logf("rejoined (incarnation %d, epoch %d)", n.incarnation, n.viewEpoch())
+	n.logf("rejoined (incarnation %d, epoch %d)", n.incarnation.Load(), n.viewEpoch())
 }
 
 // repairLoop periodically re-scatters every locally protected snapshot
@@ -811,11 +967,14 @@ func (n *Node) Stop() {
 		close(n.hbStop)
 		<-n.hbDone
 		_, _ = rpcCall(n.cfg.Seed, &rpcEnvelope{Kind: "leave", Leave: &leaveReq{
-			Name: n.cfg.Name, Incarnation: n.incarnation,
+			Name: n.cfg.Name, Incarnation: n.incarnation.Load(),
 		}}, rpcTimeout)
 	}
 	close(n.rpStop)
 	<-n.rpDone
+	if n.fed != nil {
+		n.fed.close()
+	}
 	if n.control != nil {
 		n.control.close()
 	}
@@ -866,7 +1025,7 @@ func (n *Node) Debug() NodeDebug {
 	v := n.currentView()
 	d := NodeDebug{
 		Node:        n.cfg.Name,
-		Incarnation: n.incarnation,
+		Incarnation: n.incarnation.Load(),
 		Seed:        n.control != nil,
 		Epoch:       v.Epoch,
 		Members:     v.Members,

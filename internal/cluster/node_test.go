@@ -279,7 +279,7 @@ func TestStaleIncarnationRejected(t *testing.T) {
 	defer n2.Stop()
 
 	_, err := seed.control.handleJoin(&joinReq{
-		Name: "n2", Addr: "127.0.0.1:1", Incarnation: n2.incarnation - 1,
+		Name: "n2", Addr: "127.0.0.1:1", Incarnation: n2.incarnation.Load() - 1,
 	})
 	if err == nil {
 		t.Fatal("stale-incarnation join accepted")

@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sr3/internal/obs"
+)
+
+// spanBatch encodes a set of span records as one binary batch — the
+// shape obsDumpResp carries over the wire.
+func spanBatch(recs ...obs.SpanRecord) []byte {
+	var b []byte
+	for _, r := range recs {
+		b = obs.AppendSpanRecord(b, r)
+	}
+	return b
+}
+
+// TestMergeTimelineCausalOrder pins the post-mortem ordering contract:
+// within a trace a child span never sorts before its parent even when
+// the child's node has a skew-behind clock, and exact-tie ordering is
+// deterministic (node, then flight-before-span, then seq/span).
+func TestMergeTimelineCausalOrder(t *testing.T) {
+	// Seed observes the root at t=1000; the adopter's clock is 500ns
+	// behind, so its child recover span claims Start=600 < parent start.
+	dumps := []obsDumpResp{
+		{
+			Node: "seed",
+			Spans: spanBatch(
+				obs.SpanRecord{Trace: 7, Span: 7, Phase: obs.PhaseSelfHeal, Start: 1000, End: 5000},
+				obs.SpanRecord{Trace: 7, Span: 8, Parent: 7, Phase: obs.PhaseAdopt, Start: 1200, End: 4000},
+			),
+			Flight: []obs.FlightEvent{
+				{Seq: 1, At: 900, Kind: obs.FlightVerdict, Node: "dead-node", Detail: "declared dead"},
+			},
+		},
+		{
+			Node: "adopter",
+			Spans: spanBatch(
+				obs.SpanRecord{Trace: 7, Span: 9, Parent: 8, Phase: obs.PhaseRecover, Start: 600, End: 3500},
+				obs.SpanRecord{Trace: 7, Span: 10, Parent: 9, Phase: obs.PhaseFetch, Start: 700, End: 900},
+			),
+		},
+	}
+	entries := mergeTimeline(dumps)
+	if len(entries) != 5 {
+		t.Fatalf("entries = %d, want 5", len(entries))
+	}
+	pos := map[string]int{}
+	for i, e := range entries {
+		key := e.Phase
+		if e.Type == "flight" {
+			key = e.Kind
+		}
+		pos[key] = i
+	}
+	// The verdict flight note precedes everything span-side.
+	if pos[obs.FlightVerdict] != 0 {
+		t.Fatalf("verdict at %d, want 0; entries %+v", pos[obs.FlightVerdict], entries)
+	}
+	// Causal lift: recover (raw Start 600) sorts after adopt (1200), and
+	// fetch after recover, despite the adopter's skewed clock.
+	if pos[obs.PhaseSelfHeal] > pos[obs.PhaseAdopt] ||
+		pos[obs.PhaseAdopt] > pos[obs.PhaseRecover] ||
+		pos[obs.PhaseRecover] > pos[obs.PhaseFetch] {
+		t.Fatalf("causal order violated: %+v", pos)
+	}
+	// The flight note about a third node is annotated with its subject.
+	for _, e := range entries {
+		if e.Type == "flight" && !strings.Contains(e.Detail, "about=dead-node") {
+			t.Fatalf("flight entry lost subject annotation: %+v", e)
+		}
+	}
+	// Determinism: merging the same dumps again yields the same order.
+	again := mergeTimeline(dumps)
+	for i := range entries {
+		if entries[i] != again[i] {
+			t.Fatalf("merge not deterministic at %d: %+v vs %+v", i, entries[i], again[i])
+		}
+	}
+}
+
+// TestMergeTimelineDedupAcrossDumps: a span present in two journals
+// (the seed already stitched the adopter's spans) appears once.
+func TestMergeTimelineDedupAcrossDumps(t *testing.T) {
+	rec := obs.SpanRecord{Trace: 3, Span: 3, Phase: obs.PhaseSelfHeal, Start: 10, End: 20}
+	entries := mergeTimeline([]obsDumpResp{
+		{Node: "a", Spans: spanBatch(rec)},
+		{Node: "b", Spans: spanBatch(rec)},
+	})
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1 (dedup)", len(entries))
+	}
+	if entries[0].Node != "a" {
+		t.Fatalf("owner = %s, want first importer a", entries[0].Node)
+	}
+}
+
+// TestFederationUnderChurn drives the seed's federation through a
+// member's full lifecycle: join (series appear), crash (series
+// evicted), rejoin under a new incarnation (fresh series reappear).
+func TestFederationUnderChurn(t *testing.T) {
+	spec := testSpec("n1", "n2", "n1", 100000, 8, 50, 100)
+	seed := startTestNode(t, "n1", "", spec)
+	defer seed.Stop()
+	n2 := startTestNode(t, "n2", seed.Addr(), spec)
+
+	if err := seed.FederateNow(); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := seed.ClusterScrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []string{"n1", "n2"} {
+		if !strings.Contains(scrape, `node="`+node+`"`) {
+			t.Fatalf("federated scrape missing node=%q series:\n%.2000s", node, scrape)
+		}
+	}
+	cd, err := seed.ClusterDebugSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cd.Nodes["n2"]; !ok {
+		t.Fatalf("cluster debug missing n2: %+v", cd.Nodes)
+	}
+
+	// Crash n2 and wait for the death verdict; the next federation cycle
+	// must evict every node="n2" series — the stale-member leak guard.
+	oldInc := n2.incarnation.Load()
+	crashNode(n2)
+	waitCondition(t, 5*time.Second, "n2 declared dead", func() bool {
+		for _, m := range seed.currentView().Members {
+			if m.Name == "n2" {
+				return !m.Alive
+			}
+		}
+		return false
+	})
+	if err := seed.FederateNow(); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err = seed.ClusterScrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(scrape, `node="n2"`) {
+		t.Fatal("dead member's series survived federation eviction")
+	}
+	if cd, _ = seed.ClusterDebugSnapshot(); cd.Nodes["n2"].Node != "" {
+		t.Fatalf("cluster debug retained dead n2: %+v", cd.Nodes)
+	}
+
+	// Rejoin under the same name: a fresh incarnation federates fresh
+	// series, never the dead process's.
+	n2b := startTestNode(t, "n2", seed.Addr(), spec)
+	defer n2b.Stop()
+	if n2b.incarnation.Load() <= oldInc {
+		t.Fatalf("rejoin incarnation %d not newer than %d", n2b.incarnation.Load(), oldInc)
+	}
+	if err := seed.FederateNow(); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err = seed.ClusterScrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape, `node="n2"`) {
+		t.Fatalf("rejoined member's series missing from federation:\n%.2000s", scrape)
+	}
+}
+
+// TestFederationEvictsStaleIncarnation is the regression test for the
+// stale-leak satellite: when the view's incarnation for a member moves
+// past the one whose snapshot is registered, the next cycle must not
+// keep serving the superseded process's series as if they were current.
+func TestFederationEvictsStaleIncarnation(t *testing.T) {
+	spec := testSpec("n1", "n1", "n1", 10, 2, 0, 100)
+	seed := startTestNode(t, "n1", "", spec)
+	defer seed.Stop()
+
+	// Hand-register a snapshot under an incarnation the view has moved
+	// past (the member is gone entirely — the not-live eviction arm), and
+	// one for a live member under a stale incarnation (the mismatch arm).
+	seed.fed.mu.Lock()
+	seed.fed.fed.Register("ghost", seed.reg)
+	seed.fed.incs["ghost"] = 1
+	seed.fed.debugs["ghost"] = NodeDebug{Node: "ghost"}
+	seed.fed.mu.Unlock()
+
+	if err := seed.FederateNow(); err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := seed.ClusterScrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(scrape, `node="ghost"`) {
+		t.Fatal("stale-incarnation series leaked into the federated scrape")
+	}
+	seed.fed.mu.Lock()
+	_, incLeft := seed.fed.incs["ghost"]
+	_, dbgLeft := seed.fed.debugs["ghost"]
+	seed.fed.mu.Unlock()
+	if incLeft || dbgLeft {
+		t.Fatal("stale member bookkeeping not purged")
+	}
+}
+
+// waitCondition polls an arbitrary predicate.
+func waitCondition(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestTracedClusterRecovery runs a kill-owner recovery across three
+// in-process nodes and asserts the tentpole's core invariant: ONE
+// connected trace rooted at the seed's self-heal verdict whose spans
+// come from at least two distinct nodes, with every span reachable from
+// the root.
+func TestTracedClusterRecovery(t *testing.T) {
+	spec := testSpec("n1", "n3", "n2", 100000, 8, 100, 50)
+	seed := startTestNode(t, "n1", "", spec)
+	defer seed.Stop()
+	n2 := startTestNode(t, "n2", seed.Addr(), spec)
+	defer n2.Stop()
+	n3 := startTestNode(t, "n3", seed.Addr(), spec)
+
+	// Let some tuples flow so the counter has state to recover.
+	waitCondition(t, 10*time.Second, "sink progress", func() bool {
+		s, ok := sinkOn(n2)
+		return ok && len(s.MaxByKey) > 0
+	})
+
+	crashNode(n3)
+	// The counter moves to a survivor and the sink keeps advancing.
+	waitCondition(t, 10*time.Second, "counter re-homed", func() bool {
+		owner := seed.currentView().Assign["count"]
+		return owner != "" && owner != "n3"
+	})
+
+	// The recovery trace closes once the adoption lands.
+	waitCondition(t, 10*time.Second, "selfheal root recorded", func() bool {
+		for _, rec := range seed.spans.Spans() {
+			if rec.Phase == obs.PhaseSelfHeal {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Stitch cluster-wide and validate connectivity. The stitch polls:
+	// the ingress-side flow span (the second process's contribution)
+	// records only when the first traced replay frame arrives.
+	var rootTrace uint64
+	byID := map[uint64]obs.SpanRecord{}
+	nodes := map[string]bool{}
+	phases := map[string]bool{}
+	waitCondition(t, 10*time.Second, "trace spans from >= 2 nodes", func() bool {
+		seed.hub.stitchAll()
+		spans := seed.hub.col.Spans()
+		rootTrace = 0
+		for _, rec := range spans {
+			if rec.Phase == obs.PhaseSelfHeal {
+				rootTrace = rec.Trace
+			}
+		}
+		if rootTrace == 0 {
+			return false
+		}
+		byID = map[uint64]obs.SpanRecord{}
+		nodes = map[string]bool{}
+		phases = map[string]bool{}
+		for _, rec := range spans {
+			if rec.Trace != rootTrace {
+				continue
+			}
+			byID[rec.Span] = rec
+			phases[rec.Phase] = true
+			for _, a := range rec.Attrs {
+				if a.Key == "node" {
+					nodes[a.Str] = true
+				}
+			}
+		}
+		return len(nodes) >= 2
+	})
+	for _, want := range []string{obs.PhaseSelfHeal, obs.PhaseDetect, obs.PhaseAdopt, obs.PhaseRecover, obs.PhaseFetch} {
+		if !phases[want] {
+			t.Fatalf("trace %d missing phase %s; have %v", rootTrace, want, phases)
+		}
+	}
+	// Full parent connectivity: every span walks up to the root.
+	for id, rec := range byID {
+		cur, hops := rec, 0
+		for cur.Parent != 0 && hops < 64 {
+			parent, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %d (%s) has dangling parent %d", id, rec.Phase, cur.Parent)
+			}
+			cur, hops = parent, hops+1
+		}
+		if cur.Span != rootTrace {
+			t.Fatalf("span %d (%s) does not reach root", id, rec.Phase)
+		}
+	}
+	// The seed's per-phase MTTR histograms materialized via the metrics
+	// sink half of the tracer.
+	if c := seed.reg.Counter("sr3_phase_selfheal_total").Value(); c < 1 {
+		t.Fatalf("sr3_phase_selfheal_total = %d, want >= 1", c)
+	}
+}

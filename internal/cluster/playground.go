@@ -141,7 +141,38 @@ func (pg *Playground) Start(timeout time.Duration) error {
 		pg.StopAll()
 		return err
 	}
+	if err := pg.WaitHealthy(timeout); err != nil {
+		pg.StopAll()
+		return err
+	}
 	return nil
+}
+
+// WaitHealthy polls every node's /healthz until all report ready (the
+// readiness docker-compose healthchecks probe: joined + every assigned
+// component running).
+func (pg *Playground) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, name := range pg.names {
+		for {
+			if _, err := pg.HTTPGet(name, "/healthz"); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("playground: %s never became healthy: %v", name, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// HTTPGet fetches an arbitrary path from one node's HTTP surface.
+func (pg *Playground) HTTPGet(name, path string) ([]byte, error) {
+	p := pg.Proc(name)
+	if p == nil {
+		return nil, fmt.Errorf("playground: unknown node %s", name)
+	}
+	return httpGet("http://" + p.HTTP + path)
 }
 
 func (pg *Playground) launch(name string) error {

@@ -8,6 +8,8 @@ import (
 	"net"
 	"time"
 
+	"sr3/internal/metrics"
+	"sr3/internal/obs"
 	"sr3/internal/shard"
 )
 
@@ -77,10 +79,13 @@ func (v *View) liveMembers() []Member {
 
 // rpcEnvelope is the single request/reply frame: Kind selects the
 // operation, exactly one request pointer is set; the reply reuses the
-// same envelope with the matching *Resp pointer (or Err).
+// same envelope with the matching *Resp pointer (or Err). Trace is the
+// caller's span context; gob omits the zero value, so untraced RPCs pay
+// nothing on the wire.
 type rpcEnvelope struct {
-	Kind string
-	Err  string
+	Kind  string
+	Err   string
+	Trace obs.SpanContext
 
 	Join      *joinReq
 	JoinR     *joinResp
@@ -96,6 +101,10 @@ type rpcEnvelope struct {
 	StoreR    *storeShardsResp
 	Fetch     *fetchShardsReq
 	FetchR    *fetchShardsResp
+	MPull     *metricsPullReq
+	MPullR    *metricsPullResp
+	ODump     *obsDumpReq
+	ODumpR    *obsDumpResp
 }
 
 type joinReq struct {
@@ -129,10 +138,13 @@ type viewResp struct {
 // adoptReq tells a node to host additional components (a dead node's
 // set). The node builds a new cell for them, marks stateful tasks dead,
 // and recovers their state from scattered shards; the control plane
-// flips routing (epoch bump) only after the adopt reply.
+// flips routing (epoch bump) only after the adopt reply. Trace is the
+// seed's adopt span: the adopter parents its recover/fetch/replay spans
+// on it, so one kill-to-recovered incident is a single connected trace.
 type adoptReq struct {
 	Components []string
 	Epoch      int64
+	Trace      obs.SpanContext
 }
 
 type adoptResp struct{}
@@ -158,6 +170,31 @@ type fetchShardsReq struct {
 
 type fetchShardsResp struct {
 	Shards []shard.Shard
+}
+
+// metricsPullReq asks a member for its full registry snapshot plus its
+// debug view — one federation cycle's worth of state. Issued by the
+// seed at the federation interval.
+type metricsPullReq struct{}
+
+type metricsPullResp struct {
+	Node        string
+	Incarnation int64
+	Registry    metrics.RegistrySnapshot
+	Debug       NodeDebug
+}
+
+// obsDumpReq asks a member for its observability journal: the flight
+// recorder ring and every span its local collector holds (binary span
+// batch, obs/wire.go). The seed uses it to stitch distributed traces
+// and to merge a cluster-wide post-mortem timeline.
+type obsDumpReq struct{}
+
+type obsDumpResp struct {
+	Node        string
+	Incarnation int64
+	Flight      []obs.FlightEvent
+	Spans       []byte // obs binary span batch (Collector.ExportBinary)
 }
 
 // flowHello opens a tuple stream: it names the edge (producer component

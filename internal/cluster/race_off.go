@@ -1,0 +1,9 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in. The
+// frame-encode zero-alloc guard skips under -race: the detector's
+// shadow-memory instrumentation allocates on paths that are
+// allocation-free in a normal build.
+const raceEnabled = false

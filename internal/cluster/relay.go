@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sr3/internal/nettransport"
+	"sr3/internal/obs"
 	"sr3/internal/stream"
 )
 
@@ -41,11 +42,18 @@ type relay struct {
 	replayUntil int // buf[:replayUntil] resends as replay class (reconnect window)
 	closed      bool
 	done        chan struct{}
+	// trace is the recovery span context stamped on outbound replay-class
+	// frames (set by startCell during a traced adoption, so the replayed
+	// output stitches the ingress node into the recovery's trace). It is
+	// cleared once the first live ingest-class batch goes out — by then
+	// the recovery's replay has drained.
+	trace obs.SpanContext
 }
 
 type relayEntry struct {
 	tuple stream.Tuple
 	class stream.TrafficClass
+	at    int64 // origin enqueue timestamp, UnixNano (event-time lag basis)
 }
 
 func newRelay(n *Node, fromComp, destComp string) *relay {
@@ -87,9 +95,17 @@ func (r *relay) ExecuteClassed(t stream.Tuple, class stream.TrafficClass, _ stre
 			r.replayUntil = 0
 		}
 	}
-	r.buf = append(r.buf, relayEntry{tuple: t, class: class})
+	r.buf = append(r.buf, relayEntry{tuple: t, class: class, at: time.Now().UnixNano()})
 	r.cond.Signal()
 	return nil
+}
+
+// setTrace arms the relay with a recovery trace context (see the trace
+// field); a zero context disarms it.
+func (r *relay) setTrace(tc obs.SpanContext) {
+	r.mu.Lock()
+	r.trace = tc
+	r.mu.Unlock()
 }
 
 func (r *relay) close() {
@@ -113,7 +129,7 @@ func (r *relay) run() {
 		}
 	}()
 	for {
-		batch, cls, ok := r.take()
+		batch, cls, oldestNs, tc, ok := r.take()
 		if !ok {
 			return
 		}
@@ -138,7 +154,7 @@ func (r *relay) run() {
 			r.unsendAll()
 			continue
 		}
-		if err := conn.send(batch, cls); err != nil {
+		if err := conn.send(batch, cls, oldestNs, tc); err != nil {
 			r.node.logf("relay %s: send to %s: %v", r.boltID(), addr, err)
 			conn.close()
 			conn = nil
@@ -152,15 +168,18 @@ func (r *relay) run() {
 
 // take blocks for the next run of unsent same-class tuples (bounded by
 // the spec batch size), marking them sent. ok=false on close. A resend
-// after reconnect (sent reset to 0) is forced to replay class.
-func (r *relay) take() ([]stream.Tuple, stream.TrafficClass, bool) {
+// after reconnect (sent reset to 0) is forced to replay class. It also
+// yields the batch's oldest enqueue timestamp (the frame's event-time
+// basis) and, on replay-class batches during a traced recovery, the
+// recovery's span context; the first live batch disarms the context.
+func (r *relay) take() ([]stream.Tuple, stream.TrafficClass, int64, obs.SpanContext, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for !r.closed && r.sent >= len(r.buf) {
 		r.cond.Wait()
 	}
 	if r.closed {
-		return nil, 0, false
+		return nil, 0, 0, obs.SpanContext{}, false
 	}
 	max := r.node.spec.Batch
 	first := r.buf[r.sent]
@@ -182,8 +201,14 @@ func (r *relay) take() ([]stream.Tuple, stream.TrafficClass, bool) {
 		out = append(out, next.tuple)
 	}
 	r.sent += len(out)
+	var tc obs.SpanContext
+	if cls == stream.ClassReplay {
+		tc = r.trace
+	} else {
+		r.trace = obs.SpanContext{}
+	}
 	r.cond.Broadcast()
-	return out, cls, true
+	return out, cls, first.at, tc, true
 }
 
 // unsend returns the last n taken entries to the unsent region (send
@@ -252,15 +277,28 @@ func (r *relay) connect(owner, addr string) (*flowConn, error) {
 	return &flowConn{owner: owner, raw: raw, bc: nettransport.NewBatchConn(raw, 30*time.Second)}, nil
 }
 
-func (c *flowConn) send(tuples []stream.Tuple, class stream.TrafficClass) error {
+// encodeFrame builds one wire frame — 36-byte flow header followed by
+// the batch-codec body — in the connection's reused buffer. Factored out
+// of send so the zero-allocation guard (frame_test.go) can drive it
+// without a socket.
+func (c *flowConn) encodeFrame(tuples []stream.Tuple, class stream.TrafficClass, sendNs, oldestNs int64, tc obs.SpanContext) ([]byte, error) {
+	hdr := appendFrameHeader(c.buf[:0], sendNs, oldestNs, tc)
+	body, err := stream.EncodeTupleBatch(hdr, tuples, class)
+	if err != nil {
+		return nil, err
+	}
+	c.buf = body[:0]
+	return body, nil
+}
+
+func (c *flowConn) send(tuples []stream.Tuple, class stream.TrafficClass, oldestNs int64, tc obs.SpanContext) error {
 	// On resend after reconnect the window is pushed as replay class so
 	// downstream shed policies cannot drop recovery traffic. The caller
 	// resets sent to 0 before resending; class is already per-batch.
-	body, err := stream.EncodeTupleBatch(c.buf[:0], tuples, class)
+	body, err := c.encodeFrame(tuples, class, time.Now().UnixNano(), oldestNs, tc)
 	if err != nil {
 		return err
 	}
-	c.buf = body[:0]
 	return c.bc.WriteBatch(body)
 }
 

@@ -40,6 +40,10 @@ var helpCatalog = map[string]string{
 	"sr3_net_overload_rejected_total": "Inbound ingest-class requests rejected while this node was in degraded-service mode.",
 	"sr3_flight_events_total":         "Events recorded by the flight recorder.",
 	"sr3_flight_events_dropped_total": "Flight-recorder events overwritten by ring-buffer wraparound.",
+	// Cluster node liveness (internal/cluster), present on every member
+	// so a federated scrape always carries at least these families.
+	"sr3_node_up":          "1 while this sr3node process is running (liveness baseline for federation).",
+	"sr3_node_incarnation": "Monotonic incarnation of this member name; bumps on crash-and-rejoin.",
 }
 
 // helpRule describes one generated metric family whose names embed an
@@ -65,6 +69,12 @@ var helpRules = []helpRule{
 	{"sr3_scribe_msg_", "_total", "Inbound Scribe multicast messages of this kind handled by the layer."},
 	{"sr3_phase_", "_ns", "Recovery-pipeline phase latency in nanoseconds (one histogram per phase)."},
 	{"sr3_phase_", "_total", "Recovery-pipeline phase completions."},
+	// Cross-process flow edges (internal/cluster): the name embeds the
+	// <from>__<to> component edge; recorded at the ingress node.
+	{"sr3_cluster_edge_hop_ns_", "", "Wire latency of batch frames on this component edge (origin send timestamp to ingress receive) in nanoseconds."},
+	{"sr3_cluster_edge_lag_ns_", "", "End-to-end event-time lag of the oldest tuple per batch frame on this component edge in nanoseconds."},
+	{"sr3_cluster_edge_", "_frames_total", "Batch frames received on this component edge."},
+	{"sr3_cluster_edge_", "_tuples_total", "Tuples received on this component edge."},
 }
 
 // catalogHelp resolves the built-in help text for a metric name, or "".

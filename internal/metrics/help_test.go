@@ -54,6 +54,19 @@ func TestCatalogHelp(t *testing.T) {
 	if catalogHelp("sr3_phase_fetch_ns") == "" {
 		t.Fatal("phase rule missing")
 	}
+	if catalogHelp("sr3_node_up") == "" || catalogHelp("sr3_node_incarnation") == "" {
+		t.Fatal("node liveness entries missing")
+	}
+	for _, name := range []string{
+		"sr3_cluster_edge_hop_ns_count__sink",
+		"sr3_cluster_edge_lag_ns_count__sink",
+		"sr3_cluster_edge_count__sink_frames_total",
+		"sr3_cluster_edge_count__sink_tuples_total",
+	} {
+		if catalogHelp(name) == "" {
+			t.Fatalf("edge rule missing for %s", name)
+		}
+	}
 	if catalogHelp("totally_unknown") != "" {
 		t.Fatal("unknown name resolved non-empty")
 	}

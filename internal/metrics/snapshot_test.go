@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// TestRegistrySnapshotRoundTrip asserts that Snapshot →
+// RegistryFromSnapshot preserves every instrument value, including
+// histogram quantile structure — the property the federated cluster
+// scrape depends on.
+func TestRegistrySnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sr3_test_lat_ns")
+	for _, v := range []int64{1, 7, 950, 950, 123456, 9999999} {
+		h.Record(v)
+	}
+	r.Gauge("sr3_test_depth").Set(-42)
+	r.Counter("sr3_test_total").Add(17)
+	r.SetHelp("sr3_test_total", "ad-hoc help survives the wire")
+
+	// Through gob, as the federation RPC carries it.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r.Snapshot()); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var snap RegistrySnapshot
+	if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got := RegistryFromSnapshot(snap)
+
+	gh := got.Histogram("sr3_test_lat_ns")
+	if gh.Count() != h.Count() || gh.Sum() != h.Sum() || gh.Min() != h.Min() || gh.Max() != h.Max() {
+		t.Fatalf("histogram summary mismatch: got count=%d sum=%d min=%d max=%d",
+			gh.Count(), gh.Sum(), gh.Min(), gh.Max())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if gh.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("q%.2f mismatch: got %d want %d", q, gh.Quantile(q), h.Quantile(q))
+		}
+	}
+	if v := got.Gauge("sr3_test_depth").Value(); v != -42 {
+		t.Fatalf("gauge = %d, want -42", v)
+	}
+	if v := got.Counter("sr3_test_total").Value(); v != 17 {
+		t.Fatalf("counter = %d, want 17", v)
+	}
+
+	// The rebuilt registry renders identically to the original.
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("prometheus text differs after round trip:\n--- original\n%s\n--- rebuilt\n%s", a.String(), b.String())
+	}
+}
+
+// TestRegistrySnapshotEmptyHistogram guards the min-sentinel encoding: a
+// histogram with zero observations must round-trip to Min()==0, not an
+// artificial observation.
+func TestRegistrySnapshotEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	_ = r.Histogram("sr3_test_empty_ns")
+	got := RegistryFromSnapshot(r.Snapshot())
+	gh := got.Histogram("sr3_test_empty_ns")
+	if gh.Count() != 0 || gh.Min() != 0 || gh.Max() != 0 {
+		t.Fatalf("empty histogram corrupted: count=%d min=%d max=%d", gh.Count(), gh.Min(), gh.Max())
+	}
+}

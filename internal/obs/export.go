@@ -36,6 +36,14 @@ type ServeConfig struct {
 	Debug DebugFunc
 	// Flight is served on /debug/sr3/flight as JSON lines, oldest-first.
 	Flight *FlightRecorder
+	// Health is served on /healthz: nil error → 200 "ok", otherwise 503
+	// with the error text. A readiness probe, not liveness — sr3node
+	// reports healthy only once joined with every assigned cell running.
+	Health func() error
+	// Extra mounts additional handlers by path (the seed's federated
+	// /metrics/cluster, /debug/sr3/cluster, /debug/sr3/trace and
+	// /debug/sr3/postmortem surfaces ride here).
+	Extra map[string]http.HandlerFunc
 }
 
 // Serve starts an HTTP server on addr (e.g. ":9090" or "127.0.0.1:0";
@@ -71,6 +79,20 @@ func Serve(addr string, cfg ServeConfig) (*MetricsServer, error) {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			_ = fr.WriteJSON(w)
 		})
+	}
+	if cfg.Health != nil {
+		health := cfg.Health
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			if err := health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte("ok\n"))
+		})
+	}
+	for path, h := range cfg.Extra {
+		mux.HandleFunc(path, h)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -68,6 +68,14 @@ const (
 	// PhaseStall covers a sender blocked on the data plane's credit
 	// window (chunked raw-body streaming, nettransport).
 	PhaseStall = "stall"
+	// PhaseAdopt covers one control-plane adoption round trip: adopt RPC
+	// issued to ACK received (the adopter's recover/fetch/replay spans
+	// nest below it, on the adopter's tracer).
+	PhaseAdopt = "adopt"
+	// PhaseFlow covers replayed recovery output crossing a process
+	// boundary: the ingress node records it retroactively when the first
+	// traced batch frame of a connection arrives.
+	PhaseFlow = "flow"
 )
 
 // SpanContext identifies a span within a trace. The zero value is
@@ -137,6 +145,37 @@ type Option func(*Tracer)
 // deterministic step clock in tests. Default: time.Now.
 func WithClock(now func() time.Time) Option {
 	return func(t *Tracer) { t.now = now }
+}
+
+// WithIDBase seeds the tracer's sequential ID counter. IDs stay
+// sequential (deterministic per tracer) but start above base, so tracers
+// in different processes minting IDs for the same distributed trace
+// cannot collide when every process derives its base from its own stable
+// identity (IDBase).
+func WithIDBase(base uint64) Option {
+	return func(t *Tracer) { t.nextID.Store(base) }
+}
+
+// IDBase derives a node-unique ID base from a stable name: an FNV-1a
+// hash placed in the top 32 bits, leaving 2^32 sequential span IDs per
+// process lifetime. Distinct names yield disjoint ID ranges (modulo hash
+// collisions, irrelevant at cluster scale), which is what keeps a trace
+// stitched from several processes' collectors free of span-ID clashes.
+func IDBase(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	base := (h & 0xFFFFFFFF) << 32
+	if base == 0 {
+		base = 1 << 32 // never collide with the default tracer's 1,2,3…
+	}
+	return base
 }
 
 // New builds a tracer feeding the given sink (nil sink discards records).

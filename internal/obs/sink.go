@@ -114,6 +114,28 @@ func (c *Collector) ImportBinary(b []byte) error {
 	return nil
 }
 
+// WriteJSONL renders every collected span as JSONL (one object per
+// line, the JSONLSink schema), sorted by (trace, start, span) so a
+// stitched multi-process trace reads top-down. This is the seed's
+// /debug/sr3/trace response body.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	spans := c.Spans()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Trace != spans[j].Trace {
+			return spans[i].Trace < spans[j].Trace
+		}
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Span < spans[j].Span
+	})
+	sink := NewJSONLSink(w)
+	for _, s := range spans {
+		sink.OnSpan(s)
+	}
+	return sink.Err()
+}
+
 // jsonSpan is the JSONL schema (stable field names for offline tooling).
 type jsonSpan struct {
 	Trace  uint64     `json:"trace"`

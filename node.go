@@ -4,8 +4,10 @@
 // the cluster layer does across real processes: a seed node embeds the
 // control plane, peers join over TCP, cross-process edges speak the
 // batch tuple codec, and a dead node's components are adopted by a
-// survivor that star-fetches the scattered state. See internal/cluster
-// and DESIGN.md §14.
+// survivor that star-fetches the scattered state. The seed federates
+// every member's metrics, stitches cross-process recovery traces, and
+// merges distributed post-mortems. See internal/cluster and DESIGN.md
+// §14–15.
 package sr3
 
 import "sr3/internal/cluster"
@@ -25,6 +27,11 @@ type TopologySpec = cluster.Spec
 
 // NodeDebug is the /debug/sr3 snapshot a daemon serves.
 type NodeDebug = cluster.NodeDebug
+
+// ClusterDebug is the seed's /debug/sr3/cluster snapshot: view epoch,
+// members, assignment, and every member's NodeDebug, as federated by
+// the metrics-pull loop (Node.ClusterDebugSnapshot; DESIGN.md §15).
+type ClusterDebug = cluster.ClusterDebug
 
 // Playground launches a local multi-process cluster (one sr3node
 // process per member) — the dev and e2e harness.
